@@ -1,0 +1,70 @@
+// Command salcarbon prints the paper's analytic results: the Fig. 2
+// tiredness ladder, the Fig. 4 CO2e scenarios (Eq. 3), and the §4.4 TCO
+// table (Eq. 4).
+//
+// Usage:
+//
+//	salcarbon [-fop F] [-pe F] [-lifetime-shrink F] [-lifetime-regen F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"salamander/internal/carbon"
+	"salamander/internal/cost"
+	"salamander/internal/metrics"
+	"salamander/internal/rber"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salcarbon: ")
+	var (
+		fop     = flag.Float64("fop", carbon.DefaultFOp, "operational fraction of emissions")
+		pe      = flag.Float64("pe", carbon.DefaultPE, "relative power effectiveness of keeping old drives")
+		lShrink = flag.Float64("lifetime-shrink", carbon.ShrinkSLifetime, "ShrinkS lifetime factor")
+		lRegen  = flag.Float64("lifetime-regen", carbon.RegenSLifetime, "RegenS lifetime factor")
+	)
+	flag.Parse()
+
+	fmt.Println("== Fig. 2 — page tiredness ladder (code rate vs PEC benefit) ==")
+	model, err := rber.New(rber.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt := metrics.NewTable("level", "data/fPage", "code rate", "max RBER", "PEC limit", "PEC benefit")
+	for _, spec := range model.Levels() {
+		lt.Row(fmt.Sprintf("L%d", spec.Level),
+			fmt.Sprintf("%dKB", spec.DataBytes/1024),
+			spec.CodeRate, spec.MaxRBER, spec.PECLimit, spec.Benefit)
+	}
+	lt.Render(os.Stdout)
+	fmt.Println()
+
+	fmt.Println("== Fig. 4 — CO2e reduction (Eq. 3) ==")
+	ct := metrics.NewTable("scenario", "f_op", "PE", "Ru", "relative CO2e", "savings")
+	for _, mode := range []struct {
+		name     string
+		lifetime float64
+	}{{"shrinkS", *lShrink}, {"regenS", *lRegen}} {
+		ru := carbon.AdjustRu(carbon.RuFromLifetime(mode.lifetime), carbon.DefaultRetention)
+		p := carbon.Params{FOp: *fop, PE: *pe, Ru: ru}
+		if err := p.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		ct.Row(mode.name+"/current-grid", p.FOp, p.PE, p.Ru, p.RelativeFootprint(), p.Savings())
+		ct.Row(mode.name+"/renewables", "-", "-", p.Ru, p.Ru, p.RenewableSavings())
+	}
+	ct.Render(os.Stdout)
+	fmt.Println()
+
+	fmt.Println("== §4.4 — TCO (Eq. 4) ==")
+	tt := metrics.NewTable("scenario", "f_opex", "Ru", "CRu", "relative TCO", "savings")
+	for _, s := range cost.Table() {
+		tt.Row(s.Name, s.Params.FOpex, s.Params.Ru, s.Params.CRu(), s.Params.RelativeTCO(), s.Savings)
+	}
+	tt.Render(os.Stdout)
+}

@@ -1,0 +1,200 @@
+// Command saltrace records synthetic workload traces and replays them
+// against simulated devices, reporting virtual-time latency percentiles —
+// a workload-centric view of the performance trade-offs §4.2 discusses.
+//
+// Usage:
+//
+//	saltrace record -out trace.bin [-ops N] [-space N] [-pattern seq|uniform|zipf] [-readfrac F]
+//	saltrace replay -in trace.bin [-device salamander|baseline] [-maxlevel L]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/core"
+	"salamander/internal/flash"
+	"salamander/internal/metrics"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/ssd"
+	"salamander/internal/stats"
+	"salamander/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("saltrace: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: saltrace record|replay [flags]")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want record or replay)", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "trace.bin", "output trace file")
+		ops      = fs.Int("ops", 100000, "operations to record")
+		space    = fs.Int("space", 4096, "logical space in oPages")
+		pattern  = fs.String("pattern", "zipf", "access pattern: seq|uniform|zipf")
+		readFrac = fs.Float64("readfrac", 0.5, "fraction of reads")
+		skew     = fs.Float64("skew", 0.99, "zipfian skew")
+		seed     = fs.Uint64("seed", 1, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	rng := stats.NewRNG(*seed)
+	var base workload.Generator
+	switch *pattern {
+	case "seq":
+		base = &workload.Sequential{Space: *space}
+	case "uniform":
+		base = &workload.Uniform{Space: *space, Rng: rng}
+	case "zipf":
+		base = workload.NewZipfian(rng, *space, *skew)
+	default:
+		log.Fatalf("unknown pattern %q", *pattern)
+	}
+	gen := &workload.Mix{Gen: base, ReadFrac: *readFrac, Rng: rng.Split()}
+	tr := workload.Record(gen, *ops)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := tr.WriteTo(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d %s ops (space %d oPages, %.0f%% reads) to %s\n",
+		*ops, *pattern, *space, *readFrac*100, *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in       = fs.String("in", "trace.bin", "input trace file")
+		devKind  = fs.String("device", "salamander", "device under test: salamander|baseline")
+		maxLevel = fs.Int("maxlevel", 1, "Salamander MaxLevel (0 = ShrinkS)")
+		seed     = fs.Uint64("seed", 1, "device seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	geom := flash.Geometry{
+		Channels:      4,
+		BlocksPerChan: 32,
+		PagesPerBlock: 32,
+		PageSize:      rber.FPageSize,
+		SpareSize:     rber.SpareSize,
+	}
+	eng := sim.NewEngine()
+	var dev blockdev.Device
+	switch *devKind {
+	case "salamander":
+		cfg := core.DefaultConfig()
+		cfg.Flash.Geometry = geom
+		cfg.MaxLevel = *maxLevel
+		cfg.Flash.Seed = *seed
+		cfg.Seed = *seed * 13
+		d, err := core.New(cfg, eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev = d
+	case "baseline":
+		cfg := ssd.DefaultConfig()
+		cfg.Flash.Geometry = geom
+		cfg.Flash.Seed = *seed
+		cfg.Seed = *seed * 13
+		d, err := ssd.New(cfg, eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev = d
+	default:
+		log.Fatalf("unknown device %q", *devKind)
+	}
+
+	// Replay, attributing virtual time to each op.
+	readLat := stats.NewHistogram(0, 2e6, 200)  // ns
+	writeLat := stats.NewHistogram(0, 2e6, 200) // ns (buffered writes may be ~0)
+	buf := make([]byte, blockdev.OPageSize)
+	var reads, writes, errs, skipped int64
+	for i, op := range tr.Ops {
+		mds := dev.Minidisks()
+		if len(mds) == 0 {
+			log.Fatal("device retired mid-replay")
+		}
+		total := 0
+		for _, m := range mds {
+			total += m.LBAs
+		}
+		lba := op.LBA % total
+		var md blockdev.MinidiskInfo
+		for _, m := range mds {
+			if lba < m.LBAs {
+				md = m
+				break
+			}
+			lba -= m.LBAs
+		}
+		before := eng.Now()
+		var err error
+		if op.Read {
+			err = dev.Read(md.ID, lba, buf)
+			reads++
+		} else {
+			buf[0] = byte(i)
+			err = dev.Write(md.ID, lba, buf)
+			writes++
+		}
+		elapsed := float64(eng.Now() - before)
+		switch {
+		case err == nil:
+			if op.Read {
+				readLat.Observe(elapsed)
+			} else {
+				writeLat.Observe(elapsed)
+			}
+		case errors.Is(err, blockdev.ErrNoSuchMinidisk):
+			skipped++
+		default:
+			errs++
+		}
+	}
+
+	fmt.Printf("replayed %d ops (%d reads, %d writes) in %v virtual time\n",
+		len(tr.Ops), reads, writes, eng.Now())
+	fmt.Printf("throughput: %.0f ops per virtual second\n",
+		float64(len(tr.Ops))/eng.Now().Seconds())
+	t := metrics.NewTable("op", "p50 (us)", "p99 (us)", "mean (us)")
+	t.Row("read", readLat.Quantile(0.5)/1000, readLat.Quantile(0.99)/1000, readLat.Mean()/1000)
+	t.Row("write (buffered)", writeLat.Quantile(0.5)/1000, writeLat.Quantile(0.99)/1000, writeLat.Mean()/1000)
+	t.Render(os.Stdout)
+	if errs > 0 || skipped > 0 {
+		fmt.Printf("errors: %d, ops to decommissioned minidisks: %d\n", errs, skipped)
+	}
+}

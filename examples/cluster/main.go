@@ -1,0 +1,106 @@
+// Cluster: a six-node replicated object store over Salamander devices
+// survives continuous wear-driven minidisk failures with zero data loss —
+// the paper's core claim that existing end-to-end redundancy absorbs
+// partial device failures.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+
+	"salamander/internal/core"
+	"salamander/internal/difs"
+	"salamander/internal/flash"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cluster, err := difs.NewCluster(difs.Config{
+		ReplicationFactor: 3,
+		ChunkOPages:       16,
+		Seed:              7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Flash.Geometry = flash.Geometry{
+			Channels:      2,
+			BlocksPerChan: 8,
+			PagesPerBlock: 8,
+			PageSize:      rber.FPageSize,
+			SpareSize:     rber.SpareSize,
+		}
+		cfg.MSizeOPages = 16
+		cfg.RealECC = true
+		// Staggered tiny endurance so failures arrive steadily.
+		cfg.Flash.Reliability.NominalPEC = 6 + float64(i)
+		cfg.Flash.Seed = uint64(i + 1)
+		cfg.Seed = uint64(i+1) * 101
+		dev, err := core.New(cfg, sim.NewEngine())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster.AddNode(dev)
+	}
+
+	// Store objects with verifiable contents.
+	rng := stats.NewRNG(99)
+	content := map[string][]byte{}
+	blob := func() []byte {
+		b := make([]byte, 40000+rng.Intn(30000))
+		for i := range b {
+			b[i] = byte(rng.Uint64())
+		}
+		return b
+	}
+	const nObjects = 15
+	for i := 0; i < nObjects; i++ {
+		name := fmt.Sprintf("photo-%02d", i)
+		content[name] = blob()
+		if err := cluster.Put(name, content[name]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stored %d objects with 3-way replication\n", nObjects)
+
+	// Churn until the devices start shedding minidisks, repairing as we go.
+	for round := 0; round < 40 && cluster.Stats().DecommissionEvents < 5; round++ {
+		for i := 0; i < nObjects; i++ {
+			name := fmt.Sprintf("photo-%02d", i)
+			if err := cluster.Delete(name); err != nil {
+				log.Fatal(err)
+			}
+			content[name] = blob()
+			if err := cluster.Put(name, content[name]); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := cluster.Repair(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st := cluster.Stats()
+	fmt.Printf("wear decommissioned %d minidisks; cluster re-replicated %d chunks (%d KB)\n",
+		st.DecommissionEvents, st.RecoveryOps, st.RecoveryBytes/1024)
+
+	// Verify every object bit for bit through the real ECC path.
+	bad := cluster.VerifyAll(func(name string, data []byte) error {
+		if !bytes.Equal(data, content[name]) {
+			return errors.New("content mismatch")
+		}
+		return nil
+	})
+	if bad != nil {
+		log.Fatalf("DATA LOSS: %v", bad)
+	}
+	fmt.Printf("all %d objects verified intact (degraded reads served: %d, chunks lost: %d)\n",
+		nObjects, st.DegradedReads, st.LostChunks)
+}

@@ -1,0 +1,3 @@
+module salamander
+
+go 1.22

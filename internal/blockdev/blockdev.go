@@ -1,0 +1,118 @@
+// Package blockdev defines the host-visible SSD abstraction shared by the
+// baseline device (internal/ssd) and the Salamander device (internal/core):
+// a set of minidisks, oPage-granular I/O, and an event stream through which
+// the device reports minidisk decommissioning, regeneration, and death to
+// the distributed storage layer.
+//
+// A baseline SSD is simply a Device exposing one minidisk spanning its whole
+// volume — exactly the "large failure unit" framing of the paper — so the
+// distributed layer (internal/difs) treats both device kinds uniformly.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OPageSize is the host I/O granularity in bytes (a 4KB OS page).
+const OPageSize = 4 * 1024
+
+// Host-visible I/O errors.
+var (
+	ErrBadLBA         = errors.New("blockdev: LBA out of range")
+	ErrNoSuchMinidisk = errors.New("blockdev: minidisk does not exist or was decommissioned")
+	ErrUncorrectable  = errors.New("blockdev: uncorrectable media error")
+	ErrBricked        = errors.New("blockdev: device has failed")
+	ErrBufSize        = errors.New("blockdev: buffer must be exactly one oPage")
+	ErrDeviceFull     = errors.New("blockdev: no physical space available")
+)
+
+// MinidiskID names a minidisk within one device. IDs are never reused, so a
+// regenerated minidisk is distinguishable from every disk that existed
+// before it.
+type MinidiskID int
+
+// MinidiskInfo describes one live minidisk.
+type MinidiskInfo struct {
+	ID MinidiskID
+	// LBAs is the number of oPage-sized logical blocks.
+	LBAs int
+	// Tiredness is the fPage tiredness level this minidisk's storage runs
+	// at (0 for fresh capacity; >0 for RegenS-regenerated disks).
+	Tiredness int
+}
+
+// Bytes returns the minidisk capacity in bytes.
+func (m MinidiskInfo) Bytes() int64 { return int64(m.LBAs) * OPageSize }
+
+// EventKind enumerates device notifications.
+type EventKind int
+
+const (
+	// EventDecommission: the minidisk has been retired; its data is gone
+	// from this device and must be recovered from replicas.
+	EventDecommission EventKind = iota
+	// EventRegenerate: a new minidisk has been created from recycled
+	// capacity (RegenS) and may receive writes.
+	EventRegenerate
+	// EventBrick: the whole device has failed; all minidisks are gone.
+	EventBrick
+	// EventDrain: the minidisk is being decommissioned under a grace
+	// period (§4.3's future-work flow): it no longer accepts writes and
+	// must not receive new placements, but its data remains readable until
+	// the host calls Release — letting the distributed layer re-replicate
+	// from the local copy instead of burning cross-node bandwidth.
+	EventDrain
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDecommission:
+		return "decommission"
+	case EventRegenerate:
+		return "regenerate"
+	case EventBrick:
+		return "brick"
+	case EventDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is a device notification delivered to the host.
+type Event struct {
+	Kind     EventKind
+	Minidisk MinidiskID // meaningful for decommission/regenerate
+	Info     MinidiskInfo
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v(md=%d L=%d)", e.Kind, e.Minidisk, e.Info.Tiredness)
+}
+
+// Drainer is implemented by devices that support grace-period
+// decommissioning: after an EventDrain, the host re-replicates the
+// minidisk's data (reads keep working) and then calls Release, at which
+// point the device finishes the decommission and emits EventDecommission.
+type Drainer interface {
+	// Release tells the device the host no longer needs the draining
+	// minidisk's data.
+	Release(md MinidiskID) error
+}
+
+// Device is the host-visible SSD interface.
+type Device interface {
+	// Minidisks lists the currently live minidisks.
+	Minidisks() []MinidiskInfo
+	// Read fills buf (exactly one oPage) from the given minidisk LBA.
+	Read(md MinidiskID, lba int, buf []byte) error
+	// Write stores buf (exactly one oPage) at the given minidisk LBA.
+	Write(md MinidiskID, lba int, buf []byte) error
+	// Trim invalidates an LBA, allowing the device to reclaim its space.
+	Trim(md MinidiskID, lba int) error
+	// Notify registers the host's event handler. The handler is invoked
+	// synchronously from within device operations; it must not call back
+	// into the device.
+	Notify(func(Event))
+}

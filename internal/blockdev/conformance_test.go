@@ -1,0 +1,107 @@
+package blockdev
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// brokenDevice wraps a MemDevice and injects one specific contract
+// violation, so the conformance harness's detection paths are themselves
+// tested.
+type brokenDevice struct {
+	*MemDevice
+	mode string
+}
+
+func (d *brokenDevice) Read(md MinidiskID, lba int, buf []byte) error {
+	switch d.mode {
+	case "corrupt":
+		if err := d.MemDevice.Read(md, lba, buf); err != nil {
+			return err
+		}
+		if lba == 0 {
+			buf[0] ^= 0xFF
+		}
+		return nil
+	case "dirty-unwritten":
+		if err := d.MemDevice.Read(md, lba, buf); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != 0 {
+				return nil // written data: pass through
+			}
+		}
+		buf[0] = 0xAA
+		return nil
+	case "no-bad-lba":
+		if lba < 0 || lba >= 64 {
+			lba = 0 // silently clamp instead of erroring
+		}
+		return d.MemDevice.Read(md, lba, buf)
+	case "accept-short":
+		if len(buf) != OPageSize {
+			return nil // accept wrong-sized buffers
+		}
+		return d.MemDevice.Read(md, lba, buf)
+	}
+	return d.MemDevice.Read(md, lba, buf)
+}
+
+func (d *brokenDevice) Trim(md MinidiskID, lba int) error {
+	if d.mode == "no-trim" {
+		return nil // pretend, but keep the data
+	}
+	return d.MemDevice.Trim(md, lba)
+}
+
+func (d *brokenDevice) Notify(fn func(Event)) {
+	if d.mode == "chatty" {
+		d.MemDevice.Notify(fn)
+		fn(Event{Kind: EventRegenerate}) // spurious event during setup
+		return
+	}
+	d.MemDevice.Notify(fn)
+}
+
+func TestConformanceDetectsViolations(t *testing.T) {
+	cases := []struct {
+		mode string
+		rule string
+	}{
+		{"corrupt", "round-trip"},
+		{"dirty-unwritten", "read-unwritten"},
+		{"no-bad-lba", "bad-lba"},
+		{"accept-short", "buf-size"},
+		{"no-trim", "trim"},
+		{"chatty", "events"},
+	}
+	for _, c := range cases {
+		t.Run(c.mode, func(t *testing.T) {
+			dev := &brokenDevice{MemDevice: NewMemDevice(4, 64), mode: c.mode}
+			err := CheckConformance(dev)
+			if err == nil {
+				t.Fatalf("mode %q passed conformance", c.mode)
+			}
+			var ce *ConformanceError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is not a ConformanceError: %v", err)
+			}
+			if ce.Rule != c.rule {
+				t.Fatalf("mode %q tripped rule %q, want %q (%v)", c.mode, ce.Rule, c.rule, err)
+			}
+			if !strings.Contains(err.Error(), c.rule) {
+				t.Errorf("error string %q missing rule", err.Error())
+			}
+		})
+	}
+}
+
+func TestConformanceErrorUnwrap(t *testing.T) {
+	inner := errors.New("inner")
+	ce := &ConformanceError{Rule: "x", Err: inner}
+	if !errors.Is(ce, inner) {
+		t.Error("Unwrap broken")
+	}
+}

@@ -1,0 +1,126 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq3PaperNumbers(t *testing.T) {
+	// §4.1: with f_op=0.46, PE=1.06 and the adjusted upgrade rates 0.9/0.8,
+	// Salamander achieves ~3-8% savings on the current grid.
+	shrink := Params{FOp: DefaultFOp, PE: DefaultPE, Ru: ShrinkSRu()}
+	regen := Params{FOp: DefaultFOp, PE: DefaultPE, Ru: RegenSRu()}
+	if s := shrink.Savings(); s < 0.02 || s > 0.08 {
+		t.Errorf("ShrinkS savings %.3f outside the paper's 3-8%% band (low end)", s)
+	}
+	if s := regen.Savings(); s < 0.06 || s > 0.10 {
+		t.Errorf("RegenS savings %.3f, want ~8%%", s)
+	}
+	// Renewables: 11-20%.
+	if s := shrink.RenewableSavings(); s < 0.08 || s > 0.13 {
+		t.Errorf("ShrinkS renewable savings %.3f, want ~10-11%%", s)
+	}
+	if s := regen.RenewableSavings(); math.Abs(s-0.20) > 0.02 {
+		t.Errorf("RegenS renewable savings %.3f, want ~20%%", s)
+	}
+}
+
+func TestAdjustedUpgradeRates(t *testing.T) {
+	// The paper's conservative adjustment lands on 0.9 and 0.8.
+	if ru := ShrinkSRu(); math.Abs(ru-0.9) > 0.001 {
+		t.Errorf("ShrinkS Ru = %v, want 0.9", ru)
+	}
+	if ru := RegenSRu(); math.Abs(ru-0.8) > 0.001 {
+		t.Errorf("RegenS Ru = %v, want 0.8", ru)
+	}
+}
+
+func TestRuFromLifetime(t *testing.T) {
+	if ru := RuFromLifetime(1.2); math.Abs(ru-1/1.2) > 1e-12 {
+		t.Errorf("Ru(1.2) = %v", ru)
+	}
+	if ru := RuFromLifetime(0); ru != 1 {
+		t.Errorf("Ru(0) = %v, want 1 (no change)", ru)
+	}
+}
+
+func TestAdjustRu(t *testing.T) {
+	// Full retention keeps the raw rate; zero retention collapses to 1.
+	if got := AdjustRu(0.66, 1); math.Abs(got-0.66) > 1e-12 {
+		t.Errorf("AdjustRu(.66, 1) = %v", got)
+	}
+	if got := AdjustRu(0.66, 0); got != 1 {
+		t.Errorf("AdjustRu(.66, 0) = %v", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{FOp: -0.1, PE: 1, Ru: 0.9},
+		{FOp: 1.1, PE: 1, Ru: 0.9},
+		{FOp: 0.5, PE: 0, Ru: 0.9},
+		{FOp: 0.5, PE: 1, Ru: 0},
+		{FOp: 0.5, PE: 1, Ru: 1.2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, p)
+		}
+	}
+	good := Params{FOp: DefaultFOp, PE: DefaultPE, Ru: 0.9}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+}
+
+func TestSavingsMonotoneInRu(t *testing.T) {
+	prev := -1.0
+	for ru := 1.0; ru >= 0.5; ru -= 0.05 {
+		p := Params{FOp: DefaultFOp, PE: DefaultPE, Ru: ru}
+		if s := p.Savings(); s < prev {
+			t.Fatalf("savings not monotone: Ru=%v gives %v < %v", ru, s, prev)
+		} else {
+			prev = s
+		}
+	}
+}
+
+func TestFig4Scenarios(t *testing.T) {
+	scenarios := Fig4()
+	if len(scenarios) != 4 {
+		t.Fatalf("Fig4 has %d bars", len(scenarios))
+	}
+	// Current-grid bars: within 3-8%; renewable bars: ~10-20%; renewable
+	// beats current-grid for the same mode; RegenS beats ShrinkS.
+	byName := map[string]Scenario{}
+	for _, s := range scenarios {
+		byName[s.Name] = s
+		if s.Savings <= 0 || s.Savings >= 0.3 {
+			t.Errorf("%s savings %v implausible", s.Name, s.Savings)
+		}
+	}
+	if byName["RegenS/current-grid"].Savings <= byName["ShrinkS/current-grid"].Savings {
+		t.Error("RegenS does not beat ShrinkS on the current grid")
+	}
+	if byName["ShrinkS/renewables"].Savings <= byName["ShrinkS/current-grid"].Savings {
+		t.Error("renewables do not amplify the relative savings")
+	}
+	if byName["RegenS/renewables"].Savings <= byName["ShrinkS/renewables"].Savings {
+		t.Error("RegenS does not beat ShrinkS under renewables")
+	}
+}
+
+func TestSavingsFromMeasuredLifetime(t *testing.T) {
+	// Plugging the paper's own factors through the pipeline reproduces the
+	// published bars.
+	if s := SavingsFromMeasuredLifetime(1.5, false); math.Abs(s-0.08) > 0.015 {
+		t.Errorf("measured 1.5x -> %v, want ~0.08", s)
+	}
+	if s := SavingsFromMeasuredLifetime(1.5, true); math.Abs(s-0.20) > 0.02 {
+		t.Errorf("measured 1.5x renewable -> %v, want ~0.20", s)
+	}
+	// Longer lifetimes always help.
+	if SavingsFromMeasuredLifetime(2.0, false) <= SavingsFromMeasuredLifetime(1.2, false) {
+		t.Error("savings not increasing in lifetime factor")
+	}
+}

@@ -1,0 +1,572 @@
+// Package core implements the Salamander device — the paper's primary
+// contribution. A Salamander SSD exposes its capacity as many small
+// minidisks (§3.2) instead of one monolithic volume, tracks per-fPage
+// tiredness (§3.1), decommissions a minidisk's worth of capacity when worn
+// pages can no longer cover the logical space (§3.3, Eq. 2), and — in RegenS
+// mode — regenerates brand-new minidisks from retired pages running at lower
+// code rates (§3.4).
+//
+// # Page life cycle
+//
+// Every fPage is in one of three states:
+//
+//   - serving: available for programs at its service level L (it stores
+//     4-L oPages; the remaining L oPages hold extra ECC),
+//   - limbo: too worn for its previous service level; waiting either to be
+//     regenerated at a higher level (RegenS) or forever retired (ShrinkS),
+//   - dead: beyond the maximum usable level.
+//
+// Tiredness is re-evaluated when a block is erased — the only time NAND wear
+// advances — so state transitions never require relocating live data: the
+// garbage collector has already drained the block. The capacity check of
+// Eq. 2 runs after every transition; when serving capacity no longer covers
+// the live LBAs plus reserve, a victim minidisk is decommissioned and the
+// host notified so the distributed layer can re-replicate (the paper's
+// ShrinkS flow). When enough limbo capacity accumulates at a usable level,
+// a new minidisk is created from it (the RegenS flow, Fig. 1 b3–b4).
+//
+// One deliberate simplification, documented in DESIGN.md: each fPage is
+// programmed at its own service level, so a minidisk's data may span levels;
+// the minidisk's Tiredness field is the capacity class it was created at
+// (0 for original disks, j for disks regenerated from level-j pages). The
+// paper makes the same uniformity assumption "for simplicity" in §3.4.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/ecc"
+	"salamander/internal/flash"
+	"salamander/internal/ftl"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+// Config parameterizes a Salamander device.
+type Config struct {
+	Flash flash.Config
+	// MSizeOPages is the minidisk size in 4KB oPages (§3.2 suggests 1MB,
+	// i.e. 256 oPages).
+	MSizeOPages int
+	// OverProvision is the fraction of raw capacity reserved for GC
+	// headroom and never exported as minidisks.
+	OverProvision float64
+	// GCLowWater triggers garbage collection when the free pool drops to
+	// this many blocks.
+	GCLowWater int
+	// MaxLevel is the highest tiredness level pages may serve at:
+	// 0 selects ShrinkS (worn pages retire outright), 1..3 select RegenS
+	// limited to that level. The paper recommends L < 2 (§4), so RegenS
+	// defaults to 1.
+	MaxLevel int
+	// GraceDecommission enables §4.3's future-work flow: a decommissioned
+	// minidisk first drains — writes are rejected but its data stays
+	// readable — until the host confirms re-replication by calling
+	// Release. Requires the reserve to cover at least two minidisks of
+	// transiently retained data.
+	GraceDecommission bool
+	// RealECC enables the real BCH data path.
+	RealECC bool
+	// MaxReadRetries is how many times a failed page read is retried
+	// (modeling §2's iterative voltage adjustment: each retry re-senses
+	// the cells and pays another full read latency). Zero disables.
+	MaxReadRetries int
+	// WearLevelSpread triggers static wear leveling: when the P/E spread
+	// between the hottest and coldest sealed blocks exceeds this many
+	// cycles, the coldest block is recycled even if fully valid, putting
+	// its cold data on hot blocks. Zero disables.
+	WearLevelSpread uint32
+	Seed            uint64
+}
+
+// DefaultConfig returns a RegenS data-path device with 1MB minidisks.
+func DefaultConfig() Config {
+	return Config{
+		Flash:           flash.DefaultConfig(),
+		MSizeOPages:     256,
+		OverProvision:   0.07,
+		GCLowWater:      3,
+		MaxLevel:        1,
+		RealECC:         true,
+		MaxReadRetries:  2,
+		WearLevelSpread: 64,
+		Seed:            17,
+	}
+}
+
+type pageStatus uint8
+
+const (
+	psServing pageStatus = iota
+	psLimbo
+	psDead
+)
+
+// pageInfo tracks one fPage's Salamander state.
+type pageInfo struct {
+	status pageStatus
+	// level is the service level while serving (programs store 4-level
+	// oPages), or the current tiredness while in limbo.
+	level uint8
+	// progLevel is the level the page was last programmed at; reads decode
+	// with that level's geometry.
+	progLevel uint8
+}
+
+type blockState uint8
+
+const (
+	stFree blockState = iota
+	stActive
+	stSealed
+	stBad
+)
+
+type mdState uint8
+
+const (
+	mdLive mdState = iota
+	mdDraining
+	mdDead
+)
+
+type minidisk struct {
+	info  blockdev.MinidiskInfo
+	state mdState
+}
+
+// Counters snapshots device activity.
+type Counters struct {
+	HostReads, HostWrites   uint64
+	FlashReads, FlashWrites uint64
+	GCRelocations           uint64
+	Uncorrectable           uint64
+	LostOPages              uint64
+	Decommissions           uint64
+	Regenerations           uint64
+	Drains, Releases        uint64
+	ReadRetries             uint64
+	RetrySaves              uint64 // reads rescued by a retry
+	WearLevelMoves          uint64 // cold blocks recycled by static WL
+}
+
+// WriteAmplification returns flash oPage-slot programs per host oPage write.
+func (c Counters) WriteAmplification() float64 {
+	if c.HostWrites == 0 {
+		return 0
+	}
+	return float64(c.FlashWrites*uint64(rber.OPagesPerFPage)) / float64(c.HostWrites)
+}
+
+// Device is a Salamander SSD.
+type Device struct {
+	cfg   Config
+	arr   *flash.Array
+	eng   *sim.Engine
+	model *rber.Model
+	rng   *stats.RNG
+
+	geoms  [rber.MaxUsableLevel + 1]ecc.SectorGeometry
+	codecs [rber.MaxUsableLevel + 1]*ecc.Code // built lazily per level
+
+	pages        []pageInfo
+	blockServing []int // per-block serving slot capacity
+	servingSlots int   // device-wide serving capacity in oPages
+	limbo        [rber.MaxUsableLevel + 1]int
+
+	mdisks   []*minidisk // index = MinidiskID; never reused
+	liveLBAs int
+	reserve  int
+
+	table *ftl.Table
+	valid *ftl.ValidMap
+	free  ftl.FreePool
+	wbuf  *ftl.WriteBuffer
+	state []blockState
+
+	active int
+	nextPg int
+	gcBlk  int
+	gcPg   int
+	barren []int // erased blocks with zero serving capacity, parked
+
+	lost    map[int64]bool
+	retired bool
+	notify  func(blockdev.Event)
+
+	counters Counters
+}
+
+// New builds a Salamander device on a fresh flash array.
+func New(cfg Config, eng *sim.Engine) (*Device, error) {
+	switch {
+	case cfg.MSizeOPages <= 0:
+		return nil, fmt.Errorf("core: minidisk size %d must be positive", cfg.MSizeOPages)
+	case cfg.OverProvision <= 0 || cfg.OverProvision >= 1:
+		return nil, fmt.Errorf("core: over-provisioning %v out of (0,1)", cfg.OverProvision)
+	case cfg.GCLowWater < 2:
+		return nil, errors.New("core: GC low water must be >= 2")
+	case cfg.MaxLevel < 0 || cfg.MaxLevel > rber.MaxUsableLevel:
+		return nil, fmt.Errorf("core: MaxLevel %d out of [0,%d]", cfg.MaxLevel, rber.MaxUsableLevel)
+	case cfg.RealECC && !cfg.Flash.StoreData:
+		return nil, errors.New("core: RealECC requires Flash.StoreData")
+	}
+	arr, err := flash.New(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	g := arr.Geometry()
+	if g.PageSize != rber.FPageSize {
+		return nil, fmt.Errorf("core: fPage size %d unsupported (want %d)", g.PageSize, rber.FPageSize)
+	}
+	d := &Device{
+		cfg:          cfg,
+		arr:          arr,
+		eng:          eng,
+		model:        arr.Model(),
+		rng:          stats.NewRNG(cfg.Seed),
+		pages:        make([]pageInfo, g.TotalPages()),
+		blockServing: make([]int, g.TotalBlocks()),
+		table:        ftl.NewTable(),
+		valid:        ftl.NewValidMap(g.TotalBlocks(), g.PagesPerBlock, rber.OPagesPerFPage),
+		wbuf:         ftl.NewWriteBuffer(),
+		state:        make([]blockState, g.TotalBlocks()),
+		active:       -1,
+		gcBlk:        -1,
+		lost:         map[int64]bool{},
+	}
+	for l := 0; l <= rber.MaxUsableLevel; l++ {
+		d.geoms[l] = rber.LevelGeometry(l)
+	}
+	d.servingSlots = g.TotalPages() * rber.OPagesPerFPage
+	for b := 0; b < g.TotalBlocks(); b++ {
+		d.blockServing[b] = g.PagesPerBlock * rber.OPagesPerFPage
+		d.free.Put(b, 0)
+	}
+	total := d.servingSlots
+	// Like the baseline, the reserve covers both the percentage headroom
+	// and GC's block-granular working set on small devices.
+	d.reserve = int(float64(total)*cfg.OverProvision) + 1
+	if minRes := 4 * g.PagesPerBlock * rber.OPagesPerFPage; d.reserve < minRes {
+		d.reserve = minRes
+	}
+	n := (total - d.reserve) / cfg.MSizeOPages
+	if n < 1 {
+		return nil, fmt.Errorf("core: device too small for even one %d-oPage minidisk", cfg.MSizeOPages)
+	}
+	if cfg.GraceDecommission && d.reserve < 2*cfg.MSizeOPages {
+		return nil, fmt.Errorf("core: grace decommissioning needs reserve >= 2 minidisks (%d < %d)",
+			d.reserve, 2*cfg.MSizeOPages)
+	}
+	for i := 0; i < n; i++ {
+		d.mdisks = append(d.mdisks, &minidisk{
+			info: blockdev.MinidiskInfo{ID: blockdev.MinidiskID(i), LBAs: cfg.MSizeOPages, Tiredness: 0},
+		})
+	}
+	d.liveLBAs = n * cfg.MSizeOPages
+	return d, nil
+}
+
+// codec returns the (lazily built) BCH code for a service level.
+func (d *Device) codec(level int) *ecc.Code {
+	if d.codecs[level] == nil {
+		c, err := d.geoms[level].Build()
+		if err != nil {
+			panic(fmt.Sprintf("core: level %d codec: %v", level, err)) // geometries are static
+		}
+		d.codecs[level] = c
+	}
+	return d.codecs[level]
+}
+
+// pageIdx flattens a PPA into the pages slice.
+func (d *Device) pageIdx(ppa flash.PPA) int {
+	return ppa.Block*d.arr.Geometry().PagesPerBlock + ppa.Page
+}
+
+func packKey(md blockdev.MinidiskID, lba int) int64 {
+	return int64(md)<<24 | int64(lba)
+}
+
+// --- host interface --------------------------------------------------------
+
+// Engine returns the simulation engine the device advances.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Array exposes the underlying flash for inspection.
+func (d *Device) Array() *flash.Array { return d.arr }
+
+// Counters returns an activity snapshot.
+func (d *Device) Counters() Counters { return d.counters }
+
+// Retired reports whether the device has shrunk to nothing (or failed).
+func (d *Device) Retired() bool { return d.retired }
+
+// Reserve returns the over-provisioning reserve in oPages.
+func (d *Device) Reserve() int { return d.reserve }
+
+// ServingSlots returns the current serving capacity in oPages (Eq. 1's
+// total across levels).
+func (d *Device) ServingSlots() int { return d.servingSlots }
+
+// LiveLBAs returns the exported logical capacity in oPages.
+func (d *Device) LiveLBAs() int { return d.liveLBAs }
+
+// LimboPages returns the number of limbo fPages at each tiredness level.
+func (d *Device) LimboPages() [rber.MaxUsableLevel + 1]int { return d.limbo }
+
+// Health is a SMART-style device self-report: the signals a fleet manager
+// would watch to anticipate shrinking (§2 discusses how operators retire on
+// far coarser signals today).
+type Health struct {
+	LiveMinidisks     int
+	DrainingMinidisks int
+	LiveLBAs          int
+	ServingSlots      int
+	Reserve           int
+	Limbo             [rber.MaxUsableLevel + 1]int
+	DeadPages         int
+	MeanPEC           float64
+	MaxPEC            uint32
+	// CapacityFrac is serving capacity relative to the pristine device —
+	// the device's remaining-life signal.
+	CapacityFrac float64
+	Retired      bool
+}
+
+// Health returns the current self-report.
+func (d *Device) Health() Health {
+	h := Health{
+		LiveLBAs:     d.liveLBAs,
+		ServingSlots: d.servingSlots,
+		Reserve:      d.reserve,
+		Limbo:        d.limbo,
+		Retired:      d.retired,
+	}
+	for _, m := range d.mdisks {
+		switch m.state {
+		case mdLive:
+			h.LiveMinidisks++
+		case mdDraining:
+			h.DrainingMinidisks++
+		}
+	}
+	for i := range d.pages {
+		if d.pages[i].status == psDead {
+			h.DeadPages++
+		}
+	}
+	st := d.arr.Stats()
+	h.MeanPEC = st.MeanPEC
+	h.MaxPEC = st.MaxPEC
+	total := d.arr.Geometry().TotalPages() * rber.OPagesPerFPage
+	h.CapacityFrac = float64(d.servingSlots) / float64(total)
+	return h
+}
+
+// Notify implements blockdev.Device.
+func (d *Device) Notify(fn func(blockdev.Event)) { d.notify = fn }
+
+func (d *Device) emit(e blockdev.Event) {
+	if d.notify != nil {
+		d.notify(e)
+	}
+}
+
+// Minidisks implements blockdev.Device, listing live disks in ID order.
+// Draining disks are excluded: they accept no writes and should receive no
+// placements, though their data remains readable until Release.
+func (d *Device) Minidisks() []blockdev.MinidiskInfo {
+	var out []blockdev.MinidiskInfo
+	for _, m := range d.mdisks {
+		if m.state == mdLive {
+			out = append(out, m.info)
+		}
+	}
+	return out
+}
+
+// lookupMD resolves a minidisk for an operation; forRead operations are
+// also served by draining disks (the grace-period contract).
+func (d *Device) lookupMD(md blockdev.MinidiskID, forRead bool) (*minidisk, error) {
+	if d.retired {
+		return nil, blockdev.ErrBricked
+	}
+	if md < 0 || int(md) >= len(d.mdisks) {
+		return nil, fmt.Errorf("%w: %d", blockdev.ErrNoSuchMinidisk, md)
+	}
+	m := d.mdisks[md]
+	switch m.state {
+	case mdLive:
+		return m, nil
+	case mdDraining:
+		if forRead {
+			return m, nil
+		}
+		return nil, fmt.Errorf("%w: %d (draining)", blockdev.ErrNoSuchMinidisk, md)
+	default:
+		return nil, fmt.Errorf("%w: %d", blockdev.ErrNoSuchMinidisk, md)
+	}
+}
+
+func (d *Device) checkAddr(md blockdev.MinidiskID, lba int, buf []byte, forRead bool) error {
+	m, err := d.lookupMD(md, forRead)
+	if err != nil {
+		return err
+	}
+	if lba < 0 || lba >= m.info.LBAs {
+		return fmt.Errorf("%w: %d (minidisk has %d)", blockdev.ErrBadLBA, lba, m.info.LBAs)
+	}
+	if buf != nil && len(buf) != blockdev.OPageSize {
+		return blockdev.ErrBufSize
+	}
+	return nil
+}
+
+// Write implements blockdev.Device.
+func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
+	if err := d.checkAddr(md, lba, buf, false); err != nil {
+		return err
+	}
+	d.counters.HostWrites++
+	key := packKey(md, lba)
+	delete(d.lost, key)
+	var data []byte
+	if d.cfg.Flash.StoreData {
+		data = append([]byte(nil), buf...)
+	}
+	d.wbuf.Push(ftl.BufEntry{Key: key, Data: data})
+	return d.drainBuffer(false)
+}
+
+// Flush programs any partially filled buffer to flash.
+func (d *Device) Flush() error {
+	return d.drainBuffer(true)
+}
+
+// Trim implements blockdev.Device.
+func (d *Device) Trim(md blockdev.MinidiskID, lba int) error {
+	if err := d.checkAddr(md, lba, nil, false); err != nil {
+		return err
+	}
+	key := packKey(md, lba)
+	d.wbuf.Drop(key)
+	delete(d.lost, key)
+	if prev, had := d.table.Delete(key); had {
+		d.valid.Clear(prev)
+	}
+	return nil
+}
+
+// Read implements blockdev.Device; draining minidisks stay readable.
+func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
+	if err := d.checkAddr(md, lba, buf, true); err != nil {
+		return err
+	}
+	d.counters.HostReads++
+	key := packKey(md, lba)
+	if d.lost[key] {
+		return blockdev.ErrUncorrectable
+	}
+	if data, ok := d.wbuf.Contains(key); ok {
+		if data != nil {
+			copy(buf, data)
+		} else {
+			zero(buf)
+		}
+		return nil
+	}
+	addr, ok := d.table.Lookup(key)
+	if !ok {
+		zero(buf)
+		return nil
+	}
+	out, err := d.readOPage(addr)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		copy(buf, out)
+	} else {
+		zero(buf)
+	}
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// readOPage fetches one oPage, decoding at the page's programmed level.
+// Failed reads are retried up to MaxReadRetries times — the iterative
+// voltage-adjustment mechanism of §2: each attempt re-senses the page
+// (an independent error sample) at the cost of a full additional read.
+func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
+	out, err := d.readOPageOnce(addr)
+	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
+		d.counters.ReadRetries++
+		out, err = d.readOPageOnce(addr)
+		if err == nil {
+			d.counters.RetrySaves++
+		}
+	}
+	return out, err
+}
+
+// readOPageOnce performs a single read attempt.
+func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
+	pi := &d.pages[d.pageIdx(addr.PPA)]
+	level := int(pi.progLevel)
+	geom := d.geoms[level]
+	spb := rber.OPageSize / rber.SectorSize
+
+	transfer := rber.OPageSize
+	var code *ecc.Code
+	if d.cfg.RealECC {
+		code = d.codec(level)
+		transfer += spb * code.ParityBytes()
+	}
+	res, err := d.arr.Read(addr.PPA, transfer)
+	if err != nil {
+		return nil, fmt.Errorf("blockdev: %w", err)
+	}
+	d.counters.FlashReads++
+	d.eng.Advance(res.Duration)
+	if code == nil {
+		pFail := geom.UncorrectableProb(res.RBER)
+		for s := 0; s < spb; s++ {
+			if d.rng.Float64() < pFail {
+				d.counters.Uncorrectable++
+				return nil, blockdev.ErrUncorrectable
+			}
+		}
+		if res.Data == nil {
+			return nil, nil
+		}
+		off := addr.Slot * rber.OPageSize
+		return res.Data[off : off+rber.OPageSize], nil
+	}
+	out := make([]byte, rber.OPageSize)
+	dataBytes := rber.LevelDataBytes(level)
+	pb := code.ParityBytes()
+	for s := 0; s < spb; s++ {
+		sectorGlobal := addr.Slot*spb + s
+		dataOff := addr.Slot*rber.OPageSize + s*rber.SectorSize
+		parityOff := dataBytes + sectorGlobal*pb
+		sector := res.Data[dataOff : dataOff+rber.SectorSize]
+		parity := res.Data[parityOff : parityOff+pb]
+		if _, err := code.Decode(sector, parity); err != nil {
+			d.counters.Uncorrectable++
+			return nil, blockdev.ErrUncorrectable
+		}
+		copy(out[s*rber.SectorSize:], sector)
+	}
+	return out, nil
+}
+
+var _ blockdev.Device = (*Device)(nil)

@@ -1,0 +1,568 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/flash"
+	"salamander/internal/ftl"
+	"salamander/internal/rber"
+)
+
+var errNoVictim = errors.New("core: no GC victim available")
+
+// maxGCPerAlloc bounds background collections per allocation attempt.
+const maxGCPerAlloc = 4
+
+// --- write path ------------------------------------------------------------
+
+// drainBuffer programs buffered oPages while full fPages can be formed (or
+// unconditionally when force is set, padding the final page).
+func (d *Device) drainBuffer(force bool) error {
+	for d.wbuf.Len() > 0 {
+		if d.retired {
+			return blockdev.ErrBricked
+		}
+		if err := d.ensureActive(); err != nil {
+			return err
+		}
+		level := int(d.pages[d.active*d.arr.Geometry().PagesPerBlock+d.nextPg].level)
+		need := rber.OPagesPerFPage - level
+		if d.wbuf.Len() < need && !force {
+			return nil
+		}
+		entries := d.wbuf.PopN(need)
+		if err := d.programPage(entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// programPage writes entries into the active block's next serving page at
+// that page's service level.
+func (d *Device) programPage(entries []ftl.BufEntry) error {
+	ppa := flash.PPA{Block: d.active, Page: d.nextPg}
+	pi := &d.pages[d.pageIdx(ppa)]
+	level := int(pi.level)
+	var raw []byte
+	if d.cfg.Flash.StoreData {
+		raw = d.composePage(entries, level)
+	}
+	dur, err := d.arr.Program(ppa, raw)
+	if err != nil {
+		return fmt.Errorf("blockdev: %w", err)
+	}
+	d.counters.FlashWrites++
+	d.eng.Advance(dur)
+	pi.progLevel = uint8(level)
+	for slot, e := range entries {
+		addr := ftl.OPageAddr{PPA: ppa, Slot: slot}
+		if prev, had := d.table.Update(e.Key, addr); had {
+			d.valid.Clear(prev)
+		}
+		d.valid.Set(addr, e.Key)
+	}
+	d.nextPg++
+	d.advanceActive()
+	return nil
+}
+
+// advanceActive skips non-serving pages; seals the block when exhausted.
+func (d *Device) advanceActive() {
+	g := d.arr.Geometry()
+	for d.nextPg < g.PagesPerBlock &&
+		d.pages[d.active*g.PagesPerBlock+d.nextPg].status != psServing {
+		d.nextPg++
+	}
+	if d.nextPg >= g.PagesPerBlock {
+		d.state[d.active] = stSealed
+		d.active = -1
+	}
+}
+
+// composePage lays out up to (4-level) oPages and their per-sector BCH
+// parity for a level-coded fPage.
+func (d *Device) composePage(entries []ftl.BufEntry, level int) []byte {
+	g := d.arr.Geometry()
+	raw := make([]byte, g.RawPageBytes())
+	for slot, e := range entries {
+		if e.Data != nil {
+			copy(raw[slot*rber.OPageSize:], e.Data)
+		}
+	}
+	if d.cfg.RealECC {
+		code := d.codec(level)
+		pb := code.ParityBytes()
+		dataBytes := rber.LevelDataBytes(level)
+		sectors := dataBytes / rber.SectorSize
+		for sec := 0; sec < sectors; sec++ {
+			dataOff := sec * rber.SectorSize
+			parity, err := code.Encode(raw[dataOff : dataOff+rber.SectorSize])
+			if err != nil {
+				panic(err) // sector size is fixed; cannot fail
+			}
+			copy(raw[dataBytes+sec*pb:], parity)
+		}
+	}
+	return raw
+}
+
+// --- block allocation --------------------------------------------------------
+
+// allocBlock takes a block with serving capacity from the free pool. Blocks
+// whose pages are all limbo/dead are parked aside ("barren") until
+// regeneration revives them. The last free block is reserved for GC.
+func (d *Device) allocBlock(forGC bool) (int, bool) {
+	for {
+		if !forGC && d.free.Len() < 2 {
+			return -1, false
+		}
+		id, ok := d.free.Get()
+		if !ok {
+			return -1, false
+		}
+		if d.arr.BlockDead(id) {
+			d.state[id] = stBad
+			continue
+		}
+		if d.blockServing[id] == 0 {
+			d.barren = append(d.barren, id)
+			continue
+		}
+		return id, true
+	}
+}
+
+// ensureActive guarantees an open host write block positioned on a serving
+// page, collecting garbage as needed.
+func (d *Device) ensureActive() error {
+	if d.retired {
+		return blockdev.ErrBricked
+	}
+	for i := 0; i < maxGCPerAlloc && d.free.Len() <= d.cfg.GCLowWater; i++ {
+		if err := d.collect(); err != nil {
+			if errors.Is(err, errNoVictim) {
+				break
+			}
+			return err
+		}
+		if d.retired {
+			return blockdev.ErrBricked
+		}
+	}
+	if d.active >= 0 {
+		return nil
+	}
+	id, ok := d.allocBlock(false)
+	for !ok {
+		if d.retired {
+			return blockdev.ErrBricked
+		}
+		if err := d.collect(); err != nil {
+			d.retire()
+			return blockdev.ErrDeviceFull
+		}
+		if d.free.Len() > 1 {
+			id, ok = d.allocBlock(false)
+		}
+	}
+	d.state[id] = stActive
+	d.active = id
+	d.nextPg = 0
+	d.advanceActive()
+	if d.active < 0 {
+		// The block sealed immediately (no serving pages appeared after a
+		// concurrent transition); try again.
+		return d.ensureActive()
+	}
+	return nil
+}
+
+// --- garbage collection ------------------------------------------------------
+
+// nextGCPage positions the GC write stream on a serving page, allocating or
+// sealing GC blocks as needed. Returns the page and its service level.
+func (d *Device) nextGCPage() (flash.PPA, int, error) {
+	g := d.arr.Geometry()
+	for {
+		if d.gcBlk >= 0 {
+			for d.gcPg < g.PagesPerBlock &&
+				d.pages[d.gcBlk*g.PagesPerBlock+d.gcPg].status != psServing {
+				d.gcPg++
+			}
+			if d.gcPg < g.PagesPerBlock {
+				ppa := flash.PPA{Block: d.gcBlk, Page: d.gcPg}
+				return ppa, int(d.pages[d.pageIdx(ppa)].level), nil
+			}
+			d.state[d.gcBlk] = stSealed
+			d.gcBlk = -1
+		}
+		id, ok := d.allocBlock(true)
+		if !ok {
+			return flash.PPA{}, 0, errNoVictim
+		}
+		d.state[id] = stActive
+		d.gcBlk = id
+		d.gcPg = 0
+	}
+}
+
+// collect reclaims one sealed block: live oPages are packed into full fPages
+// in the GC block, sub-page remainders spill into the NV write buffer, and
+// the victim is erased. Erasing is where NAND wear advances, so tiredness
+// transitions, Eq. 2 capacity checks, decommissioning, and regeneration all
+// run from here.
+func (d *Device) collect() error {
+	victim, ok := d.pickVictim()
+	if !ok {
+		return errNoVictim
+	}
+
+	var moved []ftl.BufEntry
+	for _, se := range d.valid.LiveSlots(victim) {
+		if _, pending := d.wbuf.Contains(se.Key); pending {
+			// A newer write is buffered; the flash copy is stale.
+			d.valid.Clear(se.Addr)
+			d.table.Delete(se.Key)
+			continue
+		}
+		data, err := d.readOPage(se.Addr)
+		if err != nil {
+			if errors.Is(err, blockdev.ErrUncorrectable) {
+				d.valid.Clear(se.Addr)
+				d.table.Delete(se.Key)
+				d.lost[se.Key] = true
+				d.counters.LostOPages++
+				continue
+			}
+			return err
+		}
+		d.counters.GCRelocations++
+		moved = append(moved, ftl.BufEntry{Key: se.Key, Data: data})
+	}
+
+	// Pack full fPages; spill the tail into the NV buffer.
+	for len(moved) > 0 {
+		ppa, level, err := d.nextGCPage()
+		if err != nil {
+			break // no GC destination; spill everything
+		}
+		slots := rber.OPagesPerFPage - level
+		if len(moved) < slots {
+			break
+		}
+		entries := moved[:slots]
+		moved = moved[slots:]
+		var raw []byte
+		if d.cfg.Flash.StoreData {
+			raw = d.composePage(entries, level)
+		}
+		dur, err := d.arr.Program(ppa, raw)
+		if err != nil {
+			return fmt.Errorf("blockdev: %w", err)
+		}
+		d.counters.FlashWrites++
+		d.eng.Advance(dur)
+		d.pages[d.pageIdx(ppa)].progLevel = uint8(level)
+		for slot, e := range entries {
+			a := ftl.OPageAddr{PPA: ppa, Slot: slot}
+			if prev, had := d.table.Update(e.Key, a); had {
+				d.valid.Clear(prev)
+			}
+			d.valid.Set(a, e.Key)
+		}
+		d.gcPg++
+	}
+	for _, e := range moved {
+		if prev, had := d.table.Delete(e.Key); had {
+			d.valid.Clear(prev)
+		}
+		d.wbuf.Push(e)
+	}
+
+	d.valid.ClearBlock(victim)
+	dur, err := d.arr.Erase(victim)
+	d.eng.Advance(dur)
+	if err != nil {
+		d.state[victim] = stBad
+		d.retirePages(victim)
+		d.capacityChecks()
+		return nil
+	}
+	d.applyTransitions(victim)
+	if d.blockServing[victim] > 0 {
+		d.state[victim] = stFree
+		d.free.Put(victim, d.arr.BlockPEC(victim))
+	} else {
+		d.state[victim] = stFree
+		d.barren = append(d.barren, victim)
+	}
+	d.capacityChecks()
+	return nil
+}
+
+// pickVictim chooses the next block to collect: normally the greedy
+// minimum-valid sealed block with reclaimable space, but when the P/E
+// spread between the hottest and coldest sealed blocks exceeds the static
+// wear-leveling threshold, the coldest block is recycled instead — even if
+// fully valid — so cold data stops pinning young blocks (§2's wear
+// leveling).
+func (d *Device) pickVictim() (int, bool) {
+	if d.cfg.WearLevelSpread > 0 {
+		coldest, hottest := -1, -1
+		var minPEC, maxPEC uint32
+		for b, st := range d.state {
+			if st != stSealed {
+				continue
+			}
+			pec := d.arr.BlockPEC(b)
+			if coldest < 0 || pec < minPEC {
+				coldest, minPEC = b, pec
+			}
+			if hottest < 0 || pec > maxPEC {
+				hottest, maxPEC = b, pec
+			}
+		}
+		if coldest >= 0 && maxPEC-minPEC > d.cfg.WearLevelSpread {
+			d.counters.WearLevelMoves++
+			return coldest, true
+		}
+	}
+	return d.valid.Victim(func(b int) bool {
+		return d.state[b] == stSealed && d.valid.ValidCount(b) < d.blockServing[b]
+	})
+}
+
+// retirePages marks every page of a physically dead block as dead.
+func (d *Device) retirePages(block int) {
+	g := d.arr.Geometry()
+	for p := 0; p < g.PagesPerBlock; p++ {
+		pi := &d.pages[block*g.PagesPerBlock+p]
+		switch pi.status {
+		case psServing:
+			d.servingSlots -= rber.OPagesPerFPage - int(pi.level)
+			d.blockServing[block] -= rber.OPagesPerFPage - int(pi.level)
+		case psLimbo:
+			d.limbo[pi.level]--
+		}
+		pi.status = psDead
+	}
+}
+
+// applyTransitions re-evaluates tiredness for a freshly erased block (§3.1):
+// serving pages whose wear crossed their level's PEC limit move to limbo (or
+// die in ShrinkS); limbo pages keep tiring until they die.
+func (d *Device) applyTransitions(block int) {
+	g := d.arr.Geometry()
+	for p := 0; p < g.PagesPerBlock; p++ {
+		ppa := flash.PPA{Block: block, Page: p}
+		pi := &d.pages[d.pageIdx(ppa)]
+		t := d.arr.PageTiredness(ppa)
+		switch pi.status {
+		case psServing:
+			if t > int(pi.level) {
+				d.servingSlots -= rber.OPagesPerFPage - int(pi.level)
+				d.blockServing[block] -= rber.OPagesPerFPage - int(pi.level)
+				if t > d.cfg.MaxLevel || t > rber.MaxUsableLevel {
+					pi.status = psDead
+				} else {
+					pi.status = psLimbo
+					pi.level = uint8(t)
+					d.limbo[t]++
+				}
+			}
+		case psLimbo:
+			if t > int(pi.level) {
+				d.limbo[pi.level]--
+				if t > d.cfg.MaxLevel || t > rber.MaxUsableLevel {
+					pi.status = psDead
+				} else {
+					pi.level = uint8(t)
+					d.limbo[t]++
+				}
+			}
+		}
+	}
+}
+
+// --- capacity management (Eq. 2), decommissioning, regeneration -------------
+
+// capacityChecks enforces Eq. 2 — serving capacity must cover live LBAs plus
+// the GC reserve — decommissioning victims until it does, then regenerates
+// minidisks from accumulated limbo capacity (RegenS).
+func (d *Device) capacityChecks() {
+	for !d.retired && d.servingSlots < d.liveLBAs+d.reserve {
+		if !d.decommissionOne() {
+			d.retire()
+			return
+		}
+	}
+	if d.cfg.MaxLevel >= 1 {
+		d.maybeRegenerate()
+	}
+	if d.liveLBAs == 0 && !d.retired {
+		d.retire()
+	}
+}
+
+// decommissionOne retires one live minidisk (§3.3): its LBAs are invalidated
+// (the diFS recovers them from replicas elsewhere) and the host is notified.
+// Victim policy: highest tiredness class first — regenerated disks sit on
+// the weakest pages and are intentionally shorter-lived (§4.3) — then lowest
+// ID for determinism. Under GraceDecommission the victim drains instead:
+// it leaves the logical capacity immediately but its data stays readable
+// until the host calls Release.
+func (d *Device) decommissionOne() bool {
+	var victim *minidisk
+	for _, m := range d.mdisks {
+		if m.state != mdLive {
+			continue
+		}
+		if victim == nil || m.info.Tiredness > victim.info.Tiredness {
+			victim = m
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	d.liveLBAs -= victim.info.LBAs
+	if d.cfg.GraceDecommission {
+		victim.state = mdDraining
+		d.counters.Drains++
+		d.emit(blockdev.Event{Kind: blockdev.EventDrain, Minidisk: victim.info.ID, Info: victim.info})
+		return true
+	}
+	d.invalidateMinidisk(victim)
+	victim.state = mdDead
+	d.counters.Decommissions++
+	d.emit(blockdev.Event{Kind: blockdev.EventDecommission, Minidisk: victim.info.ID, Info: victim.info})
+	return true
+}
+
+// invalidateMinidisk drops every mapping of a minidisk so its slots become
+// reclaimable garbage.
+func (d *Device) invalidateMinidisk(m *minidisk) {
+	for lba := 0; lba < m.info.LBAs; lba++ {
+		key := packKey(m.info.ID, lba)
+		d.wbuf.Drop(key)
+		delete(d.lost, key)
+		if prev, had := d.table.Delete(key); had {
+			d.valid.Clear(prev)
+		}
+	}
+}
+
+// Release implements blockdev.Drainer: the host has safely re-replicated a
+// draining minidisk's data, so its space can be reclaimed and the
+// decommission completed.
+func (d *Device) Release(md blockdev.MinidiskID) error {
+	if d.retired {
+		return blockdev.ErrBricked
+	}
+	if md < 0 || int(md) >= len(d.mdisks) || d.mdisks[md].state != mdDraining {
+		return fmt.Errorf("%w: %d is not draining", blockdev.ErrNoSuchMinidisk, md)
+	}
+	m := d.mdisks[md]
+	d.invalidateMinidisk(m)
+	m.state = mdDead
+	d.counters.Releases++
+	d.counters.Decommissions++
+	d.emit(blockdev.Event{Kind: blockdev.EventDecommission, Minidisk: m.info.ID, Info: m.info})
+	return nil
+}
+
+// maybeRegenerate creates new minidisks from limbo pages (§3.4): when an
+// mSize worth of capacity is claimable at tiredness level j, the pages
+// return to service at level j and a fresh minidisk is announced.
+func (d *Device) maybeRegenerate() {
+	for j := 1; j <= d.cfg.MaxLevel; j++ {
+		slotsPer := rber.OPagesPerFPage - j
+		need := (d.cfg.MSizeOPages + slotsPer - 1) / slotsPer
+		for d.limbo[j] >= need {
+			claimed := d.claimPages(j, need)
+			if len(claimed) < need {
+				// Limbo pages exist but sit in blocks that are not erased
+				// right now; retry after future collections.
+				break
+			}
+			for _, idx := range claimed {
+				pi := &d.pages[idx]
+				pi.status = psServing
+				d.limbo[j]--
+				d.servingSlots += slotsPer
+				d.blockServing[idx/d.arr.Geometry().PagesPerBlock] += slotsPer
+			}
+			d.reviveBarren()
+			id := blockdev.MinidiskID(len(d.mdisks))
+			info := blockdev.MinidiskInfo{ID: id, LBAs: d.cfg.MSizeOPages, Tiredness: j}
+			d.mdisks = append(d.mdisks, &minidisk{info: info})
+			d.liveLBAs += info.LBAs
+			d.counters.Regenerations++
+			d.emit(blockdev.Event{Kind: blockdev.EventRegenerate, Minidisk: id, Info: info})
+		}
+	}
+}
+
+// claimPages gathers up to need limbo pages at level j from erased blocks
+// (free pool and barren list) — only erased pages can re-enter the program
+// order. Returns page indices; fewer than need means not enough claimable.
+func (d *Device) claimPages(j, need int) []int {
+	g := d.arr.Geometry()
+	var out []int
+	scan := append(d.free.Blocks(), d.barren...)
+	for _, b := range scan {
+		for p := 0; p < g.PagesPerBlock && len(out) < need; p++ {
+			idx := b*g.PagesPerBlock + p
+			pi := d.pages[idx]
+			if pi.status == psLimbo && int(pi.level) == j {
+				out = append(out, idx)
+			}
+		}
+		if len(out) >= need {
+			break
+		}
+	}
+	if len(out) < need {
+		return nil
+	}
+	return out
+}
+
+// reviveBarren returns parked blocks that regained serving capacity to the
+// free pool.
+func (d *Device) reviveBarren() {
+	var still []int
+	for _, b := range d.barren {
+		if d.blockServing[b] > 0 {
+			d.free.Put(b, d.arr.BlockPEC(b))
+		} else {
+			still = append(still, b)
+		}
+	}
+	d.barren = still
+}
+
+// retire marks the device as fully consumed and notifies the host. Any
+// still-live minidisks are decommissioned first (draining disks are
+// force-released — the device can no longer honor the grace contract) so
+// the distributed layer sees every failure domain disappear before the
+// device-level event.
+func (d *Device) retire() {
+	if d.retired {
+		return
+	}
+	for d.decommissionOne() {
+	}
+	for _, m := range d.mdisks {
+		if m.state == mdDraining {
+			d.invalidateMinidisk(m)
+			m.state = mdDead
+			d.counters.Decommissions++
+			d.emit(blockdev.Event{Kind: blockdev.EventDecommission, Minidisk: m.info.ID, Info: m.info})
+		}
+	}
+	d.retired = true
+	d.emit(blockdev.Event{Kind: blockdev.EventBrick})
+}

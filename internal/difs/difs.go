@@ -1,0 +1,712 @@
+// Package difs implements the distributed storage layer of the paper: a
+// replicated object store that treats every minidisk as an independent
+// failure domain (§3.2). Objects are split into fixed-size chunks, each
+// replicated on R distinct nodes. When a device decommissions a minidisk,
+// the affected chunks are re-replicated from surviving copies — the
+// "existing, end-to-end redundancy mechanisms" Salamander leverages — and
+// the recovery traffic is accounted for §4.3's comparison.
+//
+// The cluster is deliberately storage-centric: no networking, leases, or
+// consensus — the paper's argument only needs R-way replication over
+// independent failure domains, placement, failure handling, and measurable
+// recovery traffic. Device events arrive synchronously; repairs run when
+// the driver calls Repair, mirroring how production systems separate failure
+// detection from re-replication.
+package difs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/ec"
+	"salamander/internal/stats"
+)
+
+// Errors returned by cluster operations.
+var (
+	ErrNoSpace      = errors.New("difs: not enough cluster capacity for placement")
+	ErrNotFound     = errors.New("difs: object not found")
+	ErrDataLoss     = errors.New("difs: all replicas of a chunk are gone")
+	ErrAlreadyExist = errors.New("difs: object already exists")
+)
+
+// Placement selects how chunks map onto a node's minidisks. The paper
+// (§3.2) leaves the mDisk placement policy open; the two extremes here feed
+// the correlated-failure ablation in the benchmark harness.
+type Placement int
+
+// Placement policies.
+const (
+	// PlacementSpread targets the emptiest minidisk, spreading a node's
+	// chunks across many failure domains (each minidisk failure touches
+	// few chunks).
+	PlacementSpread Placement = iota
+	// PlacementPack fills one minidisk before opening the next,
+	// concentrating chunks (each minidisk failure takes out many chunks at
+	// once — cheaper metadata, worse blast radius).
+	PlacementPack
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// ReplicationFactor is the number of copies per chunk (default 3).
+	ReplicationFactor int
+	// ChunkOPages is the chunk size in 4KB oPages. Chunks must fit in a
+	// minidisk; production systems use large blocks (HDFS: 128MB), scaled
+	// down here to match simulated device sizes.
+	ChunkOPages int
+	// Placement selects the per-node minidisk choice policy.
+	Placement Placement
+	// ECDataShards/ECParityShards > 0 switch Put to Reed-Solomon erasure
+	// coding: objects are striped into ECDataShards chunk-sized data
+	// shards plus ECParityShards parity chunks, each stored once on a
+	// distinct node. Requires at least ECDataShards+ECParityShards nodes.
+	// Zero selects ReplicationFactor-way replication.
+	ECDataShards   int
+	ECParityShards int
+	Seed           uint64
+}
+
+// DefaultConfig returns 3-way replication with 16-oPage (64KB) chunks.
+func DefaultConfig() Config {
+	return Config{ReplicationFactor: 3, ChunkOPages: 16, Seed: 11}
+}
+
+// NodeID identifies a storage node.
+type NodeID int
+
+type targetKey struct {
+	node NodeID
+	dev  int
+	md   blockdev.MinidiskID
+}
+
+func (k targetKey) String() string {
+	return fmt.Sprintf("n%d/d%d/md%d", k.node, k.dev, k.md)
+}
+
+type targetState uint8
+
+const (
+	tLive targetState = iota
+	// tDraining: grace-period decommission in progress — readable, not
+	// placeable; released back to the device once its chunks are
+	// re-replicated.
+	tDraining
+	tDead
+)
+
+// target is one minidisk in service as a placement target.
+type target struct {
+	key       targetKey
+	info      blockdev.MinidiskInfo
+	freeSlots []int
+	chunks    map[int]*chunk // slot -> occupant
+	state     targetState
+	dev       blockdev.Device
+}
+
+func (t *target) live() bool     { return t.state == tLive }
+func (t *target) readable() bool { return t.state != tDead }
+
+type replica struct {
+	tgt  *target
+	slot int
+}
+
+type chunk struct {
+	obj      *object
+	idx      int
+	replicas []replica
+	// stripe links erasure-coded shards: chunks of one stripe are the k
+	// data + m parity shards of an RS stripe, each stored once. nil for
+	// replicated chunks.
+	stripe   *stripe
+	shardIdx int
+}
+
+// stripe groups the k+m shard chunks of one erasure-coded stripe.
+type stripe struct {
+	chunks []*chunk // len k+m; [0,k) data, [k,k+m) parity
+}
+
+type object struct {
+	name    string
+	size    int
+	chunks  []*chunk  // data chunks, in order
+	stripes []*stripe // non-nil only for EC objects
+}
+
+type node struct {
+	id      NodeID
+	devices []blockdev.Device
+}
+
+// Stats aggregates cluster activity.
+type Stats struct {
+	PutBytes, GetBytes int64
+	// RecoveryBytes counts bytes written by repair (one chunk per rebuilt
+	// copy); RecoveryReadBytes counts the bytes repair had to read — equal
+	// under replication, k-times amplified under erasure coding (§4.3's
+	// comparison looks very different between the two).
+	RecoveryBytes     int64
+	RecoveryReadBytes int64
+	RecoveryOps       int64
+	// DegradedReads are Get operations that fell back to a non-primary
+	// replica.
+	DegradedReads int64
+	// LostChunks counts chunks whose every replica disappeared before
+	// repair could run — actual data loss.
+	LostChunks int64
+	// DecommissionEvents/RegenerateEvents/BrickEvents count device
+	// notifications processed.
+	DecommissionEvents, RegenerateEvents, BrickEvents int64
+	// DrainEvents counts grace-period decommission notifications;
+	// Releases counts drained minidisks handed back to their devices
+	// after re-replication completed.
+	DrainEvents, Releases int64
+	// LocalSourceRepairs counts repairs whose read source was the
+	// draining minidisk itself — the §4.3 grace-period payoff.
+	LocalSourceRepairs int64
+}
+
+// Cluster is a replicated object store over block devices.
+type Cluster struct {
+	cfg     Config
+	rng     *stats.RNG
+	nodes   []*node
+	targets map[targetKey]*target
+	objects map[string]*object
+	repairQ []*chunk
+	queued  map[*chunk]bool
+	stats   Stats
+	codec   *ec.Code // non-nil in erasure-coding mode
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.ReplicationFactor < 1 {
+		return nil, errors.New("difs: replication factor must be >= 1")
+	}
+	if cfg.ChunkOPages < 1 {
+		return nil, errors.New("difs: chunk size must be >= 1 oPage")
+	}
+	var codec *ec.Code
+	if cfg.ECDataShards > 0 || cfg.ECParityShards > 0 {
+		var err error
+		codec, err = ec.New(cfg.ECDataShards, cfg.ECParityShards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Cluster{
+		cfg:     cfg,
+		rng:     stats.NewRNG(cfg.Seed),
+		targets: map[targetKey]*target{},
+		objects: map[string]*object{},
+		queued:  map[*chunk]bool{},
+		codec:   codec,
+	}, nil
+}
+
+// AddNode attaches a node with its devices. The cluster registers itself
+// for every device's events; each live minidisk becomes a placement target.
+func (c *Cluster) AddNode(devices ...blockdev.Device) NodeID {
+	id := NodeID(len(c.nodes))
+	n := &node{id: id, devices: devices}
+	c.nodes = append(c.nodes, n)
+	for di, dev := range devices {
+		di, dev := di, dev
+		for _, info := range dev.Minidisks() {
+			c.addTarget(id, di, info)
+		}
+		dev.Notify(func(e blockdev.Event) { c.handleEvent(id, di, e) })
+	}
+	return id
+}
+
+func (c *Cluster) addTarget(nid NodeID, dev int, info blockdev.MinidiskInfo) {
+	slots := info.LBAs / c.cfg.ChunkOPages
+	if slots == 0 {
+		return // minidisk smaller than a chunk: unusable
+	}
+	t := &target{
+		key:    targetKey{nid, dev, info.ID},
+		info:   info,
+		chunks: map[int]*chunk{},
+		state:  tLive,
+		dev:    c.nodes[nid].devices[dev],
+	}
+	for s := slots - 1; s >= 0; s-- {
+		t.freeSlots = append(t.freeSlots, s)
+	}
+	c.targets[t.key] = t
+}
+
+// handleEvent processes a device notification. It must not call back into
+// the device (per the blockdev contract), so it only mutates metadata and
+// queues repair work.
+func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
+	switch e.Kind {
+	case blockdev.EventDecommission:
+		c.stats.DecommissionEvents++
+		c.loseTarget(targetKey{nid, dev, e.Minidisk})
+	case blockdev.EventDrain:
+		c.stats.DrainEvents++
+		c.drainTarget(targetKey{nid, dev, e.Minidisk})
+	case blockdev.EventRegenerate:
+		c.stats.RegenerateEvents++
+		c.addTarget(nid, dev, e.Info)
+	case blockdev.EventBrick:
+		c.stats.BrickEvents++
+		for key, t := range c.targets {
+			if key.node == nid && key.dev == dev && t.state != tDead {
+				c.loseTarget(key)
+			}
+		}
+	}
+}
+
+// loseTarget marks a minidisk gone and queues its chunks for repair.
+func (c *Cluster) loseTarget(key targetKey) {
+	t, ok := c.targets[key]
+	if !ok || t.state == tDead {
+		return
+	}
+	t.state = tDead
+	for _, ch := range t.chunks {
+		// Drop the dead replica from the chunk.
+		kept := ch.replicas[:0]
+		for _, r := range ch.replicas {
+			if r.tgt != t {
+				kept = append(kept, r)
+			}
+		}
+		ch.replicas = kept
+		c.enqueueRepair(ch)
+	}
+	t.chunks = map[int]*chunk{}
+	delete(c.targets, key)
+}
+
+// drainTarget handles a grace-period decommission: the minidisk stops
+// receiving placements, its chunks are queued for re-replication, and its
+// replicas stay readable as repair sources until Release.
+func (c *Cluster) drainTarget(key targetKey) {
+	t, ok := c.targets[key]
+	if !ok || t.state != tLive {
+		return
+	}
+	t.state = tDraining
+	for _, ch := range t.chunks {
+		c.enqueueRepair(ch)
+	}
+}
+
+func (c *Cluster) enqueueRepair(ch *chunk) {
+	if !c.queued[ch] {
+		c.queued[ch] = true
+		c.repairQ = append(c.repairQ, ch)
+	}
+}
+
+// Stats returns an activity snapshot.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// PendingRepairs reports queued under-replicated chunks.
+func (c *Cluster) PendingRepairs() int { return len(c.repairQ) }
+
+// Capacity returns total and free cluster capacity in chunk slots.
+func (c *Cluster) Capacity() (total, free int) {
+	for _, t := range c.targets {
+		if !t.live() {
+			continue
+		}
+		slots := t.info.LBAs / c.cfg.ChunkOPages
+		total += slots
+		free += len(t.freeSlots)
+	}
+	return total, free
+}
+
+// Objects lists stored object names (sorted).
+func (c *Cluster) Objects() []string {
+	out := make([]string, 0, len(c.objects))
+	for name := range c.objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- placement ---------------------------------------------------------------
+
+// pickTargets chooses up to want targets on distinct nodes, excluding nodes
+// already hosting the chunk. Random choice among the least-loaded halves the
+// variance without a full cost model.
+func (c *Cluster) pickTargets(want int, exclude map[NodeID]bool) []*target {
+	// Group candidate targets by node.
+	byNode := map[NodeID][]*target{}
+	for _, t := range c.targets {
+		if t.live() && len(t.freeSlots) > 0 && !exclude[t.key.node] {
+			byNode[t.key.node] = append(byNode[t.key.node], t)
+		}
+	}
+	nodes := make([]NodeID, 0, len(byNode))
+	for nid := range byNode {
+		nodes = append(nodes, nid)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	c.rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	var out []*target
+	for _, nid := range nodes {
+		if len(out) == want {
+			break
+		}
+		cands := byNode[nid]
+		// Order per the placement policy, breaking ties by ID for
+		// determinism.
+		sort.Slice(cands, func(i, j int) bool {
+			fi, fj := len(cands[i].freeSlots), len(cands[j].freeSlots)
+			if fi != fj {
+				if c.cfg.Placement == PlacementPack {
+					return fi < fj // fullest (but non-full) first
+				}
+				return fi > fj // emptiest first
+			}
+			return cands[i].key.md < cands[j].key.md
+		})
+		out = append(out, cands[0])
+	}
+	return out
+}
+
+func (t *target) device(c *Cluster) blockdev.Device {
+	return c.nodes[t.key.node].devices[t.key.dev]
+}
+
+// writeChunk stores data (exactly ChunkOPages*4KB, already padded) into a
+// free slot on t.
+func (c *Cluster) writeChunk(t *target, ch *chunk, data []byte) error {
+	if len(t.freeSlots) == 0 {
+		return ErrNoSpace
+	}
+	slot := t.freeSlots[len(t.freeSlots)-1]
+	dev := t.device(c)
+	base := slot * c.cfg.ChunkOPages
+	for p := 0; p < c.cfg.ChunkOPages; p++ {
+		if err := dev.Write(t.key.md, base+p, data[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize]); err != nil {
+			// The write may have triggered this very minidisk's
+			// decommission; surface the failure to the placement loop.
+			return err
+		}
+	}
+	// Commit the slot only after all pages landed. The device may have
+	// decommissioned or drained the minidisk while we wrote; the replica
+	// would be stale or short-lived, so re-check.
+	if !t.live() {
+		return blockdev.ErrNoSuchMinidisk
+	}
+	t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
+	t.chunks[slot] = ch
+	ch.replicas = append(ch.replicas, replica{tgt: t, slot: slot})
+	return nil
+}
+
+// readChunk fetches a chunk from one replica.
+func (c *Cluster) readChunk(r replica, buf []byte) error {
+	dev := r.tgt.device(c)
+	base := r.slot * c.cfg.ChunkOPages
+	for p := 0; p < c.cfg.ChunkOPages; p++ {
+		if err := dev.Read(r.tgt.key.md, base+p, buf[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) chunkBytes() int { return c.cfg.ChunkOPages * blockdev.OPageSize }
+
+// --- object operations ---------------------------------------------------------
+
+// Put stores an object under name with ReplicationFactor copies of every
+// chunk. A chunk placed on fewer nodes than requested (small cluster, tight
+// space) is queued for repair rather than failing the Put, as long as at
+// least one copy landed.
+func (c *Cluster) Put(name string, data []byte) error {
+	if c.codec != nil {
+		return c.putEC(name, data)
+	}
+	if _, ok := c.objects[name]; ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
+	}
+	obj := &object{name: name, size: len(data)}
+	cb := c.chunkBytes()
+	nChunks := (len(data) + cb - 1) / cb
+	if nChunks == 0 {
+		nChunks = 1 // empty object still gets a (zero) chunk for uniformity
+	}
+	for i := 0; i < nChunks; i++ {
+		ch := &chunk{obj: obj, idx: i}
+		padded := make([]byte, cb)
+		copy(padded, data[min(i*cb, len(data)):min((i+1)*cb, len(data))])
+		placed := 0
+		exclude := map[NodeID]bool{}
+		for attempt := 0; attempt < 2*c.cfg.ReplicationFactor && placed < c.cfg.ReplicationFactor; attempt++ {
+			tgts := c.pickTargets(c.cfg.ReplicationFactor-placed, exclude)
+			if len(tgts) == 0 {
+				break
+			}
+			for _, t := range tgts {
+				exclude[t.key.node] = true
+				if err := c.writeChunk(t, ch, padded); err == nil {
+					placed++
+				}
+			}
+		}
+		if placed == 0 {
+			return fmt.Errorf("%w: object %q chunk %d", ErrNoSpace, name, i)
+		}
+		if placed < c.cfg.ReplicationFactor {
+			c.enqueueRepair(ch)
+		}
+		obj.chunks = append(obj.chunks, ch)
+		c.stats.PutBytes += int64(len(padded)) * int64(placed)
+	}
+	c.objects[name] = obj
+	return nil
+}
+
+// Get retrieves an object, reading each chunk from any live replica.
+func (c *Cluster) Get(name string) ([]byte, error) {
+	obj, ok := c.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	cb := c.chunkBytes()
+	out := make([]byte, len(obj.chunks)*cb)
+	buf := make([]byte, cb)
+	for i, ch := range obj.chunks {
+		if err := c.readAnyReplica(ch, buf); err != nil {
+			if ch.stripe == nil {
+				return nil, fmt.Errorf("object %q chunk %d: %w", name, i, err)
+			}
+			// Erasure-coded: rebuild the shard from its stripe.
+			if err := c.reconstructInto(ch, buf); err != nil {
+				return nil, fmt.Errorf("object %q chunk %d: %w", name, i, err)
+			}
+			c.enqueueRepair(ch)
+		}
+		copy(out[i*cb:], buf)
+		c.stats.GetBytes += int64(cb)
+	}
+	return out[:obj.size], nil
+}
+
+// readAnyReplica tries replicas in order, queueing repair on any failure.
+// A read served while the chunk is under-replicated counts as degraded.
+// Draining replicas are readable (the grace-period contract) but do not
+// count toward the replication factor.
+func (c *Cluster) readAnyReplica(ch *chunk, buf []byte) error {
+	liveN := 0
+	for _, r := range ch.replicas {
+		if r.tgt.live() {
+			liveN++
+		}
+	}
+	degraded := liveN < c.wantReplicas(ch)
+	var firstErr error
+	for i, r := range ch.replicas {
+		if !r.tgt.readable() {
+			c.enqueueRepair(ch)
+			continue
+		}
+		err := c.readChunk(r, buf)
+		if err == nil {
+			if degraded || i > 0 || firstErr != nil {
+				c.stats.DegradedReads++
+			}
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Media error on this replica: drop it and repair.
+		c.dropReplica(ch, r)
+		c.enqueueRepair(ch)
+	}
+	if firstErr == nil {
+		firstErr = ErrDataLoss
+	}
+	return firstErr
+}
+
+func (c *Cluster) dropReplica(ch *chunk, bad replica) {
+	kept := ch.replicas[:0]
+	for _, r := range ch.replicas {
+		if r != bad {
+			kept = append(kept, r)
+		}
+	}
+	ch.replicas = kept
+	if bad.tgt.readable() {
+		delete(bad.tgt.chunks, bad.slot)
+		// The slot's content is untrusted; trim it back to the device and
+		// reuse the slot.
+		dev := bad.tgt.device(c)
+		base := bad.slot * c.cfg.ChunkOPages
+		for p := 0; p < c.cfg.ChunkOPages; p++ {
+			_ = dev.Trim(bad.tgt.key.md, base+p)
+		}
+		bad.tgt.freeSlots = append(bad.tgt.freeSlots, bad.slot)
+	}
+}
+
+// Delete removes an object and trims its replicas.
+func (c *Cluster) Delete(name string) error {
+	obj, ok := c.objects[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	c.dropObjectChunks(obj)
+	delete(c.objects, name)
+	// Purge the repair queue lazily: Repair skips deleted chunks.
+	return nil
+}
+
+// Repair drains the re-replication queue: every under-replicated chunk is
+// copied from a surviving replica to new nodes until the replication factor
+// is restored (or no placement exists). Draining replicas serve as local
+// read sources but do not count toward the factor; once a draining
+// minidisk's chunks are all re-replicated it is released back to its device
+// (which then finishes the decommission). Returns the number of chunk
+// copies created — the §4.3 recovery traffic.
+func (c *Cluster) Repair() (copies int, err error) {
+	queue := c.repairQ
+	c.repairQ = nil
+	var drainingTouched []*target
+	for _, ch := range queue {
+		delete(c.queued, ch)
+		if _, ok := c.objects[ch.obj.name]; !ok {
+			continue // object deleted while queued
+		}
+		// Drop replicas that died since queueing; keep draining ones as
+		// sources.
+		kept := ch.replicas[:0]
+		hadDraining := false
+		for _, r := range ch.replicas {
+			if r.tgt.readable() {
+				kept = append(kept, r)
+				if r.tgt.state == tDraining {
+					hadDraining = true
+					drainingTouched = append(drainingTouched, r.tgt)
+				}
+			}
+		}
+		ch.replicas = kept
+		if len(ch.replicas) == 0 {
+			if ch.stripe != nil {
+				// Erasure-coded shard: rebuild from its stripe siblings.
+				if !c.repairShard(ch) {
+					c.stats.LostChunks++
+				}
+				continue
+			}
+			c.stats.LostChunks++
+			continue
+		}
+		buf := make([]byte, c.chunkBytes())
+		if err := c.readAnyReplica(ch, buf); err != nil {
+			if ch.stripe != nil && c.repairShard(ch) {
+				continue
+			}
+			c.stats.LostChunks++
+			continue
+		}
+		if hadDraining {
+			c.stats.LocalSourceRepairs++
+		}
+		c.stats.RecoveryReadBytes += int64(c.chunkBytes())
+		for c.liveReplicas(ch) < c.wantReplicas(ch) {
+			exclude := map[NodeID]bool{}
+			for _, r := range ch.replicas {
+				exclude[r.tgt.key.node] = true
+			}
+			tgts := c.pickTargets(1, exclude)
+			if len(tgts) == 0 {
+				// No placement now; re-queue for a later Repair (capacity
+				// may regenerate).
+				c.enqueueRepair(ch)
+				break
+			}
+			if err := c.writeChunk(tgts[0], ch, buf); err != nil {
+				// Target failed under us; try again next round.
+				c.enqueueRepair(ch)
+				break
+			}
+			copies++
+			c.stats.RecoveryOps++
+			c.stats.RecoveryBytes += int64(c.chunkBytes())
+		}
+		// Fully replicated again: the draining copies are no longer needed.
+		if c.liveReplicas(ch) >= c.cfg.ReplicationFactor {
+			for _, r := range append([]replica(nil), ch.replicas...) {
+				if r.tgt.state == tDraining {
+					c.dropReplica(ch, r)
+				}
+			}
+		}
+	}
+	// Release draining minidisks that no longer hold any chunk.
+	for _, t := range drainingTouched {
+		if t.state == tDraining && len(t.chunks) == 0 {
+			if dr, ok := t.dev.(blockdev.Drainer); ok {
+				if err := dr.Release(t.key.md); err == nil {
+					c.stats.Releases++
+				}
+			}
+			t.state = tDead
+			delete(c.targets, t.key)
+		}
+	}
+	return copies, nil
+}
+
+// liveReplicas counts a chunk's replicas on live (non-draining) targets.
+func (c *Cluster) liveReplicas(ch *chunk) int {
+	n := 0
+	for _, r := range ch.replicas {
+		if r.tgt.live() {
+			n++
+		}
+	}
+	return n
+}
+
+// VerifyAll reads back every object and reports the objects whose content
+// could not be retrieved. It is the cluster's fsck, used by tests and the
+// examples to demonstrate zero data loss under minidisk churn.
+func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []string) {
+	for _, name := range c.Objects() {
+		data, err := c.Get(name)
+		if err != nil {
+			bad = append(bad, name)
+			continue
+		}
+		if check != nil {
+			if err := check(name, data); err != nil {
+				bad = append(bad, name)
+			}
+		}
+	}
+	return bad
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

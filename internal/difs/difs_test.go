@@ -1,0 +1,393 @@
+package difs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/stats"
+)
+
+// memCluster builds a cluster of n nodes, each with one MemDevice exposing
+// disks minidisks of lbas oPages.
+func memCluster(t *testing.T, cfg Config, n, disks, lbas int) (*Cluster, []*blockdev.MemDevice) {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devs []*blockdev.MemDevice
+	for i := 0; i < n; i++ {
+		d := blockdev.NewMemDevice(disks, lbas)
+		devs = append(devs, d)
+		c.AddNode(d)
+	}
+	return c, devs
+}
+
+func objData(rng *stats.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{ReplicationFactor: 0, ChunkOPages: 16}); err == nil {
+		t.Error("R=0 accepted")
+	}
+	if _, err := NewCluster(Config{ReplicationFactor: 3, ChunkOPages: 0}); err == nil {
+		t.Error("chunk=0 accepted")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 4, 4, 64)
+	rng := stats.NewRNG(1)
+	objs := map[string][]byte{}
+	for i, size := range []int{1, 100, blockdev.OPageSize, 3 * blockdev.OPageSize, 200000} {
+		name := string(rune('a' + i))
+		data := objData(rng, size)
+		objs[name] = data
+		if err := c.Put(name, data); err != nil {
+			t.Fatalf("put %q (%d bytes): %v", name, size, err)
+		}
+	}
+	for name, want := range objs {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatalf("get %q: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("object %q corrupted (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+	if got := c.Objects(); len(got) != len(objs) {
+		t.Errorf("Objects() = %v", got)
+	}
+}
+
+func TestPutEmptyObject(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 3, 2, 64)
+	if err := c.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty object read %d bytes", len(got))
+	}
+}
+
+func TestPutDuplicateRejected(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 3, 2, 64)
+	if err := c.Put("x", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("x", []byte("again")); !errors.Is(err, ErrAlreadyExist) {
+		t.Errorf("duplicate put: %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 3, 2, 64)
+	if _, err := c.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing get: %v", err)
+	}
+	if err := c.Delete("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing delete: %v", err)
+	}
+}
+
+func TestReplicasOnDistinctNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := memCluster(t, cfg, 5, 2, 64)
+	if err := c.Put("obj", objData(stats.NewRNG(2), 4*c.chunkBytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range c.objects["obj"].chunks {
+		if len(ch.replicas) != cfg.ReplicationFactor {
+			t.Fatalf("chunk has %d replicas, want %d", len(ch.replicas), cfg.ReplicationFactor)
+		}
+		seen := map[NodeID]bool{}
+		for _, r := range ch.replicas {
+			if seen[r.tgt.key.node] {
+				t.Fatal("two replicas on the same node")
+			}
+			seen[r.tgt.key.node] = true
+		}
+	}
+}
+
+func TestSmallClusterUnderReplicates(t *testing.T) {
+	// Two nodes, R=3: Put succeeds with 2 replicas and queues repair.
+	c, _ := memCluster(t, DefaultConfig(), 2, 2, 64)
+	if err := c.Put("obj", objData(stats.NewRNG(3), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingRepairs() == 0 {
+		t.Error("under-replicated chunk not queued")
+	}
+	// Repair cannot find a third node; chunk stays queued.
+	if _, err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingRepairs() == 0 {
+		t.Error("repair resolved despite missing third node")
+	}
+	// Adding a node lets repair complete.
+	c.AddNode(blockdev.NewMemDevice(2, 64))
+	copies, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies == 0 || c.PendingRepairs() != 0 {
+		t.Errorf("copies=%d pending=%d after adding node", copies, c.PendingRepairs())
+	}
+}
+
+func TestMinidiskFailureRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	c, devs := memCluster(t, cfg, 5, 4, 64)
+	rng := stats.NewRNG(4)
+	want := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		name := string(rune('a' + i))
+		want[name] = objData(rng, 50000)
+		if err := c.Put(name, want[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill one minidisk on each of two nodes.
+	if err := devs[0].FailMinidisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := devs[1].FailMinidisk(1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.DecommissionEvents != 2 {
+		t.Fatalf("decommission events = %d", st.DecommissionEvents)
+	}
+	// All data still readable (degraded) before repair.
+	for name, w := range want {
+		got, err := c.Get(name)
+		if err != nil || !bytes.Equal(got, w) {
+			t.Fatalf("pre-repair get %q: %v", name, err)
+		}
+	}
+	copies, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if copies > 0 && st.RecoveryBytes == 0 {
+		t.Error("recovery bytes not accounted")
+	}
+	if c.PendingRepairs() != 0 {
+		t.Errorf("pending repairs = %d after Repair", c.PendingRepairs())
+	}
+	// Full replication restored.
+	for _, obj := range c.objects {
+		for _, ch := range obj.chunks {
+			if len(ch.replicas) != cfg.ReplicationFactor {
+				t.Fatalf("chunk of %q has %d replicas after repair", obj.name, len(ch.replicas))
+			}
+		}
+	}
+	if bad := c.VerifyAll(func(name string, data []byte) error {
+		if !bytes.Equal(data, want[name]) {
+			return errors.New("mismatch")
+		}
+		return nil
+	}); bad != nil {
+		t.Fatalf("verify failed for %v", bad)
+	}
+}
+
+func TestDeviceBrickRecovery(t *testing.T) {
+	c, devs := memCluster(t, DefaultConfig(), 5, 4, 64)
+	rng := stats.NewRNG(5)
+	want := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		want[name] = objData(rng, 80000)
+		if err := c.Put(name, want[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	devs[2].Brick()
+	if c.Stats().BrickEvents != 1 {
+		t.Fatalf("brick events = %d", c.Stats().BrickEvents)
+	}
+	if _, err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := c.VerifyAll(func(name string, data []byte) error {
+		if !bytes.Equal(data, want[name]) {
+			return errors.New("mismatch")
+		}
+		return nil
+	}); bad != nil {
+		t.Fatalf("objects lost after single-device brick: %v", bad)
+	}
+	if c.Stats().LostChunks != 0 {
+		t.Errorf("lost chunks = %d", c.Stats().LostChunks)
+	}
+}
+
+func TestDataLossWhenAllReplicasGone(t *testing.T) {
+	// R=2 on 2 nodes; brick both devices: data must be reported lost, not
+	// silently dropped.
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	c, devs := memCluster(t, cfg, 2, 2, 64)
+	if err := c.Put("doomed", objData(stats.NewRNG(6), 10000)); err != nil {
+		t.Fatal(err)
+	}
+	devs[0].Brick()
+	devs[1].Brick()
+	if _, err := c.Get("doomed"); err == nil {
+		t.Fatal("read of fully lost object succeeded")
+	}
+	if _, err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().LostChunks == 0 {
+		t.Error("lost chunks not counted")
+	}
+}
+
+func TestRegeneratedMinidiskBecomesTarget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	c, devs := memCluster(t, cfg, 2, 1, 16) // 1 chunk slot per minidisk
+	// Fill the single slot per node.
+	if err := c.Put("a", objData(stats.NewRNG(7), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster is full now.
+	if err := c.Put("b", []byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("put into full cluster: %v", err)
+	}
+	// Regeneration adds capacity on both nodes.
+	devs[0].AddMinidisk(16, 1)
+	devs[1].AddMinidisk(16, 1)
+	if c.Stats().RegenerateEvents != 2 {
+		t.Fatalf("regenerate events = %d", c.Stats().RegenerateEvents)
+	}
+	if err := c.Put("b", objData(stats.NewRNG(8), 1000)); err != nil {
+		t.Fatalf("put after regeneration: %v", err)
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	c, _ := memCluster(t, cfg, 2, 1, 16)
+	if err := c.Put("a", objData(stats.NewRNG(9), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	_, freeBefore := c.Capacity()
+	if freeBefore != 0 {
+		t.Fatalf("free = %d, want 0", freeBefore)
+	}
+	if err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, free := c.Capacity(); free != 2 {
+		t.Fatalf("free = %d after delete, want 2", free)
+	}
+	if err := c.Put("b", objData(stats.NewRNG(10), 1000)); err != nil {
+		t.Fatalf("put after delete: %v", err)
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 3, 2, 64) // 64/16 = 4 slots per md
+	total, free := c.Capacity()
+	if total != 3*2*4 || free != total {
+		t.Fatalf("capacity = %d/%d", free, total)
+	}
+	if err := c.Put("a", objData(stats.NewRNG(11), c.chunkBytes()*2)); err != nil {
+		t.Fatal(err)
+	}
+	_, free = c.Capacity()
+	if free != total-2*3 {
+		t.Fatalf("free = %d, want %d", free, total-2*3)
+	}
+}
+
+func TestDegradedReadCounted(t *testing.T) {
+	c, devs := memCluster(t, DefaultConfig(), 4, 2, 64)
+	if err := c.Put("a", objData(stats.NewRNG(12), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first replica's minidisk.
+	first := c.objects["a"].chunks[0].replicas[0]
+	node := first.tgt.key.node
+	if err := devs[node].FailMinidisk(first.tgt.key.md); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().DegradedReads == 0 {
+		t.Error("degraded read not counted")
+	}
+}
+
+func TestRepairSkipsDeletedObjects(t *testing.T) {
+	c, devs := memCluster(t, DefaultConfig(), 4, 2, 64)
+	if err := c.Put("a", objData(stats.NewRNG(13), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	first := c.objects["a"].chunks[0].replicas[0]
+	if err := devs[first.tgt.key.node].FailMinidisk(first.tgt.key.md); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	copies, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies != 0 {
+		t.Errorf("repair copied %d chunks of a deleted object", copies)
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	// Spread: chunks land on distinct minidisks; Pack: they pile onto one.
+	countUsedDisks := func(p Placement) int {
+		cfg := DefaultConfig()
+		cfg.ReplicationFactor = 1
+		cfg.Placement = p
+		c, _ := memCluster(t, cfg, 1, 4, 64) // 1 node, 4 disks, 4 slots each
+		for i := 0; i < 4; i++ {
+			if err := c.Put(string(rune('a'+i)), objData(stats.NewRNG(uint64(i)), 1000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		used := map[targetKey]bool{}
+		for _, obj := range c.objects {
+			for _, ch := range obj.chunks {
+				for _, r := range ch.replicas {
+					used[r.tgt.key] = true
+				}
+			}
+		}
+		return len(used)
+	}
+	if got := countUsedDisks(PlacementSpread); got != 4 {
+		t.Errorf("spread used %d minidisks, want 4", got)
+	}
+	if got := countUsedDisks(PlacementPack); got != 1 {
+		t.Errorf("pack used %d minidisks, want 1", got)
+	}
+}

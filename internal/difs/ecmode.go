@@ -1,0 +1,200 @@
+package difs
+
+import (
+	"fmt"
+)
+
+// wantReplicas returns the target copy count for a chunk: erasure-coded
+// shards are stored once (the stripe's parity is the redundancy);
+// replicated chunks carry the configured factor.
+func (c *Cluster) wantReplicas(ch *chunk) int {
+	if ch.stripe != nil {
+		return 1
+	}
+	return c.cfg.ReplicationFactor
+}
+
+// putEC stores an object as Reed-Solomon stripes: k chunk-sized data shards
+// plus m parity shards per stripe, each placed once on a distinct node.
+func (c *Cluster) putEC(name string, data []byte) error {
+	if _, ok := c.objects[name]; ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
+	}
+	k, m := c.codec.K, c.codec.M
+	cb := c.chunkBytes()
+	stripeBytes := k * cb
+	obj := &object{name: name, size: len(data)}
+	nStripes := (len(data) + stripeBytes - 1) / stripeBytes
+	if nStripes == 0 {
+		nStripes = 1
+	}
+	for s := 0; s < nStripes; s++ {
+		shards := make([][]byte, 0, k+m)
+		for j := 0; j < k; j++ {
+			padded := make([]byte, cb)
+			lo := s*stripeBytes + j*cb
+			if lo < len(data) {
+				copy(padded, data[lo:min(lo+cb, len(data))])
+			}
+			shards = append(shards, padded)
+		}
+		parity, err := c.codec.EncodeParity(shards)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, parity...)
+
+		st := &stripe{}
+		exclude := map[NodeID]bool{}
+		for i, content := range shards {
+			ch := &chunk{obj: obj, idx: s*k + min(i, k-1), stripe: st, shardIdx: i}
+			st.chunks = append(st.chunks, ch)
+			placed := false
+			for attempt := 0; attempt < 3 && !placed; attempt++ {
+				tgts := c.pickTargets(1, exclude)
+				if len(tgts) == 0 {
+					break
+				}
+				exclude[tgts[0].key.node] = true
+				if err := c.writeChunk(tgts[0], ch, content); err == nil {
+					placed = true
+				}
+			}
+			if !placed {
+				// Roll back everything placed for this object so a failed
+				// Put leaves no orphans.
+				c.dropObjectChunks(obj)
+				c.dropStripeChunks(st)
+				return fmt.Errorf("%w: object %q stripe %d shard %d (EC needs %d nodes with space)",
+					ErrNoSpace, name, s, i, k+m)
+			}
+			c.stats.PutBytes += int64(cb)
+		}
+		obj.chunks = append(obj.chunks, st.chunks[:k]...)
+		obj.stripes = append(obj.stripes, st)
+	}
+	c.objects[name] = obj
+	return nil
+}
+
+func (c *Cluster) dropStripeChunks(st *stripe) {
+	for _, ch := range st.chunks {
+		for _, r := range append([]replica(nil), ch.replicas...) {
+			c.dropReplica(ch, r)
+		}
+		delete(c.queued, ch)
+	}
+}
+
+func (c *Cluster) dropObjectChunks(obj *object) {
+	for _, st := range obj.stripes {
+		c.dropStripeChunks(st)
+	}
+	if len(obj.stripes) == 0 {
+		for _, ch := range obj.chunks {
+			for _, r := range append([]replica(nil), ch.replicas...) {
+				c.dropReplica(ch, r)
+			}
+			delete(c.queued, ch)
+		}
+	}
+}
+
+// readStripeShards reads as many shards of a stripe as needed for
+// reconstruction, charging the reads to recovery accounting when forRepair.
+// Returns the shard slice (nil entries for unavailable shards) and how many
+// were read.
+func (c *Cluster) readStripeShards(st *stripe, skip *chunk, forRepair bool) ([][]byte, int) {
+	k := c.codec.K
+	cb := c.chunkBytes()
+	shards := make([][]byte, len(st.chunks))
+	have := 0
+	for i, sib := range st.chunks {
+		if sib == skip || have >= k {
+			continue
+		}
+		if len(sib.replicas) == 0 {
+			continue
+		}
+		buf := make([]byte, cb)
+		if err := c.readAnyReplica(sib, buf); err != nil {
+			continue
+		}
+		shards[i] = buf
+		have++
+		if forRepair {
+			c.stats.RecoveryReadBytes += int64(cb)
+		}
+	}
+	return shards, have
+}
+
+// reconstructInto recovers one shard's content from its stripe into buf.
+func (c *Cluster) reconstructInto(ch *chunk, buf []byte) error {
+	shards, have := c.readStripeShards(ch.stripe, ch, false)
+	if have < c.codec.K {
+		return fmt.Errorf("%w: stripe has %d of %d shards", ErrDataLoss, have, c.codec.K)
+	}
+	if err := c.codec.Reconstruct(shards); err != nil {
+		return err
+	}
+	copy(buf, shards[ch.shardIdx])
+	c.stats.DegradedReads++
+	return nil
+}
+
+// repairShard rebuilds a fully lost erasure-coded shard from its stripe and
+// places it on a node distinct from the surviving shards. Returns false if
+// the stripe has too few survivors or no placement exists.
+func (c *Cluster) repairShard(ch *chunk) bool {
+	shards, have := c.readStripeShards(ch.stripe, ch, true)
+	if have < c.codec.K {
+		return false
+	}
+	if err := c.codec.Reconstruct(shards); err != nil {
+		return false
+	}
+	content := shards[ch.shardIdx]
+	exclude := map[NodeID]bool{}
+	for _, sib := range ch.stripe.chunks {
+		for _, r := range sib.replicas {
+			if r.tgt.live() {
+				exclude[r.tgt.key.node] = true
+			}
+		}
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		tgts := c.pickTargets(1, exclude)
+		if len(tgts) == 0 {
+			return false
+		}
+		exclude[tgts[0].key.node] = true
+		if err := c.writeChunk(tgts[0], ch, content); err == nil {
+			c.stats.RecoveryOps++
+			c.stats.RecoveryBytes += int64(c.chunkBytes())
+			return true
+		}
+	}
+	return false
+}
+
+// DecommissionNode gracefully retires every minidisk of a node from
+// placement and queues all of its chunks for repair — the operator-initiated
+// "replace this old drive" flow (§2's preemptive replacement, done with
+// redundancy instead of downtime). The node's replicas remain readable as
+// repair sources until Repair moves their chunks; call Repair (repeatedly,
+// if capacity is tight) to complete the migration.
+func (c *Cluster) DecommissionNode(id NodeID) int {
+	n := 0
+	for _, t := range c.targets {
+		if t.key.node != id || t.state != tLive {
+			continue
+		}
+		t.state = tDraining
+		for _, ch := range t.chunks {
+			c.enqueueRepair(ch)
+		}
+		n++
+	}
+	return n
+}

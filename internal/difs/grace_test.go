@@ -1,0 +1,222 @@
+package difs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/core"
+	"salamander/internal/flash"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+func TestMemDeviceDrainRelease(t *testing.T) {
+	d := blockdev.NewMemDevice(2, 16)
+	var events []blockdev.Event
+	d.Notify(func(e blockdev.Event) { events = append(events, e) })
+	buf := bytes.Repeat([]byte{9}, blockdev.OPageSize)
+	if err := d.Write(0, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DrainMinidisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != blockdev.EventDrain {
+		t.Fatalf("events = %v", events)
+	}
+	// Draining: hidden from listings, rejects writes, still readable.
+	if got := len(d.Minidisks()); got != 1 {
+		t.Fatalf("draining disk still listed: %d", got)
+	}
+	if err := d.Write(0, 4, buf); !errors.Is(err, blockdev.ErrNoSuchMinidisk) {
+		t.Errorf("write to draining disk: %v", err)
+	}
+	got := make([]byte, blockdev.OPageSize)
+	if err := d.Read(0, 3, got); err != nil || !bytes.Equal(got, buf) {
+		t.Fatalf("draining disk not readable: %v", err)
+	}
+	// Double drain is idempotent (no extra event).
+	if err := d.DrainMinidisk(0); err != nil || len(events) != 1 {
+		t.Fatalf("double drain: err=%v events=%v", err, events)
+	}
+	// Release finishes the decommission.
+	if err := d.Release(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Kind != blockdev.EventDecommission {
+		t.Fatalf("events = %v", events)
+	}
+	if err := d.Read(0, 3, got); !errors.Is(err, blockdev.ErrNoSuchMinidisk) {
+		t.Errorf("read after release: %v", err)
+	}
+	// Release of a non-draining disk fails.
+	if err := d.Release(1); err == nil {
+		t.Error("release of live disk succeeded")
+	}
+}
+
+// TestGraceRepairUsesLocalSourceAndReleases is the full §4.3 grace flow on
+// MemDevices: drain, repair from the draining copy, release.
+func TestGraceRepairUsesLocalSourceAndReleases(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devs []*blockdev.MemDevice
+	for i := 0; i < 4; i++ {
+		d := blockdev.NewMemDevice(4, 64)
+		devs = append(devs, d)
+		c.AddNode(d)
+	}
+	rng := stats.NewRNG(1)
+	want := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("o%d", i)
+		want[name] = objData(rng, 50000)
+		if err := c.Put(name, want[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain one minidisk holding data.
+	var victim targetKey
+	for key, tgt := range c.targets {
+		if len(tgt.chunks) > 0 {
+			victim = key
+			break
+		}
+	}
+	if err := devs[victim.node].DrainMinidisk(victim.md); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().DrainEvents != 1 {
+		t.Fatalf("drain events = %d", c.Stats().DrainEvents)
+	}
+	if c.PendingRepairs() == 0 {
+		t.Fatal("drain queued no repairs")
+	}
+	// Reads still work during the drain.
+	for name, w := range want {
+		got, err := c.Get(name)
+		if err != nil || !bytes.Equal(got, w) {
+			t.Fatalf("mid-drain get %q: %v", name, err)
+		}
+	}
+	copies, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies == 0 {
+		t.Fatal("repair made no copies")
+	}
+	st := c.Stats()
+	if st.LocalSourceRepairs == 0 {
+		t.Error("no repair used the draining local source")
+	}
+	if st.Releases != 1 {
+		t.Errorf("releases = %d, want 1", st.Releases)
+	}
+	if st.DecommissionEvents != 1 {
+		t.Errorf("final decommission events = %d", st.DecommissionEvents)
+	}
+	// The drained target is gone; all data intact and fully replicated.
+	if _, ok := c.targets[victim]; ok {
+		t.Error("drained target still tracked")
+	}
+	for _, obj := range c.objects {
+		for _, ch := range obj.chunks {
+			if got := c.liveReplicas(ch); got != cfg.ReplicationFactor {
+				t.Fatalf("chunk of %q has %d live replicas", obj.name, got)
+			}
+		}
+	}
+	if bad := c.VerifyAll(func(name string, data []byte) error {
+		if !bytes.Equal(data, want[name]) {
+			return errors.New("mismatch")
+		}
+		return nil
+	}); bad != nil {
+		t.Fatalf("objects corrupted: %v", bad)
+	}
+}
+
+// TestGraceEndToEndOnSalamanderDevices ages a grace-enabled cluster and
+// checks that drains are released after repair, with zero loss.
+func TestGraceEndToEndOnSalamanderDevices(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		dev := salamanderGraceNode(t, uint64(300+i), 7+float64(i))
+		c.AddNode(dev)
+	}
+	rng := stats.NewRNG(9)
+	blob := make([]byte, 60000)
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("o%d", i), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+churn:
+	for rounds := 0; rounds < 80; rounds++ {
+		for i := 0; i < 10; i++ {
+			if total, free := c.Capacity(); total < 66 || free < 14 {
+				break churn
+			}
+			name := fmt.Sprintf("o%d", (rng.Intn(10)+i)%10)
+			if err := c.Delete(name); err != nil {
+				continue
+			}
+			if err := c.Put(name, blob); err != nil {
+				break churn
+			}
+			if _, err := c.Repair(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.DrainEvents == 0 {
+		t.Skip("no drains within budget")
+	}
+	t.Logf("grace cluster: %+v", st)
+	if st.Releases == 0 {
+		t.Error("no draining minidisk was ever released")
+	}
+	if st.LostChunks != 0 {
+		t.Errorf("%d chunks lost under grace-period decommissioning", st.LostChunks)
+	}
+}
+
+// salamanderGraceNode builds a grace-enabled ShrinkS device for cluster
+// tests.
+func salamanderGraceNode(t *testing.T, seed uint64, pec float64) blockdev.Device {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels:      2,
+		BlocksPerChan: 8,
+		PagesPerBlock: 8,
+		PageSize:      rber.FPageSize,
+		SpareSize:     rber.SpareSize,
+	}
+	cfg.MSizeOPages = 16
+	cfg.MaxLevel = 0
+	cfg.RealECC = false
+	cfg.Flash.StoreData = false
+	cfg.GraceDecommission = true
+	cfg.Flash.Reliability.NominalPEC = pec
+	cfg.Flash.Seed = seed
+	cfg.Seed = seed * 31
+	d, err := core.New(cfg, sim.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,107 @@
+package difs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/stats"
+)
+
+// Property (model-based): under an arbitrary interleaving of Put, Get,
+// Delete, minidisk failure, and Repair, the cluster agrees with an
+// in-memory map for every object that never lost all replicas; no operation
+// panics; and stats counters never go negative.
+func TestQuickClusterMatchesModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		ccfg := DefaultConfig()
+		ccfg.ChunkOPages = 4
+		c, err := NewCluster(ccfg)
+		if err != nil {
+			return false
+		}
+		var devs []*blockdev.MemDevice
+		for i := 0; i < 4; i++ {
+			// Generous capacity (32 slots per node) so placement never
+			// under-replicates: the property below then has no legitimate
+			// loss scenario to excuse.
+			d := blockdev.NewMemDevice(8, 16)
+			devs = append(devs, d)
+			c.AddNode(d)
+		}
+		model := map[string][]byte{}
+		failures := 0
+		for step := 0; step < 120; step++ {
+			name := fmt.Sprintf("o%d", rng.Intn(8))
+			switch rng.Intn(6) {
+			case 0, 1: // put
+				if _, exists := model[name]; exists {
+					break
+				}
+				data := make([]byte, rng.Intn(30000))
+				for i := range data {
+					data[i] = byte(rng.Uint64())
+				}
+				if err := c.Put(name, data); err == nil {
+					model[name] = data
+				}
+			case 2: // delete
+				errC := c.Delete(name)
+				_, exists := model[name]
+				if (errC == nil) != exists {
+					return false
+				}
+				delete(model, name)
+			case 3: // get
+				got, err := c.Get(name)
+				want, exists := model[name]
+				if !exists {
+					if err == nil {
+						return false
+					}
+					break
+				}
+				// With full 3-way placement and at most one failure per
+				// repair epoch, reads must always succeed and match.
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			case 4: // fail one minidisk per repair epoch
+				if failures == 0 && c.PendingRepairs() == 0 {
+					d := devs[rng.Intn(len(devs))]
+					mds := d.Minidisks()
+					if len(mds) > 0 {
+						_ = d.FailMinidisk(mds[rng.Intn(len(mds))].ID)
+						failures++
+					}
+				}
+			case 5: // repair
+				if _, err := c.Repair(); err != nil {
+					return false
+				}
+				failures = 0
+			}
+		}
+		// Final repair, then everything still in the model must be intact:
+		// at most one failure is outstanding, far below the replication
+		// factor.
+		if _, err := c.Repair(); err != nil {
+			return false
+		}
+		for name, want := range model {
+			got, err := c.Get(name)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.RecoveryBytes >= 0 && st.LostChunks >= 0 && st.DegradedReads >= 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,428 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUncorrectable is returned by Decode when the error pattern exceeds the
+// code's correction capability in a detectable way.
+var ErrUncorrectable = errors.New("ecc: uncorrectable error pattern")
+
+// Code is a binary BCH code over GF(2^m), shortened to k data bits, with
+// designed correction capability t. Codewords are systematic: k data bits
+// followed by r parity bits, n = k + r <= 2^m - 1.
+type Code struct {
+	F *Field
+	K int // data bits
+	R int // parity bits (degree of the generator polynomial)
+	N int // codeword bits, K + R
+	T int // designed correction capability in bits
+
+	gLow    []uint64      // generator minus the x^R term, bits 0..R-1
+	topMask uint64        // mask for the top word of an R-bit register
+	tbl     [256][]uint64 // byte-wise LFSR step table
+	nw      int           // words per R-bit register
+}
+
+// NewCode constructs a BCH code over GF(2^m) protecting dataBits of payload
+// with correction capability t. dataBits must be a positive multiple of 8.
+// It returns an error if the resulting codeword would not fit in 2^m - 1
+// bits.
+func NewCode(m, dataBits, t int) (*Code, error) {
+	if dataBits <= 0 || dataBits%8 != 0 {
+		return nil, fmt.Errorf("ecc: dataBits %d must be a positive multiple of 8", dataBits)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("ecc: t must be >= 1, got %d", t)
+	}
+	f := NewField(m)
+	gen, err := generatorPoly(f, t)
+	if err != nil {
+		return nil, err
+	}
+	r := polyDegree(gen)
+	n := dataBits + r
+	if n > f.N {
+		return nil, fmt.Errorf("ecc: codeword %d bits exceeds 2^%d-1 = %d", n, m, f.N)
+	}
+	c := &Code{F: f, K: dataBits, R: r, N: n, T: t}
+	c.nw = (r + 63) / 64
+	c.gLow = make([]uint64, c.nw)
+	copy(c.gLow, gen) // gen has bit r set; clear it
+	c.gLow[r/64] &^= 1 << uint(r%64)
+	if r%64 == 0 {
+		c.topMask = ^uint64(0)
+	} else {
+		c.topMask = (1 << uint(r%64)) - 1
+	}
+	c.buildTable()
+	return c, nil
+}
+
+// Rate returns the code rate K/N.
+func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
+
+// ParityBytes returns the number of bytes needed to store the parity.
+func (c *Code) ParityBytes() int { return (c.R + 7) / 8 }
+
+// --- generator polynomial construction -----------------------------------
+
+// polyDegree returns the degree of a GF(2) polynomial stored as a bitset.
+func polyDegree(p []uint64) int {
+	for w := len(p) - 1; w >= 0; w-- {
+		if p[w] != 0 {
+			for b := 63; b >= 0; b-- {
+				if p[w]&(1<<uint(b)) != 0 {
+					return 64*w + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// polyMulGF2 multiplies two GF(2) polynomials (bitsets).
+func polyMulGF2(a, b []uint64) []uint64 {
+	da, db := polyDegree(a), polyDegree(b)
+	if da < 0 || db < 0 {
+		return []uint64{0}
+	}
+	out := make([]uint64, (da+db)/64+1)
+	for i := 0; i <= da; i++ {
+		if a[i/64]&(1<<uint(i%64)) == 0 {
+			continue
+		}
+		for j := 0; j <= db; j++ {
+			if b[j/64]&(1<<uint(j%64)) != 0 {
+				k := i + j
+				out[k/64] ^= 1 << uint(k%64)
+			}
+		}
+	}
+	return out
+}
+
+// generatorPoly computes g(x) = lcm of the minimal polynomials of
+// α^1 .. α^2t, via cyclotomic cosets mod 2^m - 1.
+func generatorPoly(f *Field, t int) ([]uint64, error) {
+	covered := make(map[int]bool)
+	g := []uint64{1}
+	for i := 1; i <= 2*t; i++ {
+		if covered[i] {
+			continue
+		}
+		// Cyclotomic coset of i: {i, 2i, 4i, ...} mod N.
+		coset := []int{}
+		j := i
+		for !covered[j] {
+			covered[j] = true
+			coset = append(coset, j)
+			j = (j * 2) % f.N
+		}
+		mp, err := minimalPoly(f, coset)
+		if err != nil {
+			return nil, err
+		}
+		g = polyMulGF2(g, mp)
+	}
+	return g, nil
+}
+
+// minimalPoly returns Π_{j in coset} (x + α^j) as a GF(2) bitset. The
+// product provably has binary coefficients; this is verified defensively.
+func minimalPoly(f *Field, coset []int) ([]uint64, error) {
+	// coef[i] is the GF(2^m) coefficient of x^i.
+	coef := make([]uint32, 1, len(coset)+1)
+	coef[0] = 1
+	for _, j := range coset {
+		root := f.Alpha(j)
+		// Multiply coef by (x + root).
+		next := make([]uint32, len(coef)+1)
+		for i, cc := range coef {
+			next[i+1] ^= cc            // x * coef
+			next[i] ^= f.Mul(cc, root) // root * coef
+		}
+		coef = next
+	}
+	out := make([]uint64, len(coef)/64+1)
+	for i, cc := range coef {
+		switch cc {
+		case 0:
+		case 1:
+			out[i/64] |= 1 << uint(i%64)
+		default:
+			return nil, fmt.Errorf("ecc: minimal polynomial coefficient %#x not in GF(2)", cc)
+		}
+	}
+	return out, nil
+}
+
+// --- LFSR encoding --------------------------------------------------------
+
+// stepBit advances the division register by one input bit (0 or 1).
+func (c *Code) stepBit(reg []uint64, in uint64) {
+	top := (reg[(c.R-1)/64] >> uint((c.R-1)%64)) & 1
+	fb := top ^ in
+	for w := len(reg) - 1; w > 0; w-- {
+		reg[w] = reg[w]<<1 | reg[w-1]>>63
+	}
+	reg[0] <<= 1
+	if fb == 1 {
+		for w := range reg {
+			reg[w] ^= c.gLow[w]
+		}
+	}
+	reg[len(reg)-1] &= c.topMask
+}
+
+// buildTable precomputes the effect of shifting 8 bits through the register,
+// turning encoding into one table lookup per data byte.
+func (c *Code) buildTable() {
+	for b := 0; b < 256; b++ {
+		reg := make([]uint64, c.nw)
+		for bit := 7; bit >= 0; bit-- {
+			c.stepBit(reg, uint64(b>>uint(bit))&1)
+		}
+		c.tbl[b] = reg
+	}
+}
+
+// top8 extracts bits R-1..R-8 of the register (the byte about to shift out).
+func (c *Code) top8(reg []uint64) byte {
+	pos := c.R - 8
+	w, off := pos/64, uint(pos%64)
+	v := reg[w] >> off
+	if off > 56 && w+1 < len(reg) {
+		v |= reg[w+1] << (64 - off)
+	}
+	return byte(v)
+}
+
+// stepByte advances the register by one input byte using the table.
+func (c *Code) stepByte(reg []uint64, in byte) {
+	fb := in ^ c.top8(reg)
+	// Shift left by 8.
+	for w := len(reg) - 1; w > 0; w-- {
+		reg[w] = reg[w]<<8 | reg[w-1]>>56
+	}
+	reg[0] <<= 8
+	reg[len(reg)-1] &= c.topMask
+	for w, v := range c.tbl[fb] {
+		reg[w] ^= v
+	}
+}
+
+// Encode computes the parity for data. data must be exactly K/8 bytes; the
+// returned slice is ParityBytes() long, parity bit R-1 first (MSB of byte 0).
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.K/8 {
+		return nil, fmt.Errorf("ecc: Encode wants %d data bytes, got %d", c.K/8, len(data))
+	}
+	reg := make([]uint64, c.nw)
+	for _, b := range data {
+		c.stepByte(reg, b)
+	}
+	return c.packParity(reg), nil
+}
+
+// packParity converts the register (bit R-1 = highest-degree parity term)
+// into MSB-first bytes.
+func (c *Code) packParity(reg []uint64) []byte {
+	out := make([]byte, c.ParityBytes())
+	for i := 0; i < c.R; i++ {
+		deg := c.R - 1 - i // emit high-degree bits first
+		if reg[deg/64]&(1<<uint(deg%64)) != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}
+
+// Check reports whether data+parity form a valid codeword. It is much
+// cheaper than Decode and is the fast path for clean reads.
+func (c *Code) Check(data, parity []byte) bool {
+	if len(data) != c.K/8 || len(parity) != c.ParityBytes() {
+		return false
+	}
+	reg := make([]uint64, c.nw)
+	for _, b := range data {
+		c.stepByte(reg, b)
+	}
+	got := c.packParity(reg)
+	for i := range got {
+		if got[i] != parity[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- decoding -------------------------------------------------------------
+
+// bitAt returns codeword bit index i (0 = highest-degree data bit) from the
+// data/parity pair.
+func bitAt(data, parity []byte, i, k int) uint32 {
+	if i < k {
+		return uint32(data[i/8]>>uint(7-i%8)) & 1
+	}
+	i -= k
+	return uint32(parity[i/8]>>uint(7-i%8)) & 1
+}
+
+func flipBit(data, parity []byte, i, k int) {
+	if i < k {
+		data[i/8] ^= 1 << uint(7-i%8)
+		return
+	}
+	i -= k
+	parity[i/8] ^= 1 << uint(7-i%8)
+}
+
+// syndromes computes S_1..S_2t. Only odd syndromes are evaluated directly;
+// S_2i = S_i^2 for binary codes. Returns true if all syndromes are zero.
+func (c *Code) syndromes(data, parity []byte) ([]uint32, bool) {
+	f := c.F
+	S := make([]uint32, 2*c.T+1) // 1-indexed
+	// Collect degrees of set bits once; for typical RBER only a sparse
+	// subset of positions is wrong, but the received word itself is dense,
+	// so Horner over all bits is the right strategy.
+	for i := 1; i <= 2*c.T; i += 2 {
+		alphaI := f.Alpha(i)
+		var acc uint32
+		for bi := 0; bi < c.N; bi++ {
+			acc = f.Mul(acc, alphaI) ^ bitAt(data, parity, bi, c.K)
+		}
+		S[i] = acc
+	}
+	// S_{2j} = S_j^2 for binary codes; increasing order guarantees S_{i/2}
+	// is final before S_i is derived.
+	for i := 2; i <= 2*c.T; i += 2 {
+		half := S[i/2]
+		S[i] = f.Mul(half, half)
+	}
+	for i := 1; i <= 2*c.T; i++ {
+		if S[i] != 0 {
+			return S, false
+		}
+	}
+	return S, true
+}
+
+// berlekampMassey finds the error locator polynomial σ(x) from syndromes.
+func (c *Code) berlekampMassey(S []uint32) []uint32 {
+	f := c.F
+	sigma := []uint32{1}
+	B := []uint32{1}
+	L, mGap := 0, 1
+	b := uint32(1)
+	for i := 0; i < 2*c.T; i++ {
+		// Discrepancy δ = S[i+1] + Σ_{j=1..L} σ_j S[i+1-j].
+		delta := S[i+1]
+		for j := 1; j <= L && j < len(sigma); j++ {
+			if i+1-j >= 1 {
+				delta ^= f.Mul(sigma[j], S[i+1-j])
+			}
+		}
+		if delta == 0 {
+			mGap++
+			continue
+		}
+		// σ' = σ - (δ/b)·x^mGap·B
+		scale := f.Div(delta, b)
+		next := make([]uint32, max(len(sigma), len(B)+mGap))
+		copy(next, sigma)
+		for j, bc := range B {
+			next[j+mGap] ^= f.Mul(scale, bc)
+		}
+		if 2*L <= i {
+			B = sigma
+			b = delta
+			L = i + 1 - L
+			mGap = 1
+		} else {
+			mGap++
+		}
+		sigma = next
+	}
+	// Trim trailing zeros.
+	for len(sigma) > 1 && sigma[len(sigma)-1] == 0 {
+		sigma = sigma[:len(sigma)-1]
+	}
+	return sigma
+}
+
+// chienSearch finds codeword bit indices whose bits are in error. Roots of
+// σ are α^{-d} where d is the degree of the errored term; bit index is
+// N-1-d. Returns nil if the root count does not match deg σ (decoding
+// failure).
+func (c *Code) chienSearch(sigma []uint32) []int {
+	f := c.F
+	degS := len(sigma) - 1
+	if degS == 0 {
+		return []int{}
+	}
+	var positions []int
+	for l := 0; l < f.N; l++ {
+		if f.PolyEval(sigma, f.Alpha(l)) == 0 {
+			d := (f.N - l) % f.N
+			if d >= c.N {
+				return nil // root outside the shortened codeword
+			}
+			positions = append(positions, c.N-1-d)
+		}
+		if len(positions) > degS {
+			return nil
+		}
+	}
+	if len(positions) != degS {
+		return nil
+	}
+	return positions
+}
+
+// Decode corrects data and parity in place. It returns the number of bits
+// corrected, or ErrUncorrectable if the pattern exceeds the code's power in
+// a detectable way. (Patterns beyond t bits may occasionally miscorrect, as
+// with any bounded-distance decoder; the analytic model accounts for this as
+// an uncorrectable-page event.)
+func (c *Code) Decode(data, parity []byte) (int, error) {
+	if len(data) != c.K/8 {
+		return 0, fmt.Errorf("ecc: Decode wants %d data bytes, got %d", c.K/8, len(data))
+	}
+	if len(parity) != c.ParityBytes() {
+		return 0, fmt.Errorf("ecc: Decode wants %d parity bytes, got %d", c.ParityBytes(), len(parity))
+	}
+	if c.Check(data, parity) {
+		return 0, nil
+	}
+	S, clean := c.syndromes(data, parity)
+	if clean {
+		// Check failed but syndromes are zero: the error is a multiple of
+		// g(x) outside the BCH bound — undetectable miscorrection risk; in
+		// practice unreachable because Check uses the same g(x).
+		return 0, nil
+	}
+	sigma := c.berlekampMassey(S)
+	if len(sigma)-1 > c.T {
+		return 0, ErrUncorrectable
+	}
+	pos := c.chienSearch(sigma)
+	if pos == nil {
+		return 0, ErrUncorrectable
+	}
+	for _, p := range pos {
+		flipBit(data, parity, p, c.K)
+	}
+	if !c.Check(data, parity) {
+		return 0, ErrUncorrectable
+	}
+	return len(pos), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,320 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+// Operation errors. Programming out of order or re-programming without an
+// erase are NAND protocol violations: the FTL above must never do them, so
+// they surface as errors rather than silent corruption.
+var (
+	ErrBadAddress   = errors.New("flash: address out of range")
+	ErrNotErased    = errors.New("flash: programming a page that is not erased")
+	ErrOutOfOrder   = errors.New("flash: pages within a block must be programmed in increasing order")
+	ErrNotWritten   = errors.New("flash: reading an unwritten page")
+	ErrEraseFailed  = errors.New("flash: erase verify failed — block is physically dead")
+	ErrWrongPageLen = errors.New("flash: page buffer has wrong length")
+)
+
+// Config assembles everything an Array needs.
+type Config struct {
+	Geometry    Geometry
+	Timing      Timing
+	Reliability rber.Params
+	// EnduranceCV is the coefficient of variation of per-block endurance
+	// (lognormal); PageCV adds per-page variance within a block. Together
+	// they model the layer-to-layer and page-to-page variance of 3D NAND
+	// that makes page-granular retirement worthwhile (§3, [41,42]).
+	EnduranceCV float64
+	PageCV      float64
+	// ReadDisturbRBER is the additive RBER contribution per read since the
+	// containing block's last erase.
+	ReadDisturbRBER float64
+	// EraseFailPEC: beyond this multiple of the nominal PEC limit, erases
+	// start failing permanently (physical death of the block). Zero means
+	// 10x nominal.
+	EraseFailPEC float64
+	// StoreData retains page payloads so reads return real (corrupted)
+	// bytes. Disable for metadata-only bulk simulations.
+	StoreData bool
+	Seed      uint64
+}
+
+// DefaultConfig returns a data-path configuration with the default geometry.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:        DefaultGeometry(),
+		Timing:          DefaultTiming(),
+		Reliability:     rber.DefaultParams(),
+		EnduranceCV:     0.15,
+		PageCV:          0.05,
+		ReadDisturbRBER: 1e-10,
+		StoreData:       true,
+		Seed:            1,
+	}
+}
+
+type pageState uint8
+
+const (
+	pageErased pageState = iota
+	pageWritten
+)
+
+type page struct {
+	state      pageState
+	wearAtProg float64 // block PEC when this page was programmed
+	scale      float32 // page endurance scale (incl. block scale)
+	data       []byte  // nil unless StoreData
+}
+
+type block struct {
+	pec       uint32  // program/erase cycles completed
+	nextPage  int     // NAND sequential-programming pointer
+	reads     uint64  // reads since last erase (read disturb)
+	scale     float32 // block endurance scale
+	dead      bool    // erase failed permanently
+	pages     []page
+	pageScale []float32 // per-page scale factor (multiplied by block scale)
+}
+
+// Array is the simulated NAND device. Not safe for concurrent use; wrap it
+// in the device layer's lock.
+type Array struct {
+	cfg    Config
+	model  *rber.Model
+	rng    *stats.RNG
+	blocks []block
+
+	// Counters for SMART-style reporting.
+	readOps, programOps, eraseOps uint64
+	injectedFlips                 uint64
+}
+
+// New builds an array. All blocks start erased.
+func New(cfg Config) (*Array, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := rber.New(cfg.Reliability)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EraseFailPEC == 0 {
+		cfg.EraseFailPEC = 10
+	}
+	a := &Array{
+		cfg:    cfg,
+		model:  model,
+		rng:    stats.NewRNG(cfg.Seed),
+		blocks: make([]block, cfg.Geometry.TotalBlocks()),
+	}
+	for b := range a.blocks {
+		blk := &a.blocks[b]
+		blk.scale = float32(a.rng.LogNormal(1, cfg.EnduranceCV))
+		blk.pages = make([]page, cfg.Geometry.PagesPerBlock)
+		blk.pageScale = make([]float32, cfg.Geometry.PagesPerBlock)
+		for p := range blk.pageScale {
+			blk.pageScale[p] = float32(a.rng.LogNormal(1, cfg.PageCV)) * blk.scale
+		}
+	}
+	return a, nil
+}
+
+// Geometry returns the array's layout.
+func (a *Array) Geometry() Geometry { return a.cfg.Geometry }
+
+// Model returns the calibrated reliability model the array injects errors
+// from; device layers share it for retirement decisions.
+func (a *Array) Model() *rber.Model { return a.model }
+
+func (a *Array) check(ppa PPA) error {
+	if ppa.Block < 0 || ppa.Block >= len(a.blocks) ||
+		ppa.Page < 0 || ppa.Page >= a.cfg.Geometry.PagesPerBlock {
+		return fmt.Errorf("%w: %v", ErrBadAddress, ppa)
+	}
+	return nil
+}
+
+// Program writes one full fPage (data+spare = RawPageBytes) to ppa. In
+// metadata-only mode data may be nil. Pages within a block must be written
+// in order, and only after an erase.
+func (a *Array) Program(ppa PPA, data []byte) (sim.Time, error) {
+	if err := a.check(ppa); err != nil {
+		return 0, err
+	}
+	blk := &a.blocks[ppa.Block]
+	if blk.dead {
+		return 0, fmt.Errorf("%w: block %d", ErrEraseFailed, ppa.Block)
+	}
+	pg := &blk.pages[ppa.Page]
+	if pg.state != pageErased {
+		return 0, fmt.Errorf("%w: %v", ErrNotErased, ppa)
+	}
+	if ppa.Page < blk.nextPage {
+		return 0, fmt.Errorf("%w: %v (next programmable is page %d)", ErrOutOfOrder, ppa, blk.nextPage)
+	}
+	if a.cfg.StoreData {
+		if len(data) != a.cfg.Geometry.RawPageBytes() {
+			return 0, fmt.Errorf("%w: got %d, want %d", ErrWrongPageLen, len(data), a.cfg.Geometry.RawPageBytes())
+		}
+		pg.data = append(pg.data[:0], data...)
+	}
+	pg.state = pageWritten
+	pg.wearAtProg = float64(blk.pec)
+	pg.scale = blk.pageScale[ppa.Page]
+	blk.nextPage = ppa.Page + 1
+	a.programOps++
+	return a.cfg.Timing.ProgramTime(a.cfg.Geometry.RawPageBytes()), nil
+}
+
+// ReadResult reports one page read.
+type ReadResult struct {
+	// Data is the page content (data+spare) with bit errors applied; nil in
+	// metadata-only mode.
+	Data []byte
+	// Flips is the number of injected bit errors across the whole raw page.
+	Flips int
+	// RBER is the effective raw bit-error rate used for the injection.
+	RBER float64
+	// Duration is the operation latency including transferring n bytes.
+	Duration sim.Time
+}
+
+// Read reads a programmed page, injecting bit errors according to the
+// page's effective wear. transferBytes bounds the channel-transfer cost
+// (e.g. an oPage-sized host read moves only 4KB+its spare share); the error
+// injection always covers the full raw page, since ECC decoding happens on
+// the full sector set that was fetched.
+func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
+	if err := a.check(ppa); err != nil {
+		return nil, err
+	}
+	blk := &a.blocks[ppa.Block]
+	pg := &blk.pages[ppa.Page]
+	if pg.state != pageWritten {
+		return nil, fmt.Errorf("%w: %v", ErrNotWritten, ppa)
+	}
+	if transferBytes <= 0 || transferBytes > a.cfg.Geometry.RawPageBytes() {
+		transferBytes = a.cfg.Geometry.RawPageBytes()
+	}
+	blk.reads++
+	a.readOps++
+
+	rberEff := a.EffectiveRBER(ppa)
+	bits := int64(a.cfg.Geometry.RawPageBytes()) * 8
+	flips := int(a.rng.Binomial(bits, rberEff))
+	res := &ReadResult{
+		Flips:    flips,
+		RBER:     rberEff,
+		Duration: a.cfg.Timing.ReadTime(transferBytes),
+	}
+	if a.cfg.StoreData {
+		res.Data = append([]byte(nil), pg.data...)
+		for i := 0; i < flips; i++ {
+			bit := a.rng.Intn(int(bits))
+			res.Data[bit/8] ^= 1 << uint(bit%8)
+		}
+		a.injectedFlips += uint64(flips)
+	}
+	return res, nil
+}
+
+// EffectiveRBER returns the page's current raw bit-error rate: wear at
+// program time scaled by the page's endurance factor, plus read disturb.
+func (a *Array) EffectiveRBER(ppa PPA) float64 {
+	blk := &a.blocks[ppa.Block]
+	pg := &blk.pages[ppa.Page]
+	wear := pg.wearAtProg / float64(pg.scale)
+	return a.model.RBER(wear) + a.cfg.ReadDisturbRBER*float64(blk.reads)
+}
+
+// Erase erases a block, incrementing its PEC. Far beyond the rated limit
+// the erase-verify fails and the block dies (returns ErrEraseFailed).
+func (a *Array) Erase(blockID int) (sim.Time, error) {
+	if blockID < 0 || blockID >= len(a.blocks) {
+		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockID)
+	}
+	blk := &a.blocks[blockID]
+	if blk.dead {
+		return 0, fmt.Errorf("%w: block %d", ErrEraseFailed, blockID)
+	}
+	failAt := a.cfg.EraseFailPEC * a.model.NominalPEC * float64(blk.scale)
+	if float64(blk.pec) >= failAt {
+		blk.dead = true
+		return a.cfg.Timing.EraseBlock, fmt.Errorf("%w: block %d at PEC %d", ErrEraseFailed, blockID, blk.pec)
+	}
+	blk.pec++
+	blk.nextPage = 0
+	blk.reads = 0
+	for p := range blk.pages {
+		blk.pages[p].state = pageErased
+		blk.pages[p].data = nil
+	}
+	a.eraseOps++
+	return a.cfg.Timing.EraseBlock, nil
+}
+
+// BlockPEC returns the block's program/erase cycle count.
+func (a *Array) BlockPEC(blockID int) uint32 { return a.blocks[blockID].pec }
+
+// BlockDead reports whether the block's erase circuitry has failed.
+func (a *Array) BlockDead(blockID int) bool { return a.blocks[blockID].dead }
+
+// PageEnduranceScale returns the endurance factor of one page (block scale x
+// page scale); 1.0 is nominal.
+func (a *Array) PageEnduranceScale(ppa PPA) float64 {
+	return float64(a.blocks[ppa.Block].pageScale[ppa.Page])
+}
+
+// PageTiredness maps a page's projected wear (its block's current PEC,
+// endurance-scaled) to the tiredness level its next program would land at.
+// This is what firmware consults before reusing a page.
+func (a *Array) PageTiredness(ppa PPA) int {
+	blk := &a.blocks[ppa.Block]
+	return a.model.LevelFor(float64(blk.pec), float64(blk.pageScale[ppa.Page]))
+}
+
+// PageWritten reports whether the page currently holds data.
+func (a *Array) PageWritten(ppa PPA) bool {
+	return a.blocks[ppa.Block].pages[ppa.Page].state == pageWritten
+}
+
+// Stats is a SMART-style snapshot of array activity.
+type Stats struct {
+	ReadOps, ProgramOps, EraseOps uint64
+	InjectedFlips                 uint64
+	MeanPEC                       float64
+	MaxPEC                        uint32
+	DeadBlocks                    int
+}
+
+// Stats returns a snapshot of operation counters and wear.
+func (a *Array) Stats() Stats {
+	s := Stats{
+		ReadOps:       a.readOps,
+		ProgramOps:    a.programOps,
+		EraseOps:      a.eraseOps,
+		InjectedFlips: a.injectedFlips,
+	}
+	var total uint64
+	for b := range a.blocks {
+		pec := a.blocks[b].pec
+		total += uint64(pec)
+		if pec > s.MaxPEC {
+			s.MaxPEC = pec
+		}
+		if a.blocks[b].dead {
+			s.DeadBlocks++
+		}
+	}
+	if len(a.blocks) > 0 {
+		s.MeanPEC = float64(total) / float64(len(a.blocks))
+	}
+	return s
+}

@@ -1,0 +1,253 @@
+package ftl
+
+import (
+	"testing"
+
+	"salamander/internal/flash"
+)
+
+func TestFreePoolWearOrder(t *testing.T) {
+	var p FreePool
+	p.Put(3, 30)
+	p.Put(1, 10)
+	p.Put(2, 20)
+	if p.Len() != 3 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	want := []int{1, 2, 3}
+	for _, w := range want {
+		id, ok := p.Get()
+		if !ok || id != w {
+			t.Fatalf("Get = %d,%v want %d", id, ok, w)
+		}
+	}
+	if _, ok := p.Get(); ok {
+		t.Fatal("empty pool returned a block")
+	}
+}
+
+func TestFreePoolTieBreaksByID(t *testing.T) {
+	var p FreePool
+	p.Put(9, 5)
+	p.Put(2, 5)
+	p.Put(7, 5)
+	if id, _ := p.Get(); id != 2 {
+		t.Fatalf("tie-break Get = %d, want 2", id)
+	}
+}
+
+func addr(b, p, s int) OPageAddr {
+	return OPageAddr{flash.PPA{Block: b, Page: p}, s}
+}
+
+func TestValidMapSetClear(t *testing.T) {
+	v := NewValidMap(4, 8, 4)
+	a := addr(1, 2, 3)
+	if _, ok := v.Key(a); ok {
+		t.Fatal("fresh map has occupant")
+	}
+	v.Set(a, 77)
+	if k, ok := v.Key(a); !ok || k != 77 {
+		t.Fatalf("Key = %d,%v", k, ok)
+	}
+	if v.ValidCount(1) != 1 {
+		t.Fatalf("valid count = %d", v.ValidCount(1))
+	}
+	if got := v.Clear(a); got != 77 {
+		t.Fatalf("Clear returned %d", got)
+	}
+	if v.ValidCount(1) != 0 {
+		t.Fatal("count not decremented")
+	}
+	if got := v.Clear(a); got != NilKey {
+		t.Fatalf("double Clear returned %d", got)
+	}
+}
+
+func TestValidMapSetPanicsOnOccupied(t *testing.T) {
+	v := NewValidMap(1, 1, 4)
+	v.Set(addr(0, 0, 0), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set over live slot did not panic")
+		}
+	}()
+	v.Set(addr(0, 0, 0), 2)
+}
+
+func TestValidMapSetPanicsOnNilKey(t *testing.T) {
+	v := NewValidMap(1, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(NilKey) did not panic")
+		}
+	}()
+	v.Set(addr(0, 0, 0), NilKey)
+}
+
+func TestValidMapClearBlock(t *testing.T) {
+	v := NewValidMap(2, 2, 2)
+	v.Set(addr(0, 0, 0), 1)
+	v.Set(addr(0, 1, 1), 2)
+	v.Set(addr(1, 0, 0), 3)
+	v.ClearBlock(0)
+	if v.ValidCount(0) != 0 {
+		t.Fatal("block 0 not cleared")
+	}
+	if v.ValidCount(1) != 1 {
+		t.Fatal("block 1 affected")
+	}
+	if _, ok := v.Key(addr(0, 0, 0)); ok {
+		t.Fatal("slot survived ClearBlock")
+	}
+}
+
+func TestValidMapLiveSlotsOrdered(t *testing.T) {
+	v := NewValidMap(1, 3, 2)
+	v.Set(addr(0, 2, 1), 30)
+	v.Set(addr(0, 0, 0), 10)
+	v.Set(addr(0, 1, 0), 20)
+	got := v.LiveSlots(0)
+	if len(got) != 3 {
+		t.Fatalf("live = %d", len(got))
+	}
+	if got[0].Key != 10 || got[1].Key != 20 || got[2].Key != 30 {
+		t.Fatalf("order = %+v", got)
+	}
+}
+
+func TestVictimPicksFewestValid(t *testing.T) {
+	v := NewValidMap(3, 2, 2)
+	v.Set(addr(0, 0, 0), 1)
+	v.Set(addr(0, 0, 1), 2)
+	v.Set(addr(1, 0, 0), 3)
+	// Block 2 has zero valid — best victim.
+	b, ok := v.Victim(func(int) bool { return true })
+	if !ok || b != 2 {
+		t.Fatalf("victim = %d,%v", b, ok)
+	}
+	// Exclude block 2: block 1 (1 valid) beats block 0 (2 valid).
+	b, ok = v.Victim(func(b int) bool { return b != 2 })
+	if !ok || b != 1 {
+		t.Fatalf("victim = %d,%v", b, ok)
+	}
+	// Nothing eligible.
+	if _, ok := v.Victim(func(int) bool { return false }); ok {
+		t.Fatal("victim among none")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Lookup(5); ok {
+		t.Fatal("empty table lookup")
+	}
+	a1 := addr(0, 0, 0)
+	if _, had := tb.Update(5, a1); had {
+		t.Fatal("fresh update reports previous")
+	}
+	a2 := addr(1, 1, 1)
+	prev, had := tb.Update(5, a2)
+	if !had || prev != a1 {
+		t.Fatalf("update prev = %v,%v", prev, had)
+	}
+	if got, ok := tb.Lookup(5); !ok || got != a2 {
+		t.Fatalf("lookup = %v,%v", got, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	prev, had = tb.Delete(5)
+	if !had || prev != a2 {
+		t.Fatalf("delete = %v,%v", prev, had)
+	}
+	if _, had := tb.Delete(5); had {
+		t.Fatal("double delete")
+	}
+}
+
+func TestWriteBufferFIFO(t *testing.T) {
+	b := NewWriteBuffer()
+	for i := int64(0); i < 5; i++ {
+		b.Push(BufEntry{Key: i})
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	got := b.PopN(3)
+	if len(got) != 3 || got[0].Key != 0 || got[2].Key != 2 {
+		t.Fatalf("PopN = %+v", got)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len after pop = %d", b.Len())
+	}
+	// Remaining keys still findable.
+	if _, ok := b.Contains(3); !ok {
+		t.Fatal("key 3 lost after PopN")
+	}
+}
+
+func TestWriteBufferSupersede(t *testing.T) {
+	b := NewWriteBuffer()
+	b.Push(BufEntry{Key: 1, Data: []byte{1}})
+	b.Push(BufEntry{Key: 2, Data: []byte{2}})
+	b.Push(BufEntry{Key: 1, Data: []byte{9}})
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, overwrite duplicated", b.Len())
+	}
+	d, ok := b.Contains(1)
+	if !ok || d[0] != 9 {
+		t.Fatalf("Contains(1) = %v,%v", d, ok)
+	}
+	got := b.PopN(2)
+	if got[0].Key != 1 || got[0].Data[0] != 9 {
+		t.Fatalf("superseded entry not updated in place: %+v", got)
+	}
+}
+
+func TestWriteBufferDrop(t *testing.T) {
+	b := NewWriteBuffer()
+	b.Push(BufEntry{Key: 1})
+	b.Push(BufEntry{Key: 2})
+	b.Push(BufEntry{Key: 3})
+	if !b.Drop(2) {
+		t.Fatal("Drop(2) failed")
+	}
+	if b.Drop(2) {
+		t.Fatal("double drop succeeded")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if _, ok := b.Contains(1); !ok {
+		t.Fatal("key 1 lost")
+	}
+	if _, ok := b.Contains(3); !ok {
+		t.Fatal("key 3 lost (swap-remove reindex broken)")
+	}
+	// Pop everything; dropped key must not appear.
+	for _, e := range b.PopN(10) {
+		if e.Key == 2 {
+			t.Fatal("dropped key popped")
+		}
+	}
+}
+
+func TestWriteBufferPopNMoreThanLen(t *testing.T) {
+	b := NewWriteBuffer()
+	b.Push(BufEntry{Key: 1})
+	got := b.PopN(10)
+	if len(got) != 1 {
+		t.Fatalf("PopN(10) = %d entries", len(got))
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer not empty")
+	}
+}
+
+func TestOPageAddrString(t *testing.T) {
+	s := addr(1, 2, 3).String()
+	if s != "b1/p2/s3" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,176 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"salamander/internal/flash"
+	"salamander/internal/stats"
+)
+
+// Property: Table behaves exactly like a map under arbitrary operation
+// sequences.
+func TestQuickTableMatchesMap(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		tb := NewTable()
+		model := map[int64]OPageAddr{}
+		for i := 0; i < 500; i++ {
+			key := int64(rng.Intn(64))
+			switch rng.Intn(3) {
+			case 0: // update
+				addr := OPageAddr{flash.PPA{Block: rng.Intn(8), Page: rng.Intn(8)}, rng.Intn(4)}
+				prev, had := tb.Update(key, addr)
+				mPrev, mHad := model[key]
+				if had != mHad || (had && prev != mPrev) {
+					return false
+				}
+				model[key] = addr
+			case 1: // delete
+				prev, had := tb.Delete(key)
+				mPrev, mHad := model[key]
+				if had != mHad || (had && prev != mPrev) {
+					return false
+				}
+				delete(model, key)
+			case 2: // lookup
+				got, ok := tb.Lookup(key)
+				want, mOk := model[key]
+				if ok != mOk || (ok && got != want) {
+					return false
+				}
+			}
+			if tb.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ValidMap per-block counts always equal a full recount, and
+// Clear returns exactly what Set stored.
+func TestQuickValidMapCounts(t *testing.T) {
+	const blocks, pages, slots = 4, 4, 4
+	cfg := &quick.Config{MaxCount: 100}
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		v := NewValidMap(blocks, pages, slots)
+		occupied := map[OPageAddr]int64{}
+		nextKey := int64(1)
+		for i := 0; i < 400; i++ {
+			a := OPageAddr{flash.PPA{Block: rng.Intn(blocks), Page: rng.Intn(pages)}, rng.Intn(slots)}
+			if _, ok := occupied[a]; ok {
+				if got := v.Clear(a); got != occupied[a] {
+					return false
+				}
+				delete(occupied, a)
+			} else {
+				v.Set(a, nextKey)
+				occupied[a] = nextKey
+				nextKey++
+			}
+			// Recount one random block.
+			b := rng.Intn(blocks)
+			count := 0
+			for addr := range occupied {
+				if addr.PPA.Block == b {
+					count++
+				}
+			}
+			if v.ValidCount(b) != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WriteBuffer preserves exactly the set of keys pushed minus those
+// popped/dropped, with supersede semantics.
+func TestQuickWriteBufferModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	prop := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		b := NewWriteBuffer()
+		model := map[int64]byte{}
+		for i := 0; i < 400; i++ {
+			key := int64(rng.Intn(32))
+			switch rng.Intn(4) {
+			case 0, 1: // push
+				val := byte(rng.Uint64())
+				b.Push(BufEntry{Key: key, Data: []byte{val}})
+				model[key] = val
+			case 2: // drop
+				dropped := b.Drop(key)
+				_, had := model[key]
+				if dropped != had {
+					return false
+				}
+				delete(model, key)
+			case 3: // pop some
+				for _, e := range b.PopN(rng.Intn(4)) {
+					want, had := model[e.Key]
+					if !had || e.Data[0] != want {
+						return false
+					}
+					delete(model, e.Key)
+				}
+			}
+			if b.Len() != len(model) {
+				return false
+			}
+			// Contains agrees with the model for a random key.
+			probe := int64(rng.Intn(32))
+			data, ok := b.Contains(probe)
+			want, mOk := model[probe]
+			if ok != mOk || (ok && data[0] != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FreePool always returns the minimum-PEC block among those
+// inserted.
+func TestQuickFreePoolOrdering(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(seed uint64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw)%20 + 1
+		var p FreePool
+		pecs := map[int]uint32{}
+		for i := 0; i < n; i++ {
+			pec := uint32(rng.Intn(100))
+			p.Put(i, pec)
+			pecs[i] = pec
+		}
+		prev := int64(-1)
+		for i := 0; i < n; i++ {
+			id, ok := p.Get()
+			if !ok {
+				return false
+			}
+			if int64(pecs[id]) < prev {
+				return false
+			}
+			prev = int64(pecs[id])
+		}
+		_, ok := p.Get()
+		return !ok
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

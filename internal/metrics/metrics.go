@@ -1,0 +1,135 @@
+// Package metrics provides the small presentation toolkit the CLIs and
+// benchmarks share: aligned text tables and named numeric series, so every
+// experiment prints paper-shaped rows without duplicating formatting code.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v, and float64 values with
+// %.4g to keep model outputs readable.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Render writes the table to w with a separator under the header.
+func (t *Table) Render(w io.Writer) {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", width[min(i, len(width)-1)], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// Series is a named (x, y) sequence, e.g. one line of Fig. 3.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// RenderSeries prints series sharing the same X grid as one aligned table:
+// a column of X plus one Y column per series. Series shorter than the grid
+// render blanks.
+func RenderSeries(w io.Writer, xLabel string, series ...*Series) {
+	headers := []string{xLabel}
+	maxLen := 0
+	for _, s := range series {
+		headers = append(headers, s.Name)
+		if s.Len() > maxLen {
+			maxLen = s.Len()
+		}
+	}
+	t := NewTable(headers...)
+	for i := 0; i < maxLen; i++ {
+		row := make([]any, 0, len(headers))
+		x := any("")
+		for _, s := range series {
+			if i < s.Len() {
+				x = s.X[i]
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range series {
+			if i < s.Len() {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Row(row...)
+	}
+	t.Render(w)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("x", 1)
+	tb.Row("longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("row 1 misaligned: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3][idx:], "2.5") {
+		t.Errorf("row 2 misaligned: %q", lines[3])
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.Row(0.123456789)
+	tb.Row(float32(2.0))
+	out := tb.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float64 formatting: %q", out)
+	}
+	if !strings.Contains(out, "2") {
+		t.Errorf("float32 formatting: %q", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "cap"}
+	s.Add(0, 1)
+	s.Add(1, 0.9)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	a := &Series{Name: "baseline"}
+	b := &Series{Name: "regen"}
+	for i := 0; i < 3; i++ {
+		a.Add(float64(i), float64(10-i))
+		b.Add(float64(i), float64(20-i))
+	}
+	b.Add(3, 16)
+	var sb strings.Builder
+	RenderSeries(&sb, "day", a, b)
+	out := sb.String()
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "regen") {
+		t.Fatalf("headers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + sep + 4 data rows (b is longer).
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The final row has a blank cell for the shorter series.
+	if !strings.Contains(lines[5], "16") {
+		t.Errorf("long-series tail missing: %q", lines[5])
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for ANY schedule of events (including ties), callbacks run in
+// nondecreasing timestamp order, ties in FIFO order, and the clock never
+// goes backwards.
+func TestQuickEventOrdering(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(delays []uint16) bool {
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		e := NewEngine()
+		type fired struct {
+			at  Time
+			seq int
+		}
+		var got []fired
+		for i, d := range delays {
+			at := Time(d % 50)
+			i := i
+			e.At(at, func() { got = append(got, fired{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		// Timestamps nondecreasing; equal timestamps keep insertion order.
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		// The set of timestamps matches the schedule.
+		want := make([]int, len(delays))
+		have := make([]int, len(got))
+		for i, d := range delays {
+			want[i] = int(d % 50)
+		}
+		for i, f := range got {
+			have[i] = int(f.at)
+		}
+		sort.Ints(want)
+		sort.Ints(have)
+		for i := range want {
+			if want[i] != have[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of events runs exactly the
+// complement.
+func TestQuickCancellation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(delays []uint8, cancelMask uint64) bool {
+		if len(delays) > 32 {
+			delays = delays[:32]
+		}
+		e := NewEngine()
+		ran := make([]bool, len(delays))
+		handles := make([]Handle, len(delays))
+		for i, d := range delays {
+			i := i
+			handles[i] = e.At(Time(d), func() { ran[i] = true })
+		}
+		for i := range handles {
+			if cancelMask&(1<<uint(i)) != 0 {
+				handles[i].Cancel()
+			}
+		}
+		e.Run()
+		for i := range ran {
+			cancelled := cancelMask&(1<<uint(i)) != 0
+			if ran[i] == cancelled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

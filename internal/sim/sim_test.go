@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v", e.Now())
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final clock = %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.At(10, func() { ran = true })
+	h.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double-cancel is fine.
+	h.Cancel()
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.At(20, func() { ran = true })
+	e.At(10, func() { h.Cancel() })
+	e.Run()
+	if ran {
+		t.Fatal("event cancelled at t=10 still ran at t=20")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock after RunUntil = %v, want 25", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("second RunUntil fired %v", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100 (idles to deadline)", e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	h := e.At(10, func() { t.Error("cancelled event ran") })
+	h.Cancel()
+	e.RunUntil(50)
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := NewEngine()
+	e.Advance(500)
+	if e.Now() != 500 {
+		t.Fatalf("clock after Advance = %v", e.Now())
+	}
+}
+
+func TestAdvancePanicsOverPendingEvent(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance over a pending event did not panic")
+		}
+	}()
+	e.Advance(200)
+}
+
+func TestAdvanceOverCancelledEventOK(t *testing.T) {
+	e := NewEngine()
+	h := e.At(100, func() {})
+	h.Cancel()
+	e.Advance(200)
+	if e.Now() != 200 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestPendingAndSteps(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	h := e.At(2, func() {})
+	h.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 (cancelled excluded)", got)
+	}
+	e.Run()
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1", e.Steps())
+	}
+}
+
+func TestRecursiveScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(10, tick)
+		}
+	}
+	e.After(10, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("ticks = %d, want 100", count)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("clock = %v, want 1000", e.Now())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Second.Seconds() != 1 {
+		t.Errorf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if Day.Days() != 1 {
+		t.Errorf("Day.Days() = %v", Day.Days())
+	}
+	if (2 * Millisecond).Duration().Milliseconds() != 2 {
+		t.Errorf("Duration conversion wrong")
+	}
+	if s := (1500 * Millisecond).String(); s != "1.5s" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,708 @@
+// Package ssd implements the baseline SSD the paper compares against: a
+// page-mapped FTL over the flash array, exposing one monolithic volume
+// (a single minidisk, in blockdev terms). It retires flash at *block*
+// granularity — a block is bad as soon as its weakest page can no longer be
+// stored at the L0 code rate — and bricks the whole device once bad blocks
+// exceed a small threshold (2.5% by default), exactly the life cycle §2
+// describes.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/ecc"
+	"salamander/internal/flash"
+	"salamander/internal/ftl"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+// Config parameterizes a baseline device.
+type Config struct {
+	Flash flash.Config
+	// OverProvision is the fraction of raw capacity hidden from the host
+	// (spare blocks for GC and bad-block replacement).
+	OverProvision float64
+	// BrickThreshold is the bad-block fraction at which the device fails
+	// (paper: 2.5%).
+	BrickThreshold float64
+	// GCLowWater triggers garbage collection when the free pool drops to
+	// this many blocks.
+	GCLowWater int
+	// RealECC enables the real BCH data path; otherwise uncorrectable
+	// events are sampled analytically from the page RBER.
+	RealECC bool
+	// MaxReadRetries re-reads a failed page up to this many times (§2's
+	// iterative voltage adjustment), each retry costing a full read.
+	MaxReadRetries int
+	// WearLevelSpread triggers static wear leveling: when the P/E spread
+	// between hottest and coldest sealed blocks exceeds this many cycles,
+	// the coldest block is recycled even if fully valid. Zero disables.
+	WearLevelSpread uint32
+	Seed            uint64
+}
+
+// DefaultConfig returns a data-path baseline device.
+func DefaultConfig() Config {
+	return Config{
+		Flash:           flash.DefaultConfig(),
+		OverProvision:   0.07,
+		BrickThreshold:  0.025,
+		GCLowWater:      3,
+		RealECC:         true,
+		MaxReadRetries:  2,
+		WearLevelSpread: 64,
+		Seed:            42,
+	}
+}
+
+type blockState uint8
+
+const (
+	stFree blockState = iota
+	stActive
+	stSealed
+	stBad
+)
+
+// Counters is a snapshot of device activity.
+type Counters struct {
+	HostReads, HostWrites   uint64
+	FlashReads, FlashWrites uint64 // fPage programs (incl. GC) and reads
+	GCRelocations           uint64 // oPages moved by GC
+	Uncorrectable           uint64
+	BadBlocks               int
+	LostOPages              uint64
+	ReadRetries             uint64
+	RetrySaves              uint64 // reads rescued by a retry
+	WearLevelMoves          uint64 // cold blocks recycled by static WL
+}
+
+// WriteAmplification returns flash oPage writes per host oPage write.
+func (c Counters) WriteAmplification() float64 {
+	if c.HostWrites == 0 {
+		return 0
+	}
+	slots := c.FlashWrites * uint64(rber.OPagesPerFPage)
+	return float64(slots) / float64(c.HostWrites)
+}
+
+// Device is a baseline SSD.
+type Device struct {
+	cfg   Config
+	arr   *flash.Array
+	eng   *sim.Engine
+	model *rber.Model
+	rng   *stats.RNG
+
+	geom  ecc.SectorGeometry // L0 sector geometry
+	codec *ecc.Code          // nil unless RealECC
+
+	table  *ftl.Table
+	valid  *ftl.ValidMap
+	free   ftl.FreePool
+	wbuf   *ftl.WriteBuffer
+	state  []blockState
+	active int // current host write block, -1 if none
+	nextPg int // next page to program in active block
+	gcBlk  int // dedicated GC relocation block, -1 if none
+	gcPg   int // next page in the GC block
+
+	lost map[int64]bool // LBAs whose data was lost during GC
+
+	lbas     int // exported capacity in oPages
+	slotsPP  int // oPages per fPage
+	spb      int // sectors per oPage
+	bricked  bool
+	inGC     bool
+	notify   func(blockdev.Event)
+	counters Counters
+}
+
+// New builds a baseline device on a fresh flash array, attached to the
+// given simulation engine (all operation latencies advance its clock).
+func New(cfg Config, eng *sim.Engine) (*Device, error) {
+	if cfg.OverProvision <= 0 || cfg.OverProvision >= 1 {
+		return nil, fmt.Errorf("ssd: over-provisioning %v out of (0,1)", cfg.OverProvision)
+	}
+	if cfg.BrickThreshold <= 0 {
+		return nil, fmt.Errorf("ssd: brick threshold must be positive")
+	}
+	if cfg.GCLowWater < 2 {
+		return nil, fmt.Errorf("ssd: GC low water must be >= 2 (GC itself needs a free block)")
+	}
+	arr, err := flash.New(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	g := arr.Geometry()
+	d := &Device{
+		cfg:     cfg,
+		arr:     arr,
+		eng:     eng,
+		model:   arr.Model(),
+		rng:     stats.NewRNG(cfg.Seed),
+		geom:    rber.LevelGeometry(0),
+		table:   ftl.NewTable(),
+		valid:   ftl.NewValidMap(g.TotalBlocks(), g.PagesPerBlock, g.PageSize/rber.OPageSize),
+		wbuf:    ftl.NewWriteBuffer(),
+		state:   make([]blockState, g.TotalBlocks()),
+		active:  -1,
+		gcBlk:   -1,
+		lost:    map[int64]bool{},
+		slotsPP: g.PageSize / rber.OPageSize,
+		spb:     rber.OPageSize / rber.SectorSize,
+	}
+	if cfg.RealECC {
+		if !cfg.Flash.StoreData {
+			return nil, errors.New("ssd: RealECC requires Flash.StoreData")
+		}
+		code, err := d.geom.Build()
+		if err != nil {
+			return nil, err
+		}
+		d.codec = code
+	}
+	totalOPages := g.TotalPages() * d.slotsPP
+	// The reserve must cover GC's block-granular working set (active block,
+	// GC block, allocation headroom) even on tiny devices where a
+	// percentage would round down to less than a block or two.
+	reserve := int(float64(totalOPages) * cfg.OverProvision)
+	if minRes := 4 * g.PagesPerBlock * d.slotsPP; reserve < minRes {
+		reserve = minRes
+	}
+	d.lbas = totalOPages - reserve
+	if d.lbas <= 0 {
+		return nil, errors.New("ssd: device too small for its over-provisioning reserve")
+	}
+	for b := 0; b < g.TotalBlocks(); b++ {
+		d.free.Put(b, 0)
+	}
+	return d, nil
+}
+
+// LBAs returns the exported logical capacity in oPages.
+func (d *Device) LBAs() int { return d.lbas }
+
+// Engine returns the simulation engine the device advances.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Counters returns an activity snapshot.
+func (d *Device) Counters() Counters {
+	c := d.counters
+	c.BadBlocks = d.badBlocks()
+	return c
+}
+
+// Bricked reports whether the device has failed.
+func (d *Device) Bricked() bool { return d.bricked }
+
+// Array exposes the underlying flash for inspection in tests and benches.
+func (d *Device) Array() *flash.Array { return d.arr }
+
+// Notify implements blockdev.Device.
+func (d *Device) Notify(fn func(blockdev.Event)) { d.notify = fn }
+
+// Minidisks implements blockdev.Device: one disk spanning the volume.
+func (d *Device) Minidisks() []blockdev.MinidiskInfo {
+	if d.bricked {
+		return nil
+	}
+	return []blockdev.MinidiskInfo{{ID: 0, LBAs: d.lbas, Tiredness: 0}}
+}
+
+func (d *Device) badBlocks() int {
+	n := 0
+	for _, s := range d.state {
+		if s == stBad {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Device) checkAddr(md blockdev.MinidiskID, lba int, buf []byte) error {
+	if d.bricked {
+		return blockdev.ErrBricked
+	}
+	if md != 0 {
+		return fmt.Errorf("%w: %d", blockdev.ErrNoSuchMinidisk, md)
+	}
+	if lba < 0 || lba >= d.lbas {
+		return fmt.Errorf("%w: %d", blockdev.ErrBadLBA, lba)
+	}
+	if buf != nil && len(buf) != blockdev.OPageSize {
+		return blockdev.ErrBufSize
+	}
+	return nil
+}
+
+// Write implements blockdev.Device. The oPage lands in the NV buffer and is
+// flushed to flash once a full fPage's worth is pending.
+func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
+	if err := d.checkAddr(md, lba, buf); err != nil {
+		return err
+	}
+	d.counters.HostWrites++
+	delete(d.lost, int64(lba))
+	var data []byte
+	if d.cfg.Flash.StoreData {
+		data = append([]byte(nil), buf...)
+	}
+	d.wbuf.Push(ftl.BufEntry{Key: int64(lba), Data: data})
+	for d.wbuf.Len() >= d.slotsPP && !d.bricked {
+		if err := d.flushOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush programs any partially filled buffer to flash, padding unused slots.
+func (d *Device) Flush() error {
+	for d.wbuf.Len() > 0 && !d.bricked {
+		if err := d.flushOne(); err != nil {
+			return err
+		}
+	}
+	if d.bricked {
+		return blockdev.ErrBricked
+	}
+	return nil
+}
+
+// Trim implements blockdev.Device.
+func (d *Device) Trim(md blockdev.MinidiskID, lba int) error {
+	if err := d.checkAddr(md, lba, nil); err != nil {
+		return err
+	}
+	key := int64(lba)
+	d.wbuf.Drop(key)
+	delete(d.lost, key)
+	if prev, had := d.table.Delete(key); had {
+		d.valid.Clear(prev)
+	}
+	return nil
+}
+
+// Read implements blockdev.Device. Unwritten LBAs read zeros.
+func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
+	if err := d.checkAddr(md, lba, buf); err != nil {
+		return err
+	}
+	d.counters.HostReads++
+	key := int64(lba)
+	if d.lost[key] {
+		return blockdev.ErrUncorrectable
+	}
+	if data, ok := d.wbuf.Contains(key); ok {
+		if data != nil {
+			copy(buf, data)
+		} else {
+			zero(buf)
+		}
+		return nil
+	}
+	addr, ok := d.table.Lookup(key)
+	if !ok {
+		zero(buf)
+		return nil
+	}
+	out, err := d.readOPage(addr)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		copy(buf, out)
+	} else {
+		zero(buf)
+	}
+	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// readOPage fetches and (if RealECC) decodes one oPage from flash, counting
+// the read toward the sim clock and retrying failed reads up to
+// MaxReadRetries times (each retry re-senses the page and pays another full
+// read latency — §2's iterative voltage adjustment).
+func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
+	out, err := d.readOPageOnce(addr)
+	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
+		d.counters.ReadRetries++
+		out, err = d.readOPageOnce(addr)
+		if err == nil {
+			d.counters.RetrySaves++
+		}
+	}
+	return out, err
+}
+
+// readOPageOnce performs a single read attempt.
+func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
+	transfer := rber.OPageSize
+	if d.codec != nil {
+		transfer += d.spb * d.codec.ParityBytes()
+	}
+	res, err := d.arr.Read(addr.PPA, transfer)
+	if err != nil {
+		return nil, fmt.Errorf("blockdev: %w", err)
+	}
+	d.counters.FlashReads++
+	d.eng.Advance(res.Duration)
+	if d.codec == nil {
+		// Analytic path: each of the oPage's sectors fails independently
+		// with the model's uncorrectable probability at this RBER.
+		pFail := d.geom.UncorrectableProb(res.RBER)
+		for s := 0; s < d.spb; s++ {
+			if d.rng.Float64() < pFail {
+				d.counters.Uncorrectable++
+				return nil, blockdev.ErrUncorrectable
+			}
+		}
+		if res.Data == nil {
+			return nil, nil // metadata-only mode
+		}
+		off := addr.Slot * rber.OPageSize
+		return res.Data[off : off+rber.OPageSize], nil
+	}
+	out := make([]byte, rber.OPageSize)
+	pb := d.codec.ParityBytes()
+	for s := 0; s < d.spb; s++ {
+		sectorGlobal := addr.Slot*d.spb + s
+		dataOff := addr.Slot*rber.OPageSize + s*rber.SectorSize
+		parityOff := d.arr.Geometry().PageSize + sectorGlobal*pb
+		sector := res.Data[dataOff : dataOff+rber.SectorSize]
+		parity := res.Data[parityOff : parityOff+pb]
+		if _, err := d.codec.Decode(sector, parity); err != nil {
+			d.counters.Uncorrectable++
+			return nil, blockdev.ErrUncorrectable
+		}
+		copy(out[s*rber.SectorSize:], sector)
+	}
+	return out, nil
+}
+
+// flushOne programs one fPage from the write buffer.
+func (d *Device) flushOne() error {
+	if err := d.ensureActive(); err != nil {
+		return err
+	}
+	entries := d.wbuf.PopN(d.slotsPP)
+	return d.programPage(entries)
+}
+
+// programPage writes the entries into the next page of the active block.
+func (d *Device) programPage(entries []ftl.BufEntry) error {
+	ppa := flash.PPA{Block: d.active, Page: d.nextPg}
+	var raw []byte
+	if d.cfg.Flash.StoreData {
+		raw = d.composePage(entries)
+	}
+	dur, err := d.arr.Program(ppa, raw)
+	if err != nil {
+		return fmt.Errorf("blockdev: %w", err)
+	}
+	d.counters.FlashWrites++
+	d.eng.Advance(dur)
+	for slot, e := range entries {
+		addr := ftl.OPageAddr{PPA: ppa, Slot: slot}
+		if prev, had := d.table.Update(e.Key, addr); had {
+			d.valid.Clear(prev)
+		}
+		d.valid.Set(addr, e.Key)
+	}
+	d.nextPg++
+	if d.nextPg == d.arr.Geometry().PagesPerBlock {
+		d.state[d.active] = stSealed
+		d.active = -1
+	}
+	return nil
+}
+
+// composePage lays out entries' data and per-sector BCH parity into one raw
+// fPage (data area then spare area).
+func (d *Device) composePage(entries []ftl.BufEntry) []byte {
+	g := d.arr.Geometry()
+	raw := make([]byte, g.RawPageBytes())
+	for slot, e := range entries {
+		if e.Data != nil {
+			copy(raw[slot*rber.OPageSize:], e.Data)
+		}
+	}
+	if d.codec != nil {
+		pb := d.codec.ParityBytes()
+		for sec := 0; sec < d.slotsPP*d.spb; sec++ {
+			dataOff := sec * rber.SectorSize
+			parity, err := d.codec.Encode(raw[dataOff : dataOff+rber.SectorSize])
+			if err != nil {
+				panic(err) // sector size is fixed; cannot fail
+			}
+			copy(raw[g.PageSize+sec*pb:], parity)
+		}
+	}
+	return raw
+}
+
+// allocBlock takes a healthy block from the free pool, retiring bad blocks
+// it encounters on the way (baseline block-granular retirement: a block is
+// bad the moment its weakest page can no longer hold data at the L0 code
+// rate).
+func (d *Device) allocBlock(forGC bool) (int, bool) {
+	for {
+		// The last free block is reserved for garbage collection: GC must
+		// always have a destination, or a full device deadlocks with
+		// reclaimable space it cannot reach.
+		if !forGC && d.free.Len() < 2 {
+			return -1, false
+		}
+		id, ok := d.free.Get()
+		if !ok {
+			return -1, false
+		}
+		if d.blockIsBad(id) {
+			d.state[id] = stBad
+			if d.maybeBrick() {
+				return -1, false
+			}
+			continue
+		}
+		return id, true
+	}
+}
+
+// maxGCPerAlloc bounds how many background collections a single allocation
+// attempt may trigger, so one host write on a near-full device cannot sweep
+// the whole array.
+const maxGCPerAlloc = 4
+
+// ensureActive guarantees an open host write block, running GC as needed to
+// keep the free pool above the low-water mark.
+func (d *Device) ensureActive() error {
+	if d.bricked {
+		return blockdev.ErrBricked
+	}
+	for i := 0; i < maxGCPerAlloc && d.free.Len() <= d.cfg.GCLowWater; i++ {
+		if err := d.collect(); err != nil {
+			if errors.Is(err, errNoVictim) {
+				break // nothing reclaimable right now
+			}
+			return err
+		}
+		if d.bricked {
+			return blockdev.ErrBricked
+		}
+	}
+	if d.active >= 0 {
+		return nil
+	}
+	id, ok := d.allocBlock(false)
+	for !ok {
+		if d.bricked {
+			return blockdev.ErrBricked
+		}
+		// Desperate path: compact until a block frees up. Each collection
+		// removes at least one invalid slot, so this terminates — either
+		// with space or with a genuinely full device.
+		if err := d.collect(); err != nil {
+			d.brick()
+			return blockdev.ErrDeviceFull
+		}
+		if d.free.Len() > 1 {
+			id, ok = d.allocBlock(false)
+		}
+	}
+	d.state[id] = stActive
+	d.active = id
+	d.nextPg = 0
+	return nil
+}
+
+// blockIsBad applies the baseline block-granular health rule.
+func (d *Device) blockIsBad(id int) bool {
+	if d.arr.BlockDead(id) {
+		return true
+	}
+	g := d.arr.Geometry()
+	for p := 0; p < g.PagesPerBlock; p++ {
+		if d.arr.PageTiredness(flash.PPA{Block: id, Page: p}) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Device) maybeBrick() bool {
+	frac := float64(d.badBlocks()) / float64(d.arr.Geometry().TotalBlocks())
+	if frac > d.cfg.BrickThreshold {
+		d.brick()
+		return true
+	}
+	return false
+}
+
+func (d *Device) brick() {
+	if d.bricked {
+		return
+	}
+	d.bricked = true
+	if d.notify != nil {
+		d.notify(blockdev.Event{Kind: blockdev.EventBrick})
+	}
+}
+
+var errNoVictim = errors.New("ssd: no GC victim available")
+
+// pickVictim chooses the next GC victim: greedily the minimum-valid sealed
+// block with reclaimable (invalid) space — collecting a fully valid block
+// would burn a P/E cycle for zero gain — unless the P/E spread between
+// hottest and coldest sealed blocks exceeds the static wear-leveling
+// threshold, in which case the coldest block is recycled regardless so cold
+// data stops pinning young blocks.
+func (d *Device) pickVictim() (int, bool) {
+	if d.cfg.WearLevelSpread > 0 {
+		coldest := -1
+		var minPEC, maxPEC uint32
+		first := true
+		for b, st := range d.state {
+			if st != stSealed {
+				continue
+			}
+			pec := d.arr.BlockPEC(b)
+			if first || pec < minPEC {
+				coldest, minPEC = b, pec
+			}
+			if first || pec > maxPEC {
+				maxPEC = pec
+			}
+			first = false
+		}
+		if coldest >= 0 && maxPEC-minPEC > d.cfg.WearLevelSpread {
+			d.counters.WearLevelMoves++
+			return coldest, true
+		}
+	}
+	slotsPerBlock := d.arr.Geometry().PagesPerBlock * d.slotsPP
+	return d.valid.Victim(func(b int) bool {
+		return d.state[b] == stSealed && d.valid.ValidCount(b) < slotsPerBlock
+	})
+}
+
+// collect reclaims one sealed block: its live oPages are packed into full
+// fPages in the dedicated GC block, any sub-page remainder spills into the
+// NV write buffer (so GC never programs padded pages, which would create
+// more garbage than it reclaims), and the victim is erased back into the
+// free pool — or retired if it has gone bad.
+func (d *Device) collect() error {
+	d.inGC = true
+	defer func() { d.inGC = false }()
+
+	g := d.arr.Geometry()
+	victim, ok := d.pickVictim()
+	if !ok {
+		return errNoVictim
+	}
+
+	// Read all live data out of the victim first.
+	var moved []ftl.BufEntry
+	for _, se := range d.valid.LiveSlots(victim) {
+		if _, pending := d.wbuf.Contains(se.Key); pending {
+			// A newer write to this LBA is sitting in the NV buffer; the
+			// flash copy is stale. Drop it instead of relocating it (and
+			// never let it clobber the buffered data).
+			d.valid.Clear(se.Addr)
+			d.table.Delete(se.Key)
+			continue
+		}
+		data, err := d.readOPage(se.Addr)
+		if err != nil {
+			// Data loss inside GC: the LBA's contents are gone; surface it
+			// on the next host read.
+			if errors.Is(err, blockdev.ErrUncorrectable) {
+				d.valid.Clear(se.Addr)
+				d.table.Delete(se.Key)
+				d.lost[se.Key] = true
+				d.counters.LostOPages++
+				continue
+			}
+			return err
+		}
+		d.counters.GCRelocations++
+		moved = append(moved, ftl.BufEntry{Key: se.Key, Data: data})
+	}
+
+	// Pack full fPages into the GC block; the remainder rides in the NV
+	// buffer until host traffic (or a later GC) fills a page.
+	fullPages := len(moved) / d.slotsPP
+	if d.gcBlk >= 0 && g.PagesPerBlock-d.gcPg < fullPages {
+		d.state[d.gcBlk] = stSealed
+		d.gcBlk = -1
+	}
+	if d.gcBlk < 0 && fullPages > 0 {
+		id, ok := d.allocBlock(true)
+		if !ok {
+			if d.bricked {
+				return blockdev.ErrBricked
+			}
+			return errNoVictim
+		}
+		d.state[id] = stActive
+		d.gcBlk = id
+		d.gcPg = 0
+	}
+	for p := 0; p < fullPages; p++ {
+		entries := moved[p*d.slotsPP : (p+1)*d.slotsPP]
+		ppa := flash.PPA{Block: d.gcBlk, Page: d.gcPg}
+		var raw []byte
+		if d.cfg.Flash.StoreData {
+			raw = d.composePage(entries)
+		}
+		dur, err := d.arr.Program(ppa, raw)
+		if err != nil {
+			return fmt.Errorf("blockdev: %w", err)
+		}
+		d.counters.FlashWrites++
+		d.eng.Advance(dur)
+		for slot, e := range entries {
+			a := ftl.OPageAddr{PPA: ppa, Slot: slot}
+			if prev, had := d.table.Update(e.Key, a); had {
+				d.valid.Clear(prev)
+			}
+			d.valid.Set(a, e.Key)
+		}
+		d.gcPg++
+	}
+	if d.gcPg == g.PagesPerBlock && d.gcBlk >= 0 {
+		d.state[d.gcBlk] = stSealed
+		d.gcBlk = -1
+	}
+	for _, e := range moved[fullPages*d.slotsPP:] {
+		// The data now lives only in the NV buffer; drop the stale mapping
+		// so nothing points into the block we are about to erase.
+		if prev, had := d.table.Delete(e.Key); had {
+			d.valid.Clear(prev)
+		}
+		d.wbuf.Push(e)
+	}
+
+	d.valid.ClearBlock(victim)
+	dur, err := d.arr.Erase(victim)
+	d.eng.Advance(dur)
+	if err != nil || d.blockIsBad(victim) {
+		d.state[victim] = stBad
+		d.maybeBrick()
+		return nil
+	}
+	d.state[victim] = stFree
+	d.free.Put(victim, d.arr.BlockPEC(victim))
+	return nil
+}
+
+var _ blockdev.Device = (*Device)(nil)

@@ -1,0 +1,392 @@
+package ssd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/flash"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+// testConfig returns a small real-ECC device: 2x8 blocks x 8 pages = 8 MiB.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels:      2,
+		BlocksPerChan: 8,
+		PagesPerBlock: 8,
+		PageSize:      rber.FPageSize,
+		SpareSize:     rber.SpareSize,
+	}
+	return cfg
+}
+
+// agingConfig returns a metadata-only device with tiny endurance so wear
+// effects appear quickly.
+func agingConfig(nominalPEC float64) Config {
+	cfg := testConfig()
+	cfg.RealECC = false
+	cfg.Flash.StoreData = false
+	cfg.Flash.Reliability.NominalPEC = nominalPEC
+	cfg.Flash.EnduranceCV = 0.1
+	cfg.Flash.PageCV = 0.05
+	return cfg
+}
+
+func mustDevice(t *testing.T, cfg Config) (*Device, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d, err := New(cfg, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, eng
+}
+
+func pattern(seed byte) []byte {
+	buf := make([]byte, blockdev.OPageSize)
+	for i := range buf {
+		buf[i] = seed ^ byte(i*31)
+	}
+	return buf
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := testConfig()
+	cfg.OverProvision = 0
+	if _, err := New(cfg, eng); err == nil {
+		t.Error("zero OP accepted")
+	}
+	cfg = testConfig()
+	cfg.GCLowWater = 1
+	if _, err := New(cfg, eng); err == nil {
+		t.Error("GC low water 1 accepted")
+	}
+	cfg = testConfig()
+	cfg.BrickThreshold = 0
+	if _, err := New(cfg, eng); err == nil {
+		t.Error("zero brick threshold accepted")
+	}
+	cfg = testConfig()
+	cfg.RealECC = true
+	cfg.Flash.StoreData = false
+	if _, err := New(cfg, eng); err == nil {
+		t.Error("RealECC without StoreData accepted")
+	}
+}
+
+func TestExportsSingleMinidisk(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	mds := d.Minidisks()
+	if len(mds) != 1 || mds[0].ID != 0 {
+		t.Fatalf("minidisks = %+v", mds)
+	}
+	if mds[0].LBAs != d.LBAs() {
+		t.Errorf("LBAs mismatch: %d vs %d", mds[0].LBAs, d.LBAs())
+	}
+	// Capacity honors over-provisioning.
+	raw := d.Array().Geometry().TotalPages() * 4
+	if d.LBAs() >= raw {
+		t.Errorf("exported %d oPages >= raw %d", d.LBAs(), raw)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	for lba := 0; lba < 32; lba++ {
+		if err := d.Write(0, lba, pattern(byte(lba))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, blockdev.OPageSize)
+	for lba := 0; lba < 32; lba++ {
+		if err := d.Read(0, lba, got); err != nil {
+			t.Fatalf("read lba %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, pattern(byte(lba))) {
+			t.Fatalf("lba %d corrupted", lba)
+		}
+	}
+}
+
+func TestReadFromWriteBuffer(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	// One write: stays in NV buffer (needs 4 to flush).
+	if err := d.Write(0, 5, pattern(9)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters().FlashWrites != 0 {
+		t.Fatal("single oPage should not have flushed")
+	}
+	got := make([]byte, blockdev.OPageSize)
+	if err := d.Read(0, 5, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(9)) {
+		t.Fatal("buffered read wrong")
+	}
+}
+
+func TestOverwriteReturnsLatest(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	for round := 0; round < 3; round++ {
+		for lba := 0; lba < 16; lba++ {
+			if err := d.Write(0, lba, pattern(byte(lba+round*100))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := make([]byte, blockdev.OPageSize)
+	for lba := 0; lba < 16; lba++ {
+		if err := d.Read(0, lba, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pattern(byte(lba+200))) {
+			t.Fatalf("lba %d stale after overwrite", lba)
+		}
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	got := pattern(1)
+	if err := d.Read(0, 100, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten lba not zero")
+		}
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	buf := make([]byte, blockdev.OPageSize)
+	if err := d.Read(1, 0, buf); !errors.Is(err, blockdev.ErrNoSuchMinidisk) {
+		t.Errorf("wrong minidisk: %v", err)
+	}
+	if err := d.Read(0, d.LBAs(), buf); !errors.Is(err, blockdev.ErrBadLBA) {
+		t.Errorf("out of range: %v", err)
+	}
+	if err := d.Write(0, 0, buf[:100]); !errors.Is(err, blockdev.ErrBufSize) {
+		t.Errorf("short buf: %v", err)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	for lba := 0; lba < 8; lba++ {
+		if err := d.Write(0, lba, pattern(byte(lba))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Trim(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := pattern(0xFF)
+	if err := d.Read(0, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("trimmed lba not zero")
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	d, eng := mustDevice(t, testConfig())
+	start := eng.Now()
+	for lba := 0; lba < 4; lba++ { // exactly one fPage
+		if err := d.Write(0, lba, pattern(byte(lba))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	afterWrite := eng.Now()
+	if afterWrite <= start {
+		t.Fatal("program did not advance the clock")
+	}
+	buf := make([]byte, blockdev.OPageSize)
+	if err := d.Read(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() <= afterWrite {
+		t.Fatal("read did not advance the clock")
+	}
+}
+
+func TestGCReclaimsSpace(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	// Lay down a cold base, then hammer random hot LBAs: GC victims then
+	// hold a mix of live (cold) and dead (overwritten) slots, forcing
+	// relocation of the live data.
+	base := d.LBAs() * 3 / 5
+	latest := make(map[int]byte)
+	for lba := 0; lba < base; lba++ {
+		latest[lba] = byte(lba * 7)
+		if err := d.Write(0, lba, pattern(latest[lba])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := stats.NewRNG(7)
+	hot := d.LBAs() * 2 // enough churn for several GC rounds
+	for i := 0; i < hot; i++ {
+		lba := rng.Intn(base)
+		latest[lba] = byte(i)
+		if err := d.Write(0, lba, pattern(latest[lba])); err != nil {
+			t.Fatalf("hot write %d: %v", i, err)
+		}
+	}
+	c := d.Counters()
+	if c.GCRelocations == 0 {
+		t.Error("GC never relocated anything despite heavy overwrite")
+	}
+	if wa := c.WriteAmplification(); wa <= 1 {
+		t.Errorf("write amplification %v, want > 1 under random overwrite", wa)
+	}
+	// Data still correct after all that churn.
+	got := make([]byte, blockdev.OPageSize)
+	for lba := 0; lba < base; lba++ {
+		if err := d.Read(0, lba, got); err != nil {
+			t.Fatalf("post-GC read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, pattern(latest[lba])) {
+			t.Fatalf("post-GC lba %d has stale data", lba)
+		}
+	}
+}
+
+func TestFillToCapacity(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	for lba := 0; lba < d.LBAs(); lba++ {
+		if err := d.Write(0, lba, pattern(byte(lba))); err != nil {
+			t.Fatalf("fill failed at lba %d/%d: %v", lba, d.LBAs(), err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.OPageSize)
+	for _, lba := range []int{0, d.LBAs() / 2, d.LBAs() - 1} {
+		if err := d.Read(0, lba, got); err != nil {
+			t.Fatalf("read %d: %v", lba, err)
+		}
+		if !bytes.Equal(got, pattern(byte(lba))) {
+			t.Fatalf("lba %d wrong after full fill", lba)
+		}
+	}
+}
+
+// TestBricksAtBadBlockThreshold ages a metadata-only device by overwriting
+// until enough blocks tire; the baseline must brick while most of the flash
+// is still usable at lower code rates — the paper's core observation.
+func TestBricksAtBadBlockThreshold(t *testing.T) {
+	d, _ := mustDevice(t, agingConfig(12))
+	var events []blockdev.Event
+	d.Notify(func(e blockdev.Event) { events = append(events, e) })
+
+	buf := make([]byte, blockdev.OPageSize)
+	var err error
+	// Overwrite the full logical space repeatedly until the device dies.
+	for round := 0; round < 200 && !d.Bricked(); round++ {
+		for lba := 0; lba < d.LBAs() && !d.Bricked(); lba++ {
+			if err = d.Write(0, lba, buf); err != nil {
+				break
+			}
+		}
+	}
+	if !d.Bricked() {
+		t.Fatal("device never bricked under sustained wear")
+	}
+	if len(events) != 1 || events[0].Kind != blockdev.EventBrick {
+		t.Fatalf("events = %v", events)
+	}
+	// The brick must have been triggered by the bad-block threshold, i.e.
+	// only a small fraction of blocks were retired at death.
+	c := d.Counters()
+	total := d.Array().Geometry().TotalBlocks()
+	frac := float64(c.BadBlocks) / float64(total)
+	if frac > 0.3 {
+		t.Errorf("bricked only after %.0f%% of blocks died — threshold not effective", frac*100)
+	}
+	// All I/O now fails.
+	if err := d.Read(0, 0, buf); !errors.Is(err, blockdev.ErrBricked) {
+		t.Errorf("read after brick: %v", err)
+	}
+	if err := d.Write(0, 0, buf); !errors.Is(err, blockdev.ErrBricked) {
+		t.Errorf("write after brick: %v", err)
+	}
+	if d.Minidisks() != nil {
+		t.Error("bricked device still lists minidisks")
+	}
+}
+
+// TestLifetimeWastedAtBrick quantifies §2's observation: at brick time the
+// surviving blocks still have wear headroom (the paper's motivation).
+func TestLifetimeWastedAtBrick(t *testing.T) {
+	cfg := agingConfig(15)
+	d, _ := mustDevice(t, cfg)
+	buf := make([]byte, blockdev.OPageSize)
+	for round := 0; round < 300 && !d.Bricked(); round++ {
+		for lba := 0; lba < d.LBAs() && !d.Bricked(); lba++ {
+			if d.Write(0, lba, buf) != nil {
+				break
+			}
+		}
+	}
+	if !d.Bricked() {
+		t.Skip("device survived the aging budget")
+	}
+	st := d.Array().Stats()
+	// Mean PEC at death should be around the nominal limit, not far beyond:
+	// the device died with life left in its stronger pages.
+	if st.MeanPEC > 3*cfg.Flash.Reliability.NominalPEC {
+		t.Errorf("mean PEC at brick = %.0f, implausibly high", st.MeanPEC)
+	}
+	if st.MeanPEC == 0 {
+		t.Error("device bricked without wear?")
+	}
+}
+
+func TestWriteAmplificationCounter(t *testing.T) {
+	var c Counters
+	if c.WriteAmplification() != 0 {
+		t.Error("WA of idle device should be 0")
+	}
+	c.HostWrites = 100
+	c.FlashWrites = 50 // 50 fPages = 200 oPage slots
+	if got := c.WriteAmplification(); got != 2.0 {
+		t.Errorf("WA = %v, want 2.0", got)
+	}
+}
+
+func TestDeterministicCounters(t *testing.T) {
+	run := func() Counters {
+		d, _ := mustDevice(t, testConfig())
+		for r := 0; r < 3; r++ {
+			for lba := 0; lba < 64; lba++ {
+				if err := d.Write(0, lba, pattern(byte(lba))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return d.Counters()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed devices diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestBaselineConformance(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	if err := blockdev.CheckConformance(d); err != nil {
+		t.Fatal(err)
+	}
+}

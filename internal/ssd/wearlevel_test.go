@@ -1,0 +1,77 @@
+package ssd
+
+import (
+	"testing"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/stats"
+)
+
+// pecSpread returns max-min P/E cycles across all blocks.
+func pecSpread(d *Device) uint32 {
+	g := d.Array().Geometry()
+	var lo, hi uint32
+	first := true
+	for b := 0; b < g.TotalBlocks(); b++ {
+		pec := d.Array().BlockPEC(b)
+		if first || pec < lo {
+			lo = pec
+		}
+		if first || pec > hi {
+			hi = pec
+		}
+		first = false
+	}
+	return hi - lo
+}
+
+// hammer writes a cold base once, then hammers a small hot region.
+func hammer(t *testing.T, d *Device, hotWrites int) {
+	t.Helper()
+	buf := make([]byte, blockdev.OPageSize)
+	for lba := 0; lba < d.LBAs()*3/5; lba++ {
+		if err := d.Write(0, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := stats.NewRNG(3)
+	for i := 0; i < hotWrites; i++ {
+		if err := d.Write(0, rng.Intn(32), buf); err != nil {
+			t.Fatalf("hot write %d: %v", i, err)
+		}
+	}
+}
+
+// TestStaticWearLevelingBoundsSpread: under a skewed workload, cold blocks
+// pin their low P/E counts forever without static WL; with it, the spread
+// stays near the configured threshold.
+func TestStaticWearLevelingBoundsSpread(t *testing.T) {
+	mk := func(spread uint32) *Device {
+		cfg := testConfig()
+		cfg.RealECC = false
+		cfg.Flash.StoreData = false
+		cfg.WearLevelSpread = spread
+		d, _ := mustDevice(t, cfg)
+		return d
+	}
+	const hotWrites = 12000
+
+	noWL := mk(0)
+	hammer(t, noWL, hotWrites)
+	withWL := mk(20)
+	hammer(t, withWL, hotWrites)
+
+	t.Logf("P/E spread: noWL=%d withWL=%d (moves=%d)",
+		pecSpread(noWL), pecSpread(withWL), withWL.Counters().WearLevelMoves)
+	if withWL.Counters().WearLevelMoves == 0 {
+		t.Fatal("static WL never triggered under a skewed workload")
+	}
+	if pecSpread(withWL) >= pecSpread(noWL) {
+		t.Errorf("static WL did not reduce the spread: %d vs %d",
+			pecSpread(withWL), pecSpread(noWL))
+	}
+	// Spread bounded near the threshold (allow slack for in-flight blocks).
+	if s := pecSpread(withWL); s > 20*3 {
+		t.Errorf("spread %d far above the 20-cycle threshold", s)
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import "math"
+
+// LogChoose returns ln(C(n, k)) computed via lgamma, stable for huge n.
+func LogChoose(n, k int64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n) + 1)
+	lk, _ := math.Lgamma(float64(k) + 1)
+	lnk, _ := math.Lgamma(float64(n-k) + 1)
+	return ln - lk - lnk
+}
+
+// LogBinomPMF returns ln(P(X = k)) for X ~ Binomial(n, p).
+func LogBinomPMF(n, k int64, p float64) float64 {
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return LogChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomTailGT returns P(X > t) for X ~ Binomial(n, p), i.e. the probability
+// that more than t of n bits flip. This is exactly the probability that a
+// hard-decision ECC with correction capability t fails on a codeword of n
+// bits at raw bit-error rate p.
+//
+// The sum runs over the (tiny) upper tail in log domain; for the RBER and t
+// ranges flash ECC operates in, the tail converges within a few hundred
+// terms. Results below ~1e-300 are reported as 0, which is fine: anything
+// under the 1e-15 UBER target is "never".
+func BinomTailGT(n, t int64, p float64) float64 {
+	if t >= n {
+		return 0
+	}
+	if t < 0 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	mean := float64(n) * p
+	// If the mean is far above t the tail is ~1; compute the complement.
+	if mean > float64(t)+6*math.Sqrt(mean*(1-p))+10 {
+		return 1 - binomCDFLE(n, t, p)
+	}
+	// Sum P(X = k) for k = t+1.. until terms become negligible.
+	sum := 0.0
+	prevTerm := math.Inf(-1)
+	for k := t + 1; k <= n; k++ {
+		lt := LogBinomPMF(n, k, p)
+		term := math.Exp(lt)
+		sum += term
+		// Once past the mode, terms decay geometrically; stop when a term
+		// can no longer move the sum.
+		if lt < prevTerm && (term == 0 || term < sum*1e-18) {
+			break
+		}
+		prevTerm = lt
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// binomCDFLE returns P(X <= t) by direct summation (used only when t is far
+// below the mean, so the sum is short).
+func binomCDFLE(n, t int64, p float64) float64 {
+	sum := 0.0
+	for k := int64(0); k <= t; k++ {
+		sum += math.Exp(LogBinomPMF(n, k, p))
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// MaxCorrectableRBER returns the largest raw bit-error rate p such that
+// BinomTailGT(n, t, p) <= target, found by bisection. It answers: "with a
+// codeword of n bits and correction capability t, how bad can the medium get
+// before the uncorrectable-page probability exceeds target?"
+func MaxCorrectableRBER(n, t int64, target float64) float64 {
+	if t >= n {
+		return 1
+	}
+	if t < 0 || target <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if BinomTailGT(n, t, mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-15 && hi-lo < lo*1e-9 {
+			break
+		}
+	}
+	return lo
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 0, 0},
+		{10, 10, 0},
+		{10, 5, math.Log(252)},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		got := LogChoose(c.n, c.k)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if v := LogChoose(5, 6); !math.IsInf(v, -1) {
+		t.Errorf("LogChoose(5,6) = %v, want -Inf", v)
+	}
+	if v := LogChoose(5, -1); !math.IsInf(v, -1) {
+		t.Errorf("LogChoose(5,-1) = %v, want -Inf", v)
+	}
+}
+
+func TestLogBinomPMFSumsToOne(t *testing.T) {
+	const n = 50
+	p := 0.3
+	sum := 0.0
+	for k := int64(0); k <= n; k++ {
+		sum += math.Exp(LogBinomPMF(n, k, p))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v, want 1", sum)
+	}
+}
+
+func TestLogBinomPMFDegenerate(t *testing.T) {
+	if v := math.Exp(LogBinomPMF(10, 0, 0)); v != 1 {
+		t.Errorf("P(X=0|p=0) = %v, want 1", v)
+	}
+	if v := math.Exp(LogBinomPMF(10, 10, 1)); v != 1 {
+		t.Errorf("P(X=10|p=1) = %v, want 1", v)
+	}
+	if v := math.Exp(LogBinomPMF(10, 3, 0)); v != 0 {
+		t.Errorf("P(X=3|p=0) = %v, want 0", v)
+	}
+}
+
+func TestBinomTailGTExactSmall(t *testing.T) {
+	// n=4, p=0.5: P(X>2) = P(3)+P(4) = 4/16 + 1/16 = 5/16.
+	got := BinomTailGT(4, 2, 0.5)
+	want := 5.0 / 16.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BinomTailGT(4,2,.5) = %v, want %v", got, want)
+	}
+}
+
+func TestBinomTailGTBounds(t *testing.T) {
+	if v := BinomTailGT(100, 100, 0.5); v != 0 {
+		t.Errorf("P(X>n) = %v, want 0", v)
+	}
+	if v := BinomTailGT(100, -1, 0.5); v != 1 {
+		t.Errorf("P(X>-1) = %v, want 1", v)
+	}
+	if v := BinomTailGT(100, 5, 0); v != 0 {
+		t.Errorf("p=0 tail = %v, want 0", v)
+	}
+	if v := BinomTailGT(100, 5, 1); v != 1 {
+		t.Errorf("p=1 tail = %v, want 1", v)
+	}
+}
+
+func TestBinomTailGTMonotoneInP(t *testing.T) {
+	prev := -1.0
+	for _, p := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1} {
+		v := BinomTailGT(8192, 40, p)
+		if v < prev {
+			t.Fatalf("tail not monotone in p: p=%v gives %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBinomTailGTMonotoneInT(t *testing.T) {
+	prev := 2.0
+	for tcap := int64(0); tcap <= 100; tcap += 10 {
+		v := BinomTailGT(8192, tcap, 1e-3)
+		if v > prev {
+			t.Fatalf("tail not monotone in t: t=%d gives %v > %v", tcap, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBinomTailGTHighMeanBranch(t *testing.T) {
+	// mean = 819 >> t = 10: tail should be ~1.
+	v := BinomTailGT(8192, 10, 0.1)
+	if v < 0.999999 {
+		t.Fatalf("high-mean tail = %v, want ~1", v)
+	}
+}
+
+// Flash-scale sanity: a 1KB-data BCH codeword (n≈9343 bits) correcting t=72
+// bits should have an astronomically small failure probability at RBER 1e-4
+// and a large one at RBER 2e-2.
+func TestBinomTailGTFlashScale(t *testing.T) {
+	lowp := BinomTailGT(9343, 72, 1e-4)
+	if lowp > 1e-30 {
+		t.Errorf("t=72 at RBER 1e-4 fails with p=%v, want <1e-30", lowp)
+	}
+	highp := BinomTailGT(9343, 72, 2e-2)
+	if highp < 0.9 {
+		t.Errorf("t=72 at RBER 2e-2 fails with p=%v, want >0.9", highp)
+	}
+}
+
+func TestMaxCorrectableRBER(t *testing.T) {
+	n, tcap := int64(9343), int64(72)
+	target := 1e-15
+	p := MaxCorrectableRBER(n, tcap, target)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("MaxCorrectableRBER out of range: %v", p)
+	}
+	// Must satisfy the target at p and violate it slightly above.
+	if got := BinomTailGT(n, tcap, p); got > target {
+		t.Errorf("at solved p=%v tail %v exceeds target %v", p, got, target)
+	}
+	if got := BinomTailGT(n, tcap, p*1.05); got <= target {
+		t.Errorf("5%% above solved p the tail %v still under target — bisection too loose", got)
+	}
+}
+
+func TestMaxCorrectableRBERMonotoneInT(t *testing.T) {
+	prev := -1.0
+	for tcap := int64(8); tcap <= 256; tcap *= 2 {
+		p := MaxCorrectableRBER(9343, tcap, 1e-15)
+		if p <= prev {
+			t.Fatalf("max RBER not increasing with t: t=%d gives %v <= %v", tcap, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMaxCorrectableRBEREdges(t *testing.T) {
+	if v := MaxCorrectableRBER(100, 100, 1e-15); v != 1 {
+		t.Errorf("t>=n should tolerate any RBER, got %v", v)
+	}
+	if v := MaxCorrectableRBER(100, -1, 1e-15); v != 0 {
+		t.Errorf("t<0 should tolerate nothing, got %v", v)
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"salamander/internal/blockdev"
+)
+
+// Property: any operation list survives a serialize/parse round trip
+// exactly.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(reads []bool, mds []uint16, lbas []uint16) bool {
+		n := len(reads)
+		if len(mds) < n {
+			n = len(mds)
+		}
+		if len(lbas) < n {
+			n = len(lbas)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Ops = append(tr.Ops, Op{
+				Read: reads[i],
+				MD:   blockdev.MinidiskID(mds[i]),
+				LBA:  int(lbas[i]),
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Ops) != len(tr.Ops) {
+			return false
+		}
+		for i := range tr.Ops {
+			if got.Ops[i] != tr.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: corrupting any single byte of a serialized trace either fails
+// to parse or changes at most the ops the byte belongs to (never a panic).
+func TestQuickTraceCorruptionSafe(t *testing.T) {
+	tr := Record(&Sequential{Space: 100}, 50)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(pos uint16, val byte) bool {
+		corrupted := append([]byte(nil), raw...)
+		corrupted[int(pos)%len(corrupted)] ^= val | 1
+		// Must not panic; error or altered trace are both acceptable.
+		_, _ = ReadTrace(bytes.NewReader(corrupted))
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"salamander/internal/blockdev"
+)
+
+// Trace is a recorded operation stream, replayable through Drive via
+// Player. The on-disk format is a tiny fixed-width binary record per op —
+// magic header, then {flags byte, minidisk uint32, lba uint32} — so traces
+// captured from one simulator configuration can drive another.
+type Trace struct {
+	Ops []Op
+}
+
+var traceMagic = [4]byte{'S', 'T', 'R', '1'}
+
+// WriteTo serializes the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return n, err
+	}
+	n += 4
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Ops)))
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return n, err
+	}
+	n += 8
+	var rec [9]byte
+	for _, op := range t.Ops {
+		rec[0] = 0
+		if op.Read {
+			rec[0] = 1
+		}
+		binary.LittleEndian.PutUint32(rec[1:5], uint32(op.MD))
+		binary.LittleEndian.PutUint32(rec[5:9], uint32(op.LBA))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n += int64(len(rec))
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace parses a serialized trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace count: %w", err)
+	}
+	nOps := binary.LittleEndian.Uint64(cnt[:])
+	const maxOps = 1 << 30 // sanity bound against corrupt headers
+	if nOps > maxOps {
+		return nil, fmt.Errorf("workload: implausible op count %d", nOps)
+	}
+	t := &Trace{Ops: make([]Op, 0, nOps)}
+	var rec [9]byte
+	for i := uint64(0); i < nOps; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("workload: reading op %d: %w", i, err)
+		}
+		t.Ops = append(t.Ops, Op{
+			Read: rec[0] == 1,
+			MD:   blockdev.MinidiskID(binary.LittleEndian.Uint32(rec[1:5])),
+			LBA:  int(binary.LittleEndian.Uint32(rec[5:9])),
+		})
+	}
+	return t, nil
+}
+
+// Record captures n operations from gen into a trace.
+func Record(gen Generator, n int) *Trace {
+	t := &Trace{Ops: make([]Op, n)}
+	for i := range t.Ops {
+		t.Ops[i] = gen.Next()
+	}
+	return t
+}
+
+// Player replays a trace as a Generator, cycling when exhausted.
+type Player struct {
+	T   *Trace
+	pos int
+}
+
+// Next implements Generator.
+func (p *Player) Next() Op {
+	op := p.T.Ops[p.pos]
+	p.pos = (p.pos + 1) % len(p.T.Ops)
+	return op
+}

@@ -1,0 +1,187 @@
+// Package workload provides the access-pattern generators and drivers used
+// by the examples, CLIs, and benchmark harness: sequential and random oPage
+// streams, zipfian skew, read/write mixes, a device ager, and a compact
+// binary trace format for record/replay.
+package workload
+
+import (
+	"errors"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/stats"
+)
+
+// Op is one oPage-granular device operation.
+type Op struct {
+	Read bool
+	MD   blockdev.MinidiskID
+	LBA  int
+}
+
+// Generator produces an endless operation stream.
+type Generator interface {
+	Next() Op
+}
+
+// --- basic generators --------------------------------------------------------
+
+// Sequential cycles through [0, Space) in order. Writes by default; set
+// ReadFrac via Mix for mixed streams.
+type Sequential struct {
+	Space int
+	pos   int
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() Op {
+	op := Op{LBA: s.pos}
+	s.pos = (s.pos + 1) % s.Space
+	return op
+}
+
+// Uniform picks LBAs uniformly from [0, Space).
+type Uniform struct {
+	Space int
+	Rng   *stats.RNG
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() Op {
+	return Op{LBA: u.Rng.Intn(u.Space)}
+}
+
+// Zipfian picks LBAs with zipfian skew (hot head), the standard model for
+// skewed datacenter traffic.
+type Zipfian struct {
+	z *stats.Zipf
+}
+
+// NewZipfian builds a zipfian generator over space LBAs with skew s.
+func NewZipfian(rng *stats.RNG, space int, s float64) *Zipfian {
+	return &Zipfian{z: stats.NewZipf(rng, space, s)}
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() Op {
+	return Op{LBA: z.z.Next()}
+}
+
+// Mix wraps a generator, marking a fraction of operations as reads.
+type Mix struct {
+	Gen      Generator
+	ReadFrac float64
+	Rng      *stats.RNG
+}
+
+// Next implements Generator.
+func (m *Mix) Next() Op {
+	op := m.Gen.Next()
+	op.Read = m.Rng.Float64() < m.ReadFrac
+	return op
+}
+
+// --- device driver -------------------------------------------------------------
+
+// DriveResult summarizes a driven operation batch.
+type DriveResult struct {
+	Reads, Writes   int64
+	ReadErrs        int64
+	WriteErrs       int64
+	SkippedMissing  int64 // ops aimed at decommissioned minidisks
+	UncorrectableIO int64
+}
+
+// Drive runs n operations from gen against dev, spreading LBAs across the
+// device's live minidisks (op.LBA indexes the flat logical space). A fresh
+// buffer pattern is written each time so data-path devices exercise real
+// ECC. Ops to minidisks that disappear mid-run are counted, not fatal.
+func Drive(dev blockdev.Device, gen Generator, n int) (DriveResult, error) {
+	var res DriveResult
+	buf := make([]byte, blockdev.OPageSize)
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		mds := dev.Minidisks()
+		if len(mds) == 0 {
+			return res, blockdev.ErrBricked
+		}
+		// Map the flat LBA onto (minidisk, offset).
+		total := 0
+		for _, m := range mds {
+			total += m.LBAs
+		}
+		lba := op.LBA % total
+		var md blockdev.MinidiskInfo
+		for _, m := range mds {
+			if lba < m.LBAs {
+				md = m
+				break
+			}
+			lba -= m.LBAs
+		}
+		var err error
+		if op.Read {
+			err = dev.Read(md.ID, lba, buf)
+			res.Reads++
+		} else {
+			buf[0] = byte(i)
+			buf[1] = byte(i >> 8)
+			err = dev.Write(md.ID, lba, buf)
+			res.Writes++
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, blockdev.ErrNoSuchMinidisk):
+			res.SkippedMissing++
+		case errors.Is(err, blockdev.ErrUncorrectable):
+			res.UncorrectableIO++
+		case errors.Is(err, blockdev.ErrBricked):
+			return res, err
+		default:
+			if op.Read {
+				res.ReadErrs++
+			} else {
+				res.WriteErrs++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Ager overwrites every live minidisk of a device round-robin, the
+// full-device wear pattern the lifetime analyses use. It stops early when
+// the device retires.
+type Ager struct {
+	Dev blockdev.Device
+	buf []byte
+	// Written counts accepted oPage writes.
+	Written int64
+}
+
+// NewAger returns an ager for dev.
+func NewAger(dev blockdev.Device) *Ager {
+	return &Ager{Dev: dev, buf: make([]byte, blockdev.OPageSize)}
+}
+
+// Round performs one full overwrite sweep. It returns false when the device
+// no longer accepts writes (retired/bricked).
+func (a *Ager) Round() bool {
+	alive := false
+	for _, m := range a.Dev.Minidisks() {
+		for lba := 0; lba < m.LBAs; lba++ {
+			err := a.Dev.Write(m.ID, lba, a.buf)
+			switch {
+			case err == nil:
+				a.Written++
+				alive = true
+			case errors.Is(err, blockdev.ErrNoSuchMinidisk):
+				lba = m.LBAs // disk vanished mid-sweep
+			case errors.Is(err, blockdev.ErrBricked),
+				errors.Is(err, blockdev.ErrDeviceFull):
+				return false
+			default:
+				return false
+			}
+		}
+	}
+	return alive
+}
