@@ -27,6 +27,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // -------------------------------------------------------------------------
@@ -725,4 +726,83 @@ func BenchmarkAblationLDPCLadder(b *testing.B) {
 	})
 	b.ReportMetric(ldpc.Level(2).Benefit, "ldpc-L2-benefit")
 	b.ReportMetric(bch.Level(2).Benefit, "bch-L2-benefit")
+}
+
+// -------------------------------------------------------------------------
+// T1 — telemetry overhead: the counter and histogram work a device write
+// performs, measured against the write itself. The guard test below holds
+// the hot-path instrumentation under 5% of a write.
+// -------------------------------------------------------------------------
+
+// deviceWriteLoop drives the analytic-path (no real ECC, no stored data)
+// Salamander write — the cheapest write in the repo, so the most
+// pessimistic denominator for the overhead ratio.
+func deviceWriteLoop(b *testing.B) {
+	cfg := salamander.DefaultDeviceConfig()
+	cfg.Flash.Geometry = flash.Geometry{
+		Channels: 2, BlocksPerChan: 32, PagesPerBlock: 32,
+		PageSize: rber.FPageSize, SpareSize: rber.SpareSize,
+	}
+	cfg.MSizeOPages = 64
+	cfg.Flash.StoreData = false
+	cfg.RealECC = false
+	// The measurement targets CPU cost per write, not wear: give the array
+	// effectively infinite endurance so benchtime ramp-up can't wear it out.
+	cfg.Flash.Reliability.NominalPEC = 1e9
+	dev, err := salamander.NewDevice(cfg, salamander.NewEngine())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, blockdev.OPageSize)
+	space := dev.LiveLBAs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lba := i % space
+		md := blockdev.MinidiskID(lba / 64)
+		if err := dev.Write(md, lba%64, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// hotPathTelemetryLoop performs the telemetry work one instrumented host
+// write does: two counter increments, one latency observation, and a
+// nil-tracer emit (tracing off, the common case).
+func hotPathTelemetryLoop(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	hostWrites := reg.Counter("ssd.host_writes")
+	flashWrites := reg.Counter("ssd.flash_writes")
+	lat := reg.Histogram("ssd.host_write_latency_ns")
+	var tr *telemetry.Tracer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hostWrites.Inc()
+		flashWrites.Inc()
+		lat.Observe(float64(i))
+		tr.Emit(telemetry.Event{Kind: telemetry.KindPageProgram, Layer: "flash"})
+	}
+}
+
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("device-write", deviceWriteLoop)
+	b.Run("hot-path-telemetry", hotPathTelemetryLoop)
+}
+
+// TestTelemetryOverheadBudget pins the observability tax: the per-write
+// telemetry work must cost less than 5% of the cheapest write path.
+func TestTelemetryOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping overhead measurement in -short mode")
+	}
+	write := testing.Benchmark(deviceWriteLoop)
+	tele := testing.Benchmark(hotPathTelemetryLoop)
+	if write.NsPerOp() <= 0 || tele.NsPerOp() < 0 {
+		t.Fatalf("implausible measurements: write %v, telemetry %v", write, tele)
+	}
+	ratio := float64(tele.NsPerOp()) / float64(write.NsPerOp())
+	t.Logf("write %d ns/op, telemetry %d ns/op, overhead %.3f%%",
+		write.NsPerOp(), tele.NsPerOp(), ratio*100)
+	if ratio > 0.05 {
+		t.Errorf("telemetry hot-path overhead %.2f%% exceeds the 5%% budget", ratio*100)
+	}
 }

@@ -1,0 +1,33 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging.
+#
+#   ./ci.sh            full gate: format, vet, build, tests, race detector
+#
+# The race-detector pass covers the concurrency-bearing packages: the
+# telemetry registry/tracer (atomics, subscriber hooks) and difs (device
+# event callbacks land on cluster state).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (telemetry, difs) =="
+go test -race ./internal/telemetry/... ./internal/difs/...
+
+echo "CI PASSED"

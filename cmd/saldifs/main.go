@@ -6,9 +6,18 @@
 // Usage:
 //
 //	saldifs [-nodes N] [-objects N] [-rounds N] [-pec F] [-seed S]
+//	        [-metrics] [-metrics-out FILE] [-trace FILE]
+//
+// With -metrics, every layer of the stack (flash array, FTL, devices,
+// cluster) feeds one shared telemetry registry; the per-layer counter and
+// histogram tables are printed after the run and the raw snapshot is
+// written as JSON to -metrics-out for cmd/salmon. With -trace, the
+// cross-layer event ring (page programs, GC victims, tiredness
+// transitions, minidisk retire/regen, repairs) is exported as JSONL.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,29 +33,45 @@ import (
 	"salamander/internal/sim"
 	"salamander/internal/ssd"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("saldifs: ")
 	var (
-		nodes   = flag.Int("nodes", 4, "cluster nodes (one device each)")
-		objects = flag.Int("objects", 10, "working-set objects")
-		rounds  = flag.Int("rounds", 80, "churn rounds")
-		pec     = flag.Float64("pec", 8, "nominal PEC limit (small = fast aging)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		useEC   = flag.Bool("ec", false, "use RS(4+2) erasure coding instead of 3-way replication (needs >= 6 nodes)")
+		nodes      = flag.Int("nodes", 4, "cluster nodes (one device each)")
+		objects    = flag.Int("objects", 10, "working-set objects")
+		rounds     = flag.Int("rounds", 80, "churn rounds")
+		pec        = flag.Float64("pec", 8, "nominal PEC limit (small = fast aging)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		useEC      = flag.Bool("ec", false, "use RS(4+2) erasure coding instead of 3-way replication (needs >= 6 nodes)")
+		showMetric = flag.Bool("metrics", false, "collect cross-layer telemetry, print per-layer tables, write snapshot JSON")
+		metricsOut = flag.String("metrics-out", "metrics.json", "snapshot JSON path for -metrics (read by salmon)")
+		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file")
 	)
 	flag.Parse()
 	if *useEC && *nodes < 6 {
 		log.Fatal("-ec needs at least 6 nodes")
 	}
 
+	var reg *telemetry.Registry
+	var tr *telemetry.Tracer
+	if *showMetric {
+		reg = telemetry.NewRegistry()
+	}
+	if *tracePath != "" {
+		tr = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+	}
+
 	ecMode = *useEC
 	t := metrics.NewTable("deployment", "churn rounds", "decommissions", "bricks",
 		"regenerations", "recovery ops", "recovery bytes", "recovery reads", "degraded reads", "lost chunks")
 	for _, mode := range []string{"baseline", "shrinkS", "regenS"} {
-		st, ran := run(mode, *nodes, *objects, *rounds, *pec, *seed)
+		st, ran := run(mode, *nodes, *objects, *rounds, *pec, *seed, reg, tr)
 		t.Row(mode, ran, st.DecommissionEvents, st.BrickEvents, st.RegenerateEvents,
 			st.RecoveryOps, st.RecoveryBytes, st.RecoveryReadBytes, st.DegradedReads, st.LostChunks)
 	}
@@ -55,6 +80,39 @@ func main() {
 	fmt.Println()
 	fmt.Println("baseline loses whole devices at the 2.5% bad-block threshold; Salamander")
 	fmt.Println("sheds minidisk-sized failure domains, and RegenS re-adds regenerated ones.")
+
+	if *showMetric {
+		fmt.Println()
+		fmt.Println("== telemetry (all deployments pooled) ==")
+		telemetry.RenderSnapshot(os.Stdout, reg.Snapshot())
+		if err := writeSnapshot(*metricsOut, reg.Snapshot()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot JSON written to %s (render with: salmon -snapshot %s)\n", *metricsOut, *metricsOut)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d events retained (%d emitted) written to %s\n",
+			len(tr.Events()), tr.Total(), *tracePath)
+	}
+}
+
+// writeSnapshot serializes a registry snapshot as indented JSON.
+func writeSnapshot(path string, s telemetry.Snapshot) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // ecMode selects RS(4+2) for all deployments in this invocation.
@@ -70,8 +128,11 @@ func flashGeom() flash.Geometry {
 	}
 }
 
-// run ages one cluster configuration and returns its stats.
-func run(mode string, nodes, objects, rounds int, pec float64, seed uint64) (difs.Stats, int) {
+// run ages one cluster configuration and returns its stats. When reg is
+// non-nil the cluster and every device bind their counters to it (and emit
+// events to tr), so one registry spans flash, ftl, ssd/core, and difs.
+func run(mode string, nodes, objects, rounds int, pec float64, seed uint64,
+	reg *telemetry.Registry, tr *telemetry.Tracer) (difs.Stats, int) {
 	ccfg := difs.DefaultConfig()
 	if ecMode {
 		ccfg.ECDataShards = 4
@@ -80,6 +141,9 @@ func run(mode string, nodes, objects, rounds int, pec float64, seed uint64) (dif
 	cluster, err := difs.NewCluster(ccfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		cluster.Instrument(reg, tr)
 	}
 	for i := 0; i < nodes; i++ {
 		devSeed := seed + uint64(i)*977
@@ -100,6 +164,9 @@ func run(mode string, nodes, objects, rounds int, pec float64, seed uint64) (dif
 			if err != nil {
 				log.Fatal(err)
 			}
+			if reg != nil {
+				d.Instrument(reg, tr)
+			}
 			dev = d
 		default:
 			cfg := core.DefaultConfig()
@@ -117,6 +184,9 @@ func run(mode string, nodes, objects, rounds int, pec float64, seed uint64) (dif
 			d, err := core.New(cfg, sim.NewEngine())
 			if err != nil {
 				log.Fatal(err)
+			}
+			if reg != nil {
+				d.Instrument(reg, tr)
 			}
 			dev = d
 		}

@@ -1,0 +1,95 @@
+// Command salmon ("salamander monitor") renders telemetry artifacts
+// produced by the other tools offline: registry snapshots (-snapshot, the
+// JSON written by -metrics-out) become per-layer counter and histogram
+// tables, and JSONL event traces (-trace, written by -trace) become a
+// kind-by-layer summary. With -diff, a second snapshot is subtracted first
+// so the tables show activity between two points in time.
+//
+// Usage:
+//
+//	salmon [-snapshot metrics.json [-diff earlier.json]] [-trace out.jsonl] [-events N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"salamander/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salmon: ")
+	var (
+		snapPath = flag.String("snapshot", "", "registry snapshot JSON (written by -metrics-out)")
+		diffPath = flag.String("diff", "", "earlier snapshot to subtract (counter/histogram deltas)")
+		tracern  = flag.String("trace", "", "JSONL event trace (written by -trace)")
+		events   = flag.Int("events", 0, "also print the last N raw events from the trace")
+	)
+	flag.Parse()
+	if *snapPath == "" && *tracern == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *snapPath != "" {
+		s, err := readSnapshot(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *diffPath != "" {
+			prev, err := readSnapshot(*diffPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s = s.Diff(prev)
+			fmt.Printf("== telemetry delta: %s - %s ==\n", *snapPath, *diffPath)
+		} else {
+			fmt.Printf("== telemetry snapshot: %s ==\n", *snapPath)
+		}
+		telemetry.RenderSnapshot(os.Stdout, s)
+	}
+
+	if *tracern != "" {
+		f, err := os.Open(*tracern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== event trace: %s ==\n", *tracern)
+		telemetry.RenderEventSummary(os.Stdout, evs)
+		if *events > 0 {
+			n := *events
+			if n > len(evs) {
+				n = len(evs)
+			}
+			fmt.Printf("\nlast %d events:\n", n)
+			for _, e := range evs[len(evs)-n:] {
+				raw, err := json.Marshal(e)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println(string(raw))
+			}
+		}
+	}
+}
+
+func readSnapshot(path string) (telemetry.Snapshot, error) {
+	var s telemetry.Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	salperf [-points N] [-data MB] [-reads N] [-level L]
+//	        [-metrics] [-metrics-out FILE] [-trace FILE]
+//
+// With -metrics, the measurement's flash arrays feed one registry (op
+// counters, RBER and latency histograms) whose per-layer tables print
+// after the sweep and whose snapshot JSON lands in -metrics-out for
+// cmd/salmon. With -trace, page programs are exported as JSONL events.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -16,17 +23,21 @@ import (
 
 	"salamander/internal/metrics"
 	"salamander/internal/perfmodel"
+	"salamander/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salperf: ")
 	var (
-		points   = flag.Int("points", 9, "sweep points between f=0 and f=1")
-		dataMB   = flag.Int("data", 16, "dataset size in MB")
-		reads    = flag.Int("reads", 1000, "random reads per point")
-		level    = flag.Int("level", 1, "tired level to mix in (1..3)")
-		channels = flag.Int("channels", 1, "bus channels (>1 overlaps an access's page reads, §4.2)")
+		points     = flag.Int("points", 9, "sweep points between f=0 and f=1")
+		dataMB     = flag.Int("data", 16, "dataset size in MB")
+		reads      = flag.Int("reads", 1000, "random reads per point")
+		level      = flag.Int("level", 1, "tired level to mix in (1..3)")
+		channels   = flag.Int("channels", 1, "bus channels (>1 overlaps an access's page reads, §4.2)")
+		showMetric = flag.Bool("metrics", false, "collect flash telemetry, print per-layer tables, write snapshot JSON")
+		metricsOut = flag.String("metrics-out", "metrics.json", "snapshot JSON path for -metrics (read by salmon)")
+		tracePath  = flag.String("trace", "", "write the page-program event trace as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -35,6 +46,15 @@ func main() {
 	cfg.RandomReads = *reads
 	cfg.Level = *level
 	cfg.Channels = *channels
+	if *showMetric {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if *tracePath != "" {
+		cfg.Tracer = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = telemetry.NewRegistry()
+		}
+	}
 
 	fs := make([]float64, *points)
 	for i := range fs {
@@ -66,4 +86,32 @@ func main() {
 		*level, perfmodel.DegradationFactor(*level), (1-1/perfmodel.DegradationFactor(*level))*100)
 	fmt.Println("note: measured single 16K random reads on a serial device pay whole-page")
 	fmt.Println("reads and exceed the amortized model at high f; see EXPERIMENTS.md.")
+
+	if *showMetric {
+		fmt.Println()
+		fmt.Println("== telemetry (all sweep points pooled) ==")
+		telemetry.RenderSnapshot(os.Stdout, cfg.Telemetry.Snapshot())
+		raw, err := json.MarshalIndent(cfg.Telemetry.Snapshot(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot JSON written to %s (render with: salmon -snapshot %s)\n", *metricsOut, *metricsOut)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Tracer.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d events retained (%d emitted) written to %s\n",
+			len(cfg.Tracer.Events()), cfg.Tracer.Total(), *tracePath)
+	}
 }

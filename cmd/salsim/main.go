@@ -5,9 +5,17 @@
 // Usage:
 //
 //	salsim [-devices N] [-dwpd F] [-retire F] [-maxlevel L] [-seed S] [-step D]
+//	       [-metrics] [-metrics-out FILE] [-trace FILE]
+//
+// With -metrics, fleet telemetry (death counters, lifetime histograms)
+// from all three runs pools into one registry whose per-layer tables print
+// after the summary and whose snapshot JSON lands in -metrics-out for
+// cmd/salmon. With -trace, each device death becomes a minidisk_retire
+// event in a JSONL trace.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -16,18 +24,22 @@ import (
 	"salamander/internal/carbon"
 	"salamander/internal/lifesim"
 	"salamander/internal/metrics"
+	"salamander/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salsim: ")
 	var (
-		devices  = flag.Int("devices", 64, "fleet size")
-		dwpd     = flag.Float64("dwpd", 1, "drive writes per day (against original capacity)")
-		retire   = flag.Float64("retire", 0.8, "retire Salamander devices below this capacity fraction")
-		maxLevel = flag.Int("maxlevel", 1, "RegenS maximum tiredness level (1..3)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		step     = flag.Float64("step", 5, "simulation step in days")
+		devices    = flag.Int("devices", 64, "fleet size")
+		dwpd       = flag.Float64("dwpd", 1, "drive writes per day (against original capacity)")
+		retire     = flag.Float64("retire", 0.8, "retire Salamander devices below this capacity fraction")
+		maxLevel   = flag.Int("maxlevel", 1, "RegenS maximum tiredness level (1..3)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		step       = flag.Float64("step", 5, "simulation step in days")
+		showMetric = flag.Bool("metrics", false, "collect fleet telemetry, print per-layer tables, write snapshot JSON")
+		metricsOut = flag.String("metrics-out", "metrics.json", "snapshot JSON path for -metrics (read by salmon)")
+		tracePath  = flag.String("trace", "", "write the device-death event trace as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +50,15 @@ func main() {
 	base.MaxLevel = *maxLevel
 	base.Seed = *seed
 	base.StepDays = *step
+	if *showMetric {
+		base.Telemetry = telemetry.NewRegistry()
+	}
+	if *tracePath != "" {
+		base.Tracer = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+		if base.Telemetry == nil {
+			base.Telemetry = telemetry.NewRegistry()
+		}
+	}
 
 	results := map[lifesim.Mode]*lifesim.Result{}
 	for _, mode := range []lifesim.Mode{lifesim.Baseline, lifesim.ShrinkS, lifesim.RegenS} {
@@ -94,6 +115,34 @@ func main() {
 	u.Row("shrinkS", sRu, 1/1.2)
 	u.Row("regenS", rRu, 1/1.5)
 	u.Render(os.Stdout)
+
+	if *showMetric {
+		fmt.Println()
+		fmt.Println("== telemetry (all modes pooled) ==")
+		telemetry.RenderSnapshot(os.Stdout, base.Telemetry.Snapshot())
+		raw, err := json.MarshalIndent(base.Telemetry.Snapshot(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot JSON written to %s (render with: salmon -snapshot %s)\n", *metricsOut, *metricsOut)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := base.Tracer.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d events retained (%d emitted) written to %s\n",
+			len(base.Tracer.Events()), base.Tracer.Total(), *tracePath)
+	}
 }
 
 // renderFleet prints one Fig. 3 panel: the three modes on a shared,

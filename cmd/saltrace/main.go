@@ -4,8 +4,15 @@
 //
 // Usage:
 //
-//	saltrace record -out trace.bin [-ops N] [-space N] [-pattern seq|uniform|zipf] [-readfrac F]
+//	saltrace record -out trace.bin [-format bin|jsonl] [-ops N] [-space N] [-pattern seq|uniform|zipf] [-readfrac F]
 //	saltrace replay -in trace.bin [-device salamander|baseline] [-maxlevel L]
+//	saltrace summarize -in trace.jsonl
+//
+// Traces come in two formats: the compact binary encoding and telemetry
+// JSONL, where each op is a host_read/host_write event (-format jsonl).
+// replay auto-detects the format, and accepts any telemetry JSONL stream —
+// non-host events (a device's own -trace output) are skipped. summarize
+// prints the kind-by-layer table for a telemetry JSONL trace offline.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"salamander/internal/sim"
 	"salamander/internal/ssd"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 	"salamander/internal/workload"
 )
 
@@ -37,8 +45,10 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "summarize":
+		summarize(os.Args[2:])
 	default:
-		log.Fatalf("unknown subcommand %q (want record or replay)", os.Args[1])
+		log.Fatalf("unknown subcommand %q (want record, replay, or summarize)", os.Args[1])
 	}
 }
 
@@ -46,6 +56,7 @@ func record(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	var (
 		out      = fs.String("out", "trace.bin", "output trace file")
+		format   = fs.String("format", "bin", "trace encoding: bin (compact binary) or jsonl (telemetry events)")
 		ops      = fs.Int("ops", 100000, "operations to record")
 		space    = fs.Int("space", 4096, "logical space in oPages")
 		pattern  = fs.String("pattern", "zipf", "access pattern: seq|uniform|zipf")
@@ -55,6 +66,9 @@ func record(args []string) {
 	)
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
+	}
+	if *format != "bin" && *format != "jsonl" {
+		log.Fatalf("unknown format %q (want bin or jsonl)", *format)
 	}
 	rng := stats.NewRNG(*seed)
 	var base workload.Generator
@@ -75,11 +89,37 @@ func record(args []string) {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if _, err := tr.WriteTo(f); err != nil {
+	if *format == "jsonl" {
+		err = tr.WriteJSONLTo(f)
+	} else {
+		_, err = tr.WriteTo(f)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("recorded %d %s ops (space %d oPages, %.0f%% reads) to %s\n",
-		*ops, *pattern, *space, *readFrac*100, *out)
+	fmt.Printf("recorded %d %s ops (space %d oPages, %.0f%% reads) to %s (%s)\n",
+		*ops, *pattern, *space, *readFrac*100, *out, *format)
+}
+
+// summarize renders the kind-by-layer table for a telemetry JSONL trace —
+// either a recorded workload (-format jsonl) or a simulator's -trace export.
+func summarize(args []string) {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	in := fs.String("in", "trace.jsonl", "telemetry JSONL trace file")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evs, err := telemetry.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== event trace: %s ==\n", *in)
+	telemetry.RenderEventSummary(os.Stdout, evs)
 }
 
 func replay(args []string) {

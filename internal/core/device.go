@@ -43,6 +43,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // Config parameterizes a Salamander device.
@@ -161,6 +162,52 @@ func (c Counters) WriteAmplification() float64 {
 	return float64(c.FlashWrites*uint64(rber.OPagesPerFPage)) / float64(c.HostWrites)
 }
 
+// devTele holds the registry-backed handles behind Counters(). A fresh
+// device binds them to a private registry; Instrument rebinds to a shared
+// one, so Counters() is always a thin view over live telemetry values.
+type devTele struct {
+	hostReads, hostWrites    *telemetry.Counter
+	flashReads, flashWrites  *telemetry.Counter
+	gcRelocations            *telemetry.Counter
+	uncorrectable            *telemetry.Counter
+	lostOPages               *telemetry.Counter
+	decommissions            *telemetry.Counter
+	regenerations            *telemetry.Counter
+	drains, releases         *telemetry.Counter
+	readRetries, retrySaves  *telemetry.Counter
+	wearLevelMoves           *telemetry.Counter
+	eccCorrectedBits         *telemetry.Counter
+	readLatency              *telemetry.Histogram
+	writeLatency             *telemetry.Histogram
+	servingSlots, capacityFr *telemetry.Gauge
+	tr                       *telemetry.Tracer
+}
+
+func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
+	return devTele{
+		hostReads:        reg.Counter("core.host_reads"),
+		hostWrites:       reg.Counter("core.host_writes"),
+		flashReads:       reg.Counter("core.flash_reads"),
+		flashWrites:      reg.Counter("core.flash_writes"),
+		gcRelocations:    reg.Counter("core.gc_relocations"),
+		uncorrectable:    reg.Counter("core.uncorrectable"),
+		lostOPages:       reg.Counter("core.lost_opages"),
+		decommissions:    reg.Counter("core.decommissions"),
+		regenerations:    reg.Counter("core.regenerations"),
+		drains:           reg.Counter("core.drains"),
+		releases:         reg.Counter("core.releases"),
+		readRetries:      reg.Counter("core.read_retries"),
+		retrySaves:       reg.Counter("core.retry_saves"),
+		wearLevelMoves:   reg.Counter("core.wear_level_moves"),
+		eccCorrectedBits: reg.Counter("core.ecc_corrected_bits"),
+		readLatency:      reg.Histogram("core.host_read_latency_ns"),
+		writeLatency:     reg.Histogram("core.host_write_latency_ns"),
+		servingSlots:     reg.Gauge("core.serving_slots"),
+		capacityFr:       reg.Gauge("core.capacity_frac"),
+		tr:               tr,
+	}
+}
+
 // Device is a Salamander SSD.
 type Device struct {
 	cfg   Config
@@ -197,7 +244,7 @@ type Device struct {
 	retired bool
 	notify  func(blockdev.Event)
 
-	counters Counters
+	tele devTele
 }
 
 // New builds a Salamander device on a fresh flash array.
@@ -237,6 +284,7 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 		active:       -1,
 		gcBlk:        -1,
 		lost:         map[int64]bool{},
+		tele:         bindTele(telemetry.NewRegistry(), nil),
 	}
 	for l := 0; l <= rber.MaxUsableLevel; l++ {
 		d.geoms[l] = rber.LevelGeometry(l)
@@ -299,8 +347,69 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // Array exposes the underlying flash for inspection.
 func (d *Device) Array() *flash.Array { return d.arr }
 
-// Counters returns an activity snapshot.
-func (d *Device) Counters() Counters { return d.counters }
+// Counters returns an activity snapshot. The struct is a thin view built
+// from the device's registry-backed telemetry handles at call time;
+// mutating the returned value has no effect on the live device.
+func (d *Device) Counters() Counters {
+	return Counters{
+		HostReads:      d.tele.hostReads.Value(),
+		HostWrites:     d.tele.hostWrites.Value(),
+		FlashReads:     d.tele.flashReads.Value(),
+		FlashWrites:    d.tele.flashWrites.Value(),
+		GCRelocations:  d.tele.gcRelocations.Value(),
+		Uncorrectable:  d.tele.uncorrectable.Value(),
+		LostOPages:     d.tele.lostOPages.Value(),
+		Decommissions:  d.tele.decommissions.Value(),
+		Regenerations:  d.tele.regenerations.Value(),
+		Drains:         d.tele.drains.Value(),
+		Releases:       d.tele.releases.Value(),
+		ReadRetries:    d.tele.readRetries.Value(),
+		RetrySaves:     d.tele.retrySaves.Value(),
+		WearLevelMoves: d.tele.wearLevelMoves.Value(),
+	}
+}
+
+// Instrument rebinds the device's counters to the given shared registry and
+// attaches a tracer, and instruments the underlying flash array with the
+// same pair. Accumulated counter values carry over; histograms start empty,
+// so instrument at startup for complete latency distributions. A nil
+// registry detaches back onto a private one.
+func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	old := d.tele
+	d.tele = bindTele(reg, tr)
+	carry := func(dst, src *telemetry.Counter) {
+		if dst != src {
+			dst.Add(src.Value())
+		}
+	}
+	carry(d.tele.hostReads, old.hostReads)
+	carry(d.tele.hostWrites, old.hostWrites)
+	carry(d.tele.flashReads, old.flashReads)
+	carry(d.tele.flashWrites, old.flashWrites)
+	carry(d.tele.gcRelocations, old.gcRelocations)
+	carry(d.tele.uncorrectable, old.uncorrectable)
+	carry(d.tele.lostOPages, old.lostOPages)
+	carry(d.tele.decommissions, old.decommissions)
+	carry(d.tele.regenerations, old.regenerations)
+	carry(d.tele.drains, old.drains)
+	carry(d.tele.releases, old.releases)
+	carry(d.tele.readRetries, old.readRetries)
+	carry(d.tele.retrySaves, old.retrySaves)
+	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
+	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
+	d.updateGauges()
+	d.arr.Instrument(reg, tr)
+}
+
+// updateGauges refreshes the capacity gauges from device state.
+func (d *Device) updateGauges() {
+	d.tele.servingSlots.Set(float64(d.servingSlots))
+	total := d.arr.Geometry().TotalPages() * rber.OPagesPerFPage
+	d.tele.capacityFr.Set(float64(d.servingSlots) / float64(total))
+}
 
 // Retired reports whether the device has shrunk to nothing (or failed).
 func (d *Device) Retired() bool { return d.retired }
@@ -431,7 +540,9 @@ func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
 	if err := d.checkAddr(md, lba, buf, false); err != nil {
 		return err
 	}
-	d.counters.HostWrites++
+	d.tele.hostWrites.Inc()
+	start := d.eng.Now()
+	defer func() { d.tele.writeLatency.Observe(float64(d.eng.Now() - start)) }()
 	key := packKey(md, lba)
 	delete(d.lost, key)
 	var data []byte
@@ -466,7 +577,9 @@ func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
 	if err := d.checkAddr(md, lba, buf, true); err != nil {
 		return err
 	}
-	d.counters.HostReads++
+	d.tele.hostReads.Inc()
+	start := d.eng.Now()
+	defer func() { d.tele.readLatency.Observe(float64(d.eng.Now() - start)) }()
 	key := packKey(md, lba)
 	if d.lost[key] {
 		return blockdev.ErrUncorrectable
@@ -509,10 +622,10 @@ func zero(b []byte) {
 func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
 	out, err := d.readOPageOnce(addr)
 	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
-		d.counters.ReadRetries++
+		d.tele.readRetries.Inc()
 		out, err = d.readOPageOnce(addr)
 		if err == nil {
-			d.counters.RetrySaves++
+			d.tele.retrySaves.Inc()
 		}
 	}
 	return out, err
@@ -535,13 +648,13 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blockdev: %w", err)
 	}
-	d.counters.FlashReads++
+	d.tele.flashReads.Inc()
 	d.eng.Advance(res.Duration)
 	if code == nil {
 		pFail := geom.UncorrectableProb(res.RBER)
 		for s := 0; s < spb; s++ {
 			if d.rng.Float64() < pFail {
-				d.counters.Uncorrectable++
+				d.tele.uncorrectable.Inc()
 				return nil, blockdev.ErrUncorrectable
 			}
 		}
@@ -560,9 +673,17 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		parityOff := dataBytes + sectorGlobal*pb
 		sector := res.Data[dataOff : dataOff+rber.SectorSize]
 		parity := res.Data[parityOff : parityOff+pb]
-		if _, err := code.Decode(sector, parity); err != nil {
-			d.counters.Uncorrectable++
+		bits, err := code.Decode(sector, parity)
+		if err != nil {
+			d.tele.uncorrectable.Inc()
 			return nil, blockdev.ErrUncorrectable
+		}
+		if bits > 0 {
+			d.tele.eccCorrectedBits.Add(uint64(bits))
+			d.tele.tr.Emit(telemetry.Event{
+				T: d.eng.Now(), Kind: telemetry.KindEccCorrection, Layer: "core",
+				Block: addr.PPA.Block, Page: addr.PPA.Page, Level: level, N: int64(bits),
+			})
 		}
 		copy(out[s*rber.SectorSize:], sector)
 	}

@@ -8,6 +8,7 @@ import (
 	"salamander/internal/flash"
 	"salamander/internal/ftl"
 	"salamander/internal/rber"
+	"salamander/internal/telemetry"
 )
 
 var errNoVictim = errors.New("core: no GC victim available")
@@ -54,7 +55,7 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 	if err != nil {
 		return fmt.Errorf("blockdev: %w", err)
 	}
-	d.counters.FlashWrites++
+	d.tele.flashWrites.Inc()
 	d.eng.Advance(dur)
 	pi.progLevel = uint8(level)
 	for slot, e := range entries {
@@ -234,14 +235,18 @@ func (d *Device) collect() error {
 				d.valid.Clear(se.Addr)
 				d.table.Delete(se.Key)
 				d.lost[se.Key] = true
-				d.counters.LostOPages++
+				d.tele.lostOPages.Inc()
 				continue
 			}
 			return err
 		}
-		d.counters.GCRelocations++
+		d.tele.gcRelocations.Inc()
 		moved = append(moved, ftl.BufEntry{Key: se.Key, Data: data})
 	}
+	d.tele.tr.Emit(telemetry.Event{
+		T: d.eng.Now(), Kind: telemetry.KindGcVictim, Layer: "ftl",
+		Block: victim, N: int64(len(moved)),
+	})
 
 	// Pack full fPages; spill the tail into the NV buffer.
 	for len(moved) > 0 {
@@ -263,7 +268,7 @@ func (d *Device) collect() error {
 		if err != nil {
 			return fmt.Errorf("blockdev: %w", err)
 		}
-		d.counters.FlashWrites++
+		d.tele.flashWrites.Inc()
 		d.eng.Advance(dur)
 		d.pages[d.pageIdx(ppa)].progLevel = uint8(level)
 		for slot, e := range entries {
@@ -326,7 +331,7 @@ func (d *Device) pickVictim() (int, bool) {
 			}
 		}
 		if coldest >= 0 && maxPEC-minPEC > d.cfg.WearLevelSpread {
-			d.counters.WearLevelMoves++
+			d.tele.wearLevelMoves.Inc()
 			return coldest, true
 		}
 	}
@@ -360,6 +365,7 @@ func (d *Device) applyTransitions(block int) {
 		ppa := flash.PPA{Block: block, Page: p}
 		pi := &d.pages[d.pageIdx(ppa)]
 		t := d.arr.PageTiredness(ppa)
+		var detail string
 		switch pi.status {
 		case psServing:
 			if t > int(pi.level) {
@@ -367,10 +373,12 @@ func (d *Device) applyTransitions(block int) {
 				d.blockServing[block] -= rber.OPagesPerFPage - int(pi.level)
 				if t > d.cfg.MaxLevel || t > rber.MaxUsableLevel {
 					pi.status = psDead
+					detail = "serving->dead"
 				} else {
 					pi.status = psLimbo
 					pi.level = uint8(t)
 					d.limbo[t]++
+					detail = "serving->limbo"
 				}
 			}
 		case psLimbo:
@@ -378,11 +386,19 @@ func (d *Device) applyTransitions(block int) {
 				d.limbo[pi.level]--
 				if t > d.cfg.MaxLevel || t > rber.MaxUsableLevel {
 					pi.status = psDead
+					detail = "limbo->dead"
 				} else {
 					pi.level = uint8(t)
 					d.limbo[t]++
+					detail = "limbo->limbo"
 				}
 			}
+		}
+		if detail != "" {
+			d.tele.tr.Emit(telemetry.Event{
+				T: d.eng.Now(), Kind: telemetry.KindTirednessTransition, Layer: "core",
+				Block: block, Page: p, Level: t, Detail: detail,
+			})
 		}
 	}
 }
@@ -393,15 +409,26 @@ func (d *Device) applyTransitions(block int) {
 // the GC reserve — decommissioning victims until it does, then regenerates
 // minidisks from accumulated limbo capacity (RegenS).
 func (d *Device) capacityChecks() {
+	shrunk := 0
 	for !d.retired && d.servingSlots < d.liveLBAs+d.reserve {
 		if !d.decommissionOne() {
 			d.retire()
 			return
 		}
+		shrunk++
+	}
+	if shrunk > 0 {
+		// The paper's headline: where the baseline would brick on a capacity
+		// deficit, Salamander sheds minidisks and keeps serving.
+		d.tele.tr.Emit(telemetry.Event{
+			T: d.eng.Now(), Kind: telemetry.KindBrickAvoided, Layer: "core",
+			N: int64(shrunk), Detail: "shrunk instead of bricking",
+		})
 	}
 	if d.cfg.MaxLevel >= 1 {
 		d.maybeRegenerate()
 	}
+	d.updateGauges()
 	if d.liveLBAs == 0 && !d.retired {
 		d.retire()
 	}
@@ -430,13 +457,21 @@ func (d *Device) decommissionOne() bool {
 	d.liveLBAs -= victim.info.LBAs
 	if d.cfg.GraceDecommission {
 		victim.state = mdDraining
-		d.counters.Drains++
+		d.tele.drains.Inc()
+		d.tele.tr.Emit(telemetry.Event{
+			T: d.eng.Now(), Kind: telemetry.KindMinidiskRetire, Layer: "core",
+			Minidisk: int(victim.info.ID), Level: victim.info.Tiredness, Detail: "drain",
+		})
 		d.emit(blockdev.Event{Kind: blockdev.EventDrain, Minidisk: victim.info.ID, Info: victim.info})
 		return true
 	}
 	d.invalidateMinidisk(victim)
 	victim.state = mdDead
-	d.counters.Decommissions++
+	d.tele.decommissions.Inc()
+	d.tele.tr.Emit(telemetry.Event{
+		T: d.eng.Now(), Kind: telemetry.KindMinidiskRetire, Layer: "core",
+		Minidisk: int(victim.info.ID), Level: victim.info.Tiredness, Detail: "decommission",
+	})
 	d.emit(blockdev.Event{Kind: blockdev.EventDecommission, Minidisk: victim.info.ID, Info: victim.info})
 	return true
 }
@@ -467,8 +502,12 @@ func (d *Device) Release(md blockdev.MinidiskID) error {
 	m := d.mdisks[md]
 	d.invalidateMinidisk(m)
 	m.state = mdDead
-	d.counters.Releases++
-	d.counters.Decommissions++
+	d.tele.releases.Inc()
+	d.tele.decommissions.Inc()
+	d.tele.tr.Emit(telemetry.Event{
+		T: d.eng.Now(), Kind: telemetry.KindMinidiskRetire, Layer: "core",
+		Minidisk: int(m.info.ID), Level: m.info.Tiredness, Detail: "release",
+	})
 	d.emit(blockdev.Event{Kind: blockdev.EventDecommission, Minidisk: m.info.ID, Info: m.info})
 	return nil
 }
@@ -499,7 +538,11 @@ func (d *Device) maybeRegenerate() {
 			info := blockdev.MinidiskInfo{ID: id, LBAs: d.cfg.MSizeOPages, Tiredness: j}
 			d.mdisks = append(d.mdisks, &minidisk{info: info})
 			d.liveLBAs += info.LBAs
-			d.counters.Regenerations++
+			d.tele.regenerations.Inc()
+			d.tele.tr.Emit(telemetry.Event{
+				T: d.eng.Now(), Kind: telemetry.KindMinidiskRegen, Layer: "core",
+				Minidisk: int(id), Level: j,
+			})
 			d.emit(blockdev.Event{Kind: blockdev.EventRegenerate, Minidisk: id, Info: info})
 		}
 	}
@@ -559,10 +602,18 @@ func (d *Device) retire() {
 		if m.state == mdDraining {
 			d.invalidateMinidisk(m)
 			m.state = mdDead
-			d.counters.Decommissions++
+			d.tele.decommissions.Inc()
+			d.tele.tr.Emit(telemetry.Event{
+				T: d.eng.Now(), Kind: telemetry.KindMinidiskRetire, Layer: "core",
+				Minidisk: int(m.info.ID), Level: m.info.Tiredness, Detail: "force_release",
+			})
 			d.emit(blockdev.Event{Kind: blockdev.EventDecommission, Minidisk: m.info.ID, Info: m.info})
 		}
 	}
 	d.retired = true
+	d.tele.tr.Emit(telemetry.Event{
+		T: d.eng.Now(), Kind: telemetry.KindMinidiskRetire, Layer: "core",
+		Detail: "device_retired",
+	})
 	d.emit(blockdev.Event{Kind: blockdev.EventBrick})
 }

@@ -64,7 +64,7 @@ func (d *Device) Scrub() (ScrubReport, error) {
 				d.valid.Clear(addr)
 				d.table.Delete(it.key)
 				d.lost[it.key] = true
-				d.counters.LostOPages++
+				d.tele.lostOPages.Inc()
 				rep.Lost++
 				continue
 			}

@@ -22,6 +22,7 @@ import (
 	"salamander/internal/blockdev"
 	"salamander/internal/ec"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // Errors returned by cluster operations.
@@ -172,6 +173,48 @@ type Stats struct {
 	LocalSourceRepairs int64
 }
 
+// cTele holds the registry-backed handles behind Stats(). A fresh cluster
+// binds them to a private registry; Instrument rebinds to a shared one, so
+// Stats() is always a thin view over live telemetry values.
+type cTele struct {
+	putBytes, getBytes *telemetry.Counter
+	recoveryBytes      *telemetry.Counter
+	recoveryReadBytes  *telemetry.Counter
+	recoveryOps        *telemetry.Counter
+	degradedReads      *telemetry.Counter
+	lostChunks         *telemetry.Counter
+	decommissionEvents *telemetry.Counter
+	regenerateEvents   *telemetry.Counter
+	brickEvents        *telemetry.Counter
+	drainEvents        *telemetry.Counter
+	releases           *telemetry.Counter
+	localSourceRepairs *telemetry.Counter
+	objectSize         *telemetry.Histogram
+	repairBytes        *telemetry.Histogram
+	tr                 *telemetry.Tracer
+}
+
+func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) cTele {
+	return cTele{
+		putBytes:           reg.Counter("difs.put_bytes"),
+		getBytes:           reg.Counter("difs.get_bytes"),
+		recoveryBytes:      reg.Counter("difs.recovery_bytes"),
+		recoveryReadBytes:  reg.Counter("difs.recovery_read_bytes"),
+		recoveryOps:        reg.Counter("difs.recovery_ops"),
+		degradedReads:      reg.Counter("difs.degraded_reads"),
+		lostChunks:         reg.Counter("difs.lost_chunks"),
+		decommissionEvents: reg.Counter("difs.decommission_events"),
+		regenerateEvents:   reg.Counter("difs.regenerate_events"),
+		brickEvents:        reg.Counter("difs.brick_events"),
+		drainEvents:        reg.Counter("difs.drain_events"),
+		releases:           reg.Counter("difs.releases"),
+		localSourceRepairs: reg.Counter("difs.local_source_repairs"),
+		objectSize:         reg.Histogram("difs.object_size_bytes"),
+		repairBytes:        reg.Histogram("difs.repair_run_bytes"),
+		tr:                 tr,
+	}
+}
+
 // Cluster is a replicated object store over block devices.
 type Cluster struct {
 	cfg     Config
@@ -181,7 +224,7 @@ type Cluster struct {
 	objects map[string]*object
 	repairQ []*chunk
 	queued  map[*chunk]bool
-	stats   Stats
+	tele    cTele
 	codec   *ec.Code // non-nil in erasure-coding mode
 }
 
@@ -207,8 +250,41 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		targets: map[targetKey]*target{},
 		objects: map[string]*object{},
 		queued:  map[*chunk]bool{},
+		tele:    bindTele(telemetry.NewRegistry(), nil),
 		codec:   codec,
 	}, nil
+}
+
+// Instrument rebinds the cluster's stats to the given shared registry and
+// attaches a tracer. Accumulated counter values carry over; histograms
+// start empty, so instrument at startup for complete distributions. A nil
+// registry detaches back onto a private one. Devices are not instrumented
+// here — call their own Instrument with the same pair for a cross-layer
+// view.
+func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	old := c.tele
+	c.tele = bindTele(reg, tr)
+	carry := func(dst, src *telemetry.Counter) {
+		if dst != src {
+			dst.Add(src.Value())
+		}
+	}
+	carry(c.tele.putBytes, old.putBytes)
+	carry(c.tele.getBytes, old.getBytes)
+	carry(c.tele.recoveryBytes, old.recoveryBytes)
+	carry(c.tele.recoveryReadBytes, old.recoveryReadBytes)
+	carry(c.tele.recoveryOps, old.recoveryOps)
+	carry(c.tele.degradedReads, old.degradedReads)
+	carry(c.tele.lostChunks, old.lostChunks)
+	carry(c.tele.decommissionEvents, old.decommissionEvents)
+	carry(c.tele.regenerateEvents, old.regenerateEvents)
+	carry(c.tele.brickEvents, old.brickEvents)
+	carry(c.tele.drainEvents, old.drainEvents)
+	carry(c.tele.releases, old.releases)
+	carry(c.tele.localSourceRepairs, old.localSourceRepairs)
 }
 
 // AddNode attaches a node with its devices. The cluster registers itself
@@ -251,16 +327,16 @@ func (c *Cluster) addTarget(nid NodeID, dev int, info blockdev.MinidiskInfo) {
 func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
 	switch e.Kind {
 	case blockdev.EventDecommission:
-		c.stats.DecommissionEvents++
+		c.tele.decommissionEvents.Inc()
 		c.loseTarget(targetKey{nid, dev, e.Minidisk})
 	case blockdev.EventDrain:
-		c.stats.DrainEvents++
+		c.tele.drainEvents.Inc()
 		c.drainTarget(targetKey{nid, dev, e.Minidisk})
 	case blockdev.EventRegenerate:
-		c.stats.RegenerateEvents++
+		c.tele.regenerateEvents.Inc()
 		c.addTarget(nid, dev, e.Info)
 	case blockdev.EventBrick:
-		c.stats.BrickEvents++
+		c.tele.brickEvents.Inc()
 		for key, t := range c.targets {
 			if key.node == nid && key.dev == dev && t.state != tDead {
 				c.loseTarget(key)
@@ -312,8 +388,26 @@ func (c *Cluster) enqueueRepair(ch *chunk) {
 	}
 }
 
-// Stats returns an activity snapshot.
-func (c *Cluster) Stats() Stats { return c.stats }
+// Stats returns an activity snapshot. The struct is a thin view built from
+// the cluster's registry-backed telemetry handles at call time; mutating
+// the returned value has no effect on the live cluster.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		PutBytes:           int64(c.tele.putBytes.Value()),
+		GetBytes:           int64(c.tele.getBytes.Value()),
+		RecoveryBytes:      int64(c.tele.recoveryBytes.Value()),
+		RecoveryReadBytes:  int64(c.tele.recoveryReadBytes.Value()),
+		RecoveryOps:        int64(c.tele.recoveryOps.Value()),
+		DegradedReads:      int64(c.tele.degradedReads.Value()),
+		LostChunks:         int64(c.tele.lostChunks.Value()),
+		DecommissionEvents: int64(c.tele.decommissionEvents.Value()),
+		RegenerateEvents:   int64(c.tele.regenerateEvents.Value()),
+		BrickEvents:        int64(c.tele.brickEvents.Value()),
+		DrainEvents:        int64(c.tele.drainEvents.Value()),
+		Releases:           int64(c.tele.releases.Value()),
+		LocalSourceRepairs: int64(c.tele.localSourceRepairs.Value()),
+	}
+}
 
 // PendingRepairs reports queued under-replicated chunks.
 func (c *Cluster) PendingRepairs() int { return len(c.repairQ) }
@@ -473,9 +567,10 @@ func (c *Cluster) Put(name string, data []byte) error {
 			c.enqueueRepair(ch)
 		}
 		obj.chunks = append(obj.chunks, ch)
-		c.stats.PutBytes += int64(len(padded)) * int64(placed)
+		c.tele.putBytes.Add(uint64(len(padded)) * uint64(placed))
 	}
 	c.objects[name] = obj
+	c.tele.objectSize.Observe(float64(len(data)))
 	return nil
 }
 
@@ -500,7 +595,7 @@ func (c *Cluster) Get(name string) ([]byte, error) {
 			c.enqueueRepair(ch)
 		}
 		copy(out[i*cb:], buf)
-		c.stats.GetBytes += int64(cb)
+		c.tele.getBytes.Add(uint64(cb))
 	}
 	return out[:obj.size], nil
 }
@@ -526,7 +621,7 @@ func (c *Cluster) readAnyReplica(ch *chunk, buf []byte) error {
 		err := c.readChunk(r, buf)
 		if err == nil {
 			if degraded || i > 0 || firstErr != nil {
-				c.stats.DegradedReads++
+				c.tele.degradedReads.Inc()
 			}
 			return nil
 		}
@@ -586,6 +681,18 @@ func (c *Cluster) Delete(name string) error {
 func (c *Cluster) Repair() (copies int, err error) {
 	queue := c.repairQ
 	c.repairQ = nil
+	c.tele.tr.Emit(telemetry.Event{
+		Kind: telemetry.KindRepairStart, Layer: "difs", N: int64(len(queue)),
+	})
+	bytesBefore := c.tele.recoveryBytes.Value()
+	defer func() {
+		written := c.tele.recoveryBytes.Value() - bytesBefore
+		c.tele.repairBytes.Observe(float64(written))
+		c.tele.tr.Emit(telemetry.Event{
+			Kind: telemetry.KindRepairEnd, Layer: "difs",
+			N: int64(copies), Bytes: int64(written),
+		})
+	}()
 	var drainingTouched []*target
 	for _, ch := range queue {
 		delete(c.queued, ch)
@@ -610,11 +717,11 @@ func (c *Cluster) Repair() (copies int, err error) {
 			if ch.stripe != nil {
 				// Erasure-coded shard: rebuild from its stripe siblings.
 				if !c.repairShard(ch) {
-					c.stats.LostChunks++
+					c.tele.lostChunks.Inc()
 				}
 				continue
 			}
-			c.stats.LostChunks++
+			c.tele.lostChunks.Inc()
 			continue
 		}
 		buf := make([]byte, c.chunkBytes())
@@ -622,13 +729,13 @@ func (c *Cluster) Repair() (copies int, err error) {
 			if ch.stripe != nil && c.repairShard(ch) {
 				continue
 			}
-			c.stats.LostChunks++
+			c.tele.lostChunks.Inc()
 			continue
 		}
 		if hadDraining {
-			c.stats.LocalSourceRepairs++
+			c.tele.localSourceRepairs.Inc()
 		}
-		c.stats.RecoveryReadBytes += int64(c.chunkBytes())
+		c.tele.recoveryReadBytes.Add(uint64(c.chunkBytes()))
 		for c.liveReplicas(ch) < c.wantReplicas(ch) {
 			exclude := map[NodeID]bool{}
 			for _, r := range ch.replicas {
@@ -647,8 +754,8 @@ func (c *Cluster) Repair() (copies int, err error) {
 				break
 			}
 			copies++
-			c.stats.RecoveryOps++
-			c.stats.RecoveryBytes += int64(c.chunkBytes())
+			c.tele.recoveryOps.Inc()
+			c.tele.recoveryBytes.Add(uint64(c.chunkBytes()))
 		}
 		// Fully replicated again: the draining copies are no longer needed.
 		if c.liveReplicas(ch) >= c.cfg.ReplicationFactor {
@@ -664,7 +771,7 @@ func (c *Cluster) Repair() (copies int, err error) {
 		if t.state == tDraining && len(t.chunks) == 0 {
 			if dr, ok := t.dev.(blockdev.Drainer); ok {
 				if err := dr.Release(t.key.md); err == nil {
-					c.stats.Releases++
+					c.tele.releases.Inc()
 				}
 			}
 			t.state = tDead

@@ -7,6 +7,7 @@ import (
 
 	"salamander/internal/blockdev"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // memCluster builds a cluster of n nodes, each with one MemDevice exposing
@@ -389,5 +390,61 @@ func TestPlacementPolicies(t *testing.T) {
 	}
 	if got := countUsedDisks(PlacementPack); got != 1 {
 		t.Errorf("pack used %d minidisks, want 1", got)
+	}
+}
+
+// TestStatsSnapshotIsolation pins the documented Stats() contract: the
+// returned struct is a point-in-time copy, so mutating it never touches
+// the live cluster.
+func TestStatsSnapshotIsolation(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 3, 4, 64)
+	rng := stats.NewRNG(3)
+	if err := c.Put("obj", objData(rng, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("obj"); err != nil {
+		t.Fatal(err)
+	}
+
+	before := c.Stats()
+	if before.PutBytes == 0 || before.GetBytes == 0 {
+		t.Fatalf("unexpected baseline stats: %+v", before)
+	}
+	mutated := c.Stats()
+	mutated.PutBytes = -1
+	mutated.RecoveryOps = 9999
+	if after := c.Stats(); after != before {
+		t.Errorf("mutating the snapshot changed the cluster: %+v vs %+v", after, before)
+	}
+}
+
+// TestInstrumentCarriesStats: rebinding the cluster to a shared registry
+// carries accumulated values and routes later activity there.
+func TestInstrumentCarriesStats(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 3, 4, 64)
+	rng := stats.NewRNG(3)
+	data := objData(rng, 50000)
+	if err := c.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	putBytes := c.Stats().PutBytes
+
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg, nil)
+	if got := reg.Counter("difs.put_bytes").Value(); int64(got) != putBytes {
+		t.Fatalf("carried put_bytes = %d, want %d", got, putBytes)
+	}
+	c.Instrument(reg, nil) // same registry: must not double-count
+	if got := reg.Counter("difs.put_bytes").Value(); int64(got) != putBytes {
+		t.Fatalf("re-instrument doubled put_bytes: %d", got)
+	}
+	if err := c.Put("obj2", data); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().PutBytes; got != 2*putBytes {
+		t.Fatalf("PutBytes after second put = %d, want %d", got, 2*putBytes)
+	}
+	if got := reg.Counter("difs.put_bytes").Value(); int64(got) != 2*putBytes {
+		t.Fatalf("shared registry missed a put: %d", got)
 	}
 }

@@ -68,12 +68,13 @@ func (c *Cluster) putEC(name string, data []byte) error {
 				return fmt.Errorf("%w: object %q stripe %d shard %d (EC needs %d nodes with space)",
 					ErrNoSpace, name, s, i, k+m)
 			}
-			c.stats.PutBytes += int64(cb)
+			c.tele.putBytes.Add(uint64(cb))
 		}
 		obj.chunks = append(obj.chunks, st.chunks[:k]...)
 		obj.stripes = append(obj.stripes, st)
 	}
 	c.objects[name] = obj
+	c.tele.objectSize.Observe(float64(len(data)))
 	return nil
 }
 
@@ -123,7 +124,7 @@ func (c *Cluster) readStripeShards(st *stripe, skip *chunk, forRepair bool) ([][
 		shards[i] = buf
 		have++
 		if forRepair {
-			c.stats.RecoveryReadBytes += int64(cb)
+			c.tele.recoveryReadBytes.Add(uint64(cb))
 		}
 	}
 	return shards, have
@@ -139,7 +140,7 @@ func (c *Cluster) reconstructInto(ch *chunk, buf []byte) error {
 		return err
 	}
 	copy(buf, shards[ch.shardIdx])
-	c.stats.DegradedReads++
+	c.tele.degradedReads.Inc()
 	return nil
 }
 
@@ -170,8 +171,8 @@ func (c *Cluster) repairShard(ch *chunk) bool {
 		}
 		exclude[tgts[0].key.node] = true
 		if err := c.writeChunk(tgts[0], ch, content); err == nil {
-			c.stats.RecoveryOps++
-			c.stats.RecoveryBytes += int64(c.chunkBytes())
+			c.tele.recoveryOps.Inc()
+			c.tele.recoveryBytes.Add(uint64(c.chunkBytes()))
 			return true
 		}
 	}

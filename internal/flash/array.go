@@ -7,6 +7,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // Operation errors. Programming out of order or re-programming without an
@@ -94,6 +95,44 @@ type Array struct {
 	// Counters for SMART-style reporting.
 	readOps, programOps, eraseOps uint64
 	injectedFlips                 uint64
+
+	tele *arrayTele // optional cross-layer telemetry (nil = uninstrumented)
+}
+
+// arrayTele holds the flash layer's resolved registry handles and tracer.
+type arrayTele struct {
+	programs, reads, erases *telemetry.Counter
+	flips, eraseFails       *telemetry.Counter
+	rberHist                *telemetry.Histogram
+	progLatency             *telemetry.Histogram
+	readLatency             *telemetry.Histogram
+	tr                      *telemetry.Tracer
+}
+
+// Instrument attaches the array to a shared telemetry registry and tracer
+// (either may be nil). Counters aggregate across every array bound to the
+// same registry, which is the fleet-level view the CLIs want. Programs emit
+// KindPageProgram events; reads feed the flash.rber histogram that PS-WL
+// style wear analyses need. Call before issuing operations.
+func (a *Array) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil && tr == nil {
+		a.tele = nil
+		return
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	a.tele = &arrayTele{
+		programs:    reg.Counter("flash.program_ops"),
+		reads:       reg.Counter("flash.read_ops"),
+		erases:      reg.Counter("flash.erase_ops"),
+		flips:       reg.Counter("flash.injected_bit_flips"),
+		eraseFails:  reg.Counter("flash.erase_failures"),
+		rberHist:    reg.Histogram("flash.rber"),
+		progLatency: reg.Histogram("flash.program_latency_ns"),
+		readLatency: reg.Histogram("flash.read_latency_ns"),
+		tr:          tr,
+	}
 }
 
 // New builds an array. All blocks start erased.
@@ -170,7 +209,16 @@ func (a *Array) Program(ppa PPA, data []byte) (sim.Time, error) {
 	pg.scale = blk.pageScale[ppa.Page]
 	blk.nextPage = ppa.Page + 1
 	a.programOps++
-	return a.cfg.Timing.ProgramTime(a.cfg.Geometry.RawPageBytes()), nil
+	dur := a.cfg.Timing.ProgramTime(a.cfg.Geometry.RawPageBytes())
+	if t := a.tele; t != nil {
+		t.programs.Inc()
+		t.progLatency.Observe(float64(dur))
+		t.tr.Emit(telemetry.Event{
+			Kind: telemetry.KindPageProgram, Layer: "flash",
+			Block: ppa.Block, Page: ppa.Page,
+		})
+	}
+	return dur, nil
 }
 
 // ReadResult reports one page read.
@@ -222,6 +270,12 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 		}
 		a.injectedFlips += uint64(flips)
 	}
+	if t := a.tele; t != nil {
+		t.reads.Inc()
+		t.flips.Add(uint64(flips))
+		t.rberHist.Observe(rberEff)
+		t.readLatency.Observe(float64(res.Duration))
+	}
 	return res, nil
 }
 
@@ -247,6 +301,9 @@ func (a *Array) Erase(blockID int) (sim.Time, error) {
 	failAt := a.cfg.EraseFailPEC * a.model.NominalPEC * float64(blk.scale)
 	if float64(blk.pec) >= failAt {
 		blk.dead = true
+		if t := a.tele; t != nil {
+			t.eraseFails.Inc()
+		}
 		return a.cfg.Timing.EraseBlock, fmt.Errorf("%w: block %d at PEC %d", ErrEraseFailed, blockID, blk.pec)
 	}
 	blk.pec++
@@ -257,6 +314,9 @@ func (a *Array) Erase(blockID int) (sim.Time, error) {
 		blk.pages[p].data = nil
 	}
 	a.eraseOps++
+	if t := a.tele; t != nil {
+		t.erases.Inc()
+	}
 	return a.cfg.Timing.EraseBlock, nil
 }
 

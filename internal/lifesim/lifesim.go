@@ -24,6 +24,7 @@ import (
 
 	"salamander/internal/rber"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // Mode selects the device policy.
@@ -77,6 +78,12 @@ type Config struct {
 	// StepDays is the simulation step; MaxDays bounds the run.
 	StepDays, MaxDays float64
 	Seed              uint64
+	// Telemetry, when non-nil, receives fleet counters and lifetime
+	// histograms under the "lifesim." prefix; Tracer, when non-nil,
+	// receives a minidisk_retire event per device death (N carries the
+	// death day — the statistical model has no virtual clock).
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // DefaultConfig returns a 64-device fleet at 1 DWPD.
@@ -210,6 +217,26 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg}
+	var deaths, bricks, retires, afrDeaths *telemetry.Counter
+	var lifeHist *telemetry.Histogram
+	if cfg.Telemetry != nil {
+		deaths = cfg.Telemetry.Counter("lifesim.device_deaths")
+		bricks = cfg.Telemetry.Counter("lifesim.bricks")
+		retires = cfg.Telemetry.Counter("lifesim.capacity_retires")
+		afrDeaths = cfg.Telemetry.Counter("lifesim.afr_deaths")
+		lifeHist = cfg.Telemetry.Histogram("lifesim.lifetime_days")
+	}
+	die := func(day float64, why string, c *telemetry.Counter) {
+		if cfg.Telemetry != nil {
+			deaths.Inc()
+			c.Inc()
+			lifeHist.Observe(day)
+		}
+		cfg.Tracer.Emit(telemetry.Event{
+			Kind: telemetry.KindMinidiskRetire, Layer: "lifesim",
+			N: int64(day), Detail: why,
+		})
+	}
 	slotsPerPage := float64(rber.OPagesPerFPage)
 	for day := 0.0; day <= cfg.MaxDays; day += cfg.StepDays {
 		aliveN := 0
@@ -220,6 +247,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if day >= d.randomDeath {
 				d.kill(day, d.capFrac)
+				die(day, "afr", afrDeaths)
 				continue
 			}
 			// Wear advances with the absolute byte load concentrated on
@@ -234,6 +262,7 @@ func Run(cfg Config) (*Result, error) {
 				if float64(bad)/float64(len(d.blockMins)) > cfg.BrickThreshold {
 					d.failedSlots += d.capFrac // everything fails at once
 					d.kill(day, 0)
+					die(day, "brick", bricks)
 					continue
 				}
 				d.capFrac = 1
@@ -268,6 +297,7 @@ func Run(cfg Config) (*Result, error) {
 					// Remaining capacity fails when the device is pulled.
 					d.failedSlots += d.capFrac
 					d.kill(day, 0)
+					die(day, "capacity_retire", retires)
 					continue
 				}
 			}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -74,5 +75,66 @@ func TestRenderSeries(t *testing.T) {
 	// The final row has a blank cell for the shorter series.
 	if !strings.Contains(lines[5], "16") {
 		t.Errorf("long-series tail missing: %q", lines[5])
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	// A table with headers but no rows renders header + separator only,
+	// sized to the headers.
+	tb := NewTable("mode", "value")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "mode") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if lines[1] != "----  -----" {
+		t.Errorf("separator: %q", lines[1])
+	}
+
+	// No headers and no rows: two empty lines, no panic.
+	empty := NewTable()
+	if got := empty.String(); got != "\n\n" {
+		t.Errorf("headerless table = %q", got)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row("only-one")            // shorter than the header
+	tb.Row("x", "y", "overflow")  // longer: extras reuse the last width
+	tb.Row("wiiiiiiide", 1, 2, 3) // widens column 0 and overflows
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "overflow") {
+		t.Errorf("overflow cell dropped: %q", lines[3])
+	}
+	// Alignment still holds for the declared columns.
+	idx := strings.Index(lines[0], "b")
+	if !strings.HasPrefix(lines[3][idx:], "y") {
+		t.Errorf("column b misaligned after ragged rows: %q", lines[3])
+	}
+	if !strings.HasPrefix(strings.TrimRight(lines[2], " "), "only-one") {
+		t.Errorf("short row: %q", lines[2])
+	}
+}
+
+func TestTableSpecialFloats(t *testing.T) {
+	tb := NewTable("v")
+	tb.Row(-1.5)
+	tb.Row(-0.000123456)
+	tb.Row(math.NaN())
+	tb.Row(math.Inf(1))
+	tb.Row(math.Inf(-1))
+	out := tb.String()
+	for _, want := range []string{"-1.5", "-0.0001235", "NaN", "+Inf", "-Inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }

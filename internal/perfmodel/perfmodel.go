@@ -19,6 +19,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // DegradationFactor returns the paper's 4/(4-L) factor for a uniform
@@ -80,6 +81,11 @@ type Config struct {
 	// measures a serial device.
 	Channels int
 	Seed     uint64
+	// Telemetry/Tracer, when non-nil, instrument the measurement's flash
+	// array: flash.* op counters, latency histograms, and page_program
+	// events flow into them.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // DefaultConfig measures 32MB datasets with 2000 random reads per point.
@@ -124,6 +130,9 @@ func Measure(cfg Config, f float64) (*Result, error) {
 	arr, err := flash.New(fcfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil || cfg.Tracer != nil {
+		arr.Instrument(cfg.Telemetry, cfg.Tracer)
 	}
 	rng := stats.NewRNG(cfg.Seed)
 

@@ -18,6 +18,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // Config parameterizes a baseline device.
@@ -90,6 +91,42 @@ func (c Counters) WriteAmplification() float64 {
 	return float64(slots) / float64(c.HostWrites)
 }
 
+// devTele holds the registry-backed handles behind Counters(). A fresh
+// device binds them to a private registry; Instrument rebinds to a shared
+// one, so Counters() is always a thin view over live telemetry values.
+type devTele struct {
+	hostReads, hostWrites   *telemetry.Counter
+	flashReads, flashWrites *telemetry.Counter
+	gcRelocations           *telemetry.Counter
+	uncorrectable           *telemetry.Counter
+	lostOPages              *telemetry.Counter
+	readRetries, retrySaves *telemetry.Counter
+	wearLevelMoves          *telemetry.Counter
+	eccCorrectedBits        *telemetry.Counter
+	readLatency             *telemetry.Histogram
+	writeLatency            *telemetry.Histogram
+	tr                      *telemetry.Tracer
+}
+
+func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
+	return devTele{
+		hostReads:        reg.Counter("ssd.host_reads"),
+		hostWrites:       reg.Counter("ssd.host_writes"),
+		flashReads:       reg.Counter("ssd.flash_reads"),
+		flashWrites:      reg.Counter("ssd.flash_writes"),
+		gcRelocations:    reg.Counter("ssd.gc_relocations"),
+		uncorrectable:    reg.Counter("ssd.uncorrectable"),
+		lostOPages:       reg.Counter("ssd.lost_opages"),
+		readRetries:      reg.Counter("ssd.read_retries"),
+		retrySaves:       reg.Counter("ssd.retry_saves"),
+		wearLevelMoves:   reg.Counter("ssd.wear_level_moves"),
+		eccCorrectedBits: reg.Counter("ssd.ecc_corrected_bits"),
+		readLatency:      reg.Histogram("ssd.host_read_latency_ns"),
+		writeLatency:     reg.Histogram("ssd.host_write_latency_ns"),
+		tr:               tr,
+	}
+}
+
 // Device is a baseline SSD.
 type Device struct {
 	cfg   Config
@@ -113,13 +150,13 @@ type Device struct {
 
 	lost map[int64]bool // LBAs whose data was lost during GC
 
-	lbas     int // exported capacity in oPages
-	slotsPP  int // oPages per fPage
-	spb      int // sectors per oPage
-	bricked  bool
-	inGC     bool
-	notify   func(blockdev.Event)
-	counters Counters
+	lbas    int // exported capacity in oPages
+	slotsPP int // oPages per fPage
+	spb     int // sectors per oPage
+	bricked bool
+	inGC    bool
+	notify  func(blockdev.Event)
+	tele    devTele
 }
 
 // New builds a baseline device on a fresh flash array, attached to the
@@ -155,6 +192,7 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 		lost:    map[int64]bool{},
 		slotsPP: g.PageSize / rber.OPageSize,
 		spb:     rber.OPageSize / rber.SectorSize,
+		tele:    bindTele(telemetry.NewRegistry(), nil),
 	}
 	if cfg.RealECC {
 		if !cfg.Flash.StoreData {
@@ -190,11 +228,53 @@ func (d *Device) LBAs() int { return d.lbas }
 // Engine returns the simulation engine the device advances.
 func (d *Device) Engine() *sim.Engine { return d.eng }
 
-// Counters returns an activity snapshot.
+// Counters returns an activity snapshot. The struct is a thin view built
+// from the device's registry-backed telemetry handles at call time;
+// mutating the returned value has no effect on the live device.
 func (d *Device) Counters() Counters {
-	c := d.counters
-	c.BadBlocks = d.badBlocks()
-	return c
+	return Counters{
+		HostReads:      d.tele.hostReads.Value(),
+		HostWrites:     d.tele.hostWrites.Value(),
+		FlashReads:     d.tele.flashReads.Value(),
+		FlashWrites:    d.tele.flashWrites.Value(),
+		GCRelocations:  d.tele.gcRelocations.Value(),
+		Uncorrectable:  d.tele.uncorrectable.Value(),
+		BadBlocks:      d.badBlocks(),
+		LostOPages:     d.tele.lostOPages.Value(),
+		ReadRetries:    d.tele.readRetries.Value(),
+		RetrySaves:     d.tele.retrySaves.Value(),
+		WearLevelMoves: d.tele.wearLevelMoves.Value(),
+	}
+}
+
+// Instrument rebinds the device's counters to the given shared registry and
+// attaches a tracer, and instruments the underlying flash array with the
+// same pair. Accumulated counter values carry over; histograms start empty,
+// so instrument at startup for complete latency distributions. A nil
+// registry detaches back onto a private one.
+func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	old := d.tele
+	d.tele = bindTele(reg, tr)
+	carry := func(dst, src *telemetry.Counter) {
+		if dst != src {
+			dst.Add(src.Value())
+		}
+	}
+	carry(d.tele.hostReads, old.hostReads)
+	carry(d.tele.hostWrites, old.hostWrites)
+	carry(d.tele.flashReads, old.flashReads)
+	carry(d.tele.flashWrites, old.flashWrites)
+	carry(d.tele.gcRelocations, old.gcRelocations)
+	carry(d.tele.uncorrectable, old.uncorrectable)
+	carry(d.tele.lostOPages, old.lostOPages)
+	carry(d.tele.readRetries, old.readRetries)
+	carry(d.tele.retrySaves, old.retrySaves)
+	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
+	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
+	d.arr.Instrument(reg, tr)
 }
 
 // Bricked reports whether the device has failed.
@@ -246,7 +326,9 @@ func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
 	if err := d.checkAddr(md, lba, buf); err != nil {
 		return err
 	}
-	d.counters.HostWrites++
+	d.tele.hostWrites.Inc()
+	start := d.eng.Now()
+	defer func() { d.tele.writeLatency.Observe(float64(d.eng.Now() - start)) }()
 	delete(d.lost, int64(lba))
 	var data []byte
 	if d.cfg.Flash.StoreData {
@@ -293,7 +375,9 @@ func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
 	if err := d.checkAddr(md, lba, buf); err != nil {
 		return err
 	}
-	d.counters.HostReads++
+	d.tele.hostReads.Inc()
+	start := d.eng.Now()
+	defer func() { d.tele.readLatency.Observe(float64(d.eng.Now() - start)) }()
 	key := int64(lba)
 	if d.lost[key] {
 		return blockdev.ErrUncorrectable
@@ -336,10 +420,10 @@ func zero(b []byte) {
 func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
 	out, err := d.readOPageOnce(addr)
 	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
-		d.counters.ReadRetries++
+		d.tele.readRetries.Inc()
 		out, err = d.readOPageOnce(addr)
 		if err == nil {
-			d.counters.RetrySaves++
+			d.tele.retrySaves.Inc()
 		}
 	}
 	return out, err
@@ -355,7 +439,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blockdev: %w", err)
 	}
-	d.counters.FlashReads++
+	d.tele.flashReads.Inc()
 	d.eng.Advance(res.Duration)
 	if d.codec == nil {
 		// Analytic path: each of the oPage's sectors fails independently
@@ -363,7 +447,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		pFail := d.geom.UncorrectableProb(res.RBER)
 		for s := 0; s < d.spb; s++ {
 			if d.rng.Float64() < pFail {
-				d.counters.Uncorrectable++
+				d.tele.uncorrectable.Inc()
 				return nil, blockdev.ErrUncorrectable
 			}
 		}
@@ -381,9 +465,17 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		parityOff := d.arr.Geometry().PageSize + sectorGlobal*pb
 		sector := res.Data[dataOff : dataOff+rber.SectorSize]
 		parity := res.Data[parityOff : parityOff+pb]
-		if _, err := d.codec.Decode(sector, parity); err != nil {
-			d.counters.Uncorrectable++
+		bits, err := d.codec.Decode(sector, parity)
+		if err != nil {
+			d.tele.uncorrectable.Inc()
 			return nil, blockdev.ErrUncorrectable
+		}
+		if bits > 0 {
+			d.tele.eccCorrectedBits.Add(uint64(bits))
+			d.tele.tr.Emit(telemetry.Event{
+				T: d.eng.Now(), Kind: telemetry.KindEccCorrection, Layer: "ssd",
+				Block: addr.PPA.Block, Page: addr.PPA.Page, N: int64(bits),
+			})
 		}
 		copy(out[s*rber.SectorSize:], sector)
 	}
@@ -410,7 +502,7 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 	if err != nil {
 		return fmt.Errorf("blockdev: %w", err)
 	}
-	d.counters.FlashWrites++
+	d.tele.flashWrites.Inc()
 	d.eng.Advance(dur)
 	for slot, e := range entries {
 		addr := ftl.OPageAddr{PPA: ppa, Slot: slot}
@@ -553,6 +645,10 @@ func (d *Device) brick() {
 		return
 	}
 	d.bricked = true
+	d.tele.tr.Emit(telemetry.Event{
+		T: d.eng.Now(), Kind: telemetry.KindMinidiskRetire, Layer: "ssd",
+		Detail: "brick",
+	})
 	if d.notify != nil {
 		d.notify(blockdev.Event{Kind: blockdev.EventBrick})
 	}
@@ -585,7 +681,7 @@ func (d *Device) pickVictim() (int, bool) {
 			first = false
 		}
 		if coldest >= 0 && maxPEC-minPEC > d.cfg.WearLevelSpread {
-			d.counters.WearLevelMoves++
+			d.tele.wearLevelMoves.Inc()
 			return coldest, true
 		}
 	}
@@ -629,14 +725,18 @@ func (d *Device) collect() error {
 				d.valid.Clear(se.Addr)
 				d.table.Delete(se.Key)
 				d.lost[se.Key] = true
-				d.counters.LostOPages++
+				d.tele.lostOPages.Inc()
 				continue
 			}
 			return err
 		}
-		d.counters.GCRelocations++
+		d.tele.gcRelocations.Inc()
 		moved = append(moved, ftl.BufEntry{Key: se.Key, Data: data})
 	}
+	d.tele.tr.Emit(telemetry.Event{
+		T: d.eng.Now(), Kind: telemetry.KindGcVictim, Layer: "ftl",
+		Block: victim, N: int64(len(moved)),
+	})
 
 	// Pack full fPages into the GC block; the remainder rides in the NV
 	// buffer until host traffic (or a later GC) fills a page.
@@ -668,7 +768,7 @@ func (d *Device) collect() error {
 		if err != nil {
 			return fmt.Errorf("blockdev: %w", err)
 		}
-		d.counters.FlashWrites++
+		d.tele.flashWrites.Inc()
 		d.eng.Advance(dur)
 		for slot, e := range entries {
 			a := ftl.OPageAddr{PPA: ppa, Slot: slot}

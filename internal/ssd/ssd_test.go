@@ -10,6 +10,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 // testConfig returns a small real-ECC device: 2x8 blocks x 8 pages = 8 MiB.
@@ -388,5 +389,69 @@ func TestBaselineConformance(t *testing.T) {
 	d, _ := mustDevice(t, testConfig())
 	if err := blockdev.CheckConformance(d); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCountersSnapshotIsolation pins the documented Counters() contract:
+// the returned struct is a point-in-time copy, so mutating it never
+// touches the live device.
+func TestCountersSnapshotIsolation(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	buf := pattern(5)
+	for lba := 0; lba < 8; lba++ {
+		if err := d.Write(0, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(0, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	before := d.Counters()
+	if before.HostWrites != 8 || before.HostReads != 1 {
+		t.Fatalf("unexpected baseline counters: %+v", before)
+	}
+	mutated := d.Counters()
+	mutated.HostWrites = 9999
+	mutated.FlashWrites = 9999
+	mutated.BadBlocks = -1
+	if after := d.Counters(); after != before {
+		t.Errorf("mutating the snapshot changed the device: %+v vs %+v", after, before)
+	}
+}
+
+// TestInstrumentCarriesCounters verifies that rebinding to a shared
+// registry carries accumulated counts and that later activity lands in the
+// shared registry (and only once — re-instrumenting with the same registry
+// must not double-count).
+func TestInstrumentCarriesCounters(t *testing.T) {
+	d, _ := mustDevice(t, testConfig())
+	buf := pattern(6)
+	for lba := 0; lba < 4; lba++ {
+		if err := d.Write(0, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	d.Instrument(reg, nil)
+	if got := reg.Counter("ssd.host_writes").Value(); got != 4 {
+		t.Fatalf("carried host_writes = %d, want 4", got)
+	}
+	d.Instrument(reg, nil) // same registry: must be a no-op for values
+	if got := reg.Counter("ssd.host_writes").Value(); got != 4 {
+		t.Fatalf("re-instrument doubled host_writes: %d", got)
+	}
+	if err := d.Write(0, 5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ssd.host_writes").Value(); got != 5 {
+		t.Fatalf("shared registry missed a write: %d", got)
+	}
+	if got := d.Counters().HostWrites; got != 5 {
+		t.Fatalf("Counters() diverged from registry: %d", got)
 	}
 }

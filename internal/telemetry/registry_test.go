@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ssd.host_writes")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if r.Counter("ssd.host_writes") != c {
+		t.Fatal("Counter not idempotent: second lookup returned a new handle")
+	}
+	g := r.Gauge("core.capacity_frac")
+	g.Set(0.75)
+	g.Add(0.05)
+	if got := g.Value(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("gauge = %v, want 0.8", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ssd.read_latency_ns")
+	// 100 observations at 1000, 10 at 100000.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	s := r.Snapshot().Histograms["ssd.read_latency_ns"]
+	if s.Count != 110 {
+		t.Fatalf("count = %d, want 110", s.Count)
+	}
+	if want := (100*1000.0 + 10*100000.0) / 110; math.Abs(s.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", s.Mean(), want)
+	}
+	// p50 must land in the 1000 bucket (within 2x), p99 near 100000.
+	if p := s.Quantile(0.5); p < 500 || p > 2000 {
+		t.Fatalf("p50 = %v, want within the 1000 bucket", p)
+	}
+	if p := s.Quantile(0.99); p < 50000 || p > 200000 {
+		t.Fatalf("p99 = %v, want within the 100000 bucket", p)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(1e-300) // far under the smallest bucket
+	h.Observe(1e300)  // far over the largest
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5", h.N())
+	}
+	s := h.snapshot()
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Fatalf("bucketed = %d, want 5 (no sample may be lost)", total)
+	}
+	// RBER-scale values land in a finite bucket, not the underflow bucket.
+	h2 := &Histogram{}
+	h2.Observe(1e-10)
+	b := h2.snapshot().Buckets[0]
+	if b.Lo <= 0 || b.Hi >= 1 {
+		t.Fatalf("1e-10 bucket [%v,%v) should be a proper sub-unit bucket", b.Lo, b.Hi)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("difs.recovery_ops")
+	h := r.Histogram("difs.repair_bytes")
+	g := r.Gauge("difs.pending")
+	c.Add(5)
+	h.Observe(4096)
+	g.Set(3)
+	before := r.Snapshot()
+	c.Add(7)
+	h.Observe(4096)
+	h.Observe(65536)
+	g.Set(1)
+	diff := r.Snapshot().Diff(before)
+	if diff.Counters["difs.recovery_ops"] != 7 {
+		t.Fatalf("counter delta = %d, want 7", diff.Counters["difs.recovery_ops"])
+	}
+	dh := diff.Histograms["difs.repair_bytes"]
+	if dh.Count != 2 {
+		t.Fatalf("hist delta count = %d, want 2", dh.Count)
+	}
+	if math.Abs(dh.Sum-(4096+65536)) > 1e-9 {
+		t.Fatalf("hist delta sum = %v, want %v", dh.Sum, 4096+65536.0)
+	}
+	if diff.Gauges["difs.pending"] != 1 {
+		t.Fatalf("gauge in diff = %v, want current value 1", diff.Gauges["difs.pending"])
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.x").Add(2)
+	s := r.Snapshot()
+	s.Counters["a.x"] = 999
+	if got := r.Counter("a.x").Value(); got != 2 {
+		t.Fatalf("mutating a snapshot changed the live counter: %d", got)
+	}
+	if got := r.Snapshot().Counters["a.x"]; got != 2 {
+		t.Fatalf("fresh snapshot = %d, want 2", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flash.program_ops").Add(42)
+	r.Gauge("core.capacity_frac").Set(0.5)
+	r.Histogram("ssd.read_latency_ns").Observe(55000)
+	s := r.Snapshot()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["flash.program_ops"] != 42 {
+		t.Fatalf("counter lost in round trip: %+v", back.Counters)
+	}
+	if back.Histograms["ssd.read_latency_ns"].Count != 1 {
+		t.Fatalf("histogram lost in round trip: %+v", back.Histograms)
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("hot.counter").Inc()
+				r.Histogram("hot.hist").Observe(float64(i + 1))
+				r.Gauge("hot.gauge").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hot.counter").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("hot.hist").N(); got != workers*per {
+		t.Fatalf("hist N = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("hot.gauge").Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+}
+
+func TestLayerGrouping(t *testing.T) {
+	cases := map[string]string{
+		"flash.program_ops": "flash",
+		"difs.x.y":          "difs",
+		"plain":             "other",
+	}
+	for name, want := range cases {
+		if got := Layer(name); got != want {
+			t.Errorf("Layer(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

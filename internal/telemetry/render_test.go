@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSnapshotGroupsByLayer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flash.program_ops").Add(10)
+	r.Counter("difs.recovery_ops").Add(3)
+	r.Gauge("core.capacity_frac").Set(0.9)
+	r.Histogram("ssd.read_latency_ns").Observe(55000)
+
+	var sb strings.Builder
+	RenderSnapshot(&sb, r.Snapshot())
+	out := sb.String()
+	for _, want := range []string{
+		"-- layer flash --", "-- layer difs --", "-- layer core --", "-- layer ssd --",
+		"flash.program_ops", "difs.recovery_ops", "core.capacity_frac", "ssd.read_latency_ns",
+		"p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Layers render in sorted order so reports are diffable run to run.
+	if strings.Index(out, "-- layer core --") > strings.Index(out, "-- layer difs --") {
+		t.Fatalf("layers out of order:\n%s", out)
+	}
+}
+
+func TestRenderEventSummary(t *testing.T) {
+	evs := []Event{
+		{T: 10, Kind: KindPageProgram, Layer: "flash"},
+		{T: 20, Kind: KindPageProgram, Layer: "flash"},
+		{T: 30, Kind: KindMinidiskRetire, Layer: "core"},
+	}
+	var sb strings.Builder
+	RenderEventSummary(&sb, evs)
+	out := sb.String()
+	for _, want := range []string{"page_program", "minidisk_retire", "flash", "core", "3 events retained"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q in:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	RenderEventSummary(&sb, nil)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Fatalf("empty summary = %q", sb.String())
+	}
+}

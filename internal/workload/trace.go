@@ -7,12 +7,16 @@ import (
 	"io"
 
 	"salamander/internal/blockdev"
+	"salamander/internal/telemetry"
 )
 
 // Trace is a recorded operation stream, replayable through Drive via
-// Player. The on-disk format is a tiny fixed-width binary record per op —
-// magic header, then {flags byte, minidisk uint32, lba uint32} — so traces
-// captured from one simulator configuration can drive another.
+// Player. Two on-disk formats are supported: a tiny fixed-width binary
+// record per op — magic header, then {flags byte, minidisk uint32, lba
+// uint32} — and the telemetry JSONL event format, where each op is a
+// host_read/host_write event. ReadTrace sniffs which one it is given, so
+// traces captured from one simulator configuration (or filtered out of a
+// device's -trace output) can drive another.
 type Trace struct {
 	Ops []Op
 }
@@ -49,15 +53,24 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadTrace parses a serialized trace.
+// ReadTrace parses a serialized trace in either format: it peeks at the
+// first bytes and dispatches on the binary magic, falling back to JSONL.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if [4]byte(head) != traceMagic {
+		return readTraceJSONL(br)
+	}
+	return readTraceBinary(br)
+}
+
+func readTraceBinary(br *bufio.Reader) (*Trace, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
-	}
-	if magic != traceMagic {
-		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
 	}
 	var cnt [8]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
@@ -79,6 +92,59 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			MD:   blockdev.MinidiskID(binary.LittleEndian.Uint32(rec[1:5])),
 			LBA:  int(binary.LittleEndian.Uint32(rec[5:9])),
 		})
+	}
+	return t, nil
+}
+
+// Events converts the trace to telemetry host_read/host_write events, the
+// interchange form behind the JSONL encoding.
+func (t *Trace) Events() []telemetry.Event {
+	evs := make([]telemetry.Event, len(t.Ops))
+	for i, op := range t.Ops {
+		kind := telemetry.KindHostWrite
+		if op.Read {
+			kind = telemetry.KindHostRead
+		}
+		evs[i] = telemetry.Event{
+			Kind:     kind,
+			Layer:    "host",
+			Minidisk: int(op.MD),
+			LBA:      op.LBA,
+		}
+	}
+	return evs
+}
+
+// WriteJSONLTo serializes the trace as telemetry JSONL events
+// (host_read/host_write), readable by ReadTrace, cmd/salmon, and
+// saltrace summarize.
+func (t *Trace) WriteJSONLTo(w io.Writer) error {
+	return telemetry.WriteJSONL(w, t.Events())
+}
+
+// readTraceJSONL builds a trace from a telemetry JSONL stream. Only
+// host_read/host_write events become ops; other kinds (a device's own
+// page_program, gc_victim, ... emissions) are skipped so a full -trace
+// export can be replayed directly. A stream with no host ops is an error —
+// it is a telemetry trace, not a workload.
+func readTraceJSONL(r io.Reader) (*Trace, error) {
+	evs, err := telemetry.ReadJSONL(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	t := &Trace{}
+	for _, e := range evs {
+		switch e.Kind {
+		case telemetry.KindHostRead, telemetry.KindHostWrite:
+			t.Ops = append(t.Ops, Op{
+				Read: e.Kind == telemetry.KindHostRead,
+				MD:   blockdev.MinidiskID(e.Minidisk),
+				LBA:  e.LBA,
+			})
+		}
+	}
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("workload: JSONL trace has no host_read/host_write events (%d events total)", len(evs))
 	}
 	return t, nil
 }

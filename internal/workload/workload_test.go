@@ -10,6 +10,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/telemetry"
 )
 
 func TestSequentialCycles(t *testing.T) {
@@ -140,6 +141,67 @@ func TestTraceRoundTrip(t *testing.T) {
 		if tr.Ops[i] != got.Ops[i] {
 			t.Fatalf("op %d mismatch: %+v vs %+v", i, tr.Ops[i], got.Ops[i])
 		}
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	gen := &Mix{Gen: &Uniform{Space: 1000, Rng: stats.NewRNG(7)}, ReadFrac: 0.4, Rng: stats.NewRNG(8)}
+	tr := Record(gen, 500)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONLTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf) // auto-detects JSONL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("read %d ops, want %d", len(got.Ops), len(tr.Ops))
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != got.Ops[i] {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, tr.Ops[i], got.Ops[i])
+		}
+	}
+}
+
+func TestReadTraceJSONLSkipsNonHostEvents(t *testing.T) {
+	// A device's -trace export interleaves other kinds; replay keeps only
+	// the host ops.
+	evs := []telemetry.Event{
+		{Kind: telemetry.KindPageProgram, Layer: "flash", Block: 3},
+		{Kind: telemetry.KindHostWrite, Layer: "host", Minidisk: 1, LBA: 42},
+		{Kind: telemetry.KindGcVictim, Layer: "ftl", Block: 7},
+		{Kind: telemetry.KindHostRead, Layer: "host", LBA: 9},
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Read: false, MD: 1, LBA: 42},
+		{Read: true, MD: 0, LBA: 9},
+	}
+	if len(got.Ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(got.Ops), len(want))
+	}
+	for i := range want {
+		if got.Ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, got.Ops[i], want[i])
+		}
+	}
+
+	// A telemetry trace with no host ops at all is not a workload.
+	buf.Reset()
+	if err := telemetry.WriteJSONL(&buf, evs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Error("JSONL trace without host events accepted")
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/ssd"
+	"salamander/internal/telemetry"
 )
 
 // Host-visible device abstraction: minidisks, oPage I/O, and events.
@@ -251,3 +252,30 @@ func MeasurePerf(cfg PerfConfig, fractions []float64) ([]*PerfResult, error) {
 
 // PerfDegradationFactor returns the paper's 4/(4-L).
 func PerfDegradationFactor(level int) float64 { return perfmodel.DegradationFactor(level) }
+
+// Telemetry (cross-layer observability). Devices and clusters expose an
+// Instrument(registry, tracer) method that rebinds their counters to a
+// shared registry and routes their trace events into a shared ring, so one
+// registry can span flash, FTL, device, and diFS layers.
+type (
+	// TelemetryRegistry collects named counters, gauges, and latency
+	// histograms; Snapshot/Diff give point-in-time and interval views.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryTracer is a bounded ring of cross-layer trace events with
+	// JSONL export and subscriber hooks.
+	TelemetryTracer = telemetry.Tracer
+	// TelemetrySnapshot is a point-in-time copy of a registry's state.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TraceEvent is one structured cross-layer trace record.
+	TraceEvent = telemetry.Event
+	// TraceEventKind names a trace event type (page_program, gc_victim,
+	// tiredness_transition, minidisk_retire, ...).
+	TraceEventKind = telemetry.EventKind
+)
+
+// NewTelemetryRegistry returns an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTelemetryTracer returns a tracer retaining the last capacity events
+// (telemetry.DefaultTraceCapacity if capacity <= 0).
+func NewTelemetryTracer(capacity int) *TelemetryTracer { return telemetry.NewTracer(capacity) }

@@ -2,6 +2,7 @@ package salamander_test
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"salamander"
@@ -249,5 +250,88 @@ func TestPublicDeviceHealthAndScrub(t *testing.T) {
 	}
 	if rep.Scanned == 0 {
 		t.Error("scrub scanned nothing")
+	}
+}
+
+// TestPublicTelemetryEndToEnd drives an instrumented cluster of aging
+// devices through the public API and asserts the acceptance bar of the
+// telemetry work: one run produces at least 6 distinct event kinds
+// spanning at least 3 layers, and the registry carries every layer's
+// counters.
+func TestPublicTelemetryEndToEnd(t *testing.T) {
+	reg := salamander.NewTelemetryRegistry()
+	tr := salamander.NewTelemetryTracer(0)
+
+	cluster, err := salamander.NewCluster(salamander.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Instrument(reg, tr)
+	for i := 0; i < 3; i++ {
+		cfg := smallDeviceConfig()
+		// Analytic data path with tiny endurance so wear-driven lifecycle
+		// events (tiredness transitions, decommissions, regenerations)
+		// happen within a short churn.
+		cfg.Flash.StoreData = false
+		cfg.RealECC = false
+		cfg.Flash.Reliability.NominalPEC = 8 * (1 + 0.12*float64(i))
+		cfg.Flash.Seed = uint64(i + 1)
+		cfg.Seed = uint64(i+1) * 13
+		cfg.MaxLevel = 1
+		dev, err := salamander.NewDevice(cfg, salamander.NewEngine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.Instrument(reg, tr)
+		cluster.AddNode(dev)
+	}
+
+	blob := bytes.Repeat([]byte{9}, 60000)
+	for i := 0; i < 8; i++ {
+		if err := cluster.Put(fmt.Sprintf("obj-%d", i), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+churn:
+	for round := 0; round < 60; round++ {
+		for i := 0; i < 8; i++ {
+			if total, free := cluster.Capacity(); total < 48 || free < 4 {
+				break churn
+			}
+			name := fmt.Sprintf("obj-%d", i)
+			if err := cluster.Delete(name); err != nil {
+				continue
+			}
+			if err := cluster.Put(name, blob); err != nil {
+				break churn
+			}
+			if _, err := cluster.Repair(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	evs := tr.Events()
+	kinds := map[salamander.TraceEventKind]bool{}
+	layers := map[string]bool{}
+	for _, e := range evs {
+		kinds[e.Kind] = true
+		layers[e.Layer] = true
+	}
+	if len(kinds) < 6 {
+		t.Errorf("trace has %d distinct kinds, want >= 6: %v", len(kinds), kinds)
+	}
+	if len(layers) < 3 {
+		t.Errorf("trace spans %d layers, want >= 3: %v", len(layers), layers)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"flash.program_ops", "core.host_writes", "difs.put_bytes"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s is zero in the shared registry", name)
+		}
+	}
+	if h, ok := snap.Histograms["core.host_write_latency_ns"]; !ok || h.Count == 0 {
+		t.Error("core write-latency histogram empty")
 	}
 }
