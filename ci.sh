@@ -4,8 +4,10 @@
 #   ./ci.sh            full gate: format, vet, build, tests, race detector
 #
 # The race-detector pass covers the concurrency-bearing packages: the
-# telemetry registry/tracer (atomics, subscriber hooks) and difs (device
-# event callbacks land on cluster state).
+# telemetry registry/tracer (atomics, subscriber hooks), difs (device
+# event callbacks land on cluster state), and chaos (parallel seed runs
+# over the whole stack). A fixed-seed salchaos smoke run then asserts the
+# cross-layer invariants end to end.
 set -eu
 
 cd "$(dirname "$0")"
@@ -27,7 +29,10 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, difs) =="
-go test -race ./internal/telemetry/... ./internal/difs/...
+echo "== go test -race (telemetry, difs, chaos) =="
+go test -race ./internal/telemetry/... ./internal/difs/... ./internal/chaos/...
+
+echo "== salchaos smoke (fixed seed) =="
+go run ./cmd/salchaos -seed 1 -ops 2000 >/dev/null
 
 echo "CI PASSED"

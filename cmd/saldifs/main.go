@@ -218,7 +218,13 @@ churn:
 				break churn
 			}
 			if _, err := cluster.Repair(); err != nil {
-				log.Fatal(err)
+				// Partial repair failures (a *difs.RepairError) are
+				// aggregated per chunk; the pass still repaired the rest.
+				var re *difs.RepairError
+				if !errors.As(err, &re) {
+					log.Fatal(err)
+				}
+				log.Printf("repair: %v", re)
 			}
 		}
 	}

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"salamander/internal/telemetry"
+)
+
+// TestChaosDeterministicAndClean is the harness's own acceptance gate: for a
+// spread of seeds, a run must (a) finish with zero invariant violations and
+// zero acknowledged data loss, and (b) be perfectly reproducible — running
+// the same seed twice renders byte-identical reports, so any failing
+// schedule is a repro case.
+func TestChaosDeterministicAndClean(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.Ops = 3000
+
+			render := func() []byte {
+				rep, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("seed %d: %d violations, first: %s",
+						seed, len(rep.Violations), rep.Violations[0])
+				}
+				if rep.LostChunks != 0 {
+					t.Fatalf("seed %d: %d chunks lost", seed, rep.LostChunks)
+				}
+				var buf bytes.Buffer
+				rep.Render(&buf)
+				return buf.Bytes()
+			}
+			first, second := render(), render()
+			if !bytes.Equal(first, second) {
+				t.Errorf("seed %d not reproducible:\n--- first ---\n%s--- second ---\n%s",
+					seed, first, second)
+			}
+		})
+	}
+}
+
+// TestChaosEmitsFaultEvents: the trace stream must carry the new event kinds
+// so post-mortem tooling can reconstruct what was injected and when.
+func TestChaosEmitsFaultEvents(t *testing.T) {
+	tr := telemetry.NewTracer(1 << 16)
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	cfg.Ops = 2000
+	rep, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	kinds := map[telemetry.EventKind]int{}
+	for _, ev := range tr.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []telemetry.EventKind{
+		telemetry.KindFaultInjected, telemetry.KindNodeCrash,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events in a %d-op chaos trace", k, cfg.Ops)
+		}
+	}
+}
+
+// TestChaosRejectsTinyFleet: R=3 plus one crashed node needs at least 4.
+func TestChaosRejectsTinyFleet(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("3-node fleet accepted")
+	}
+}

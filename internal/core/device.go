@@ -38,6 +38,7 @@ import (
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ecc"
+	"salamander/internal/faultinject"
 	"salamander/internal/flash"
 	"salamander/internal/ftl"
 	"salamander/internal/rber"
@@ -73,7 +74,8 @@ type Config struct {
 	RealECC bool
 	// MaxReadRetries is how many times a failed page read is retried
 	// (modeling §2's iterative voltage adjustment: each retry re-senses
-	// the cells and pays another full read latency). Zero disables.
+	// the cells and pays another full read latency). Zero means a single
+	// attempt with no retries; negative is rejected at construction.
 	MaxReadRetries int
 	// WearLevelSpread triggers static wear leveling: when the P/E spread
 	// between the hottest and coldest sealed blocks exceeds this many
@@ -244,6 +246,11 @@ type Device struct {
 	retired bool
 	notify  func(blockdev.Event)
 
+	// Failpoints (nil = no fault injection).
+	fr       *faultinject.Registry
+	fiEvDrop *faultinject.Site // "core.event.drop"
+	fiEvDup  *faultinject.Site // "core.event.duplicate"
+
 	tele devTele
 }
 
@@ -258,8 +265,15 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 		return nil, errors.New("core: GC low water must be >= 2")
 	case cfg.MaxLevel < 0 || cfg.MaxLevel > rber.MaxUsableLevel:
 		return nil, fmt.Errorf("core: MaxLevel %d out of [0,%d]", cfg.MaxLevel, rber.MaxUsableLevel)
+	case cfg.MaxReadRetries < 0:
+		return nil, fmt.Errorf("core: MaxReadRetries %d is negative (0 means no retries)", cfg.MaxReadRetries)
 	case cfg.RealECC && !cfg.Flash.StoreData:
 		return nil, errors.New("core: RealECC requires Flash.StoreData")
+	}
+	if !cfg.RealECC {
+		// Analytic ECC: a modeled decode success means the raw errors were
+		// corrected, so reads must hand back pristine stored bytes.
+		cfg.Flash.PristineReads = true
 	}
 	arr, err := flash.New(cfg.Flash)
 	if err != nil {
@@ -411,6 +425,25 @@ func (d *Device) updateGauges() {
 	d.tele.capacityFr.Set(float64(d.servingSlots) / float64(total))
 }
 
+// InjectFaults attaches a failpoint registry: the registry clock is bound to
+// the device engine, the flash sites are threaded into the array, and the
+// host-event delivery sites "core.event.drop" and "core.event.duplicate" are
+// resolved. Pass nil to detach. One registry per device (clocks are
+// per-device); instrument each registry into a shared telemetry registry for
+// the fleet view.
+func (d *Device) InjectFaults(fr *faultinject.Registry) {
+	d.fr = fr
+	if fr == nil {
+		d.fiEvDrop, d.fiEvDup = nil, nil
+		d.arr.InjectFaults(nil)
+		return
+	}
+	fr.SetClock(func() sim.Time { return d.eng.Now() })
+	d.fiEvDrop = fr.Site("core.event.drop")
+	d.fiEvDup = fr.Site("core.event.duplicate")
+	d.arr.InjectFaults(fr)
+}
+
 // Retired reports whether the device has shrunk to nothing (or failed).
 func (d *Device) Retired() bool { return d.retired }
 
@@ -479,8 +512,18 @@ func (d *Device) Health() Health {
 // Notify implements blockdev.Device.
 func (d *Device) Notify(fn func(blockdev.Event)) { d.notify = fn }
 
+// emit delivers one host event through the (possibly faulty) notification
+// channel: an armed "core.event.drop" site swallows the event, an armed
+// "core.event.duplicate" site delivers it twice — the distributed layer must
+// tolerate both (at-most-once loss, at-least-once duplication).
 func (d *Device) emit(e blockdev.Event) {
+	if d.fiEvDrop.Fire() {
+		return
+	}
 	if d.notify != nil {
+		d.notify(e)
+	}
+	if d.fiEvDup.Fire() && d.notify != nil {
 		d.notify(e)
 	}
 }
@@ -620,19 +663,25 @@ func zero(b []byte) {
 // voltage-adjustment mechanism of §2: each attempt re-senses the page
 // (an independent error sample) at the cost of a full additional read.
 func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
-	out, err := d.readOPageOnce(addr)
+	out, injected, err := d.readOPageOnce(addr)
+	sawInjected := injected
 	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
 		d.tele.readRetries.Inc()
-		out, err = d.readOPageOnce(addr)
+		out, injected, err = d.readOPageOnce(addr)
+		sawInjected = sawInjected || injected
 		if err == nil {
 			d.tele.retrySaves.Inc()
+			if sawInjected {
+				d.fr.Recovered("core")
+			}
 		}
 	}
 	return out, err
 }
 
-// readOPageOnce performs a single read attempt.
-func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
+// readOPageOnce performs a single read attempt. injected reports whether the
+// attempt hit an injected transient read failure.
+func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, err error) {
 	pi := &d.pages[d.pageIdx(addr.PPA)]
 	level := int(pi.progLevel)
 	geom := d.geoms[level]
@@ -646,7 +695,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 	}
 	res, err := d.arr.Read(addr.PPA, transfer)
 	if err != nil {
-		return nil, fmt.Errorf("blockdev: %w", err)
+		return nil, false, fmt.Errorf("blockdev: %w", err)
 	}
 	d.tele.flashReads.Inc()
 	d.eng.Advance(res.Duration)
@@ -655,16 +704,16 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		for s := 0; s < spb; s++ {
 			if d.rng.Float64() < pFail {
 				d.tele.uncorrectable.Inc()
-				return nil, blockdev.ErrUncorrectable
+				return nil, res.Injected, blockdev.ErrUncorrectable
 			}
 		}
 		if res.Data == nil {
-			return nil, nil
+			return nil, res.Injected, nil
 		}
 		off := addr.Slot * rber.OPageSize
-		return res.Data[off : off+rber.OPageSize], nil
+		return res.Data[off : off+rber.OPageSize], res.Injected, nil
 	}
-	out := make([]byte, rber.OPageSize)
+	out = make([]byte, rber.OPageSize)
 	dataBytes := rber.LevelDataBytes(level)
 	pb := code.ParityBytes()
 	for s := 0; s < spb; s++ {
@@ -676,7 +725,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		bits, err := code.Decode(sector, parity)
 		if err != nil {
 			d.tele.uncorrectable.Inc()
-			return nil, blockdev.ErrUncorrectable
+			return nil, res.Injected, blockdev.ErrUncorrectable
 		}
 		if bits > 0 {
 			d.tele.eccCorrectedBits.Add(uint64(bits))
@@ -687,7 +736,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		}
 		copy(out[s*rber.SectorSize:], sector)
 	}
-	return out, nil
+	return out, res.Injected, nil
 }
 
 var _ blockdev.Device = (*Device)(nil)

@@ -53,7 +53,24 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 	}
 	dur, err := d.arr.Program(ppa, raw)
 	if err != nil {
-		return fmt.Errorf("blockdev: %w", err)
+		if !errors.Is(err, flash.ErrProgramFailed) {
+			return fmt.Errorf("blockdev: %w", err)
+		}
+		// Page-granular program-fail handling: only the failed page dies —
+		// Salamander retires pages, not blocks. The entries return to the NV
+		// buffer (relocating through the normal flush path) before Eq. 2
+		// re-runs over the lost capacity, so a decommission triggered here
+		// drops their keys correctly.
+		d.tele.flashWrites.Inc()
+		d.eng.Advance(dur)
+		for _, e := range entries {
+			d.wbuf.Push(e)
+		}
+		d.failPage(ppa)
+		d.advanceActive()
+		d.capacityChecks()
+		d.fr.Recovered("core")
+		return nil
 	}
 	d.tele.flashWrites.Inc()
 	d.eng.Advance(dur)
@@ -68,6 +85,22 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 	d.nextPg++
 	d.advanceActive()
 	return nil
+}
+
+// failPage retires a page whose program failed: it leaves service permanently
+// (a dead page, not a dead block — the rest of the block keeps serving). The
+// caller re-runs capacityChecks once its own bookkeeping is consistent.
+func (d *Device) failPage(ppa flash.PPA) {
+	pi := &d.pages[d.pageIdx(ppa)]
+	switch pi.status {
+	case psServing:
+		slots := rber.OPagesPerFPage - int(pi.level)
+		d.servingSlots -= slots
+		d.blockServing[ppa.Block] -= slots
+	case psLimbo:
+		d.limbo[pi.level]--
+	}
+	pi.status = psDead
 }
 
 // advanceActive skips non-serving pages; seals the block when exhausted.
@@ -259,15 +292,25 @@ func (d *Device) collect() error {
 			break
 		}
 		entries := moved[:slots]
-		moved = moved[slots:]
 		var raw []byte
 		if d.cfg.Flash.StoreData {
 			raw = d.composePage(entries, level)
 		}
 		dur, err := d.arr.Program(ppa, raw)
 		if err != nil {
-			return fmt.Errorf("blockdev: %w", err)
+			if !errors.Is(err, flash.ErrProgramFailed) {
+				return fmt.Errorf("blockdev: %w", err)
+			}
+			// The failed GC page dies; the entries stay in moved and retry on
+			// the next serving page (nextGCPage skips dead pages). Eq. 2 runs
+			// at the end of collect, after every entry is re-homed.
+			d.tele.flashWrites.Inc()
+			d.eng.Advance(dur)
+			d.failPage(ppa)
+			d.fr.Recovered("core")
+			continue
 		}
+		moved = moved[slots:]
 		d.tele.flashWrites.Inc()
 		d.eng.Advance(dur)
 		d.pages[d.pageIdx(ppa)].progLevel = uint8(level)

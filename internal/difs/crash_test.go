@@ -1,0 +1,337 @@
+package difs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/stats"
+)
+
+// flakyDevice wraps a MemDevice, failing each oPage's first failN reads with
+// ErrUncorrectable — a transient media error the cluster-level retry must
+// absorb.
+type flakyDevice struct {
+	*blockdev.MemDevice
+	failN int
+	tries map[[2]int]int
+}
+
+func (f *flakyDevice) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
+	if f.tries == nil {
+		f.tries = map[[2]int]int{}
+	}
+	k := [2]int{int(md), lba}
+	if f.tries[k] < f.failN {
+		f.tries[k]++
+		return blockdev.ErrUncorrectable
+	}
+	return f.MemDevice.Read(md, lba, buf)
+}
+
+func TestClusterReadRetriesTransientError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.ReadRetries = 2
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		c.AddNode(&flakyDevice{MemDevice: blockdev.NewMemDevice(2, 64), failN: 2})
+	}
+	want := objData(stats.NewRNG(3), 50000)
+	if err := c.Put("obj", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("obj")
+	if err != nil {
+		t.Fatalf("get with transient errors: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after retried reads")
+	}
+	if c.Stats().RepairRetries == 0 {
+		t.Error("retries not counted")
+	}
+}
+
+func TestClusterReadRetriesExhausted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.ReadRetries = 1 // below the 3 consecutive failures injected
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		c.AddNode(&flakyDevice{MemDevice: blockdev.NewMemDevice(2, 64), failN: 3})
+	}
+	if err := c.Put("obj", objData(stats.NewRNG(3), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("obj"); !errors.Is(err, blockdev.ErrUncorrectable) {
+		t.Fatalf("err = %v, want ErrUncorrectable after retry budget", err)
+	}
+}
+
+func TestCrashRestartRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	c, devs := memCluster(t, cfg, 3, 2, 64)
+	_ = devs
+	want := objData(stats.NewRNG(4), 80000)
+	if err := c.Put("obj", want); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.CrashNode(0); n == 0 {
+		t.Fatal("crash affected no targets")
+	}
+	if !c.NodeDown(0) {
+		t.Error("NodeDown(0) = false after crash")
+	}
+	// Crashing again is a no-op.
+	if n := c.CrashNode(0); n != 0 {
+		t.Errorf("second crash affected %d targets", n)
+	}
+	// Reads survive on the remaining replica.
+	got, err := c.Get("obj")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read during crash: err=%v match=%v", err, bytes.Equal(got, want))
+	}
+	// Repair restores the factor from survivors; nothing is lost.
+	if _, err := c.Repair(); err != nil {
+		t.Fatalf("repair during crash: %v", err)
+	}
+	// Restart rejoins the surviving minidisks; the next repair trims the
+	// extra copies.
+	if n := c.RestartNode(0); n == 0 {
+		t.Fatal("restart revived no targets")
+	}
+	if c.NodeDown(0) {
+		t.Error("NodeDown(0) = true after restart")
+	}
+	if _, err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants after crash/restart cycle: %v", bad)
+	}
+	got, err = c.Get("obj")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read after restart: err=%v match=%v", err, bytes.Equal(got, want))
+	}
+	st := c.Stats()
+	if st.NodeCrashes != 1 || st.NodeRestarts != 1 {
+		t.Errorf("crash/restart counters = %d/%d", st.NodeCrashes, st.NodeRestarts)
+	}
+	if st.FaultsInjected == 0 || st.FaultsRecovered == 0 {
+		t.Errorf("fault counters = %d/%d", st.FaultsInjected, st.FaultsRecovered)
+	}
+	if st.LostChunks != 0 {
+		t.Errorf("lost chunks = %d", st.LostChunks)
+	}
+}
+
+func TestRepairDefersAllDownChunks(t *testing.T) {
+	// R=2 on exactly 2 nodes: crash both and repair. Every chunk's copies
+	// are unreachable but intact — Repair must defer, not declare loss.
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	c, _ := memCluster(t, cfg, 2, 2, 64)
+	if err := c.Put("obj", objData(stats.NewRNG(5), 30000)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNode(0)
+	c.CrashNode(1)
+	if _, err := c.Repair(); err != nil {
+		t.Fatalf("repair with all nodes down must defer, got %v", err)
+	}
+	if c.Stats().LostChunks != 0 {
+		t.Error("deferred chunks counted as lost")
+	}
+	if c.PendingRepairs() == 0 {
+		t.Error("deferred chunks not re-queued")
+	}
+	// Both nodes come back: everything is readable again.
+	c.RestartNode(0)
+	c.RestartNode(1)
+	if _, err := c.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if bad := c.VerifyAll(nil); len(bad) > 0 {
+		t.Fatalf("objects unreadable after full restart: %v", bad)
+	}
+}
+
+func TestRestartReconcilesDeletedObjects(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	c, _ := memCluster(t, cfg, 3, 2, 64)
+	if err := c.Put("obj", objData(stats.NewRNG(6), 30000)); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNode(0)
+	// Delete while node 0 is dark: its slots cannot be trimmed yet.
+	if err := c.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	c.RestartNode(0)
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("stale slots not reconciled on restart: %v", bad)
+	}
+	// All capacity is free again.
+	total, free := c.Capacity()
+	if total != free {
+		t.Errorf("capacity %d/%d still occupied after delete+restart", free, total)
+	}
+}
+
+func TestFlappingNodeQuarantined(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.FlapLimit = 2
+	c, _ := memCluster(t, cfg, 3, 2, 64)
+	want := objData(stats.NewRNG(7), 40000)
+	if err := c.Put("obj", want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if c.CrashNode(0) == 0 {
+			break // previous quarantine removed all targets
+		}
+		c.RestartNode(0)
+		if _, err := c.Repair(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Quarantines == 0 {
+		t.Fatal("third restart above FlapLimit=2 did not quarantine")
+	}
+	for _, tg := range c.targetsOfNode(0) {
+		t.Errorf("quarantined node still has target %v", tg.key)
+	}
+	// Data survives on the other nodes.
+	got, err := c.Get("obj")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read after quarantine: err=%v match=%v", err, bytes.Equal(got, want))
+	}
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants after quarantine: %v", bad)
+	}
+}
+
+// Property (satellite #3): under randomized interleavings of node crash,
+// restart, minidisk decommission, and repair, the cluster's §6 metadata
+// invariants hold at every step and no acknowledged object is ever lost
+// (crashes retain data; at most one *destructive* failure happens per repair
+// epoch, far below R=3).
+func TestInvariantsUnderCrashDecommissionInterleavings(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := stats.NewRNG(seed)
+			cfg := DefaultConfig()
+			cfg.ChunkOPages = 4
+			c, devs := memCluster(t, cfg, 5, 4, 16)
+			model := map[string][]byte{}
+			destroyed := 0
+			for step := 0; step < 200; step++ {
+				name := fmt.Sprintf("o%d", rng.Intn(10))
+				switch rng.Intn(10) {
+				case 0, 1, 2: // put
+					if _, ok := model[name]; ok {
+						break
+					}
+					data := objData(rng, rng.Intn(20000))
+					if err := c.Put(name, data); err == nil {
+						model[name] = data
+					}
+				case 3: // delete
+					if err := c.Delete(name); err == nil {
+						delete(model, name)
+					}
+				case 4: // crash one node (at most one down at a time)
+					nid := NodeID(rng.Intn(len(devs)))
+					anyDown := false
+					for n := range devs {
+						if c.NodeDown(NodeID(n)) {
+							anyDown = true
+						}
+					}
+					if !anyDown {
+						c.CrashNode(nid)
+					}
+				case 5: // restart whatever is down
+					for n := range devs {
+						if c.NodeDown(NodeID(n)) {
+							c.RestartNode(NodeID(n))
+						}
+					}
+				case 6: // decommission one minidisk per repair epoch
+					if destroyed == 0 && c.PendingRepairs() == 0 {
+						d := devs[rng.Intn(len(devs))]
+						mds := d.Minidisks()
+						if len(mds) > 0 {
+							_ = d.FailMinidisk(mds[rng.Intn(len(mds))].ID)
+							destroyed++
+						}
+					}
+				case 7, 8: // repair
+					if _, err := c.Repair(); err != nil {
+						t.Fatalf("step %d repair: %v", step, err)
+					}
+					destroyed = 0
+				case 9: // read
+					if want, ok := model[name]; ok {
+						got, err := c.Get(name)
+						if err != nil {
+							// Legitimate only if a crash currently hides
+							// replicas.
+							anyDown := false
+							for n := range devs {
+								if c.NodeDown(NodeID(n)) {
+									anyDown = true
+								}
+							}
+							if !anyDown {
+								t.Fatalf("step %d get %q: %v", step, name, err)
+							}
+						} else if !bytes.Equal(got, want) {
+							t.Fatalf("step %d get %q: content mismatch", step, name)
+						}
+					}
+				}
+				if bad := c.CheckInvariants(); len(bad) > 0 {
+					t.Fatalf("step %d invariants: %v", step, bad)
+				}
+			}
+			// Converge: restart everything, repair until quiescent, verify.
+			for n := range devs {
+				if c.NodeDown(NodeID(n)) {
+					c.RestartNode(NodeID(n))
+				}
+			}
+			for i := 0; i < 10 && c.PendingRepairs() > 0; i++ {
+				if _, err := c.Repair(); err != nil {
+					t.Fatalf("convergence repair: %v", err)
+				}
+			}
+			for name, want := range model {
+				got, err := c.Get(name)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("final get %q: err=%v match=%v", name, err, bytes.Equal(got, want))
+				}
+			}
+			if bad := c.CheckInvariants(); len(bad) > 0 {
+				t.Fatalf("final invariants: %v", bad)
+			}
+			if c.Stats().LostChunks != 0 {
+				t.Errorf("lost chunks = %d with redundancy never exceeded", c.Stats().LostChunks)
+			}
+		})
+	}
+}

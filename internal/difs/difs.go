@@ -21,6 +21,7 @@ import (
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ec"
+	"salamander/internal/sim"
 	"salamander/internal/stats"
 	"salamander/internal/telemetry"
 )
@@ -67,7 +68,20 @@ type Config struct {
 	// Zero selects ReplicationFactor-way replication.
 	ECDataShards   int
 	ECParityShards int
-	Seed           uint64
+	// ReadRetries re-reads an oPage that failed with ErrUncorrectable up to
+	// this many times (on top of the device's own retries). Zero means a
+	// single attempt; negative is rejected.
+	ReadRetries int
+	// RetryBackoff is the virtual-time delay before the first cluster-level
+	// read retry; it doubles per attempt. Applied only to devices exposing a
+	// simulation engine with no pending events. Zero disables the delay.
+	RetryBackoff sim.Time
+	// FlapLimit quarantines a node that crash/restarts more than this many
+	// times: instead of rejoining, its targets are dropped and repaired from
+	// surviving copies (flapping nodes churn the repair queue endlessly).
+	// Zero disables quarantine; negative is rejected.
+	FlapLimit int
+	Seed      uint64
 }
 
 // DefaultConfig returns 3-way replication with 16-oPage (64KB) chunks.
@@ -106,11 +120,32 @@ type target struct {
 	freeSlots []int
 	chunks    map[int]*chunk // slot -> occupant
 	state     targetState
-	dev       blockdev.Device
+	// down marks the target's node as crashed: the minidisk (and its data)
+	// still exists but is unreachable until the node restarts. Down targets
+	// are neither placeable nor readable, yet their replicas are retained —
+	// a rejoining node re-registers them.
+	down bool
+	dev  blockdev.Device
 }
 
-func (t *target) live() bool     { return t.state == tLive }
-func (t *target) readable() bool { return t.state != tDead }
+func (t *target) live() bool     { return t.state == tLive && !t.down }
+func (t *target) readable() bool { return t.state != tDead && !t.down }
+
+// chunksInSlotOrder returns the target's chunks sorted by slot. Repair
+// enqueue order feeds every downstream placement decision, so it must be
+// independent of map iteration order for chaos runs to replay byte-identically.
+func (t *target) chunksInSlotOrder() []*chunk {
+	slots := make([]int, 0, len(t.chunks))
+	for s := range t.chunks {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	out := make([]*chunk, len(slots))
+	for i, s := range slots {
+		out[i] = t.chunks[s]
+	}
+	return out
+}
 
 type replica struct {
 	tgt  *target
@@ -171,6 +206,14 @@ type Stats struct {
 	// LocalSourceRepairs counts repairs whose read source was the
 	// draining minidisk itself — the §4.3 grace-period payoff.
 	LocalSourceRepairs int64
+	// RepairRetries counts cluster-level read retries (bounded, with
+	// virtual-time backoff) in the read/repair paths.
+	RepairRetries int64
+	// FaultsInjected/FaultsRecovered count injected node faults and the
+	// recoveries (restarts that successfully rejoined) at this layer.
+	FaultsInjected, FaultsRecovered int64
+	// NodeCrashes/NodeRestarts/Quarantines count crash-fault transitions.
+	NodeCrashes, NodeRestarts, Quarantines int64
 }
 
 // cTele holds the registry-backed handles behind Stats(). A fresh cluster
@@ -189,6 +232,12 @@ type cTele struct {
 	drainEvents        *telemetry.Counter
 	releases           *telemetry.Counter
 	localSourceRepairs *telemetry.Counter
+	repairRetries      *telemetry.Counter
+	faultsInjected     *telemetry.Counter
+	faultsRecovered    *telemetry.Counter
+	nodeCrashes        *telemetry.Counter
+	nodeRestarts       *telemetry.Counter
+	quarantines        *telemetry.Counter
 	objectSize         *telemetry.Histogram
 	repairBytes        *telemetry.Histogram
 	tr                 *telemetry.Tracer
@@ -209,6 +258,12 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) cTele {
 		drainEvents:        reg.Counter("difs.drain_events"),
 		releases:           reg.Counter("difs.releases"),
 		localSourceRepairs: reg.Counter("difs.local_source_repairs"),
+		repairRetries:      reg.Counter("difs.repair_retries"),
+		faultsInjected:     reg.Counter("difs.faults_injected"),
+		faultsRecovered:    reg.Counter("difs.faults_recovered"),
+		nodeCrashes:        reg.Counter("difs.node_crashes"),
+		nodeRestarts:       reg.Counter("difs.node_restarts"),
+		quarantines:        reg.Counter("difs.quarantines"),
 		objectSize:         reg.Histogram("difs.object_size_bytes"),
 		repairBytes:        reg.Histogram("difs.repair_run_bytes"),
 		tr:                 tr,
@@ -224,6 +279,7 @@ type Cluster struct {
 	objects map[string]*object
 	repairQ []*chunk
 	queued  map[*chunk]bool
+	flaps   map[NodeID]int // crash/restart cycles per node (quarantine input)
 	tele    cTele
 	codec   *ec.Code // non-nil in erasure-coding mode
 }
@@ -235,6 +291,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ChunkOPages < 1 {
 		return nil, errors.New("difs: chunk size must be >= 1 oPage")
+	}
+	if cfg.ReadRetries < 0 {
+		return nil, fmt.Errorf("difs: ReadRetries %d is negative (0 means no retries)", cfg.ReadRetries)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("difs: RetryBackoff %v is negative", cfg.RetryBackoff)
+	}
+	if cfg.FlapLimit < 0 {
+		return nil, fmt.Errorf("difs: FlapLimit %d is negative (0 disables quarantine)", cfg.FlapLimit)
 	}
 	var codec *ec.Code
 	if cfg.ECDataShards > 0 || cfg.ECParityShards > 0 {
@@ -250,6 +315,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		targets: map[targetKey]*target{},
 		objects: map[string]*object{},
 		queued:  map[*chunk]bool{},
+		flaps:   map[NodeID]int{},
 		tele:    bindTele(telemetry.NewRegistry(), nil),
 		codec:   codec,
 	}, nil
@@ -285,6 +351,12 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(c.tele.drainEvents, old.drainEvents)
 	carry(c.tele.releases, old.releases)
 	carry(c.tele.localSourceRepairs, old.localSourceRepairs)
+	carry(c.tele.repairRetries, old.repairRetries)
+	carry(c.tele.faultsInjected, old.faultsInjected)
+	carry(c.tele.faultsRecovered, old.faultsRecovered)
+	carry(c.tele.nodeCrashes, old.nodeCrashes)
+	carry(c.tele.nodeRestarts, old.nodeRestarts)
+	carry(c.tele.quarantines, old.quarantines)
 }
 
 // AddNode attaches a node with its devices. The cluster registers itself
@@ -307,6 +379,11 @@ func (c *Cluster) addTarget(nid NodeID, dev int, info blockdev.MinidiskInfo) {
 	slots := info.LBAs / c.cfg.ChunkOPages
 	if slots == 0 {
 		return // minidisk smaller than a chunk: unusable
+	}
+	if _, ok := c.targets[targetKey{nid, dev, info.ID}]; ok {
+		// Duplicate registration (devices never reuse minidisk IDs, so this
+		// is a duplicated regenerate event): keep the existing target.
+		return
 	}
 	t := &target{
 		key:    targetKey{nid, dev, info.ID},
@@ -337,12 +414,42 @@ func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
 		c.addTarget(nid, dev, e.Info)
 	case blockdev.EventBrick:
 		c.tele.brickEvents.Inc()
-		for key, t := range c.targets {
-			if key.node == nid && key.dev == dev && t.state != tDead {
-				c.loseTarget(key)
+		for _, t := range c.targetsOfDevice(nid, dev) {
+			if t.state != tDead {
+				c.loseTarget(t.key)
 			}
 		}
 	}
+}
+
+// targetsOfDevice lists a device's targets in key order (deterministic).
+func (c *Cluster) targetsOfDevice(nid NodeID, dev int) []*target {
+	var out []*target
+	for key, t := range c.targets {
+		if key.node == nid && key.dev == dev {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key.md < out[j].key.md })
+	return out
+}
+
+// targetsOfNode lists a node's targets in key order (deterministic).
+func (c *Cluster) targetsOfNode(nid NodeID) []*target {
+	var out []*target
+	for key, t := range c.targets {
+		if key.node == nid {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := out[i].key, out[j].key
+		if ki.dev != kj.dev {
+			return ki.dev < kj.dev
+		}
+		return ki.md < kj.md
+	})
+	return out
 }
 
 // loseTarget marks a minidisk gone and queues its chunks for repair.
@@ -352,7 +459,7 @@ func (c *Cluster) loseTarget(key targetKey) {
 		return
 	}
 	t.state = tDead
-	for _, ch := range t.chunks {
+	for _, ch := range t.chunksInSlotOrder() {
 		// Drop the dead replica from the chunk.
 		kept := ch.replicas[:0]
 		for _, r := range ch.replicas {
@@ -376,7 +483,7 @@ func (c *Cluster) drainTarget(key targetKey) {
 		return
 	}
 	t.state = tDraining
-	for _, ch := range t.chunks {
+	for _, ch := range t.chunksInSlotOrder() {
 		c.enqueueRepair(ch)
 	}
 }
@@ -406,6 +513,12 @@ func (c *Cluster) Stats() Stats {
 		DrainEvents:        int64(c.tele.drainEvents.Value()),
 		Releases:           int64(c.tele.releases.Value()),
 		LocalSourceRepairs: int64(c.tele.localSourceRepairs.Value()),
+		RepairRetries:      int64(c.tele.repairRetries.Value()),
+		FaultsInjected:     int64(c.tele.faultsInjected.Value()),
+		FaultsRecovered:    int64(c.tele.faultsRecovered.Value()),
+		NodeCrashes:        int64(c.tele.nodeCrashes.Value()),
+		NodeRestarts:       int64(c.tele.nodeRestarts.Value()),
+		Quarantines:        int64(c.tele.quarantines.Value()),
 	}
 }
 
@@ -493,7 +606,10 @@ func (c *Cluster) writeChunk(t *target, ch *chunk, data []byte) error {
 	for p := 0; p < c.cfg.ChunkOPages; p++ {
 		if err := dev.Write(t.key.md, base+p, data[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize]); err != nil {
 			// The write may have triggered this very minidisk's
-			// decommission; surface the failure to the placement loop.
+			// decommission; surface the failure to the placement loop. If the
+			// error reveals a stale view (a dropped notification), retire the
+			// target now.
+			c.noteDeviceError(t, err, true)
 			return err
 		}
 	}
@@ -509,16 +625,72 @@ func (c *Cluster) writeChunk(t *target, ch *chunk, data []byte) error {
 	return nil
 }
 
-// readChunk fetches a chunk from one replica.
+// readChunk fetches a chunk from one replica, retrying transiently failed
+// oPages up to ReadRetries times with exponential virtual-time backoff —
+// graceful degradation above the device's own retry budget.
 func (c *Cluster) readChunk(r replica, buf []byte) error {
 	dev := r.tgt.device(c)
 	base := r.slot * c.cfg.ChunkOPages
 	for p := 0; p < c.cfg.ChunkOPages; p++ {
-		if err := dev.Read(r.tgt.key.md, base+p, buf[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize]); err != nil {
+		lba := base + p
+		err := dev.Read(r.tgt.key.md, lba, buf[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize])
+		for attempt := 1; errors.Is(err, blockdev.ErrUncorrectable) && attempt <= c.cfg.ReadRetries; attempt++ {
+			c.backoff(dev, attempt)
+			c.tele.repairRetries.Inc()
+			c.tele.tr.Emit(telemetry.Event{
+				Kind: telemetry.KindRepairRetry, Layer: "difs",
+				LBA: lba, N: int64(attempt), Detail: r.tgt.key.String(),
+			})
+			err = dev.Read(r.tgt.key.md, lba, buf[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize])
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// backoff advances the replica device's virtual clock before a retry
+// (RetryBackoff doubling per attempt) — the cluster-scope analogue of §2's
+// voltage-adjustment delay. Only devices exposing an idle simulation engine
+// are advanced; others retry immediately.
+func (c *Cluster) backoff(dev blockdev.Device, attempt int) {
+	if c.cfg.RetryBackoff <= 0 {
+		return
+	}
+	type enginer interface{ Engine() *sim.Engine }
+	e, ok := dev.(enginer)
+	if !ok {
+		return
+	}
+	eng := e.Engine()
+	if eng == nil || eng.Pending() > 0 {
+		return
+	}
+	eng.Advance(c.cfg.RetryBackoff << uint(attempt-1))
+}
+
+// noteDeviceError reacts to authoritative device errors that reveal a stale
+// cluster view — the decommission, drain, or brick notification never arrived
+// (dropped host event). The affected target (or whole device) is retired the
+// way the event would have done it, so a lost notification degrades into a
+// late repair instead of a permanently wedged target.
+func (c *Cluster) noteDeviceError(t *target, err error, forWrite bool) {
+	switch {
+	case errors.Is(err, blockdev.ErrBricked):
+		for _, dt := range c.targetsOfDevice(t.key.node, t.key.dev) {
+			c.loseTarget(dt.key)
+		}
+	case errors.Is(err, blockdev.ErrNoSuchMinidisk):
+		if forWrite && t.state == tLive {
+			// The minidisk may merely be draining (still readable); treat it
+			// as such — repair migrates its chunks and releases it, and if it
+			// is in fact fully gone the reads fail over to other replicas.
+			c.drainTarget(t.key)
+		} else {
+			c.loseTarget(t.key)
+		}
+	}
 }
 
 func (c *Cluster) chunkBytes() int { return c.cfg.ChunkOPages * blockdev.OPageSize }
@@ -613,7 +785,9 @@ func (c *Cluster) readAnyReplica(ch *chunk, buf []byte) error {
 	}
 	degraded := liveN < c.wantReplicas(ch)
 	var firstErr error
-	for i, r := range ch.replicas {
+	// Iterate a snapshot: dropReplica compacts ch.replicas in place, which
+	// would otherwise skip the replica after a failed one.
+	for i, r := range append([]replica(nil), ch.replicas...) {
 		if !r.tgt.readable() {
 			c.enqueueRepair(ch)
 			continue
@@ -628,7 +802,10 @@ func (c *Cluster) readAnyReplica(ch *chunk, buf []byte) error {
 		if firstErr == nil {
 			firstErr = err
 		}
-		// Media error on this replica: drop it and repair.
+		// Media error on this replica: drop it and repair. Authoritative
+		// device errors (bricked, no-such-minidisk) mean the failure event
+		// was lost; retire the whole target, not just this replica.
+		c.noteDeviceError(r.tgt, err, false)
 		c.dropReplica(ch, r)
 		c.enqueueRepair(ch)
 	}
@@ -671,12 +848,45 @@ func (c *Cluster) Delete(name string) error {
 	return nil
 }
 
+// RepairError aggregates the per-chunk failures of one Repair pass. Lost
+// lists chunks ("object/index") whose data is unrecoverable: every replica
+// dead and, for erasure-coded shards, too few stripe survivors. Deferred
+// counts chunks whose surviving copies are all on crashed (down) nodes — the
+// data still exists, so they are re-queued to await a restart rather than
+// declared lost. Repair returns a *RepairError only when at least one chunk
+// was actually lost; deferrals alone are not an error (they show up in
+// PendingRepairs).
+type RepairError struct {
+	Lost     []string
+	Deferred int
+}
+
+func (e *RepairError) Error() string {
+	return fmt.Sprintf("difs: repair lost %d chunk(s), deferred %d: %v",
+		len(e.Lost), e.Deferred, e.Lost)
+}
+
+func chunkName(ch *chunk) string { return fmt.Sprintf("%s/%d", ch.obj.name, ch.idx) }
+
+// downReplicas counts a chunk's replicas retained on crashed nodes.
+func (c *Cluster) downReplicas(ch *chunk) int {
+	n := 0
+	for _, r := range ch.replicas {
+		if r.tgt.state != tDead && r.tgt.down {
+			n++
+		}
+	}
+	return n
+}
+
 // Repair drains the re-replication queue: every under-replicated chunk is
 // copied from a surviving replica to new nodes until the replication factor
 // is restored (or no placement exists). Draining replicas serve as local
 // read sources but do not count toward the factor; once a draining
 // minidisk's chunks are all re-replicated it is released back to its device
-// (which then finishes the decommission). Returns the number of chunk
+// (which then finishes the decommission). A chunk that cannot be repaired
+// does not stop the pass: failures are aggregated into a *RepairError and
+// every remaining chunk still gets its turn. Returns the number of chunk
 // copies created — the §4.3 recovery traffic.
 func (c *Cluster) Repair() (copies int, err error) {
 	queue := c.repairQ
@@ -693,35 +903,51 @@ func (c *Cluster) Repair() (copies int, err error) {
 			N: int64(copies), Bytes: int64(written),
 		})
 	}()
+	var repErr RepairError
 	var drainingTouched []*target
 	for _, ch := range queue {
 		delete(c.queued, ch)
-		if _, ok := c.objects[ch.obj.name]; !ok {
-			continue // object deleted while queued
+		if cur, ok := c.objects[ch.obj.name]; !ok || cur != ch.obj {
+			// Object deleted while queued (possibly re-created under the
+			// same name — identity, not name, decides staleness).
+			continue
 		}
 		// Drop replicas that died since queueing; keep draining ones as
-		// sources.
+		// sources and down ones as retained-but-unreachable data (their node
+		// may restart).
 		kept := ch.replicas[:0]
 		hadDraining := false
+		downN := 0
 		for _, r := range ch.replicas {
-			if r.tgt.readable() {
-				kept = append(kept, r)
-				if r.tgt.state == tDraining {
-					hadDraining = true
-					drainingTouched = append(drainingTouched, r.tgt)
-				}
+			if r.tgt.state == tDead {
+				continue
+			}
+			kept = append(kept, r)
+			if r.tgt.down {
+				downN++
+				continue
+			}
+			if r.tgt.state == tDraining {
+				hadDraining = true
+				drainingTouched = append(drainingTouched, r.tgt)
 			}
 		}
 		ch.replicas = kept
-		if len(ch.replicas) == 0 {
-			if ch.stripe != nil {
-				// Erasure-coded shard: rebuild from its stripe siblings.
-				if !c.repairShard(ch) {
-					c.tele.lostChunks.Inc()
-				}
+		if len(ch.replicas)-downN == 0 {
+			// No readable copy right now.
+			if ch.stripe != nil && c.repairShard(ch) {
+				// Erasure-coded shard: rebuilt from its stripe siblings.
+				continue
+			}
+			if downN > 0 {
+				// Every surviving copy is on a crashed node: the data still
+				// exists, just unreachable. Defer, don't declare loss.
+				c.enqueueRepair(ch)
+				repErr.Deferred++
 				continue
 			}
 			c.tele.lostChunks.Inc()
+			repErr.Lost = append(repErr.Lost, chunkName(ch))
 			continue
 		}
 		buf := make([]byte, c.chunkBytes())
@@ -729,7 +955,13 @@ func (c *Cluster) Repair() (copies int, err error) {
 			if ch.stripe != nil && c.repairShard(ch) {
 				continue
 			}
+			if c.downReplicas(ch) > 0 {
+				c.enqueueRepair(ch)
+				repErr.Deferred++
+				continue
+			}
 			c.tele.lostChunks.Inc()
+			repErr.Lost = append(repErr.Lost, chunkName(ch))
 			continue
 		}
 		if hadDraining {
@@ -757,10 +989,23 @@ func (c *Cluster) Repair() (copies int, err error) {
 			c.tele.recoveryOps.Inc()
 			c.tele.recoveryBytes.Add(uint64(c.chunkBytes()))
 		}
+		// A restarted node may have revived copies that repair already
+		// replaced: trim the excess, last live replica first (slice order,
+		// deterministic).
+		for c.liveReplicas(ch) > c.wantReplicas(ch) {
+			for i := len(ch.replicas) - 1; i >= 0; i-- {
+				if ch.replicas[i].tgt.live() {
+					c.dropReplica(ch, ch.replicas[i])
+					break
+				}
+			}
+		}
 		// Fully replicated again: the draining copies are no longer needed.
+		// Draining copies on crashed nodes stay — their slots can't be
+		// trimmed while the node is dark; restart reconciliation frees them.
 		if c.liveReplicas(ch) >= c.cfg.ReplicationFactor {
 			for _, r := range append([]replica(nil), ch.replicas...) {
-				if r.tgt.state == tDraining {
+				if r.tgt.state == tDraining && !r.tgt.down {
 					c.dropReplica(ch, r)
 				}
 			}
@@ -768,7 +1013,7 @@ func (c *Cluster) Repair() (copies int, err error) {
 	}
 	// Release draining minidisks that no longer hold any chunk.
 	for _, t := range drainingTouched {
-		if t.state == tDraining && len(t.chunks) == 0 {
+		if t.state == tDraining && !t.down && len(t.chunks) == 0 {
 			if dr, ok := t.dev.(blockdev.Drainer); ok {
 				if err := dr.Release(t.key.md); err == nil {
 					c.tele.releases.Inc()
@@ -777,6 +1022,9 @@ func (c *Cluster) Repair() (copies int, err error) {
 			t.state = tDead
 			delete(c.targets, t.key)
 		}
+	}
+	if len(repErr.Lost) > 0 {
+		return copies, &repErr
 	}
 	return copies, nil
 }

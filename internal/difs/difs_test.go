@@ -255,8 +255,13 @@ func TestDataLossWhenAllReplicasGone(t *testing.T) {
 	if _, err := c.Get("doomed"); err == nil {
 		t.Fatal("read of fully lost object succeeded")
 	}
-	if _, err := c.Repair(); err != nil {
-		t.Fatal(err)
+	_, err := c.Repair()
+	var re *RepairError
+	if !errors.As(err, &re) {
+		t.Fatalf("repair err = %v, want *RepairError", err)
+	}
+	if len(re.Lost) == 0 || re.Deferred != 0 {
+		t.Errorf("repair error = %+v, want lost chunks and no deferrals", re)
 	}
 	if c.Stats().LostChunks == 0 {
 		t.Error("lost chunks not counted")

@@ -187,12 +187,12 @@ func (c *Cluster) repairShard(ch *chunk) bool {
 // if capacity is tight) to complete the migration.
 func (c *Cluster) DecommissionNode(id NodeID) int {
 	n := 0
-	for _, t := range c.targets {
-		if t.key.node != id || t.state != tLive {
+	for _, t := range c.targetsOfNode(id) {
+		if !t.live() {
 			continue
 		}
 		t.state = tDraining
-		for _, ch := range t.chunks {
+		for _, ch := range t.chunksInSlotOrder() {
 			c.enqueueRepair(ch)
 		}
 		n++

@@ -169,8 +169,13 @@ func TestECLosesDataBeyondM(t *testing.T) {
 	if _, err := c.Get("doomed"); err == nil {
 		t.Fatal("read succeeded with 4 of 7 nodes gone and m=2")
 	}
-	if _, err := c.Repair(); err != nil {
-		t.Fatal(err)
+	_, err := c.Repair()
+	var re *RepairError
+	if !errors.As(err, &re) {
+		t.Fatalf("repair err = %v, want *RepairError", err)
+	}
+	if len(re.Lost) == 0 {
+		t.Errorf("repair error = %+v, want lost chunks", re)
 	}
 	if c.Stats().LostChunks == 0 {
 		t.Error("beyond-m loss not recorded")

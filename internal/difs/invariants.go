@@ -1,0 +1,141 @@
+package difs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants verifies the cluster's metadata against the DESIGN.md §6
+// invariants visible at this layer:
+//
+//  1. chunk→target consistency — every replica of every stored object points
+//     at a registered, non-dead target whose slot maps back to the chunk;
+//  2. replicas of one chunk live on distinct nodes;
+//  3. target→chunk consistency — every occupied slot of a reachable target
+//     belongs to a stored object that lists the replica (crashed targets are
+//     exempt: their metadata is allowed to go stale until restart
+//     reconciliation);
+//  4. slot conservation — free + occupied slots exactly cover each target's
+//     capacity, with no duplicates or out-of-range slots;
+//  5. repair-queue consistency — every chunk in the dedup set is queued
+//     (the queue may hold extra entries for deleted objects; Repair skips
+//     those lazily).
+//
+// It is a pure read. Returns one message per violation (empty when all hold),
+// in deterministic order so chaos reports are byte-stable.
+func (c *Cluster) CheckInvariants() []string {
+	var bad []string
+
+	// Targets, in key order.
+	keys := make([]targetKey, 0, len(c.targets))
+	for k := range c.targets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.node != kj.node {
+			return ki.node < kj.node
+		}
+		if ki.dev != kj.dev {
+			return ki.dev < kj.dev
+		}
+		return ki.md < kj.md
+	})
+	for _, k := range keys {
+		t := c.targets[k]
+		if t.state == tDead {
+			bad = append(bad, fmt.Sprintf("target %v is dead but still registered", k))
+		}
+		slots := t.info.LBAs / c.cfg.ChunkOPages
+		if len(t.freeSlots)+len(t.chunks) != slots {
+			bad = append(bad, fmt.Sprintf("target %v slot conservation: %d free + %d occupied != %d capacity",
+				k, len(t.freeSlots), len(t.chunks), slots))
+		}
+		seen := map[int]bool{}
+		for _, s := range t.freeSlots {
+			if s < 0 || s >= slots {
+				bad = append(bad, fmt.Sprintf("target %v free slot %d out of range [0,%d)", k, s, slots))
+			}
+			if seen[s] {
+				bad = append(bad, fmt.Sprintf("target %v free slot %d duplicated", k, s))
+			}
+			seen[s] = true
+			if _, occupied := t.chunks[s]; occupied {
+				bad = append(bad, fmt.Sprintf("target %v slot %d both free and occupied", k, s))
+			}
+		}
+		if t.down {
+			continue // stale slots tolerated until restart reconciliation
+		}
+		occ := make([]int, 0, len(t.chunks))
+		for s := range t.chunks {
+			occ = append(occ, s)
+		}
+		sort.Ints(occ)
+		for _, s := range occ {
+			ch := t.chunks[s]
+			if cur, ok := c.objects[ch.obj.name]; !ok || cur != ch.obj {
+				bad = append(bad, fmt.Sprintf("target %v slot %d holds chunk of deleted object %q", k, s, ch.obj.name))
+				continue
+			}
+			listed := false
+			for _, r := range ch.replicas {
+				if r.tgt == t && r.slot == s {
+					listed = true
+					break
+				}
+			}
+			if !listed {
+				bad = append(bad, fmt.Sprintf("target %v slot %d holds %s but the chunk does not list the replica", k, s, chunkName(ch)))
+			}
+		}
+	}
+
+	// Objects, in name order.
+	for _, name := range c.Objects() {
+		obj := c.objects[name]
+		chunks := obj.chunks
+		if len(obj.stripes) > 0 {
+			// Erasure-coded: obj.chunks lists only data shards; walk the
+			// stripes to cover parity too.
+			chunks = nil
+			for _, st := range obj.stripes {
+				chunks = append(chunks, st.chunks...)
+			}
+		}
+		for _, ch := range chunks {
+			nodes := map[NodeID]bool{}
+			for _, r := range ch.replicas {
+				reg, ok := c.targets[r.tgt.key]
+				if !ok || reg != r.tgt {
+					bad = append(bad, fmt.Sprintf("chunk %s replica on unregistered target %v", chunkName(ch), r.tgt.key))
+					continue
+				}
+				if r.tgt.state == tDead {
+					bad = append(bad, fmt.Sprintf("chunk %s replica on dead target %v", chunkName(ch), r.tgt.key))
+				}
+				if got := r.tgt.chunks[r.slot]; got != ch {
+					bad = append(bad, fmt.Sprintf("chunk %s replica slot %v/%d maps to a different chunk", chunkName(ch), r.tgt.key, r.slot))
+				}
+				if nodes[r.tgt.key.node] {
+					bad = append(bad, fmt.Sprintf("chunk %s has two replicas on node %d", chunkName(ch), r.tgt.key.node))
+				}
+				nodes[r.tgt.key.node] = true
+			}
+		}
+	}
+
+	// Every chunk in the dedup set is actually queued. The reverse need not
+	// hold: Delete purges the set but leaves queue entries for Repair to
+	// skip lazily.
+	inQ := map[*chunk]bool{}
+	for _, ch := range c.repairQ {
+		inQ[ch] = true
+	}
+	for ch := range c.queued {
+		if !inQ[ch] {
+			bad = append(bad, fmt.Sprintf("chunk %s in dedup set but missing from repair queue", chunkName(ch)))
+		}
+	}
+	return bad
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"salamander/internal/faultinject"
 	"salamander/internal/rber"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
@@ -20,6 +21,12 @@ var (
 	ErrNotWritten   = errors.New("flash: reading an unwritten page")
 	ErrEraseFailed  = errors.New("flash: erase verify failed — block is physically dead")
 	ErrWrongPageLen = errors.New("flash: page buffer has wrong length")
+	// ErrProgramFailed is an injected transient program failure: the program
+	// pulse did not verify, the page is consumed (NAND cannot retry a page
+	// without erasing the block) and holds partial garbage. Unlike
+	// ErrEraseFailed the block is not dead — the FTL must relocate the data
+	// elsewhere and treat the block as suspect.
+	ErrProgramFailed = errors.New("flash: program verify failed — page consumed, data not stored")
 )
 
 // Config assembles everything an Array needs.
@@ -43,7 +50,15 @@ type Config struct {
 	// StoreData retains page payloads so reads return real (corrupted)
 	// bytes. Disable for metadata-only bulk simulations.
 	StoreData bool
-	Seed      uint64
+	// PristineReads returns stored page content without applying the
+	// sampled bit errors (the sampled count still feeds ReadResult.Flips
+	// and telemetry). Devices that model ECC analytically instead of
+	// running a real decoder set this: an analytic decode "success" means
+	// the errors were corrected, so handing the host flipped bytes would be
+	// inconsistent. Injected transient read faults corrupt the returned
+	// copy regardless.
+	PristineReads bool
+	Seed          uint64
 }
 
 // DefaultConfig returns a data-path configuration with the default geometry.
@@ -97,6 +112,10 @@ type Array struct {
 	injectedFlips                 uint64
 
 	tele *arrayTele // optional cross-layer telemetry (nil = uninstrumented)
+
+	// Failpoints (nil = no fault injection; Fire on a nil site is free).
+	fiRead    *faultinject.Site // "flash.read.transient"
+	fiProgram *faultinject.Site // "flash.program.fail"
 }
 
 // arrayTele holds the flash layer's resolved registry handles and tracer.
@@ -133,6 +152,29 @@ func (a *Array) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		readLatency: reg.Histogram("flash.read_latency_ns"),
 		tr:          tr,
 	}
+}
+
+// InjectFaults attaches failpoint sites for transient read failures
+// ("flash.read.transient") and program failures ("flash.program.fail"). A nil
+// registry detaches. Sites stay disarmed until the chaos driver arms them, so
+// attaching costs nothing on the hot path beyond one nil check.
+func (a *Array) InjectFaults(fr *faultinject.Registry) {
+	if fr == nil {
+		a.fiRead, a.fiProgram = nil, nil
+		return
+	}
+	a.fiRead = fr.Site("flash.read.transient")
+	a.fiProgram = fr.Site("flash.program.fail")
+}
+
+// corruptPage applies a dense deterministic error pattern — one flipped bit
+// per byte, far past any level's ECC correction budget — so injected failures
+// are uncorrectable by construction on the real-ECC path.
+func corruptPage(data []byte) int {
+	for i := range data {
+		data[i] ^= 0x01
+	}
+	return len(data)
 }
 
 // New builds an array. All blocks start erased.
@@ -204,6 +246,26 @@ func (a *Array) Program(ppa PPA, data []byte) (sim.Time, error) {
 		}
 		pg.data = append(pg.data[:0], data...)
 	}
+	if a.fiProgram.Fire() {
+		// Program failure: the pulse consumed the page but did not verify.
+		// The page counts as written (holding corrupted data) and the
+		// sequential-program pointer advances past it — the FTL cannot retry
+		// in place, only relocate.
+		if a.cfg.StoreData {
+			corruptPage(pg.data)
+		}
+		pg.state = pageWritten
+		pg.wearAtProg = float64(blk.pec)
+		pg.scale = blk.pageScale[ppa.Page]
+		blk.nextPage = ppa.Page + 1
+		a.programOps++
+		dur := a.cfg.Timing.ProgramTime(a.cfg.Geometry.RawPageBytes())
+		if t := a.tele; t != nil {
+			t.programs.Inc()
+			t.progLatency.Observe(float64(dur))
+		}
+		return dur, fmt.Errorf("%w: %v", ErrProgramFailed, ppa)
+	}
 	pg.state = pageWritten
 	pg.wearAtProg = float64(blk.pec)
 	pg.scale = blk.pageScale[ppa.Page]
@@ -232,6 +294,11 @@ type ReadResult struct {
 	RBER float64
 	// Duration is the operation latency including transferring n bytes.
 	Duration sim.Time
+	// Injected marks an injected transient read failure: RBER is pinned near
+	// 0.5 and Data (when stored) is corrupted past correction, so the decode
+	// above fails this attempt but a re-read senses cleanly. Device layers use
+	// it to credit faults_recovered when a retry rescues the read.
+	Injected bool
 }
 
 // Read reads a programmed page, injecting bit errors according to the
@@ -254,6 +321,29 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 	blk.reads++
 	a.readOps++
 
+	if a.fiRead.Fire() {
+		// Transient read failure: this sensing pass returns garbage (RBER
+		// ~0.5), guaranteed uncorrectable on both the analytic and real-ECC
+		// decode paths. The page itself is fine — a retry re-senses it.
+		res := &ReadResult{
+			RBER:     0.5,
+			Duration: a.cfg.Timing.ReadTime(transferBytes),
+			Injected: true,
+		}
+		if a.cfg.StoreData {
+			res.Data = append([]byte(nil), pg.data...)
+			res.Flips = corruptPage(res.Data)
+			a.injectedFlips += uint64(res.Flips)
+		}
+		if t := a.tele; t != nil {
+			t.reads.Inc()
+			t.flips.Add(uint64(res.Flips))
+			t.rberHist.Observe(res.RBER)
+			t.readLatency.Observe(float64(res.Duration))
+		}
+		return res, nil
+	}
+
 	rberEff := a.EffectiveRBER(ppa)
 	bits := int64(a.cfg.Geometry.RawPageBytes()) * 8
 	flips := int(a.rng.Binomial(bits, rberEff))
@@ -264,11 +354,13 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 	}
 	if a.cfg.StoreData {
 		res.Data = append([]byte(nil), pg.data...)
-		for i := 0; i < flips; i++ {
-			bit := a.rng.Intn(int(bits))
-			res.Data[bit/8] ^= 1 << uint(bit%8)
+		if !a.cfg.PristineReads {
+			for i := 0; i < flips; i++ {
+				bit := a.rng.Intn(int(bits))
+				res.Data[bit/8] ^= 1 << uint(bit%8)
+			}
+			a.injectedFlips += uint64(flips)
 		}
-		a.injectedFlips += uint64(flips)
 	}
 	if t := a.tele; t != nil {
 		t.reads.Inc()

@@ -13,6 +13,7 @@ import (
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ecc"
+	"salamander/internal/faultinject"
 	"salamander/internal/flash"
 	"salamander/internal/ftl"
 	"salamander/internal/rber"
@@ -37,7 +38,9 @@ type Config struct {
 	// events are sampled analytically from the page RBER.
 	RealECC bool
 	// MaxReadRetries re-reads a failed page up to this many times (§2's
-	// iterative voltage adjustment), each retry costing a full read.
+	// iterative voltage adjustment), each retry costing a full read. Zero
+	// means a single attempt with no retries; negative is rejected at
+	// construction.
 	MaxReadRetries int
 	// WearLevelSpread triggers static wear leveling: when the P/E spread
 	// between hottest and coldest sealed blocks exceeds this many cycles,
@@ -150,6 +153,12 @@ type Device struct {
 
 	lost map[int64]bool // LBAs whose data was lost during GC
 
+	// suspect marks blocks that took a program failure: they are sealed so GC
+	// relocates their live data, then retired (not recycled) at erase time —
+	// the baseline's bad-block remap path for transient program faults.
+	suspect map[int]bool
+	fr      *faultinject.Registry // nil unless InjectFaults was called
+
 	lbas    int // exported capacity in oPages
 	slotsPP int // oPages per fPage
 	spb     int // sectors per oPage
@@ -171,6 +180,14 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 	if cfg.GCLowWater < 2 {
 		return nil, fmt.Errorf("ssd: GC low water must be >= 2 (GC itself needs a free block)")
 	}
+	if cfg.MaxReadRetries < 0 {
+		return nil, fmt.Errorf("ssd: MaxReadRetries %d is negative (0 means no retries)", cfg.MaxReadRetries)
+	}
+	if !cfg.RealECC {
+		// Analytic ECC: a modeled decode success means the raw errors were
+		// corrected, so reads must hand back pristine stored bytes.
+		cfg.Flash.PristineReads = true
+	}
 	arr, err := flash.New(cfg.Flash)
 	if err != nil {
 		return nil, err
@@ -190,6 +207,7 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 		active:  -1,
 		gcBlk:   -1,
 		lost:    map[int64]bool{},
+		suspect: map[int]bool{},
 		slotsPP: g.PageSize / rber.OPageSize,
 		spb:     rber.OPageSize / rber.SectorSize,
 		tele:    bindTele(telemetry.NewRegistry(), nil),
@@ -275,6 +293,18 @@ func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
 	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
 	d.arr.Instrument(reg, tr)
+}
+
+// InjectFaults attaches a failpoint registry: the registry's clock is bound
+// to the device engine and its flash sites are threaded into the array. Pass
+// nil to detach. One registry per device (clocks are per-device); instrument
+// the registry into a shared telemetry registry for the fleet view.
+func (d *Device) InjectFaults(fr *faultinject.Registry) {
+	d.fr = fr
+	if fr != nil {
+		fr.SetClock(func() sim.Time { return d.eng.Now() })
+	}
+	d.arr.InjectFaults(fr)
 }
 
 // Bricked reports whether the device has failed.
@@ -418,26 +448,32 @@ func zero(b []byte) {
 // MaxReadRetries times (each retry re-senses the page and pays another full
 // read latency — §2's iterative voltage adjustment).
 func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
-	out, err := d.readOPageOnce(addr)
+	out, injected, err := d.readOPageOnce(addr)
+	sawInjected := injected
 	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
 		d.tele.readRetries.Inc()
-		out, err = d.readOPageOnce(addr)
+		out, injected, err = d.readOPageOnce(addr)
+		sawInjected = sawInjected || injected
 		if err == nil {
 			d.tele.retrySaves.Inc()
+			if sawInjected {
+				d.fr.Recovered("ssd")
+			}
 		}
 	}
 	return out, err
 }
 
-// readOPageOnce performs a single read attempt.
-func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
+// readOPageOnce performs a single read attempt. injected reports whether the
+// attempt hit an injected transient read failure.
+func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, err error) {
 	transfer := rber.OPageSize
 	if d.codec != nil {
 		transfer += d.spb * d.codec.ParityBytes()
 	}
 	res, err := d.arr.Read(addr.PPA, transfer)
 	if err != nil {
-		return nil, fmt.Errorf("blockdev: %w", err)
+		return nil, false, fmt.Errorf("blockdev: %w", err)
 	}
 	d.tele.flashReads.Inc()
 	d.eng.Advance(res.Duration)
@@ -448,16 +484,16 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		for s := 0; s < d.spb; s++ {
 			if d.rng.Float64() < pFail {
 				d.tele.uncorrectable.Inc()
-				return nil, blockdev.ErrUncorrectable
+				return nil, res.Injected, blockdev.ErrUncorrectable
 			}
 		}
 		if res.Data == nil {
-			return nil, nil // metadata-only mode
+			return nil, res.Injected, nil // metadata-only mode
 		}
 		off := addr.Slot * rber.OPageSize
-		return res.Data[off : off+rber.OPageSize], nil
+		return res.Data[off : off+rber.OPageSize], res.Injected, nil
 	}
-	out := make([]byte, rber.OPageSize)
+	out = make([]byte, rber.OPageSize)
 	pb := d.codec.ParityBytes()
 	for s := 0; s < d.spb; s++ {
 		sectorGlobal := addr.Slot*d.spb + s
@@ -468,7 +504,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		bits, err := d.codec.Decode(sector, parity)
 		if err != nil {
 			d.tele.uncorrectable.Inc()
-			return nil, blockdev.ErrUncorrectable
+			return nil, res.Injected, blockdev.ErrUncorrectable
 		}
 		if bits > 0 {
 			d.tele.eccCorrectedBits.Add(uint64(bits))
@@ -479,7 +515,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) ([]byte, error) {
 		}
 		copy(out[s*rber.SectorSize:], sector)
 	}
-	return out, nil
+	return out, res.Injected, nil
 }
 
 // flushOne programs one fPage from the write buffer.
@@ -491,32 +527,55 @@ func (d *Device) flushOne() error {
 	return d.programPage(entries)
 }
 
-// programPage writes the entries into the next page of the active block.
+// maxProgramRetries bounds how many fresh blocks one fPage program may burn
+// through after program failures before the write is surfaced as an error.
+const maxProgramRetries = 4
+
+// programPage writes the entries into the next page of the active block. A
+// program failure (transient, injected) consumes the page: the active block
+// is abandoned as suspect — sealed so GC relocates its already-written live
+// data, then retired at erase time — and the entries retry in a fresh block.
 func (d *Device) programPage(entries []ftl.BufEntry) error {
-	ppa := flash.PPA{Block: d.active, Page: d.nextPg}
-	var raw []byte
-	if d.cfg.Flash.StoreData {
-		raw = d.composePage(entries)
-	}
-	dur, err := d.arr.Program(ppa, raw)
-	if err != nil {
-		return fmt.Errorf("blockdev: %w", err)
-	}
-	d.tele.flashWrites.Inc()
-	d.eng.Advance(dur)
-	for slot, e := range entries {
-		addr := ftl.OPageAddr{PPA: ppa, Slot: slot}
-		if prev, had := d.table.Update(e.Key, addr); had {
-			d.valid.Clear(prev)
+	for attempt := 0; ; attempt++ {
+		ppa := flash.PPA{Block: d.active, Page: d.nextPg}
+		var raw []byte
+		if d.cfg.Flash.StoreData {
+			raw = d.composePage(entries)
 		}
-		d.valid.Set(addr, e.Key)
+		dur, err := d.arr.Program(ppa, raw)
+		if err != nil {
+			if !errors.Is(err, flash.ErrProgramFailed) || attempt >= maxProgramRetries {
+				return fmt.Errorf("blockdev: %w", err)
+			}
+			d.tele.flashWrites.Inc()
+			d.eng.Advance(dur)
+			d.suspect[d.active] = true
+			d.state[d.active] = stSealed
+			d.active = -1
+			if err := d.ensureActive(); err != nil {
+				return err
+			}
+			continue
+		}
+		d.tele.flashWrites.Inc()
+		d.eng.Advance(dur)
+		for slot, e := range entries {
+			addr := ftl.OPageAddr{PPA: ppa, Slot: slot}
+			if prev, had := d.table.Update(e.Key, addr); had {
+				d.valid.Clear(prev)
+			}
+			d.valid.Set(addr, e.Key)
+		}
+		d.nextPg++
+		if d.nextPg == d.arr.Geometry().PagesPerBlock {
+			d.state[d.active] = stSealed
+			d.active = -1
+		}
+		if attempt > 0 {
+			d.fr.Recovered("ssd")
+		}
+		return nil
 	}
-	d.nextPg++
-	if d.nextPg == d.arr.Geometry().PagesPerBlock {
-		d.state[d.active] = stSealed
-		d.active = -1
-	}
-	return nil
 }
 
 // composePage lays out entries' data and per-sector BCH parity into one raw
@@ -766,7 +825,21 @@ func (d *Device) collect() error {
 		}
 		dur, err := d.arr.Program(ppa, raw)
 		if err != nil {
-			return fmt.Errorf("blockdev: %w", err)
+			if !errors.Is(err, flash.ErrProgramFailed) {
+				return fmt.Errorf("blockdev: %w", err)
+			}
+			// Program failure mid-relocation: abandon the GC block as suspect
+			// and spill the unprogrammed remainder (including this page's
+			// entries) into the NV buffer — the data relocates through the
+			// normal flush path instead of being lost.
+			d.tele.flashWrites.Inc()
+			d.eng.Advance(dur)
+			d.suspect[d.gcBlk] = true
+			d.state[d.gcBlk] = stSealed
+			d.gcBlk = -1
+			fullPages = p
+			d.fr.Recovered("ssd")
+			break
 		}
 		d.tele.flashWrites.Inc()
 		d.eng.Advance(dur)
@@ -795,7 +868,11 @@ func (d *Device) collect() error {
 	d.valid.ClearBlock(victim)
 	dur, err := d.arr.Erase(victim)
 	d.eng.Advance(dur)
-	if err != nil || d.blockIsBad(victim) {
+	if err != nil || d.suspect[victim] || d.blockIsBad(victim) {
+		// Bad-block remap: suspect blocks (program failures) retire here
+		// instead of rejoining the free pool, alongside blocks that died of
+		// wear. Their live data was already relocated above.
+		delete(d.suspect, victim)
 		d.state[victim] = stBad
 		d.maybeBrick()
 		return nil

@@ -50,6 +50,15 @@ const (
 	// traces in JSONL form (cmd/saltrace).
 	KindHostRead  EventKind = "host_read"
 	KindHostWrite EventKind = "host_write"
+	// KindFaultInjected: a faultinject site fired (layer = site's layer
+	// prefix, Detail = full site name).
+	KindFaultInjected EventKind = "fault_injected"
+	// KindNodeCrash: a storage node left or re-entered service (layer difs,
+	// Detail "crash", "restart", or "quarantine"; N = targets affected).
+	KindNodeCrash EventKind = "node_crash"
+	// KindRepairRetry: a difs read attempt failed transiently and was
+	// retried after virtual-time backoff (layer difs).
+	KindRepairRetry EventKind = "repair_retry"
 )
 
 // Event is one structured trace record. T is the emitting layer's virtual
