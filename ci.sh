@@ -1,13 +1,17 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging.
 #
-#   ./ci.sh            full gate: format, vet, build, tests, race detector
+#   ./ci.sh            full gate: format, vet, build, tests, race detector,
+#                      chaos smoke, write-scaling regression guard
 #
-# The race-detector pass covers the concurrency-bearing packages: the
-# telemetry registry/tracer (atomics, subscriber hooks), difs (device
-# event callbacks land on cluster state), and chaos (parallel seed runs
-# over the whole stack). A fixed-seed salchaos smoke run then asserts the
-# cross-layer invariants end to end.
+# The race-detector pass runs the whole module: the stress battery in
+# blockdev/ssd/core/difs hammers each layer from many goroutines, so a
+# data race anywhere in the concurrent data path (channel workers, sharded
+# FTL locks, device mutexes, cluster lock, event sink) fails the gate. A
+# fixed-seed salchaos smoke run then asserts the cross-layer invariants
+# end to end, and the salperf -parallel benchmark is compared against the
+# checked-in BENCH_parallel.json: >15% write-throughput regression at any
+# channel count fails the build.
 set -eu
 
 cd "$(dirname "$0")"
@@ -29,10 +33,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, difs, chaos) =="
-go test -race ./internal/telemetry/... ./internal/difs/... ./internal/chaos/...
+echo "== go test -race (all packages, concurrency stress battery) =="
+go test -race ./...
 
 echo "== salchaos smoke (fixed seed) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 >/dev/null
+
+echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
+go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
 
 echo "CI PASSED"

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	saldifs [-nodes N] [-objects N] [-rounds N] [-pec F] [-seed S]
-//	        [-metrics] [-metrics-out FILE] [-trace FILE]
+//	        [-parallel N] [-metrics] [-metrics-out FILE] [-trace FILE]
+//
+// With -parallel N, repair passes fan chunk reads and re-replication
+// writes out over N workers (difs.RepairParallel) instead of running
+// serially; results are identical either way, only the I/O overlaps.
 //
 // With -metrics, every layer of the stack (flash array, FTL, devices,
 // cluster) feeds one shared telemetry registry; the per-layer counter and
@@ -46,6 +50,7 @@ func main() {
 		pec        = flag.Float64("pec", 8, "nominal PEC limit (small = fast aging)")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		useEC      = flag.Bool("ec", false, "use RS(4+2) erasure coding instead of 3-way replication (needs >= 6 nodes)")
+		parallel   = flag.Int("parallel", 0, "repair-worker fan-out per pass (0 or 1 = serial repair)")
 		showMetric = flag.Bool("metrics", false, "collect cross-layer telemetry, print per-layer tables, write snapshot JSON")
 		metricsOut = flag.String("metrics-out", "metrics.json", "snapshot JSON path for -metrics (read by salmon)")
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file")
@@ -68,6 +73,7 @@ func main() {
 	}
 
 	ecMode = *useEC
+	repairWorkers = *parallel
 	t := metrics.NewTable("deployment", "churn rounds", "decommissions", "bricks",
 		"regenerations", "recovery ops", "recovery bytes", "recovery reads", "degraded reads", "lost chunks")
 	for _, mode := range []string{"baseline", "shrinkS", "regenS"} {
@@ -117,6 +123,9 @@ func writeSnapshot(path string, s telemetry.Snapshot) error {
 
 // ecMode selects RS(4+2) for all deployments in this invocation.
 var ecMode bool
+
+// repairWorkers > 1 fans repair I/O out via difs.RepairParallel.
+var repairWorkers int
 
 func flashGeom() flash.Geometry {
 	return flash.Geometry{
@@ -217,7 +226,7 @@ churn:
 			if err := cluster.Put(name, blob); err != nil {
 				break churn
 			}
-			if _, err := cluster.Repair(); err != nil {
+			if _, err := cluster.RepairParallel(repairWorkers); err != nil {
 				// Partial repair failures (a *difs.RepairError) are
 				// aggregated per chunk; the pass still repaired the rest.
 				var re *difs.RepairError

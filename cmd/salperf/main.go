@@ -7,6 +7,14 @@
 //
 //	salperf [-points N] [-data MB] [-reads N] [-level L]
 //	        [-metrics] [-metrics-out FILE] [-trace FILE]
+//	        [-parallel N] [-parallel-out FILE] [-parallel-baseline FILE]
+//
+// With -parallel N, salperf additionally runs the channel-parallel write
+// scaling benchmark from 1 to N channels through the flash dispatcher,
+// prints the throughput table, and writes the points to -parallel-out as
+// JSON. When -parallel-baseline names a checked-in baseline file, each
+// measured point is compared against it and the run fails if throughput
+// regressed more than 15%.
 //
 // With -metrics, the measurement's flash arrays feed one registry (op
 // counters, RBER and latency histograms) whose per-layer tables print
@@ -38,8 +46,18 @@ func main() {
 		showMetric = flag.Bool("metrics", false, "collect flash telemetry, print per-layer tables, write snapshot JSON")
 		metricsOut = flag.String("metrics-out", "metrics.json", "snapshot JSON path for -metrics (read by salmon)")
 		tracePath  = flag.String("trace", "", "write the page-program event trace as JSONL to this file")
+		parallel   = flag.Int("parallel", 0, "run the write-scaling benchmark from 1 to N channels (0 skips it)")
+		parOut     = flag.String("parallel-out", "", "write the scaling points as JSON to this file")
+		parBase    = flag.String("parallel-baseline", "", "compare against this baseline JSON; fail on >15% throughput regression")
 	)
 	flag.Parse()
+
+	if *parallel > 0 {
+		if err := runParallelBench(*parallel, *dataMB, *parOut, *parBase); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := perfmodel.DefaultConfig()
 	cfg.DataMB = *dataMB

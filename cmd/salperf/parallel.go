@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"salamander/internal/metrics"
+	"salamander/internal/perfmodel"
+)
+
+// regressionTolerance is how much measured throughput may fall below the
+// baseline before the comparison fails: >15% slower is a regression.
+const regressionTolerance = 0.85
+
+// benchSeed keeps the checked-in baseline reproducible across runs.
+const benchSeed = 9
+
+// benchChannelCounts returns the 1..max channel counts measured by
+// -parallel: powers of two plus max itself, so the table always shows the
+// serial anchor and the requested top end.
+func benchChannelCounts(max int) []int {
+	var counts []int
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return append(counts, max)
+}
+
+// runParallelBench measures write throughput from 1 to maxChannels channels,
+// prints the scaling table, optionally writes the points as JSON, and
+// optionally compares them against a checked-in baseline.
+func runParallelBench(maxChannels, dataMB int, outPath, basePath string) error {
+	pts, err := perfmodel.MeasureWriteScaling(benchChannelCounts(maxChannels), dataMB, benchSeed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== channel-parallel write scaling (%d MB dataset) ==\n", dataMB)
+	t := metrics.NewTable("channels", "MB/s", "speedup")
+	for _, p := range pts {
+		t.Row(float64(p.Channels), p.MBPerSec, p.Speedup)
+	}
+	t.Render(os.Stdout)
+
+	if outPath != "" {
+		raw, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("scaling points written to %s\n", outPath)
+	}
+	if basePath != "" {
+		if err := compareBaseline(pts, basePath); err != nil {
+			return err
+		}
+		fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", basePath, (1-regressionTolerance)*100)
+	}
+	return nil
+}
+
+// compareBaseline fails if any measured point's throughput fell more than
+// the tolerance below the baseline's point for the same channel count.
+// Baseline points with no measured counterpart (or vice versa) are ignored:
+// the guard tracks regressions, not benchmark shape.
+func compareBaseline(pts []perfmodel.ScalingPoint, basePath string) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base []perfmodel.ScalingPoint
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", basePath, err)
+	}
+	byChannels := make(map[int]perfmodel.ScalingPoint, len(base))
+	for _, b := range base {
+		byChannels[b.Channels] = b
+	}
+	for _, p := range pts {
+		b, ok := byChannels[p.Channels]
+		if !ok {
+			continue
+		}
+		if p.MBPerSec < b.MBPerSec*regressionTolerance {
+			return fmt.Errorf("regression at %d channels: %.1f MB/s vs baseline %.1f MB/s (>%.0f%% drop)",
+				p.Channels, p.MBPerSec, b.MBPerSec, (1-regressionTolerance)*100)
+		}
+	}
+	return nil
+}

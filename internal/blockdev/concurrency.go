@@ -1,0 +1,150 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+)
+
+// concPattern fills buf with a page image unique to (md, lba, version), so
+// a torn page — bytes from two different writes — can never pass the
+// equality check against any single version.
+func concPattern(buf []byte, md MinidiskID, lba int, version byte) {
+	b := byte(md)*5 ^ byte(lba)*31 ^ version
+	for i := range buf {
+		buf[i] = b ^ byte(i*37)
+	}
+}
+
+// CheckConcurrency exercises a Device from several goroutines at once and
+// returns the first contract violation found (nil if conformant):
+//
+//   - Read-your-writes per LBA: with each LBA owned by one goroutine, a
+//     read always returns that goroutine's latest write (or zeros after a
+//     trim / before any write).
+//   - Pages are never torn: a read never observes a mix of two writes.
+//   - Concurrent metadata queries (Minidisks) and flushes, where the device
+//     supports them, do not disturb data ops.
+//
+// Workers own disjoint (minidisk, LBA) sets, so the check makes no demands
+// beyond what the interface already promises for serial use — it verifies
+// the device serializes internally instead of corrupting state. Devices
+// that wear (the simulated SSDs) may brick, drain a minidisk, or run out of
+// space mid-check; those errors end the affected worker's use of that LBA
+// rather than failing the check.
+func CheckConcurrency(dev Device, workers, opsPerWorker int, seed uint64) error {
+	if workers < 1 || opsPerWorker < 1 {
+		return fail("concurrency", "workers %d and opsPerWorker %d must be positive", workers, opsPerWorker)
+	}
+	type slot struct {
+		md  MinidiskID
+		lba int
+	}
+	var all []slot
+	for _, m := range dev.Minidisks() {
+		for lba := 0; lba < m.LBAs; lba++ {
+			all = append(all, slot{m.ID, lba})
+		}
+	}
+	if len(all) < workers {
+		return fail("concurrency", "device exposes %d LBAs, need at least %d", len(all), workers)
+	}
+	type flusher interface{ Flush() error }
+	fl, canFlush := dev.(flusher)
+
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stride-partitioned ownership: worker w owns all[w], all[w+workers], ...
+			var mine []slot
+			for i := w; i < len(all); i += workers {
+				mine = append(mine, all[i])
+			}
+			rng := seed ^ uint64(w)*0x9e3779b97f4a7c15
+			next := func() uint64 { // xorshift64*, deterministic per worker
+				rng ^= rng >> 12
+				rng ^= rng << 25
+				rng ^= rng >> 27
+				return rng * 0x2545f4914f6cdd1d
+			}
+			version := map[slot]byte{} // 0 = unwritten/trimmed
+			buf := make([]byte, OPageSize)
+			want := make([]byte, OPageSize)
+			gone := func(err error) bool {
+				return errors.Is(err, ErrBricked) || errors.Is(err, ErrNoSuchMinidisk) ||
+					errors.Is(err, ErrDeviceFull)
+			}
+			for op := 0; op < opsPerWorker && len(mine) > 0; op++ {
+				i := int(next() % uint64(len(mine)))
+				s := mine[i]
+				switch next() % 8 {
+				case 0:
+					if err := dev.Trim(s.md, s.lba); err != nil {
+						if gone(err) {
+							mine = append(mine[:i], mine[i+1:]...)
+							continue
+						}
+						errCh <- fail("concurrency", "trim %d/%d: %v", s.md, s.lba, err)
+						return
+					}
+					delete(version, s)
+				case 1:
+					if canFlush {
+						if err := fl.Flush(); err != nil && !gone(err) {
+							errCh <- fail("concurrency", "flush: %v", err)
+							return
+						}
+					}
+					dev.Minidisks()
+				case 2, 3, 4:
+					err := dev.Read(s.md, s.lba, buf)
+					if errors.Is(err, ErrUncorrectable) || gone(err) {
+						continue
+					}
+					if err != nil {
+						errCh <- fail("concurrency", "read %d/%d: %v", s.md, s.lba, err)
+						return
+					}
+					v := version[s]
+					if v == 0 {
+						for j := range want {
+							want[j] = 0
+						}
+					} else {
+						concPattern(want, s.md, s.lba, v)
+					}
+					if !bytes.Equal(buf, want) {
+						errCh <- fail("concurrency",
+							"read %d/%d: stale or torn page (want version %d)", s.md, s.lba, v)
+						return
+					}
+				default:
+					v := byte(op%255) + 1
+					concPattern(buf, s.md, s.lba, v)
+					err := dev.Write(s.md, s.lba, buf)
+					if gone(err) {
+						mine = append(mine[:i], mine[i+1:]...)
+						continue
+					}
+					if err != nil {
+						errCh <- fail("concurrency", "write %d/%d: %v", s.md, s.lba, err)
+						return
+					}
+					version[s] = v
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+	wg.Wait()
+	var first error
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

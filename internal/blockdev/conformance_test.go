@@ -105,3 +105,20 @@ func TestConformanceErrorUnwrap(t *testing.T) {
 		t.Error("Unwrap broken")
 	}
 }
+
+func TestMemDeviceConcurrency(t *testing.T) {
+	d := NewMemDevice(4, 64)
+	if err := CheckConcurrency(d, 8, 500, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConcurrencyValidation(t *testing.T) {
+	d := NewMemDevice(1, 2)
+	if err := CheckConcurrency(d, 0, 10, 1); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if err := CheckConcurrency(d, 8, 10, 1); err == nil {
+		t.Error("more workers than LBAs accepted")
+	}
+}

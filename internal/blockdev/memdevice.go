@@ -3,12 +3,18 @@ package blockdev
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // MemDevice is a RAM-backed Device with manually triggered failures. It
 // exists so the distributed layer can be tested in isolation from the flash
 // and FTL machinery, and so failure sequences can be scripted exactly.
+//
+// All methods serialize on one mutex, so a MemDevice may be shared between
+// goroutines. As with every Device, the Notify handler runs with that lock
+// held and must not call back into the device.
 type MemDevice struct {
+	mu     sync.Mutex
 	disks  map[MinidiskID]*memDisk
 	nextID MinidiskID
 	notify func(Event)
@@ -33,6 +39,8 @@ func NewMemDevice(n, lbas int) *MemDevice {
 // AddMinidisk creates a new minidisk (simulating RegenS regeneration when
 // tiredness > 0) and emits EventRegenerate. It returns the new ID.
 func (d *MemDevice) AddMinidisk(lbas, tiredness int) MinidiskID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := d.nextID
 	d.nextID++
 	info := MinidiskInfo{ID: id, LBAs: lbas, Tiredness: tiredness}
@@ -46,6 +54,8 @@ func (d *MemDevice) AddMinidisk(lbas, tiredness int) MinidiskID {
 // FailMinidisk decommissions a minidisk, dropping its data, and emits
 // EventDecommission.
 func (d *MemDevice) FailMinidisk(id MinidiskID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	disk, ok := d.disks[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchMinidisk, id)
@@ -61,6 +71,8 @@ func (d *MemDevice) FailMinidisk(id MinidiskID) error {
 // readable but rejects writes, and emits EventDrain. Complete it with
 // Release.
 func (d *MemDevice) DrainMinidisk(id MinidiskID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	disk, ok := d.disks[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchMinidisk, id)
@@ -78,6 +90,8 @@ func (d *MemDevice) DrainMinidisk(id MinidiskID) error {
 // Release implements Drainer: the draining minidisk's data is dropped and
 // the decommission completed with EventDecommission.
 func (d *MemDevice) Release(id MinidiskID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	disk, ok := d.disks[id]
 	if !ok || !disk.draining {
 		return fmt.Errorf("%w: %d is not draining", ErrNoSuchMinidisk, id)
@@ -91,6 +105,8 @@ func (d *MemDevice) Release(id MinidiskID) error {
 
 // Brick kills the whole device and emits EventBrick.
 func (d *MemDevice) Brick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.brick {
 		return
 	}
@@ -102,10 +118,16 @@ func (d *MemDevice) Brick() {
 }
 
 // Bricked reports whether the device has failed.
-func (d *MemDevice) Bricked() bool { return d.brick }
+func (d *MemDevice) Bricked() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.brick
+}
 
 // Minidisks implements Device, returning non-draining disks in ID order.
 func (d *MemDevice) Minidisks() []MinidiskInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]MinidiskInfo, 0, len(d.disks))
 	for _, disk := range d.disks {
 		if !disk.draining {
@@ -135,6 +157,8 @@ func (d *MemDevice) lookup(md MinidiskID, lba int, buf []byte) (*memDisk, error)
 
 // Read implements Device. Unwritten LBAs read as zeros.
 func (d *MemDevice) Read(md MinidiskID, lba int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	disk, err := d.lookup(md, lba, buf)
 	if err != nil {
 		return err
@@ -151,6 +175,8 @@ func (d *MemDevice) Read(md MinidiskID, lba int, buf []byte) error {
 
 // Write implements Device. Draining minidisks reject writes.
 func (d *MemDevice) Write(md MinidiskID, lba int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	disk, err := d.lookup(md, lba, buf)
 	if err != nil {
 		return err
@@ -164,6 +190,8 @@ func (d *MemDevice) Write(md MinidiskID, lba int, buf []byte) error {
 
 // Trim implements Device.
 func (d *MemDevice) Trim(md MinidiskID, lba int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.brick {
 		return ErrBricked
 	}
@@ -179,7 +207,11 @@ func (d *MemDevice) Trim(md MinidiskID, lba int) error {
 }
 
 // Notify implements Device.
-func (d *MemDevice) Notify(fn func(Event)) { d.notify = fn }
+func (d *MemDevice) Notify(fn func(Event)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.notify = fn
+}
 
 var (
 	_ Device  = (*MemDevice)(nil)

@@ -35,6 +35,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ecc"
@@ -210,8 +211,15 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
 	}
 }
 
-// Device is a Salamander SSD.
+// Device is a Salamander SSD. All exported entry points are safe for
+// concurrent use: one device mutex serializes host I/O, GC, tiredness
+// transitions, and lifecycle events (ShrinkS/RegenS), so their compound
+// invariants hold without fine-grained ordering rules; the flash array
+// underneath has its own per-channel locking. Lock order is device ->
+// flash channel. Notify handlers run with the device lock held and must
+// not call back into the device (the blockdev contract).
 type Device struct {
+	mu    sync.Mutex
 	cfg   Config
 	arr   *flash.Array
 	eng   *sim.Engine
@@ -365,6 +373,8 @@ func (d *Device) Array() *flash.Array { return d.arr }
 // from the device's registry-backed telemetry handles at call time;
 // mutating the returned value has no effect on the live device.
 func (d *Device) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return Counters{
 		HostReads:      d.tele.hostReads.Value(),
 		HostWrites:     d.tele.hostWrites.Value(),
@@ -389,6 +399,8 @@ func (d *Device) Counters() Counters {
 // so instrument at startup for complete latency distributions. A nil
 // registry detaches back onto a private one.
 func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -432,6 +444,8 @@ func (d *Device) updateGauges() {
 // per-device); instrument each registry into a shared telemetry registry for
 // the fleet view.
 func (d *Device) InjectFaults(fr *faultinject.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.fr = fr
 	if fr == nil {
 		d.fiEvDrop, d.fiEvDup = nil, nil
@@ -445,20 +459,36 @@ func (d *Device) InjectFaults(fr *faultinject.Registry) {
 }
 
 // Retired reports whether the device has shrunk to nothing (or failed).
-func (d *Device) Retired() bool { return d.retired }
+func (d *Device) Retired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retired
+}
 
 // Reserve returns the over-provisioning reserve in oPages.
 func (d *Device) Reserve() int { return d.reserve }
 
 // ServingSlots returns the current serving capacity in oPages (Eq. 1's
 // total across levels).
-func (d *Device) ServingSlots() int { return d.servingSlots }
+func (d *Device) ServingSlots() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.servingSlots
+}
 
 // LiveLBAs returns the exported logical capacity in oPages.
-func (d *Device) LiveLBAs() int { return d.liveLBAs }
+func (d *Device) LiveLBAs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.liveLBAs
+}
 
 // LimboPages returns the number of limbo fPages at each tiredness level.
-func (d *Device) LimboPages() [rber.MaxUsableLevel + 1]int { return d.limbo }
+func (d *Device) LimboPages() [rber.MaxUsableLevel + 1]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.limbo
+}
 
 // Health is a SMART-style device self-report: the signals a fleet manager
 // would watch to anticipate shrinking (§2 discusses how operators retire on
@@ -481,6 +511,8 @@ type Health struct {
 
 // Health returns the current self-report.
 func (d *Device) Health() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	h := Health{
 		LiveLBAs:     d.liveLBAs,
 		ServingSlots: d.servingSlots,
@@ -510,7 +542,11 @@ func (d *Device) Health() Health {
 }
 
 // Notify implements blockdev.Device.
-func (d *Device) Notify(fn func(blockdev.Event)) { d.notify = fn }
+func (d *Device) Notify(fn func(blockdev.Event)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.notify = fn
+}
 
 // emit delivers one host event through the (possibly faulty) notification
 // channel: an armed "core.event.drop" site swallows the event, an armed
@@ -532,6 +568,8 @@ func (d *Device) emit(e blockdev.Event) {
 // Draining disks are excluded: they accept no writes and should receive no
 // placements, though their data remains readable until Release.
 func (d *Device) Minidisks() []blockdev.MinidiskInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var out []blockdev.MinidiskInfo
 	for _, m := range d.mdisks {
 		if m.state == mdLive {
@@ -580,6 +618,8 @@ func (d *Device) checkAddr(md blockdev.MinidiskID, lba int, buf []byte, forRead 
 
 // Write implements blockdev.Device.
 func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.checkAddr(md, lba, buf, false); err != nil {
 		return err
 	}
@@ -598,11 +638,15 @@ func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
 
 // Flush programs any partially filled buffer to flash.
 func (d *Device) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.drainBuffer(true)
 }
 
 // Trim implements blockdev.Device.
 func (d *Device) Trim(md blockdev.MinidiskID, lba int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.checkAddr(md, lba, nil, false); err != nil {
 		return err
 	}
@@ -617,6 +661,8 @@ func (d *Device) Trim(md blockdev.MinidiskID, lba int) error {
 
 // Read implements blockdev.Device; draining minidisks stay readable.
 func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.checkAddr(md, lba, buf, true); err != nil {
 		return err
 	}

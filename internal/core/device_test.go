@@ -354,6 +354,13 @@ func TestSalamanderConformance(t *testing.T) {
 	}
 }
 
+func TestSalamanderConcurrencyConformance(t *testing.T) {
+	d, _ := mustDevice(t, stressConfig())
+	if err := blockdev.CheckConcurrency(d, 4, 300, 77); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCountersSnapshotIsolation pins the documented Counters() contract:
 // the returned struct is a point-in-time copy, so mutating it never
 // touches the live device.

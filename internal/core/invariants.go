@@ -21,6 +21,8 @@ import (
 // call it between operations. Returns nil when everything holds, or an error
 // listing every violation.
 func (d *Device) CheckInvariants() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var bad []string
 
 	g := d.arr.Geometry()

@@ -536,6 +536,8 @@ func (d *Device) invalidateMinidisk(m *minidisk) {
 // draining minidisk's data, so its space can be reclaimed and the
 // decommission completed.
 func (d *Device) Release(md blockdev.MinidiskID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.retired {
 		return blockdev.ErrBricked
 	}

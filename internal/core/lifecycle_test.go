@@ -88,7 +88,9 @@ func TestShrinkSGradualDecommission(t *testing.T) {
 func TestShrinkSCapacityMonotone(t *testing.T) {
 	d, _ := mustDevice(t, agingConfig(10, 0))
 	var caps []int
-	d.Notify(func(e blockdev.Event) { caps = append(caps, d.LiveLBAs()) })
+	// The handler runs with the device lock held (handlers must not call
+	// back into the device), so it reads the field directly.
+	d.Notify(func(e blockdev.Event) { caps = append(caps, d.liveLBAs) })
 	prev := d.LiveLBAs()
 	buf := make([]byte, blockdev.OPageSize)
 	for round := 0; round < 200 && !d.Retired(); round++ {

@@ -31,6 +31,8 @@ const scrubRefreshFraction = 0.8
 // pages, and unreadable oPages are surfaced as lost. Scrubbing costs real
 // device time on the virtual clock.
 func (d *Device) Scrub() (ScrubReport, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var rep ScrubReport
 	if d.retired {
 		return rep, blockdev.ErrBricked

@@ -1,0 +1,218 @@
+package difs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"salamander/internal/stats"
+)
+
+// TestConcurrentClientOps drives one cluster from several client goroutines
+// with disjoint object namespaces — puts, gets, deletes — while a repair
+// goroutine churns node decommissions and repair passes. The cluster mutex
+// must serialize everything without losing objects or corrupting metadata.
+func TestConcurrentClientOps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChunkOPages = 4
+	c, _ := memCluster(t, cfg, 6, 4, 64)
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+1)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(7000 + w))
+			stored := map[string][]byte{}
+			for op := 0; op < 120; op++ {
+				name := fmt.Sprintf("w%d-obj%d", w, rng.Uint64()%16)
+				switch rng.Uint64() % 4 {
+				case 0:
+					if _, ok := stored[name]; !ok {
+						continue
+					}
+					if err := c.Delete(name); err != nil {
+						errCh <- fmt.Errorf("worker %d: delete %q: %w", w, name, err)
+						return
+					}
+					delete(stored, name)
+				case 1, 2:
+					want, ok := stored[name]
+					if !ok {
+						continue
+					}
+					got, err := c.Get(name)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d: get %q: %w", w, name, err)
+						return
+					}
+					if !bytes.Equal(got, want) {
+						errCh <- fmt.Errorf("worker %d: object %q corrupted", w, name)
+						return
+					}
+				default:
+					if _, ok := stored[name]; ok {
+						continue
+					}
+					data := objData(rng, 1+int(rng.Uint64()%20000))
+					err := c.Put(name, data)
+					if errors.Is(err, ErrNoSpace) {
+						continue
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d: put %q: %w", w, name, err)
+						return
+					}
+					stored[name] = data
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() { // repairer: keeps the replication factor healthy
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := c.Repair(); err != nil {
+				errCh <- fmt.Errorf("repair: %w", err)
+				return
+			}
+			c.Stats()
+			c.PendingRepairs()
+			c.Capacity()
+		}
+		errCh <- nil
+	}()
+
+	wg.Wait()
+	for i := 0; i < workers+1; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated: %v", bad)
+	}
+	if bad := c.VerifyAll(nil); len(bad) > 0 {
+		t.Fatalf("unreadable objects: %v", bad)
+	}
+}
+
+// fillCluster stores count deterministic objects and returns their names.
+func fillCluster(t *testing.T, c *Cluster, seed uint64, count int) map[string][]byte {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	objs := map[string][]byte{}
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("obj-%03d", i)
+		data := objData(rng, 1+int(rng.Uint64()%30000))
+		if err := c.Put(name, data); err != nil {
+			t.Fatalf("put %q: %v", name, err)
+		}
+		objs[name] = data
+	}
+	return objs
+}
+
+// repairUntilQuiet loops a repair function until the pending queue stops
+// shrinking, returning total copies created.
+func repairUntilQuiet(t *testing.T, c *Cluster, rep func() (int, error)) int {
+	t.Helper()
+	total := 0
+	prev := -1
+	for c.PendingRepairs() > 0 && c.PendingRepairs() != prev {
+		prev = c.PendingRepairs()
+		n, err := rep()
+		if err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+		total += n
+	}
+	return total
+}
+
+// TestRepairParallelRestoresReplication decommissions two nodes and lets the
+// parallel repair fan-out restore the replication factor; every object must
+// survive intact and the cluster metadata must stay consistent.
+func TestRepairParallelRestoresReplication(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChunkOPages = 4
+	c, _ := memCluster(t, cfg, 8, 4, 64)
+	objs := fillCluster(t, c, 42, 30)
+
+	if n := c.DecommissionNode(0); n == 0 {
+		t.Fatal("node 0 had no live targets")
+	}
+	c.DecommissionNode(1)
+	copies := repairUntilQuiet(t, c, func() (int, error) { return c.RepairParallel(4) })
+	if copies == 0 {
+		t.Fatal("parallel repair created no copies")
+	}
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated: %v", bad)
+	}
+	for name, want := range objs {
+		got, err := c.Get(name)
+		if err != nil {
+			t.Fatalf("get %q after parallel repair: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("object %q corrupted by parallel repair", name)
+		}
+	}
+}
+
+// TestRepairParallelDeterministic runs the same decommission + parallel
+// repair sequence on identically-seeded clusters and demands identical
+// stats and pending work — goroutine scheduling must not leak into results.
+func TestRepairParallelDeterministic(t *testing.T) {
+	run := func() (Stats, int, []string) {
+		cfg := DefaultConfig()
+		cfg.ChunkOPages = 4
+		c, _ := memCluster(t, cfg, 8, 4, 64)
+		fillCluster(t, c, 99, 25)
+		c.DecommissionNode(2)
+		c.CrashNode(5)
+		repairUntilQuiet(t, c, func() (int, error) { return c.RepairParallel(8) })
+		return c.Stats(), c.PendingRepairs(), c.Objects()
+	}
+	s1, p1, o1 := run()
+	for trial := 0; trial < 3; trial++ {
+		s2, p2, o2 := run()
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("trial %d: stats diverged:\n%+v\nvs\n%+v", trial, s1, s2)
+		}
+		if p1 != p2 {
+			t.Fatalf("trial %d: pending repairs diverged: %d vs %d", trial, p1, p2)
+		}
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("trial %d: object lists diverged", trial)
+		}
+	}
+}
+
+// TestRepairParallelFallbackMatchesSerial: workers<=1 must take the serial
+// path exactly, producing identical stats to Repair on an identical cluster.
+func TestRepairParallelFallbackMatchesSerial(t *testing.T) {
+	build := func() *Cluster {
+		cfg := DefaultConfig()
+		cfg.ChunkOPages = 4
+		c, _ := memCluster(t, cfg, 6, 4, 64)
+		fillCluster(t, c, 7, 20)
+		c.DecommissionNode(3)
+		return c
+	}
+	cs, cp := build(), build()
+	repairUntilQuiet(t, cs, cs.Repair)
+	repairUntilQuiet(t, cp, func() (int, error) { return cp.RepairParallel(1) })
+	if s, p := cs.Stats(), cp.Stats(); !reflect.DeepEqual(s, p) {
+		t.Fatalf("serial vs workers=1 stats diverged:\n%+v\nvs\n%+v", s, p)
+	}
+}

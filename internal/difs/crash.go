@@ -13,6 +13,8 @@ import (
 // from surviving copies. Returns the number of targets taken down; crashing
 // an already-crashed or target-less node is a no-op.
 func (c *Cluster) CrashNode(id NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	affected := 0
 	for _, t := range c.targetsOfNode(id) {
 		if t.down {
@@ -49,6 +51,8 @@ func (c *Cluster) CrashNode(id NodeID) int {
 // from other copies, so a flapping node stops churning the repair queue.
 // Returns the number of targets that rejoined.
 func (c *Cluster) RestartNode(id NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	any := false
 	for _, t := range c.targetsOfNode(id) {
 		if t.down {
@@ -101,6 +105,8 @@ func (c *Cluster) RestartNode(id NodeID) int {
 
 // NodeDown reports whether any of the node's targets is currently crashed.
 func (c *Cluster) NodeDown(id NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, t := range c.targetsOfNode(id) {
 		if t.down {
 			return true

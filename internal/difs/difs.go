@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ec"
@@ -271,7 +272,18 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) cTele {
 }
 
 // Cluster is a replicated object store over block devices.
+//
+// Concurrency: every exported method serializes on one cluster mutex, so
+// concurrent client goroutines may share a Cluster. The lock order is
+// cluster → device: cluster methods call into devices while holding the
+// cluster lock, never the reverse. Device notifications are applied inline
+// (the emitting device call was made under the cluster lock), which means
+// attached devices must be driven through the cluster — mutating a device
+// directly while cluster operations are in flight on other goroutines is
+// not supported. RepairParallel redirects notifications raised by its
+// worker goroutines into a sink and replays them in deterministic order.
 type Cluster struct {
+	mu      sync.Mutex
 	cfg     Config
 	rng     *stats.RNG
 	nodes   []*node
@@ -282,6 +294,23 @@ type Cluster struct {
 	flaps   map[NodeID]int // crash/restart cycles per node (quarantine input)
 	tele    cTele
 	codec   *ec.Code // non-nil in erasure-coding mode
+
+	// sinkMu/sink buffer device events raised while RepairParallel's
+	// workers drive devices off the cluster goroutine. sinkMu is a leaf
+	// lock: handleEvent takes it with the device lock held, so nothing
+	// holding sinkMu may call a device or take the cluster lock.
+	sinkMu sync.Mutex
+	sinkOn bool
+	sink   []sunkEvent
+}
+
+// sunkEvent is one deferred device notification captured during a parallel
+// repair phase. seq preserves per-device emission order.
+type sunkEvent struct {
+	nid NodeID
+	dev int
+	seq int
+	e   blockdev.Event
 }
 
 // NewCluster creates an empty cluster.
@@ -328,6 +357,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // here — call their own Instrument with the same pair for a cross-layer
 // view.
 func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -362,6 +393,8 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 // AddNode attaches a node with its devices. The cluster registers itself
 // for every device's events; each live minidisk becomes a placement target.
 func (c *Cluster) AddNode(devices ...blockdev.Device) NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	id := NodeID(len(c.nodes))
 	n := &node{id: id, devices: devices}
 	c.nodes = append(c.nodes, n)
@@ -400,8 +433,24 @@ func (c *Cluster) addTarget(nid NodeID, dev int, info blockdev.MinidiskInfo) {
 
 // handleEvent processes a device notification. It must not call back into
 // the device (per the blockdev contract), so it only mutates metadata and
-// queues repair work.
+// queues repair work. The emitting device call was made from a cluster
+// method holding the cluster lock, so metadata access here is already
+// serialized — except during parallel repair phases, when events are
+// buffered into the sink and replayed under the lock after the workers join.
 func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
+	c.sinkMu.Lock()
+	if c.sinkOn {
+		c.sink = append(c.sink, sunkEvent{nid: nid, dev: dev, seq: len(c.sink), e: e})
+		c.sinkMu.Unlock()
+		return
+	}
+	c.sinkMu.Unlock()
+	c.applyEvent(nid, dev, e)
+}
+
+// applyEvent mutates the cluster view for one device event. Callers must
+// hold the cluster lock (or be on the single goroutine that does).
+func (c *Cluster) applyEvent(nid NodeID, dev int, e blockdev.Event) {
 	switch e.Kind {
 	case blockdev.EventDecommission:
 		c.tele.decommissionEvents.Inc()
@@ -499,6 +548,8 @@ func (c *Cluster) enqueueRepair(ch *chunk) {
 // the cluster's registry-backed telemetry handles at call time; mutating
 // the returned value has no effect on the live cluster.
 func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return Stats{
 		PutBytes:           int64(c.tele.putBytes.Value()),
 		GetBytes:           int64(c.tele.getBytes.Value()),
@@ -523,10 +574,16 @@ func (c *Cluster) Stats() Stats {
 }
 
 // PendingRepairs reports queued under-replicated chunks.
-func (c *Cluster) PendingRepairs() int { return len(c.repairQ) }
+func (c *Cluster) PendingRepairs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.repairQ)
+}
 
 // Capacity returns total and free cluster capacity in chunk slots.
 func (c *Cluster) Capacity() (total, free int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, t := range c.targets {
 		if !t.live() {
 			continue
@@ -540,6 +597,12 @@ func (c *Cluster) Capacity() (total, free int) {
 
 // Objects lists stored object names (sorted).
 func (c *Cluster) Objects() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.objectNames()
+}
+
+func (c *Cluster) objectNames() []string {
 	out := make([]string, 0, len(c.objects))
 	for name := range c.objects {
 		out = append(out, name)
@@ -702,6 +765,8 @@ func (c *Cluster) chunkBytes() int { return c.cfg.ChunkOPages * blockdev.OPageSi
 // space) is queued for repair rather than failing the Put, as long as at
 // least one copy landed.
 func (c *Cluster) Put(name string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.codec != nil {
 		return c.putEC(name, data)
 	}
@@ -748,6 +813,12 @@ func (c *Cluster) Put(name string, data []byte) error {
 
 // Get retrieves an object, reading each chunk from any live replica.
 func (c *Cluster) Get(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get(name)
+}
+
+func (c *Cluster) get(name string) ([]byte, error) {
 	obj, ok := c.objects[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -838,6 +909,8 @@ func (c *Cluster) dropReplica(ch *chunk, bad replica) {
 
 // Delete removes an object and trims its replicas.
 func (c *Cluster) Delete(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	obj, ok := c.objects[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -889,6 +962,12 @@ func (c *Cluster) downReplicas(ch *chunk) int {
 // every remaining chunk still gets its turn. Returns the number of chunk
 // copies created — the §4.3 recovery traffic.
 func (c *Cluster) Repair() (copies int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.repair()
+}
+
+func (c *Cluster) repair() (copies int, err error) {
 	queue := c.repairQ
 	c.repairQ = nil
 	c.tele.tr.Emit(telemetry.Event{
@@ -1044,8 +1123,10 @@ func (c *Cluster) liveReplicas(ch *chunk) int {
 // could not be retrieved. It is the cluster's fsck, used by tests and the
 // examples to demonstrate zero data loss under minidisk churn.
 func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []string) {
-	for _, name := range c.Objects() {
-		data, err := c.Get(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range c.objectNames() {
+		data, err := c.get(name)
 		if err != nil {
 			bad = append(bad, name)
 			continue

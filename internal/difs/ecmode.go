@@ -186,6 +186,8 @@ func (c *Cluster) repairShard(ch *chunk) bool {
 // repair sources until Repair moves their chunks; call Repair (repeatedly,
 // if capacity is tight) to complete the migration.
 func (c *Cluster) DecommissionNode(id NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, t := range c.targetsOfNode(id) {
 		if !t.live() {

@@ -24,6 +24,8 @@ import (
 // It is a pure read. Returns one message per violation (empty when all hold),
 // in deterministic order so chaos reports are byte-stable.
 func (c *Cluster) CheckInvariants() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var bad []string
 
 	// Targets, in key order.
@@ -92,7 +94,7 @@ func (c *Cluster) CheckInvariants() []string {
 	}
 
 	// Objects, in name order.
-	for _, name := range c.Objects() {
+	for _, name := range c.objectNames() {
 		obj := c.objects[name]
 		chunks := obj.chunks
 		if len(obj.stripes) > 0 {

@@ -1,0 +1,322 @@
+package difs
+
+import (
+	"sort"
+	"sync"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/telemetry"
+)
+
+// plannedDst is one replica placement reserved during the planning phase:
+// the slot is already popped from the target's free list so later planning
+// decisions see the reservation.
+type plannedDst struct {
+	tgt  *target
+	slot int
+	err  error // write outcome, filled by the write phase
+}
+
+// repairPlan is the per-chunk unit of work for a parallel repair pass. The
+// source read and destination writes are executed off the cluster goroutine;
+// everything else (placement, commit, failure handling) stays serial.
+type repairPlan struct {
+	ch          *chunk
+	src         replica
+	buf         []byte
+	dsts        []*plannedDst
+	hadDraining bool
+	// degraded mirrors readAnyReplica's accounting: the chunk was below its
+	// replication target, or the source was not the first replica, so a
+	// successful read counts as a degraded read.
+	degraded bool
+	readErr  error
+}
+
+// RepairParallel drains the re-replication queue like Repair, but fans the
+// chunk I/O out across per-device worker goroutines: sources are read in
+// parallel, then new copies are written in parallel, with at most workers
+// devices in flight at once. All metadata decisions — placement, replica
+// commits, failure handling — are made serially under the cluster lock, and
+// device notifications raised by the workers are buffered and replayed in a
+// deterministic (node, device, sequence) order, so a given cluster state
+// yields the same outcome on every run regardless of goroutine scheduling.
+//
+// workers <= 1 falls back to the serial Repair (byte-identical behaviour).
+// Erasure-coded shard rebuilds always run serially. Chunks whose source
+// read or destination write fails are re-queued for the next pass instead
+// of failing over inline the way Repair does, so a pass may leave work in
+// PendingRepairs that the serial path would have finished; callers loop
+// until PendingRepairs is stable, exactly as with Repair.
+func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if workers <= 1 {
+		return c.repair()
+	}
+
+	queue := c.repairQ
+	c.repairQ = nil
+	c.tele.tr.Emit(telemetry.Event{
+		Kind: telemetry.KindRepairStart, Layer: "difs", N: int64(len(queue)),
+	})
+	bytesBefore := c.tele.recoveryBytes.Value()
+	defer func() {
+		written := c.tele.recoveryBytes.Value() - bytesBefore
+		c.tele.repairBytes.Observe(float64(written))
+		c.tele.tr.Emit(telemetry.Event{
+			Kind: telemetry.KindRepairEnd, Layer: "difs",
+			N: int64(copies), Bytes: int64(written),
+		})
+	}()
+
+	var repErr RepairError
+	var drainingTouched []*target
+	var plans []*repairPlan
+
+	// --- planning (serial): filter the queue and reserve placements -------
+	for _, ch := range queue {
+		delete(c.queued, ch)
+		if cur, ok := c.objects[ch.obj.name]; !ok || cur != ch.obj {
+			continue // object deleted (or name reused) while queued
+		}
+		kept := ch.replicas[:0]
+		hadDraining := false
+		downN := 0
+		for _, r := range ch.replicas {
+			if r.tgt.state == tDead {
+				continue
+			}
+			kept = append(kept, r)
+			if r.tgt.down {
+				downN++
+				continue
+			}
+			if r.tgt.state == tDraining {
+				hadDraining = true
+				drainingTouched = append(drainingTouched, r.tgt)
+			}
+		}
+		ch.replicas = kept
+		if len(ch.replicas)-downN == 0 {
+			if ch.stripe != nil && c.repairShard(ch) {
+				continue // EC rebuild runs serially inside the plan phase
+			}
+			if downN > 0 {
+				c.enqueueRepair(ch)
+				repErr.Deferred++
+				continue
+			}
+			c.tele.lostChunks.Inc()
+			repErr.Lost = append(repErr.Lost, chunkName(ch))
+			continue
+		}
+		// Source: the first readable replica, the same preference order the
+		// serial path tries first. Non-readable replicas skipped on the way
+		// re-queue the chunk, exactly as readAnyReplica does.
+		plan := &repairPlan{ch: ch, hadDraining: hadDraining}
+		plan.degraded = c.liveReplicas(ch) < c.wantReplicas(ch)
+		for i, r := range ch.replicas {
+			if !r.tgt.readable() {
+				c.enqueueRepair(ch)
+				continue
+			}
+			plan.src = r
+			if i > 0 {
+				plan.degraded = true
+			}
+			break
+		}
+		if plan.src.tgt == nil {
+			c.enqueueRepair(ch)
+			repErr.Deferred++
+			continue
+		}
+		// Destinations: reserve slots now so subsequent placements see them.
+		exclude := map[NodeID]bool{}
+		for _, r := range ch.replicas {
+			exclude[r.tgt.key.node] = true
+		}
+		need := c.wantReplicas(ch) - c.liveReplicas(ch)
+		for i := 0; i < need; i++ {
+			tgts := c.pickTargets(1, exclude)
+			if len(tgts) == 0 {
+				c.enqueueRepair(ch) // no placement now; retry next pass
+				break
+			}
+			t := tgts[0]
+			exclude[t.key.node] = true
+			slot := t.freeSlots[len(t.freeSlots)-1]
+			t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
+			plan.dsts = append(plan.dsts, &plannedDst{tgt: t, slot: slot})
+		}
+		plan.buf = make([]byte, c.chunkBytes())
+		plans = append(plans, plan)
+	}
+
+	// --- read phase (parallel per source device) --------------------------
+	c.sinkMu.Lock()
+	c.sinkOn = true
+	c.sinkMu.Unlock()
+	byDev := map[targetKey][]*repairPlan{}
+	for _, p := range plans {
+		k := targetKey{node: p.src.tgt.key.node, dev: p.src.tgt.key.dev}
+		byDev[k] = append(byDev[k], p)
+	}
+	runDeviceGroups(byDev, workers, func(group []*repairPlan) {
+		for _, p := range group {
+			p.readErr = c.readChunk(p.src, p.buf)
+		}
+	})
+
+	// --- write phase (parallel per destination device) --------------------
+	type writeTask struct {
+		p *repairPlan
+		d *plannedDst
+	}
+	wTasks := map[targetKey][]writeTask{}
+	for _, p := range plans {
+		if p.readErr != nil {
+			continue
+		}
+		for _, d := range p.dsts {
+			k := targetKey{node: d.tgt.key.node, dev: d.tgt.key.dev}
+			wTasks[k] = append(wTasks[k], writeTask{p, d})
+		}
+	}
+	runDeviceGroups(wTasks, workers, func(tasks []writeTask) {
+		for _, wt := range tasks {
+			dev := wt.d.tgt.device(c)
+			base := wt.d.slot * c.cfg.ChunkOPages
+			for pg := 0; pg < c.cfg.ChunkOPages; pg++ {
+				if err := dev.Write(wt.d.tgt.key.md, base+pg,
+					wt.p.buf[pg*blockdev.OPageSize:(pg+1)*blockdev.OPageSize]); err != nil {
+					wt.d.err = err
+					break
+				}
+			}
+		}
+	})
+
+	// --- replay buffered device events in deterministic order -------------
+	c.sinkMu.Lock()
+	events := c.sink
+	c.sink = nil
+	c.sinkOn = false
+	c.sinkMu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].nid != events[j].nid {
+			return events[i].nid < events[j].nid
+		}
+		if events[i].dev != events[j].dev {
+			return events[i].dev < events[j].dev
+		}
+		return events[i].seq < events[j].seq
+	})
+	for _, se := range events {
+		c.applyEvent(se.nid, se.dev, se.e)
+	}
+
+	// --- commit (serial, plan order) --------------------------------------
+	for _, p := range plans {
+		ch := p.ch
+		if p.readErr != nil {
+			// Same handling as a readAnyReplica failure on this replica, but
+			// deferred to the next pass instead of failing over inline.
+			c.noteDeviceError(p.src.tgt, p.readErr, false)
+			c.dropReplica(ch, p.src)
+			c.enqueueRepair(ch)
+			for _, d := range p.dsts {
+				c.unreserve(d)
+			}
+			continue
+		}
+		if p.degraded {
+			c.tele.degradedReads.Inc()
+		}
+		if p.hadDraining {
+			c.tele.localSourceRepairs.Inc()
+		}
+		c.tele.recoveryReadBytes.Add(uint64(c.chunkBytes()))
+		committed := 0
+		for _, d := range p.dsts {
+			if d.err != nil {
+				c.noteDeviceError(d.tgt, d.err, true)
+				c.unreserve(d)
+				c.enqueueRepair(ch)
+				continue
+			}
+			if !d.tgt.live() {
+				// Drained or died under the write (event replay above).
+				c.unreserve(d)
+				c.enqueueRepair(ch)
+				continue
+			}
+			d.tgt.chunks[d.slot] = ch
+			ch.replicas = append(ch.replicas, replica{tgt: d.tgt, slot: d.slot})
+			committed++
+			copies++
+			c.tele.recoveryOps.Inc()
+			c.tele.recoveryBytes.Add(uint64(c.chunkBytes()))
+		}
+		// Tail maintenance, identical to the serial pass.
+		for c.liveReplicas(ch) > c.wantReplicas(ch) {
+			for i := len(ch.replicas) - 1; i >= 0; i-- {
+				if ch.replicas[i].tgt.live() {
+					c.dropReplica(ch, ch.replicas[i])
+					break
+				}
+			}
+		}
+		if c.liveReplicas(ch) >= c.cfg.ReplicationFactor {
+			for _, r := range append([]replica(nil), ch.replicas...) {
+				if r.tgt.state == tDraining && !r.tgt.down {
+					c.dropReplica(ch, r)
+				}
+			}
+		}
+	}
+	// Release draining minidisks that no longer hold any chunk.
+	for _, t := range drainingTouched {
+		if t.state == tDraining && !t.down && len(t.chunks) == 0 {
+			if dr, ok := t.dev.(blockdev.Drainer); ok {
+				if err := dr.Release(t.key.md); err == nil {
+					c.tele.releases.Inc()
+				}
+			}
+			t.state = tDead
+			delete(c.targets, t.key)
+		}
+	}
+	if len(repErr.Lost) > 0 {
+		return copies, &repErr
+	}
+	return copies, nil
+}
+
+// unreserve returns a planned slot to its target's free list if the target
+// is still part of the cluster (dead targets' slot books are gone anyway).
+func (c *Cluster) unreserve(d *plannedDst) {
+	if d.tgt.state != tDead {
+		d.tgt.freeSlots = append(d.tgt.freeSlots, d.slot)
+	}
+}
+
+// runDeviceGroups runs fn over each device's task group with at most
+// workers groups in flight. Task order within a device follows plan order;
+// devices are independent, so scheduling order across groups does not
+// affect any per-device state.
+func runDeviceGroups[T any](groups map[targetKey][]T, workers int, fn func([]T)) {
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g []T) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(g)
+		}(g)
+	}
+	wg.Wait()
+}

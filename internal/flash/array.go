@@ -3,6 +3,8 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"salamander/internal/faultinject"
 	"salamander/internal/rber"
@@ -99,17 +101,27 @@ type block struct {
 	pageScale []float32 // per-page scale factor (multiplied by block scale)
 }
 
-// Array is the simulated NAND device. Not safe for concurrent use; wrap it
-// in the device layer's lock.
+// Array is the simulated NAND device. Operations on different channels are
+// safe to issue concurrently: each channel's blocks are guarded by that
+// channel's mutex, bit-error sampling draws from a per-channel RNG stream,
+// and SMART counters are atomic. Blocks are channel-major, so the lock for
+// block b is chmu[b/BlocksPerChan]. Within one channel operations serialize,
+// matching the hardware.
 type Array struct {
 	cfg    Config
 	model  *rber.Model
-	rng    *stats.RNG
 	blocks []block
 
+	// Per-channel state. readRNG streams are split deterministically from
+	// the seed at construction, so the flip sequence on each channel is a
+	// pure function of (seed, channel, op order on that channel) no matter
+	// how operations interleave across channels.
+	chmu    []sync.Mutex
+	readRNG []*stats.RNG
+
 	// Counters for SMART-style reporting.
-	readOps, programOps, eraseOps uint64
-	injectedFlips                 uint64
+	readOps, programOps, eraseOps atomic.Uint64
+	injectedFlips                 atomic.Uint64
 
 	tele *arrayTele // optional cross-layer telemetry (nil = uninstrumented)
 
@@ -190,19 +202,24 @@ func New(cfg Config) (*Array, error) {
 		cfg.EraseFailPEC = 10
 	}
 	a := &Array{
-		cfg:    cfg,
-		model:  model,
-		rng:    stats.NewRNG(cfg.Seed),
-		blocks: make([]block, cfg.Geometry.TotalBlocks()),
+		cfg:     cfg,
+		model:   model,
+		blocks:  make([]block, cfg.Geometry.TotalBlocks()),
+		chmu:    make([]sync.Mutex, cfg.Geometry.Channels),
+		readRNG: make([]*stats.RNG, cfg.Geometry.Channels),
 	}
+	rng := stats.NewRNG(cfg.Seed)
 	for b := range a.blocks {
 		blk := &a.blocks[b]
-		blk.scale = float32(a.rng.LogNormal(1, cfg.EnduranceCV))
+		blk.scale = float32(rng.LogNormal(1, cfg.EnduranceCV))
 		blk.pages = make([]page, cfg.Geometry.PagesPerBlock)
 		blk.pageScale = make([]float32, cfg.Geometry.PagesPerBlock)
 		for p := range blk.pageScale {
-			blk.pageScale[p] = float32(a.rng.LogNormal(1, cfg.PageCV)) * blk.scale
+			blk.pageScale[p] = float32(rng.LogNormal(1, cfg.PageCV)) * blk.scale
 		}
+	}
+	for ch := range a.readRNG {
+		a.readRNG[ch] = rng.Split()
 	}
 	return a, nil
 }
@@ -229,6 +246,9 @@ func (a *Array) Program(ppa PPA, data []byte) (sim.Time, error) {
 	if err := a.check(ppa); err != nil {
 		return 0, err
 	}
+	mu := a.channelMu(ppa.Block)
+	mu.Lock()
+	defer mu.Unlock()
 	blk := &a.blocks[ppa.Block]
 	if blk.dead {
 		return 0, fmt.Errorf("%w: block %d", ErrEraseFailed, ppa.Block)
@@ -258,7 +278,7 @@ func (a *Array) Program(ppa PPA, data []byte) (sim.Time, error) {
 		pg.wearAtProg = float64(blk.pec)
 		pg.scale = blk.pageScale[ppa.Page]
 		blk.nextPage = ppa.Page + 1
-		a.programOps++
+		a.programOps.Add(1)
 		dur := a.cfg.Timing.ProgramTime(a.cfg.Geometry.RawPageBytes())
 		if t := a.tele; t != nil {
 			t.programs.Inc()
@@ -270,7 +290,7 @@ func (a *Array) Program(ppa PPA, data []byte) (sim.Time, error) {
 	pg.wearAtProg = float64(blk.pec)
 	pg.scale = blk.pageScale[ppa.Page]
 	blk.nextPage = ppa.Page + 1
-	a.programOps++
+	a.programOps.Add(1)
 	dur := a.cfg.Timing.ProgramTime(a.cfg.Geometry.RawPageBytes())
 	if t := a.tele; t != nil {
 		t.programs.Inc()
@@ -310,6 +330,9 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 	if err := a.check(ppa); err != nil {
 		return nil, err
 	}
+	mu := a.channelMu(ppa.Block)
+	mu.Lock()
+	defer mu.Unlock()
 	blk := &a.blocks[ppa.Block]
 	pg := &blk.pages[ppa.Page]
 	if pg.state != pageWritten {
@@ -319,7 +342,7 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 		transferBytes = a.cfg.Geometry.RawPageBytes()
 	}
 	blk.reads++
-	a.readOps++
+	a.readOps.Add(1)
 
 	if a.fiRead.Fire() {
 		// Transient read failure: this sensing pass returns garbage (RBER
@@ -333,7 +356,7 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 		if a.cfg.StoreData {
 			res.Data = append([]byte(nil), pg.data...)
 			res.Flips = corruptPage(res.Data)
-			a.injectedFlips += uint64(res.Flips)
+			a.injectedFlips.Add(uint64(res.Flips))
 		}
 		if t := a.tele; t != nil {
 			t.reads.Inc()
@@ -344,9 +367,10 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 		return res, nil
 	}
 
-	rberEff := a.EffectiveRBER(ppa)
+	rng := a.readRNG[a.cfg.Geometry.ChannelOf(ppa.Block)]
+	rberEff := a.effectiveRBERLocked(ppa)
 	bits := int64(a.cfg.Geometry.RawPageBytes()) * 8
-	flips := int(a.rng.Binomial(bits, rberEff))
+	flips := int(rng.Binomial(bits, rberEff))
 	res := &ReadResult{
 		Flips:    flips,
 		RBER:     rberEff,
@@ -356,10 +380,10 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 		res.Data = append([]byte(nil), pg.data...)
 		if !a.cfg.PristineReads {
 			for i := 0; i < flips; i++ {
-				bit := a.rng.Intn(int(bits))
+				bit := rng.Intn(int(bits))
 				res.Data[bit/8] ^= 1 << uint(bit%8)
 			}
-			a.injectedFlips += uint64(flips)
+			a.injectedFlips.Add(uint64(flips))
 		}
 	}
 	if t := a.tele; t != nil {
@@ -374,10 +398,22 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 // EffectiveRBER returns the page's current raw bit-error rate: wear at
 // program time scaled by the page's endurance factor, plus read disturb.
 func (a *Array) EffectiveRBER(ppa PPA) float64 {
+	mu := a.channelMu(ppa.Block)
+	mu.Lock()
+	defer mu.Unlock()
+	return a.effectiveRBERLocked(ppa)
+}
+
+func (a *Array) effectiveRBERLocked(ppa PPA) float64 {
 	blk := &a.blocks[ppa.Block]
 	pg := &blk.pages[ppa.Page]
 	wear := pg.wearAtProg / float64(pg.scale)
 	return a.model.RBER(wear) + a.cfg.ReadDisturbRBER*float64(blk.reads)
+}
+
+// channelMu returns the mutex guarding the channel containing block b.
+func (a *Array) channelMu(b int) *sync.Mutex {
+	return &a.chmu[a.cfg.Geometry.ChannelOf(b)]
 }
 
 // Erase erases a block, incrementing its PEC. Far beyond the rated limit
@@ -386,6 +422,9 @@ func (a *Array) Erase(blockID int) (sim.Time, error) {
 	if blockID < 0 || blockID >= len(a.blocks) {
 		return 0, fmt.Errorf("%w: block %d", ErrBadAddress, blockID)
 	}
+	mu := a.channelMu(blockID)
+	mu.Lock()
+	defer mu.Unlock()
 	blk := &a.blocks[blockID]
 	if blk.dead {
 		return 0, fmt.Errorf("%w: block %d", ErrEraseFailed, blockID)
@@ -405,7 +444,7 @@ func (a *Array) Erase(blockID int) (sim.Time, error) {
 		blk.pages[p].state = pageErased
 		blk.pages[p].data = nil
 	}
-	a.eraseOps++
+	a.eraseOps.Add(1)
 	if t := a.tele; t != nil {
 		t.erases.Inc()
 	}
@@ -413,13 +452,24 @@ func (a *Array) Erase(blockID int) (sim.Time, error) {
 }
 
 // BlockPEC returns the block's program/erase cycle count.
-func (a *Array) BlockPEC(blockID int) uint32 { return a.blocks[blockID].pec }
+func (a *Array) BlockPEC(blockID int) uint32 {
+	mu := a.channelMu(blockID)
+	mu.Lock()
+	defer mu.Unlock()
+	return a.blocks[blockID].pec
+}
 
 // BlockDead reports whether the block's erase circuitry has failed.
-func (a *Array) BlockDead(blockID int) bool { return a.blocks[blockID].dead }
+func (a *Array) BlockDead(blockID int) bool {
+	mu := a.channelMu(blockID)
+	mu.Lock()
+	defer mu.Unlock()
+	return a.blocks[blockID].dead
+}
 
 // PageEnduranceScale returns the endurance factor of one page (block scale x
-// page scale); 1.0 is nominal.
+// page scale); 1.0 is nominal. Scales are immutable after construction, so
+// no lock is needed.
 func (a *Array) PageEnduranceScale(ppa PPA) float64 {
 	return float64(a.blocks[ppa.Block].pageScale[ppa.Page])
 }
@@ -428,12 +478,18 @@ func (a *Array) PageEnduranceScale(ppa PPA) float64 {
 // endurance-scaled) to the tiredness level its next program would land at.
 // This is what firmware consults before reusing a page.
 func (a *Array) PageTiredness(ppa PPA) int {
+	mu := a.channelMu(ppa.Block)
+	mu.Lock()
+	defer mu.Unlock()
 	blk := &a.blocks[ppa.Block]
 	return a.model.LevelFor(float64(blk.pec), float64(blk.pageScale[ppa.Page]))
 }
 
 // PageWritten reports whether the page currently holds data.
 func (a *Array) PageWritten(ppa PPA) bool {
+	mu := a.channelMu(ppa.Block)
+	mu.Lock()
+	defer mu.Unlock()
 	return a.blocks[ppa.Block].pages[ppa.Page].state == pageWritten
 }
 
@@ -446,24 +502,32 @@ type Stats struct {
 	DeadBlocks                    int
 }
 
-// Stats returns a snapshot of operation counters and wear.
+// Stats returns a snapshot of operation counters and wear. It locks the
+// channels one at a time (in order), so the snapshot is per-channel
+// consistent rather than a global freeze.
 func (a *Array) Stats() Stats {
 	s := Stats{
-		ReadOps:       a.readOps,
-		ProgramOps:    a.programOps,
-		EraseOps:      a.eraseOps,
-		InjectedFlips: a.injectedFlips,
+		ReadOps:       a.readOps.Load(),
+		ProgramOps:    a.programOps.Load(),
+		EraseOps:      a.eraseOps.Load(),
+		InjectedFlips: a.injectedFlips.Load(),
 	}
 	var total uint64
-	for b := range a.blocks {
-		pec := a.blocks[b].pec
-		total += uint64(pec)
-		if pec > s.MaxPEC {
-			s.MaxPEC = pec
+	for ch := range a.chmu {
+		a.chmu[ch].Lock()
+		lo := ch * a.cfg.Geometry.BlocksPerChan
+		hi := lo + a.cfg.Geometry.BlocksPerChan
+		for b := lo; b < hi; b++ {
+			pec := a.blocks[b].pec
+			total += uint64(pec)
+			if pec > s.MaxPEC {
+				s.MaxPEC = pec
+			}
+			if a.blocks[b].dead {
+				s.DeadBlocks++
+			}
 		}
-		if a.blocks[b].dead {
-			s.DeadBlocks++
-		}
+		a.chmu[ch].Unlock()
 	}
 	if len(a.blocks) > 0 {
 		s.MeanPEC = float64(total) / float64(len(a.blocks))

@@ -6,39 +6,29 @@ import "salamander/internal/sim"
 // on independent channels in parallel: two page reads on different channels
 // overlap, two on the same channel serialize. The paper's §4.2 notes that
 // this is one of the mitigations for RegenS's multi-page large accesses.
+// It is a thin wrapper over sim.Lanes keeping the flash-flavoured API.
 type Bus struct {
-	busy []sim.Time
+	lanes *sim.Lanes
 }
 
 // NewBus creates a bus with the given number of channels.
 func NewBus(channels int) *Bus {
-	if channels < 1 {
-		channels = 1
-	}
-	return &Bus{busy: make([]sim.Time, channels)}
+	return &Bus{lanes: sim.NewLanes(channels)}
 }
 
 // Channels returns the channel count.
-func (b *Bus) Channels() int { return len(b.busy) }
+func (b *Bus) Channels() int { return b.lanes.Len() }
 
 // Reserve schedules an operation of duration dur on channel ch no earlier
 // than now, returning its start and completion times. The channel is busy
 // until the completion time.
 func (b *Bus) Reserve(ch int, now, dur sim.Time) (start, end sim.Time) {
-	ch %= len(b.busy)
-	start = now
-	if b.busy[ch] > start {
-		start = b.busy[ch]
-	}
-	end = start + dur
-	b.busy[ch] = end
-	return start, end
+	return b.lanes.Reserve(ch, now, dur)
 }
+
+// Makespan returns the latest completion time across all channels.
+func (b *Bus) Makespan() sim.Time { return b.lanes.Makespan() }
 
 // Reset clears all channel occupancy (e.g. between measured accesses, to
 // model an otherwise idle device).
-func (b *Bus) Reset() {
-	for i := range b.busy {
-		b.busy[i] = 0
-	}
-}
+func (b *Bus) Reset() { b.lanes.Reset() }

@@ -1,0 +1,184 @@
+package flash
+
+import (
+	"fmt"
+	"sync"
+
+	"salamander/internal/sim"
+)
+
+// OpKind selects what a queued flash operation does.
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpProgram
+	OpErase
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one flash command for the dispatcher. Reads and programs address a
+// page; erases address PPA.Block (PPA.Page is ignored).
+type Op struct {
+	Kind OpKind
+	PPA  PPA
+	// Data is the raw page payload for programs (nil in metadata-only mode).
+	Data []byte
+	// TransferBytes bounds the channel-transfer cost for reads; zero means
+	// the full raw page.
+	TransferBytes int
+}
+
+// OpResult reports one completed operation. Start/End are the operation's
+// virtual-time window on its channel, computed at submission so they are
+// independent of goroutine scheduling.
+type OpResult struct {
+	Op         Op
+	Read       *ReadResult // non-nil for successful reads
+	Start, End sim.Time
+	Err        error
+}
+
+type dispatchJob struct {
+	op  Op
+	res *OpResult
+	wg  *sync.WaitGroup
+}
+
+// Dispatcher fans flash operations out to one worker goroutine per channel,
+// modelling the channel/plane parallelism real SSDs earn their throughput
+// from. Each submitted batch is scheduled on a virtual-time lane ledger in
+// submission order (so timing is deterministic), then executed by the
+// channel workers, which serialize per channel in FIFO order — the per-
+// channel RNG streams in Array therefore consume in a deterministic order
+// no matter how the Go scheduler interleaves channels.
+//
+// Submit is synchronous: it returns once every operation in the batch has
+// executed. One goroutine should own a Dispatcher; the concurrency is
+// inside, across channels.
+type Dispatcher struct {
+	arr    *Array
+	geo    Geometry
+	timing Timing
+	lanes  *sim.Lanes
+	queues []chan dispatchJob
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewDispatcher starts one worker per channel of the array. depth is the
+// per-channel queue depth (<=0 means a sensible default). Close must be
+// called to stop the workers.
+func NewDispatcher(arr *Array, depth int) *Dispatcher {
+	if depth <= 0 {
+		depth = 64
+	}
+	geo := arr.Geometry()
+	d := &Dispatcher{
+		arr:    arr,
+		geo:    geo,
+		timing: arr.cfg.Timing,
+		lanes:  sim.NewLanes(geo.Channels),
+		queues: make([]chan dispatchJob, geo.Channels),
+	}
+	for ch := range d.queues {
+		d.queues[ch] = make(chan dispatchJob, depth)
+		d.wg.Add(1)
+		go d.worker(d.queues[ch])
+	}
+	return d
+}
+
+func (d *Dispatcher) worker(q chan dispatchJob) {
+	defer d.wg.Done()
+	for j := range q {
+		switch j.op.Kind {
+		case OpProgram:
+			_, err := d.arr.Program(j.op.PPA, j.op.Data)
+			j.res.Err = err
+		case OpRead:
+			rr, err := d.arr.Read(j.op.PPA, j.op.TransferBytes)
+			j.res.Read, j.res.Err = rr, err
+		case OpErase:
+			_, err := d.arr.Erase(j.op.PPA.Block)
+			j.res.Err = err
+		default:
+			j.res.Err = fmt.Errorf("flash: unknown op kind %v", j.op.Kind)
+		}
+		j.wg.Done()
+	}
+}
+
+// opDuration mirrors the Array's timing for scheduling purposes.
+func (d *Dispatcher) opDuration(op Op) sim.Time {
+	switch op.Kind {
+	case OpProgram:
+		return d.timing.ProgramTime(d.geo.RawPageBytes())
+	case OpRead:
+		tb := op.TransferBytes
+		if tb <= 0 || tb > d.geo.RawPageBytes() {
+			tb = d.geo.RawPageBytes()
+		}
+		return d.timing.ReadTime(tb)
+	case OpErase:
+		return d.timing.EraseBlock
+	default:
+		return 0
+	}
+}
+
+// Submit executes a batch of operations, overlapping across channels and
+// serializing within each channel. now is the virtual time the batch is
+// issued. It returns one result per op (same order) and the batch's
+// completion time — the makespan the caller should advance the virtual
+// clock to (e.g. via Engine.AdvanceTo). Per-op errors land in the results;
+// Submit itself only fails by panicking on use after Close.
+func (d *Dispatcher) Submit(now sim.Time, ops []Op) ([]OpResult, sim.Time) {
+	if d.closed {
+		panic("flash: Submit on closed Dispatcher")
+	}
+	results := make([]OpResult, len(ops))
+	var wg sync.WaitGroup
+	wg.Add(len(ops))
+	end := now
+	for i, op := range ops {
+		ch := d.geo.ChannelOf(op.PPA.Block)
+		start, opEnd := d.lanes.Reserve(ch, now, d.opDuration(op))
+		results[i].Op = op
+		results[i].Start, results[i].End = start, opEnd
+		if opEnd > end {
+			end = opEnd
+		}
+		d.queues[ch] <- dispatchJob{op: op, res: &results[i], wg: &wg}
+	}
+	wg.Wait()
+	return results, end
+}
+
+// Channels returns the number of worker lanes.
+func (d *Dispatcher) Channels() int { return len(d.queues) }
+
+// Close stops the workers and waits for them to drain. The dispatcher must
+// not be used afterwards.
+func (d *Dispatcher) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, q := range d.queues {
+		close(q)
+	}
+	d.wg.Wait()
+}

@@ -11,6 +11,7 @@ package ftl
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 
 	"salamander/internal/flash"
 )
@@ -48,7 +49,8 @@ func (h *freeHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h =
 
 // FreePool hands out erased blocks lowest-PEC first, which is the classic
 // dynamic wear-leveling policy: cold spare blocks absorb new writes before
-// hot ones are recycled again.
+// hot ones are recycled again. Not safe for concurrent use — the device
+// layer's lock guards it (allocation order is policy, not a hot path).
 type FreePool struct{ h freeHeap }
 
 // Put returns an erased block to the pool.
@@ -79,6 +81,8 @@ func (p *FreePool) Blocks() []int {
 
 // ValidMap tracks which logical key occupies each oPage slot and maintains
 // per-block valid counts for greedy garbage-collection victim selection.
+// Not safe for concurrent use — guarded by the device layer's lock, since
+// its slot/count invariants span multiple keys.
 type ValidMap struct {
 	pagesPerBlock int
 	slotsPerPage  int
@@ -188,38 +192,86 @@ func (v *ValidMap) Victim(eligible func(block int) bool) (int, bool) {
 
 // --- mapping table -----------------------------------------------------------
 
-// Table maps logical keys to physical oPage slots.
+// tableShards is the number of lock shards in a Table. Sixteen keeps lock
+// contention negligible for a handful of concurrent host/GC goroutines
+// while wasting little memory on small tables.
+const tableShards = 16
+
+type tableShard struct {
+	mu sync.RWMutex
+	m  map[int64]OPageAddr
+}
+
+// Table maps logical keys to physical oPage slots. It is safe for
+// concurrent use: keys hash onto independent lock shards, so host reads,
+// host writes, and GC relocation can touch the mapping at the same time.
+// Cross-key invariants (e.g. "this slot is referenced by exactly one key")
+// are the device layer's to maintain under its own lock.
 type Table struct {
-	m map[int64]OPageAddr
+	shards [tableShards]tableShard
 }
 
 // NewTable returns an empty mapping table.
-func NewTable() *Table { return &Table{m: map[int64]OPageAddr{}} }
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = map[int64]OPageAddr{}
+	}
+	return t
+}
+
+// shardOf mixes the key so sequential LBAs spread across shards.
+func (t *Table) shardOf(key int64) *tableShard {
+	h := uint64(key)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &t.shards[h%tableShards]
+}
 
 // Lookup returns the physical location of key.
 func (t *Table) Lookup(key int64) (OPageAddr, bool) {
-	a, ok := t.m[key]
+	s := t.shardOf(key)
+	s.mu.RLock()
+	a, ok := s.m[key]
+	s.mu.RUnlock()
 	return a, ok
 }
 
 // Update points key at addr, returning the previous location if any.
 func (t *Table) Update(key int64, addr OPageAddr) (prev OPageAddr, had bool) {
-	prev, had = t.m[key]
-	t.m[key] = addr
+	s := t.shardOf(key)
+	s.mu.Lock()
+	prev, had = s.m[key]
+	s.m[key] = addr
+	s.mu.Unlock()
 	return prev, had
 }
 
 // Delete removes key, returning its previous location if any.
 func (t *Table) Delete(key int64) (prev OPageAddr, had bool) {
-	prev, had = t.m[key]
+	s := t.shardOf(key)
+	s.mu.Lock()
+	prev, had = s.m[key]
 	if had {
-		delete(t.m, key)
+		delete(s.m, key)
 	}
+	s.mu.Unlock()
 	return prev, had
 }
 
-// Len returns the number of mapped keys.
-func (t *Table) Len() int { return len(t.m) }
+// Len returns the number of mapped keys. Shards are counted one at a time,
+// so the total is approximate while writers run concurrently.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
 
 // --- write buffer ------------------------------------------------------------
 
@@ -232,7 +284,8 @@ type BufEntry struct {
 // WriteBuffer models the small non-volatile buffer of §3.2: host oPage
 // writes accumulate here until enough are pending to fill the next fPage.
 // Re-writing a buffered key replaces the pending data in place (the NV
-// buffer absorbs the overwrite for free).
+// buffer absorbs the overwrite for free). Not safe for concurrent use —
+// guarded by the device layer's lock.
 type WriteBuffer struct {
 	entries []BufEntry
 	index   map[int64]int

@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+func TestLanesOverlapAcrossLanes(t *testing.T) {
+	l := NewLanes(2)
+	s0, e0 := l.Reserve(0, 0, 100)
+	s1, e1 := l.Reserve(1, 0, 100)
+	if s0 != 0 || e0 != 100 || s1 != 0 || e1 != 100 {
+		t.Fatalf("independent lanes must overlap: got (%v,%v) (%v,%v)", s0, e0, s1, e1)
+	}
+	if m := l.Makespan(); m != 100 {
+		t.Fatalf("makespan = %v, want 100", m)
+	}
+}
+
+func TestLanesSerializeWithinLane(t *testing.T) {
+	l := NewLanes(2)
+	l.Reserve(0, 0, 100)
+	s, e := l.Reserve(0, 10, 50)
+	if s != 100 || e != 150 {
+		t.Fatalf("same-lane op must wait: got start %v end %v, want 100/150", s, e)
+	}
+	// A ready time past the lane's busy horizon starts immediately.
+	s, e = l.Reserve(0, 500, 25)
+	if s != 500 || e != 525 {
+		t.Fatalf("late op: got start %v end %v, want 500/525", s, e)
+	}
+	if m := l.Makespan(); m != 525 {
+		t.Fatalf("makespan = %v, want 525", m)
+	}
+}
+
+func TestLanesWrapAndReset(t *testing.T) {
+	l := NewLanes(3)
+	l.Reserve(4, 0, 10) // wraps to lane 1
+	if b := l.BusyUntil(1); b != 10 {
+		t.Fatalf("BusyUntil(1) = %v, want 10", b)
+	}
+	if b := l.BusyUntil(-2); b != 10 { // -2 mod 3 == 1
+		t.Fatalf("BusyUntil(-2) = %v, want 10", b)
+	}
+	l.Reset()
+	if m := l.Makespan(); m != 0 {
+		t.Fatalf("makespan after reset = %v, want 0", m)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(100)
+	if e.Now() != 100 {
+		t.Fatalf("now = %v, want 100", e.Now())
+	}
+	e.AdvanceTo(40) // past: no-op
+	if e.Now() != 100 {
+		t.Fatalf("AdvanceTo into the past moved the clock to %v", e.Now())
+	}
+	e.At(200, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event must panic")
+		}
+	}()
+	e.AdvanceTo(250)
+}

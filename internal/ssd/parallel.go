@@ -1,0 +1,184 @@
+package ssd
+
+import (
+	"errors"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/flash"
+	"salamander/internal/ftl"
+)
+
+// Channel-parallel flush path (Config.ParallelFlush). The write buffer
+// accumulates one fPage per channel; a full stripe is composed under the
+// device lock, programmed concurrently by the dispatcher's per-channel
+// workers, and the virtual clock advances by the stripe's makespan — one
+// program time when every channel participates — instead of the serialized
+// sum. Mapping updates are applied in submission order after the batch
+// completes, so FTL state stays deterministic.
+
+// drainParallel flushes full stripes through the dispatcher. Partial
+// buffers are left for Flush's serial mop-up. force is accepted for
+// symmetry with future callers; the serial remainder loop in Flush handles
+// the tail either way.
+func (d *Device) drainParallel(force bool) error {
+	_ = force
+	g := d.arr.Geometry()
+	stripe := d.slotsPP * g.Channels
+	for d.wbuf.Len() >= stripe && !d.bricked {
+		ok, err := d.ensureStripeBlocks()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Some channel has no allocatable block (pool nearly empty or
+			// the channel's blocks are bad): make progress serially.
+			if err := d.flushOne(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := d.flushStripe(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureStripeBlocks opens a write block on every channel, running GC as
+// needed to keep the free pool above the low-water mark. It reports false
+// when at least one channel could not be opened.
+func (d *Device) ensureStripeBlocks() (bool, error) {
+	if d.bricked {
+		return false, blockdev.ErrBricked
+	}
+	for i := 0; i < maxGCPerAlloc && d.free.Len() <= d.cfg.GCLowWater; i++ {
+		if err := d.collect(); err != nil {
+			if errors.Is(err, errNoVictim) {
+				break
+			}
+			return false, err
+		}
+		if d.bricked {
+			return false, blockdev.ErrBricked
+		}
+	}
+	ok := true
+	for ch := range d.parActive {
+		if d.parActive[ch] >= 0 {
+			continue
+		}
+		id, got := d.allocBlockOnChannel(ch)
+		if d.bricked {
+			return false, blockdev.ErrBricked
+		}
+		if !got {
+			ok = false
+			continue
+		}
+		d.state[id] = stActive
+		d.parActive[ch] = id
+		d.parPg[ch] = 0
+	}
+	return ok, nil
+}
+
+// allocBlockOnChannel takes the lowest-wear healthy free block that lives
+// on channel ch, returning wrong-channel blocks to the pool. Like the
+// serial allocator it refuses to consume the last free block, which is
+// reserved for GC.
+func (d *Device) allocBlockOnChannel(ch int) (int, bool) {
+	g := d.arr.Geometry()
+	var stash []int
+	found := -1
+	for d.free.Len()+len(stash) >= 2 {
+		id, ok := d.free.Get()
+		if !ok {
+			break
+		}
+		if d.blockIsBad(id) {
+			d.state[id] = stBad
+			if d.maybeBrick() {
+				break
+			}
+			continue
+		}
+		if g.ChannelOf(id) == ch {
+			found = id
+			break
+		}
+		stash = append(stash, id)
+	}
+	for _, id := range stash {
+		d.free.Put(id, d.arr.BlockPEC(id))
+	}
+	return found, found >= 0
+}
+
+// flushStripe pops one fPage per channel from the write buffer and programs
+// them concurrently. Channel ch gets the ch-th group, so entry-to-channel
+// assignment is a pure function of buffer order. Program failures seal the
+// channel's block as suspect and re-drive that group through the serial
+// programPage path, whose retry budget bounds the damage.
+func (d *Device) flushStripe() error {
+	g := d.arr.Geometry()
+	channels := g.Channels
+	entries := d.wbuf.PopN(d.slotsPP * channels)
+
+	ops := make([]flash.Op, channels)
+	groups := make([][]ftl.BufEntry, channels)
+	for ch := 0; ch < channels; ch++ {
+		groups[ch] = entries[ch*d.slotsPP : (ch+1)*d.slotsPP]
+		var raw []byte
+		if d.cfg.Flash.StoreData {
+			raw = d.composePage(groups[ch])
+		}
+		ops[ch] = flash.Op{
+			Kind: flash.OpProgram,
+			PPA:  flash.PPA{Block: d.parActive[ch], Page: d.parPg[ch]},
+			Data: raw,
+		}
+	}
+
+	results, end := d.disp.Submit(d.eng.Now(), ops)
+	d.eng.AdvanceTo(end)
+
+	var failed []int
+	for ch, r := range results {
+		d.tele.flashWrites.Inc()
+		if r.Err != nil {
+			if !errors.Is(r.Err, flash.ErrProgramFailed) {
+				return r.Err
+			}
+			// The page is consumed; abandon the block as suspect so GC
+			// relocates its live data and retires it at erase time.
+			d.suspect[d.parActive[ch]] = true
+			d.state[d.parActive[ch]] = stSealed
+			d.parActive[ch] = -1
+			failed = append(failed, ch)
+			continue
+		}
+		ppa := r.Op.PPA
+		for slot, e := range groups[ch] {
+			addr := ftl.OPageAddr{PPA: ppa, Slot: slot}
+			if prev, had := d.table.Update(e.Key, addr); had {
+				d.valid.Clear(prev)
+			}
+			d.valid.Set(addr, e.Key)
+		}
+		d.parPg[ch]++
+		if d.parPg[ch] == g.PagesPerBlock {
+			d.state[d.parActive[ch]] = stSealed
+			d.parActive[ch] = -1
+		}
+	}
+	for _, ch := range failed {
+		if err := d.ensureActive(); err != nil {
+			return err
+		}
+		if err := d.programPage(groups[ch]); err != nil {
+			return err
+		}
+		d.fr.Recovered("ssd")
+	}
+	return nil
+}

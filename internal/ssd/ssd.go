@@ -10,6 +10,7 @@ package ssd
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ecc"
@@ -46,7 +47,15 @@ type Config struct {
 	// between hottest and coldest sealed blocks exceeds this many cycles,
 	// the coldest block is recycled even if fully valid. Zero disables.
 	WearLevelSpread uint32
-	Seed            uint64
+	// ParallelFlush stripes full-fPage programs across all flash channels
+	// through a per-channel worker dispatcher: the write buffer accumulates
+	// one fPage per channel before flushing, and the batch's virtual-time
+	// cost is its cross-channel makespan instead of the serialized sum.
+	// Read/GC paths are unchanged. Off by default so single-stream
+	// simulations (and the chaos runner's byte-identical reports) keep the
+	// serialized timing model.
+	ParallelFlush bool
+	Seed          uint64
 }
 
 // DefaultConfig returns a data-path baseline device.
@@ -130,8 +139,14 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
 	}
 }
 
-// Device is a baseline SSD.
+// Device is a baseline SSD. All blockdev entry points are safe for
+// concurrent use: a single device mutex serializes FTL state transitions
+// (mapping, GC, allocation), while the flash array underneath does its own
+// per-channel locking so dispatcher workers can program channels in
+// parallel during a flush. Lock order is device -> flash channel; nothing
+// holding a channel lock ever takes the device lock.
 type Device struct {
+	mu    sync.Mutex
 	cfg   Config
 	arr   *flash.Array
 	eng   *sim.Engine
@@ -166,6 +181,11 @@ type Device struct {
 	inGC    bool
 	notify  func(blockdev.Event)
 	tele    devTele
+
+	// Channel-parallel flush state (nil/empty unless Config.ParallelFlush).
+	disp      *flash.Dispatcher
+	parActive []int // per-channel open write block, -1 if none
+	parPg     []int // next page within each channel's open block
 }
 
 // New builds a baseline device on a fresh flash array, attached to the
@@ -237,7 +257,26 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 	for b := 0; b < g.TotalBlocks(); b++ {
 		d.free.Put(b, 0)
 	}
+	if cfg.ParallelFlush {
+		d.disp = flash.NewDispatcher(arr, 0)
+		d.parActive = make([]int, g.Channels)
+		d.parPg = make([]int, g.Channels)
+		for ch := range d.parActive {
+			d.parActive[ch] = -1
+		}
+	}
 	return d, nil
+}
+
+// Close stops the per-channel dispatcher workers, if any. The device must
+// not be used afterwards. Safe to call on a serial-mode device.
+func (d *Device) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.disp != nil {
+		d.disp.Close()
+		d.disp = nil
+	}
 }
 
 // LBAs returns the exported logical capacity in oPages.
@@ -250,6 +289,8 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // from the device's registry-backed telemetry handles at call time;
 // mutating the returned value has no effect on the live device.
 func (d *Device) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return Counters{
 		HostReads:      d.tele.hostReads.Value(),
 		HostWrites:     d.tele.hostWrites.Value(),
@@ -271,6 +312,8 @@ func (d *Device) Counters() Counters {
 // so instrument at startup for complete latency distributions. A nil
 // registry detaches back onto a private one.
 func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -300,6 +343,8 @@ func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 // nil to detach. One registry per device (clocks are per-device); instrument
 // the registry into a shared telemetry registry for the fleet view.
 func (d *Device) InjectFaults(fr *faultinject.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.fr = fr
 	if fr != nil {
 		fr.SetClock(func() sim.Time { return d.eng.Now() })
@@ -308,16 +353,26 @@ func (d *Device) InjectFaults(fr *faultinject.Registry) {
 }
 
 // Bricked reports whether the device has failed.
-func (d *Device) Bricked() bool { return d.bricked }
+func (d *Device) Bricked() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bricked
+}
 
 // Array exposes the underlying flash for inspection in tests and benches.
 func (d *Device) Array() *flash.Array { return d.arr }
 
 // Notify implements blockdev.Device.
-func (d *Device) Notify(fn func(blockdev.Event)) { d.notify = fn }
+func (d *Device) Notify(fn func(blockdev.Event)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.notify = fn
+}
 
 // Minidisks implements blockdev.Device: one disk spanning the volume.
 func (d *Device) Minidisks() []blockdev.MinidiskInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.bricked {
 		return nil
 	}
@@ -353,6 +408,8 @@ func (d *Device) checkAddr(md blockdev.MinidiskID, lba int, buf []byte) error {
 // Write implements blockdev.Device. The oPage lands in the NV buffer and is
 // flushed to flash once a full fPage's worth is pending.
 func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.checkAddr(md, lba, buf); err != nil {
 		return err
 	}
@@ -365,6 +422,9 @@ func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
 		data = append([]byte(nil), buf...)
 	}
 	d.wbuf.Push(ftl.BufEntry{Key: int64(lba), Data: data})
+	if d.disp != nil {
+		return d.drainParallel(false)
+	}
 	for d.wbuf.Len() >= d.slotsPP && !d.bricked {
 		if err := d.flushOne(); err != nil {
 			return err
@@ -375,6 +435,13 @@ func (d *Device) Write(md blockdev.MinidiskID, lba int, buf []byte) error {
 
 // Flush programs any partially filled buffer to flash, padding unused slots.
 func (d *Device) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.disp != nil {
+		if err := d.drainParallel(true); err != nil {
+			return err
+		}
+	}
 	for d.wbuf.Len() > 0 && !d.bricked {
 		if err := d.flushOne(); err != nil {
 			return err
@@ -388,6 +455,8 @@ func (d *Device) Flush() error {
 
 // Trim implements blockdev.Device.
 func (d *Device) Trim(md blockdev.MinidiskID, lba int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.checkAddr(md, lba, nil); err != nil {
 		return err
 	}
@@ -402,6 +471,8 @@ func (d *Device) Trim(md blockdev.MinidiskID, lba int) error {
 
 // Read implements blockdev.Device. Unwritten LBAs read zeros.
 func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.checkAddr(md, lba, buf); err != nil {
 		return err
 	}

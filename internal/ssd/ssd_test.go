@@ -392,6 +392,16 @@ func TestBaselineConformance(t *testing.T) {
 	}
 }
 
+func TestBaselineConcurrencyConformance(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		cfg := stressConfig(parallel)
+		d, _ := mustDevice(t, cfg)
+		if err := blockdev.CheckConcurrency(d, 4, 300, 77); err != nil {
+			t.Fatalf("parallel=%v: %v", parallel, err)
+		}
+	}
+}
+
 // TestCountersSnapshotIsolation pins the documented Counters() contract:
 // the returned struct is a point-in-time copy, so mutating it never
 // touches the live device.
