@@ -11,7 +11,9 @@
 # fixed-seed salchaos smoke run then asserts the cross-layer invariants
 # end to end, and the salperf -parallel benchmark is compared against the
 # checked-in BENCH_parallel.json: >15% write-throughput regression at any
-# channel count fails the build.
+# channel count fails the build. The salperf -ecc benchmark guards the
+# table-driven BCH fast path the same way against BENCH_ecc.json, plus a
+# machine-independent >= 4x syndrome-speedup floor at the level-0 geometry.
 set -eu
 
 cd "$(dirname "$0")"
@@ -41,5 +43,8 @@ go run ./cmd/salchaos -seed 1 -ops 2000 >/dev/null
 
 echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
 go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
+
+echo "== salperf -ecc regression guard (baseline BENCH_ecc.json) =="
+go run ./cmd/salperf -ecc -ecc-baseline BENCH_ecc.json
 
 echo "CI PASSED"

@@ -8,6 +8,7 @@
 //	salperf [-points N] [-data MB] [-reads N] [-level L]
 //	        [-metrics] [-metrics-out FILE] [-trace FILE]
 //	        [-parallel N] [-parallel-out FILE] [-parallel-baseline FILE]
+//	        [-ecc] [-ecc-out FILE] [-ecc-baseline FILE]
 //
 // With -parallel N, salperf additionally runs the channel-parallel write
 // scaling benchmark from 1 to N channels through the flash dispatcher,
@@ -15,6 +16,13 @@
 // JSON. When -parallel-baseline names a checked-in baseline file, each
 // measured point is compared against it and the run fails if throughput
 // regressed more than 15%.
+//
+// With -ecc, salperf benchmarks the BCH codec at every tiredness level's
+// geometry: encode, clean-read check, and decode payload throughput, plus
+// the syndrome stage both table-driven and bit-serial (the reference
+// oracle). The run fails if the level-0 syndrome speedup drops below 4x.
+// -ecc-out writes the points as JSON; -ecc-baseline compares against a
+// checked-in baseline with the same >15% regression rule as -parallel.
 //
 // With -metrics, the measurement's flash arrays feed one registry (op
 // counters, RBER and latency histograms) whose per-layer tables print
@@ -49,8 +57,18 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "run the write-scaling benchmark from 1 to N channels (0 skips it)")
 		parOut     = flag.String("parallel-out", "", "write the scaling points as JSON to this file")
 		parBase    = flag.String("parallel-baseline", "", "compare against this baseline JSON; fail on >15% throughput regression")
+		eccBench   = flag.Bool("ecc", false, "run the per-level BCH codec benchmark (encode/check/decode/syndrome MB/s)")
+		eccOut     = flag.String("ecc-out", "", "write the ECC benchmark points as JSON to this file")
+		eccBase    = flag.String("ecc-baseline", "", "compare against this baseline JSON; fail on >15% codec-throughput regression")
 	)
 	flag.Parse()
+
+	if *eccBench {
+		if err := runECCBench(*eccOut, *eccBase); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *parallel > 0 {
 		if err := runParallelBench(*parallel, *dataMB, *parOut, *parBase); err != nil {

@@ -260,6 +260,13 @@ type Device struct {
 	fiEvDup  *faultinject.Site // "core.event.duplicate"
 
 	tele devTele
+
+	// Data-path scratch, guarded by mu like the rest of the FTL state:
+	// readBuf receives raw pages from flash.ReadInto and pageBuf is the
+	// compose target for programs (flash.Program copies, so one buffer
+	// serves every program). Both are nil in metadata-only mode.
+	readBuf []byte
+	pageBuf []byte
 }
 
 // New builds a Salamander device on a fresh flash array.
@@ -310,6 +317,10 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 	}
 	for l := 0; l <= rber.MaxUsableLevel; l++ {
 		d.geoms[l] = rber.LevelGeometry(l)
+	}
+	if cfg.Flash.StoreData {
+		d.readBuf = make([]byte, g.RawPageBytes())
+		d.pageBuf = make([]byte, g.RawPageBytes())
 	}
 	d.servingSlots = g.TotalPages() * rber.OPagesPerFPage
 	for b := 0; b < g.TotalBlocks(); b++ {
@@ -686,13 +697,14 @@ func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
 		zero(buf)
 		return nil
 	}
-	out, err := d.readOPage(addr)
+	// Decode straight into the host buffer: the whole clean-read path —
+	// flash ReadInto into the device's readBuf, per-sector Check/Decode from
+	// the codec's scratch pool, corrected bytes into buf — allocates nothing.
+	filled, err := d.readOPageInto(addr, buf)
 	if err != nil {
 		return err
 	}
-	if out != nil {
-		copy(buf, out)
-	} else {
+	if !filled {
 		zero(buf)
 	}
 	return nil
@@ -704,16 +716,36 @@ func zero(b []byte) {
 	}
 }
 
-// readOPage fetches one oPage, decoding at the page's programmed level.
-// Failed reads are retried up to MaxReadRetries times — the iterative
-// voltage-adjustment mechanism of §2: each attempt re-senses the page
-// (an independent error sample) at the cost of a full additional read.
+// readOPage fetches one oPage into a freshly allocated buffer the caller
+// owns. GC relocation and the scrubber use this: their entries retain the
+// data past the next read, so they cannot share the device scratch.
 func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
-	out, injected, err := d.readOPageOnce(addr)
+	var dst []byte
+	if d.cfg.Flash.StoreData {
+		dst = make([]byte, rber.OPageSize)
+	}
+	filled, err := d.readOPageInto(addr, dst)
+	if err != nil {
+		return nil, err
+	}
+	if !filled {
+		return nil, nil
+	}
+	return dst, nil
+}
+
+// readOPageInto fetches one oPage into dst (len rber.OPageSize; ignored in
+// metadata-only mode), decoding at the page's programmed level. Failed
+// reads are retried up to MaxReadRetries times — the iterative
+// voltage-adjustment mechanism of §2: each attempt re-senses the page (an
+// independent error sample) at the cost of a full additional read. filled
+// reports whether dst holds the oPage; it is false in metadata-only mode.
+func (d *Device) readOPageInto(addr ftl.OPageAddr, dst []byte) (bool, error) {
+	filled, injected, err := d.readOPageOnce(addr, dst)
 	sawInjected := injected
 	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
 		d.tele.readRetries.Inc()
-		out, injected, err = d.readOPageOnce(addr)
+		filled, injected, err = d.readOPageOnce(addr, dst)
 		sawInjected = sawInjected || injected
 		if err == nil {
 			d.tele.retrySaves.Inc()
@@ -722,12 +754,14 @@ func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
 			}
 		}
 	}
-	return out, err
+	return filled, err
 }
 
-// readOPageOnce performs a single read attempt. injected reports whether the
-// attempt hit an injected transient read failure.
-func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, err error) {
+// readOPageOnce performs a single read attempt: the raw page lands in the
+// device's readBuf, sectors are corrected there in place at the page's
+// programmed level, and the corrected payload is copied into dst. injected
+// reports whether the attempt hit an injected transient read failure.
+func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected bool, err error) {
 	pi := &d.pages[d.pageIdx(addr.PPA)]
 	level := int(pi.progLevel)
 	geom := d.geoms[level]
@@ -739,9 +773,9 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 		code = d.codec(level)
 		transfer += spb * code.ParityBytes()
 	}
-	res, err := d.arr.Read(addr.PPA, transfer)
+	res, err := d.arr.ReadInto(addr.PPA, transfer, d.readBuf)
 	if err != nil {
-		return nil, false, fmt.Errorf("blockdev: %w", err)
+		return false, false, fmt.Errorf("blockdev: %w", err)
 	}
 	d.tele.flashReads.Inc()
 	d.eng.Advance(res.Duration)
@@ -750,16 +784,16 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 		for s := 0; s < spb; s++ {
 			if d.rng.Float64() < pFail {
 				d.tele.uncorrectable.Inc()
-				return nil, res.Injected, blockdev.ErrUncorrectable
+				return false, res.Injected, blockdev.ErrUncorrectable
 			}
 		}
 		if res.Data == nil {
-			return nil, res.Injected, nil
+			return false, res.Injected, nil
 		}
 		off := addr.Slot * rber.OPageSize
-		return res.Data[off : off+rber.OPageSize], res.Injected, nil
+		copy(dst, res.Data[off:off+rber.OPageSize])
+		return true, res.Injected, nil
 	}
-	out = make([]byte, rber.OPageSize)
 	dataBytes := rber.LevelDataBytes(level)
 	pb := code.ParityBytes()
 	for s := 0; s < spb; s++ {
@@ -771,7 +805,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 		bits, err := code.Decode(sector, parity)
 		if err != nil {
 			d.tele.uncorrectable.Inc()
-			return nil, res.Injected, blockdev.ErrUncorrectable
+			return false, res.Injected, blockdev.ErrUncorrectable
 		}
 		if bits > 0 {
 			d.tele.eccCorrectedBits.Add(uint64(bits))
@@ -780,9 +814,9 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 				Block: addr.PPA.Block, Page: addr.PPA.Page, Level: level, N: int64(bits),
 			})
 		}
-		copy(out[s*rber.SectorSize:], sector)
+		copy(dst[s*rber.SectorSize:], sector)
 	}
-	return out, res.Injected, nil
+	return true, res.Injected, nil
 }
 
 var _ blockdev.Device = (*Device)(nil)

@@ -49,7 +49,7 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 	level := int(pi.level)
 	var raw []byte
 	if d.cfg.Flash.StoreData {
-		raw = d.composePage(entries, level)
+		raw = d.composePageInto(d.pageBuf, entries, level)
 	}
 	dur, err := d.arr.Program(ppa, raw)
 	if err != nil {
@@ -116,11 +116,16 @@ func (d *Device) advanceActive() {
 	}
 }
 
-// composePage lays out up to (4-level) oPages and their per-sector BCH
-// parity for a level-coded fPage.
-func (d *Device) composePage(entries []ftl.BufEntry, level int) []byte {
+// composePageInto lays out up to (4-level) oPages and their per-sector BCH
+// parity for a level-coded fPage into dst (at least RawPageBytes),
+// returning the raw page slice. Callers pass the device's pageBuf scratch:
+// flash.Program copies, so one buffer serves every program. Parity
+// generation goes through the codec's shared EncodeSectors helper (the same
+// loop the baseline ssd compose uses), at this level's data size.
+func (d *Device) composePageInto(dst []byte, entries []ftl.BufEntry, level int) []byte {
 	g := d.arr.Geometry()
-	raw := make([]byte, g.RawPageBytes())
+	raw := dst[:g.RawPageBytes()]
+	zero(raw)
 	for slot, e := range entries {
 		if e.Data != nil {
 			copy(raw[slot*rber.OPageSize:], e.Data)
@@ -128,16 +133,8 @@ func (d *Device) composePage(entries []ftl.BufEntry, level int) []byte {
 	}
 	if d.cfg.RealECC {
 		code := d.codec(level)
-		pb := code.ParityBytes()
-		dataBytes := rber.LevelDataBytes(level)
-		sectors := dataBytes / rber.SectorSize
-		for sec := 0; sec < sectors; sec++ {
-			dataOff := sec * rber.SectorSize
-			parity, err := code.Encode(raw[dataOff : dataOff+rber.SectorSize])
-			if err != nil {
-				panic(err) // sector size is fixed; cannot fail
-			}
-			copy(raw[dataBytes+sec*pb:], parity)
+		if err := code.EncodeSectors(raw, rber.LevelDataBytes(level), rber.SectorSize); err != nil {
+			panic(err) // level geometries are fixed; cannot fail
 		}
 	}
 	return raw
@@ -294,7 +291,7 @@ func (d *Device) collect() error {
 		entries := moved[:slots]
 		var raw []byte
 		if d.cfg.Flash.StoreData {
-			raw = d.composePage(entries, level)
+			raw = d.composePageInto(d.pageBuf, entries, level)
 		}
 		dur, err := d.arr.Program(ppa, raw)
 		if err != nil {

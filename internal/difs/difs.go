@@ -1139,10 +1139,3 @@ func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []s
 	}
 	return bad
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -274,10 +274,3 @@ func (c *Code) Join(data [][]byte, size int) []byte {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

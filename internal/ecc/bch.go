@@ -1,8 +1,10 @@
 package ecc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrUncorrectable is returned by Decode when the error pattern exceeds the
@@ -12,6 +14,10 @@ var ErrUncorrectable = errors.New("ecc: uncorrectable error pattern")
 // Code is a binary BCH code over GF(2^m), shortened to k data bits, with
 // designed correction capability t. Codewords are systematic: k data bits
 // followed by r parity bits, n = k + r <= 2^m - 1.
+//
+// Encode/EncodeInto, Check, and Decode are safe for concurrent use: all
+// mutable working state lives in pooled Scratch buffers, and the clean-read
+// fast path (Check, EncodeInto) runs without heap allocations.
 type Code struct {
 	F *Field
 	K int // data bits
@@ -23,6 +29,18 @@ type Code struct {
 	topMask uint64        // mask for the top word of an R-bit register
 	tbl     [256][]uint64 // byte-wise LFSR step table
 	nw      int           // words per R-bit register
+
+	// Byte-wise syndrome evaluation tables: for the j-th odd syndrome index
+	// i = 2j+1, synTbl[j][b] is the contribution of input byte b to S_i,
+	// synStride[j] = α^{8i} is the per-byte Horner stride, and synAlpha[j]
+	// = α^i steps the tail bits of a partial final parity byte. Together
+	// they turn each odd syndrome into O(N/8) table lookups instead of O(N)
+	// GF multiplies; even syndromes follow from S_2i = S_i².
+	synTbl    [][256]uint32
+	synStride []uint32
+	synAlpha  []uint32
+
+	pool sync.Pool // *Scratch, feeds the zero-allocation fast paths
 }
 
 // NewCode constructs a BCH code over GF(2^m) protecting dataBits of payload
@@ -57,6 +75,8 @@ func NewCode(m, dataBits, t int) (*Code, error) {
 		c.topMask = (1 << uint(r%64)) - 1
 	}
 	c.buildTable()
+	c.buildSyndromeTables()
+	c.pool.New = func() any { return c.newScratch() }
 	return c, nil
 }
 
@@ -213,49 +233,97 @@ func (c *Code) stepByte(reg []uint64, in byte) {
 	}
 }
 
-// Encode computes the parity for data. data must be exactly K/8 bytes; the
-// returned slice is ParityBytes() long, parity bit R-1 first (MSB of byte 0).
-func (c *Code) Encode(data []byte) ([]byte, error) {
-	if len(data) != c.K/8 {
-		return nil, fmt.Errorf("ecc: Encode wants %d data bytes, got %d", c.K/8, len(data))
+// runLFSR resets reg and divides the data polynomial by the generator,
+// leaving the remainder (the parity image) in reg.
+func (c *Code) runLFSR(reg []uint64, data []byte) {
+	for w := range reg {
+		reg[w] = 0
 	}
-	reg := make([]uint64, c.nw)
 	for _, b := range data {
 		c.stepByte(reg, b)
 	}
-	return c.packParity(reg), nil
 }
 
-// packParity converts the register (bit R-1 = highest-degree parity term)
-// into MSB-first bytes.
-func (c *Code) packParity(reg []uint64) []byte {
-	out := make([]byte, c.ParityBytes())
+// Encode computes the parity for data. data must be exactly K/8 bytes; the
+// returned slice is ParityBytes() long, parity bit R-1 first (MSB of byte 0).
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	parity := make([]byte, c.ParityBytes())
+	if err := c.EncodeInto(data, parity); err != nil {
+		return nil, err
+	}
+	return parity, nil
+}
+
+// EncodeInto computes the parity for data into the caller-supplied parity
+// buffer, which must be exactly ParityBytes() long. It allocates nothing:
+// the division register comes from the code's scratch pool.
+func (c *Code) EncodeInto(data, parity []byte) error {
+	if len(data) != c.K/8 {
+		return fmt.Errorf("ecc: Encode wants %d data bytes, got %d", c.K/8, len(data))
+	}
+	if len(parity) != c.ParityBytes() {
+		return fmt.Errorf("ecc: Encode wants %d parity bytes, got %d", c.ParityBytes(), len(parity))
+	}
+	s := c.getScratch()
+	c.runLFSR(s.reg, data)
+	c.packParityInto(s.reg, parity)
+	c.putScratch(s)
+	return nil
+}
+
+// EncodeSectors encodes raw[:dataBytes] as consecutive sectorSize-byte
+// sectors, writing sector i's parity at raw[dataBytes+i*ParityBytes() :].
+// This is the one per-sector encode loop shared by the ssd program path and
+// the core re-encode (RegenS) path; it reuses a single pooled scratch across
+// all sectors and allocates nothing.
+func (c *Code) EncodeSectors(raw []byte, dataBytes, sectorSize int) error {
+	if sectorSize <= 0 || dataBytes <= 0 || dataBytes%sectorSize != 0 {
+		return fmt.Errorf("ecc: data bytes %d not a positive multiple of sector size %d", dataBytes, sectorSize)
+	}
+	if sectorSize*8 != c.K {
+		return fmt.Errorf("ecc: sector size %d does not match code payload %d bits", sectorSize, c.K)
+	}
+	pb := c.ParityBytes()
+	sectors := dataBytes / sectorSize
+	if len(raw) < dataBytes+sectors*pb {
+		return fmt.Errorf("ecc: raw buffer %d bytes, want >= %d for %d sectors", len(raw), dataBytes+sectors*pb, sectors)
+	}
+	s := c.getScratch()
+	for sec := 0; sec < sectors; sec++ {
+		c.runLFSR(s.reg, raw[sec*sectorSize:(sec+1)*sectorSize])
+		c.packParityInto(s.reg, raw[dataBytes+sec*pb:dataBytes+(sec+1)*pb])
+	}
+	c.putScratch(s)
+	return nil
+}
+
+// packParityInto converts the register (bit R-1 = highest-degree parity
+// term) into MSB-first bytes written over out.
+func (c *Code) packParityInto(reg []uint64, out []byte) {
+	for i := range out {
+		out[i] = 0
+	}
 	for i := 0; i < c.R; i++ {
 		deg := c.R - 1 - i // emit high-degree bits first
 		if reg[deg/64]&(1<<uint(deg%64)) != 0 {
 			out[i/8] |= 1 << uint(7-i%8)
 		}
 	}
-	return out
 }
 
 // Check reports whether data+parity form a valid codeword. It is much
-// cheaper than Decode and is the fast path for clean reads.
+// cheaper than Decode, allocates nothing, and is the fast path for clean
+// reads.
 func (c *Code) Check(data, parity []byte) bool {
 	if len(data) != c.K/8 || len(parity) != c.ParityBytes() {
 		return false
 	}
-	reg := make([]uint64, c.nw)
-	for _, b := range data {
-		c.stepByte(reg, b)
-	}
-	got := c.packParity(reg)
-	for i := range got {
-		if got[i] != parity[i] {
-			return false
-		}
-	}
-	return true
+	s := c.getScratch()
+	c.runLFSR(s.reg, data)
+	c.packParityInto(s.reg, s.parity)
+	ok := bytes.Equal(s.parity, parity)
+	c.putScratch(s)
+	return ok
 }
 
 // --- decoding -------------------------------------------------------------
@@ -279,41 +347,18 @@ func flipBit(data, parity []byte, i, k int) {
 	parity[i/8] ^= 1 << uint(7-i%8)
 }
 
-// syndromes computes S_1..S_2t. Only odd syndromes are evaluated directly;
-// S_2i = S_i^2 for binary codes. Returns true if all syndromes are zero.
-func (c *Code) syndromes(data, parity []byte) ([]uint32, bool) {
+// berlekampMassey finds the error locator polynomial σ(x) from the
+// syndromes in s.syn. The returned slice aliases one of the scratch's
+// double buffers (valid until the scratch is released); no allocation.
+func (c *Code) berlekampMassey(s *Scratch) []uint32 {
 	f := c.F
-	S := make([]uint32, 2*c.T+1) // 1-indexed
-	// Collect degrees of set bits once; for typical RBER only a sparse
-	// subset of positions is wrong, but the received word itself is dense,
-	// so Horner over all bits is the right strategy.
-	for i := 1; i <= 2*c.T; i += 2 {
-		alphaI := f.Alpha(i)
-		var acc uint32
-		for bi := 0; bi < c.N; bi++ {
-			acc = f.Mul(acc, alphaI) ^ bitAt(data, parity, bi, c.K)
-		}
-		S[i] = acc
-	}
-	// S_{2j} = S_j^2 for binary codes; increasing order guarantees S_{i/2}
-	// is final before S_i is derived.
-	for i := 2; i <= 2*c.T; i += 2 {
-		half := S[i/2]
-		S[i] = f.Mul(half, half)
-	}
-	for i := 1; i <= 2*c.T; i++ {
-		if S[i] != 0 {
-			return S, false
-		}
-	}
-	return S, true
-}
-
-// berlekampMassey finds the error locator polynomial σ(x) from syndromes.
-func (c *Code) berlekampMassey(S []uint32) []uint32 {
-	f := c.F
-	sigma := []uint32{1}
-	B := []uint32{1}
+	S := s.syn
+	// σ and the update target alternate between the two scratch buffers;
+	// B gets a copy of σ on length changes. Every buffer has capacity
+	// 2T+2, which bounds len(B)+mGap: mGap only grows while δ=0, and a
+	// length change resets it, so len(B)+mGap never exceeds 2T+1.
+	sigma, next, B := s.sigA[:1], s.sigB, s.bpoly[:1]
+	sigma[0], B[0] = 1, 1
 	L, mGap := 0, 1
 	b := uint32(1)
 	for i := 0; i < 2*c.T; i++ {
@@ -330,20 +375,28 @@ func (c *Code) berlekampMassey(S []uint32) []uint32 {
 		}
 		// σ' = σ - (δ/b)·x^mGap·B
 		scale := f.Div(delta, b)
-		next := make([]uint32, max(len(sigma), len(B)+mGap))
-		copy(next, sigma)
+		nlen := len(sigma)
+		if lb := len(B) + mGap; lb > nlen {
+			nlen = lb
+		}
+		out := next[:nlen]
+		copy(out, sigma)
+		for j := len(sigma); j < nlen; j++ {
+			out[j] = 0
+		}
 		for j, bc := range B {
-			next[j+mGap] ^= f.Mul(scale, bc)
+			out[j+mGap] ^= f.Mul(scale, bc)
 		}
 		if 2*L <= i {
-			B = sigma
+			B = B[:len(sigma)]
+			copy(B, sigma)
 			b = delta
 			L = i + 1 - L
 			mGap = 1
 		} else {
 			mGap++
 		}
-		sigma = next
+		sigma, next = out, sigma[:cap(sigma)]
 	}
 	// Trim trailing zeros.
 	for len(sigma) > 1 && sigma[len(sigma)-1] == 0 {
@@ -352,41 +405,58 @@ func (c *Code) berlekampMassey(S []uint32) []uint32 {
 	return sigma
 }
 
-// chienSearch finds codeword bit indices whose bits are in error. Roots of
-// σ are α^{-d} where d is the degree of the errored term; bit index is
-// N-1-d. Returns nil if the root count does not match deg σ (decoding
-// failure).
-func (c *Code) chienSearch(sigma []uint32) []int {
+// chienSearch finds codeword bit indices whose bits are in error, appending
+// them to s.pos. Roots of σ are α^{-d} where d is the degree of the errored
+// term; bit index is N-1-d. Only d < c.N lands inside the shortened
+// codeword, so the scan is restricted to those c.N candidate roots (a root
+// outside the window would fail the count check below anyway, preserving
+// the decoding-failure semantics of a full-field scan). Returns nil if the
+// in-window root count does not match deg σ (decoding failure).
+func (c *Code) chienSearch(s *Scratch, sigma []uint32) []int {
 	f := c.F
 	degS := len(sigma) - 1
+	pos := s.pos[:0]
 	if degS == 0 {
-		return []int{}
+		return pos
 	}
-	var positions []int
-	for l := 0; l < f.N; l++ {
-		if f.PolyEval(sigma, f.Alpha(l)) == 0 {
-			d := (f.N - l) % f.N
-			if d >= c.N {
-				return nil // root outside the shortened codeword
-			}
-			positions = append(positions, c.N-1-d)
-		}
-		if len(positions) > degS {
+	if degS == 1 {
+		// σ(x) = 1 + σ₁x has the single root α^{-log σ₁}: solve directly.
+		d := f.Log(sigma[1])
+		if d >= c.N {
 			return nil
 		}
+		return append(pos, c.N-1-d)
 	}
-	if len(positions) != degS {
+	for d := 0; d < c.N; d++ {
+		l := (f.N - d) % f.N
+		if f.PolyEval(sigma, f.Alpha(l)) == 0 {
+			pos = append(pos, c.N-1-d)
+			if len(pos) == degS {
+				break // deg σ roots found; σ has no more
+			}
+		}
+	}
+	if len(pos) != degS {
 		return nil
 	}
-	return positions
+	return pos
 }
 
 // Decode corrects data and parity in place. It returns the number of bits
 // corrected, or ErrUncorrectable if the pattern exceeds the code's power in
 // a detectable way. (Patterns beyond t bits may occasionally miscorrect, as
 // with any bounded-distance decoder; the analytic model accounts for this as
-// an uncorrectable-page event.)
+// an uncorrectable-page event.) The clean-read fast path allocates nothing;
+// the correction path draws all working state from the scratch pool.
 func (c *Code) Decode(data, parity []byte) (int, error) {
+	return c.DecodeInPlace(data, parity)
+}
+
+// DecodeInPlace is Decode under its precise name: corrections are written
+// back into the caller's data and parity buffers, never into fresh
+// allocations, so callers layering buffer reuse on top (ssd, core) keep
+// ownership of every byte on the read path.
+func (c *Code) DecodeInPlace(data, parity []byte) (int, error) {
 	if len(data) != c.K/8 {
 		return 0, fmt.Errorf("ecc: Decode wants %d data bytes, got %d", c.K/8, len(data))
 	}
@@ -396,18 +466,19 @@ func (c *Code) Decode(data, parity []byte) (int, error) {
 	if c.Check(data, parity) {
 		return 0, nil
 	}
-	S, clean := c.syndromes(data, parity)
-	if clean {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	if c.syndromesInto(s.syn, data, parity) {
 		// Check failed but syndromes are zero: the error is a multiple of
 		// g(x) outside the BCH bound — undetectable miscorrection risk; in
 		// practice unreachable because Check uses the same g(x).
 		return 0, nil
 	}
-	sigma := c.berlekampMassey(S)
+	sigma := c.berlekampMassey(s)
 	if len(sigma)-1 > c.T {
 		return 0, ErrUncorrectable
 	}
-	pos := c.chienSearch(sigma)
+	pos := c.chienSearch(s, sigma)
 	if pos == nil {
 		return 0, ErrUncorrectable
 	}
@@ -418,11 +489,4 @@ func (c *Code) Decode(data, parity []byte) (int, error) {
 		return 0, ErrUncorrectable
 	}
 	return len(pos), nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -66,10 +66,32 @@ func flipDistinct(code *ecc.Code, data, parity []byte, n int, seed uint64) int {
 	return len(seen)
 }
 
+// requireSyndromeAgreement compares the table-driven syndrome path against
+// the bit-serial reference oracle on the current data/parity state — the
+// tentpole invariant of the byte-wise fast path, checked inside the fuzz
+// target so every fuzzed codeword (clean or corrupted) exercises it.
+func requireSyndromeAgreement(t *testing.T, code *ecc.Code, data, parity []byte, stage string) {
+	t.Helper()
+	fast, fastZero := code.Syndromes(data, parity)
+	ref, refZero := code.SyndromesBitSerial(data, parity)
+	if fastZero != refZero {
+		t.Fatalf("%s: table-driven all-zero=%v, bit-serial all-zero=%v", stage, fastZero, refZero)
+	}
+	if len(fast) != len(ref) {
+		t.Fatalf("%s: syndrome length %d vs reference %d", stage, len(fast), len(ref))
+	}
+	for i := range fast {
+		if fast[i] != ref[i] {
+			t.Fatalf("%s: S[%d] = %#x, reference %#x", stage, i, fast[i], ref[i])
+		}
+	}
+}
+
 // FuzzBCHRoundTrip: any payload encoded then corrupted with up to t bit
 // flips must decode back to the exact original; t+1 flips must never
 // miscorrect silently into a "clean" wrong codeword that Check accepts as
-// the original.
+// the original. At every stage the table-driven syndrome path must agree
+// with the bit-serial reference.
 func FuzzBCHRoundTrip(f *testing.F) {
 	f.Add([]byte("salamander"), uint64(1), byte(0))
 	f.Add([]byte{0xff, 0x00, 0xa5}, uint64(42), byte(3))
@@ -88,9 +110,11 @@ func FuzzBCHRoundTrip(f *testing.F) {
 		if !code.Check(data, parity) {
 			t.Fatal("fresh codeword fails Check")
 		}
+		requireSyndromeAgreement(t, code, data, parity, "clean")
 
 		n := int(nFlips) % (code.T + 1) // within correction capability
 		flipDistinct(code, data, parity, n, flipSeed)
+		requireSyndromeAgreement(t, code, data, parity, "corrupted")
 		corrected, err := code.Decode(data, parity)
 		if err != nil {
 			t.Fatalf("decode with %d <= t=%d flips: %v", n, code.T, err)
@@ -106,6 +130,7 @@ func FuzzBCHRoundTrip(f *testing.F) {
 		// as a miscorrection onto a *different* valid codeword — never as a
 		// claimed-clean return of a corrupted one.
 		flipDistinct(code, data, parity, code.T+1, flipSeed^0xdeadbeef)
+		requireSyndromeAgreement(t, code, data, parity, "beyond capability")
 		_, err = code.Decode(data, parity)
 		if err == nil {
 			if !code.Check(data, parity) {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package ecc_test
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary. Allocation-count assertions are skipped under the race detector
+// because its instrumentation allocates on paths that are otherwise free.
+const raceEnabled = false

@@ -1,0 +1,127 @@
+package ecc
+
+import "math/bits"
+
+// Byte-wise syndrome evaluation.
+//
+// The bit-serial form of syndrome S_i is Horner over all N codeword bits:
+//
+//	acc ← acc·α^i ⊕ bit
+//
+// Grouping eight bits, one input byte b (MSB first) advances the
+// accumulator by
+//
+//	acc ← acc·α^{8i} ⊕ T_i[b],   T_i[b] = ⊕_{p: bit p of b set} α^{i·p}
+//
+// where p counts from the byte's LSB (processed last, so the MSB picks up
+// α^{7i}). T_i is a 256-entry table per odd syndrome, built from each
+// value's lowest set bit, so evaluation is one GF multiply and one table
+// lookup per byte instead of eight multiplies — the O(N/8) fast path that
+// Decode's syndrome stage rides.
+
+// buildSyndromeTables precomputes synTbl/synStride/synAlpha for the T odd
+// syndromes. Cost is T×1 KiB of tables per code (≈40 KiB at tiredness
+// level 0, ≈1 MiB at level 3), paid once in NewCode.
+func (c *Code) buildSyndromeTables() {
+	f := c.F
+	c.synTbl = make([][256]uint32, c.T)
+	c.synStride = make([]uint32, c.T)
+	c.synAlpha = make([]uint32, c.T)
+	for j := 0; j < c.T; j++ {
+		i := 2*j + 1
+		// pw[p] = α^{i·p}: byte bit p (0 = LSB) enters the Horner
+		// recurrence p steps before the byte ends, so it picks up p more
+		// multiplies by α^i.
+		var pw [8]uint32
+		for p := 0; p < 8; p++ {
+			pw[p] = f.Alpha(i * p)
+		}
+		tbl := &c.synTbl[j]
+		tbl[0] = 0
+		for b := 1; b < 256; b++ {
+			p := bits.TrailingZeros32(uint32(b))
+			tbl[b] = tbl[b&(b-1)] ^ pw[p]
+		}
+		c.synStride[j] = f.Alpha(8 * i)
+		c.synAlpha[j] = f.Alpha(i)
+	}
+}
+
+// syndromesInto evaluates S_1..S_2T into S (length 2T+1, 1-indexed) using
+// the byte-wise tables, walking data then parity in codeword order. The
+// final R%8 parity bits are handled bit-serially; even syndromes follow
+// from S_2i = S_i² (binary BCH). Reports whether every syndrome is zero.
+func (c *Code) syndromesInto(S []uint32, data, parity []byte) bool {
+	f := c.F
+	pbFull := c.R / 8
+	rem := c.R % 8
+	for j := 0; j < c.T; j++ {
+		i := 2*j + 1
+		tbl := &c.synTbl[j]
+		stride := c.synStride[j]
+		var acc uint32
+		for _, b := range data {
+			acc = f.Mul(acc, stride) ^ tbl[b]
+		}
+		for _, b := range parity[:pbFull] {
+			acc = f.Mul(acc, stride) ^ tbl[b]
+		}
+		if rem > 0 {
+			alphaI := c.synAlpha[j]
+			last := parity[pbFull]
+			for k := 0; k < rem; k++ {
+				acc = f.Mul(acc, alphaI) ^ uint32(last>>uint(7-k))&1
+			}
+		}
+		S[i] = acc
+	}
+	// S_{2j} = S_j² for binary codes; increasing order guarantees S_{i/2}
+	// is final before S_i is derived.
+	for i := 2; i <= 2*c.T; i += 2 {
+		half := S[i/2]
+		S[i] = f.Mul(half, half)
+	}
+	for i := 1; i <= 2*c.T; i++ {
+		if S[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Syndromes computes S_1..S_2T with the table-driven fast path and reports
+// whether all are zero. The returned slice is 1-indexed (slot 0 unused).
+// data must be K/8 bytes and parity ParityBytes() bytes, as for Decode.
+func (c *Code) Syndromes(data, parity []byte) ([]uint32, bool) {
+	S := make([]uint32, 2*c.T+1)
+	zero := c.syndromesInto(S, data, parity)
+	return S, zero
+}
+
+// SyndromesBitSerial computes S_1..S_2T by the original bit-serial Horner
+// recurrence, one GF multiply per codeword bit per odd syndrome. It is kept
+// verbatim as the reference oracle for the table-driven path: the
+// differential tests, the fuzz target, and the salperf -ecc speedup
+// measurement all compare against it. Same contract as Syndromes.
+func (c *Code) SyndromesBitSerial(data, parity []byte) ([]uint32, bool) {
+	f := c.F
+	S := make([]uint32, 2*c.T+1) // 1-indexed
+	for i := 1; i <= 2*c.T; i += 2 {
+		alphaI := f.Alpha(i)
+		var acc uint32
+		for bi := 0; bi < c.N; bi++ {
+			acc = f.Mul(acc, alphaI) ^ bitAt(data, parity, bi, c.K)
+		}
+		S[i] = acc
+	}
+	for i := 2; i <= 2*c.T; i += 2 {
+		half := S[i/2]
+		S[i] = f.Mul(half, half)
+	}
+	for i := 1; i <= 2*c.T; i++ {
+		if S[i] != 0 {
+			return S, false
+		}
+	}
+	return S, true
+}

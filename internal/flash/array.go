@@ -325,10 +325,30 @@ type ReadResult struct {
 // page's effective wear. transferBytes bounds the channel-transfer cost
 // (e.g. an oPage-sized host read moves only 4KB+its spare share); the error
 // injection always covers the full raw page, since ECC decoding happens on
-// the full sector set that was fetched.
+// the full sector set that was fetched. Read allocates a fresh page buffer
+// per call; hot paths that can reuse storage call ReadInto instead.
 func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
-	if err := a.check(ppa); err != nil {
+	var dst []byte
+	if a.cfg.StoreData {
+		dst = make([]byte, a.cfg.Geometry.RawPageBytes())
+	}
+	res, err := a.ReadInto(ppa, transferBytes, dst)
+	if err != nil {
 		return nil, err
+	}
+	return &res, nil
+}
+
+// ReadInto is Read with caller-owned storage: when the array stores data,
+// the raw page bytes (with bit errors applied) are written into dst, which
+// must be at least RawPageBytes long, and ReadResult.Data aliases dst. In
+// metadata-only mode dst is unused and may be nil. The device layers above
+// pass a per-device scratch buffer here, making clean reads allocation-free
+// end to end; callers that retain the data (GC relocation) pass an owned
+// buffer instead.
+func (a *Array) ReadInto(ppa PPA, transferBytes int, dst []byte) (ReadResult, error) {
+	if err := a.check(ppa); err != nil {
+		return ReadResult{}, err
 	}
 	mu := a.channelMu(ppa.Block)
 	mu.Lock()
@@ -336,7 +356,10 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 	blk := &a.blocks[ppa.Block]
 	pg := &blk.pages[ppa.Page]
 	if pg.state != pageWritten {
-		return nil, fmt.Errorf("%w: %v", ErrNotWritten, ppa)
+		return ReadResult{}, fmt.Errorf("%w: %v", ErrNotWritten, ppa)
+	}
+	if a.cfg.StoreData && len(dst) < len(pg.data) {
+		return ReadResult{}, fmt.Errorf("%w: read buffer %d bytes, want %d", ErrWrongPageLen, len(dst), len(pg.data))
 	}
 	if transferBytes <= 0 || transferBytes > a.cfg.Geometry.RawPageBytes() {
 		transferBytes = a.cfg.Geometry.RawPageBytes()
@@ -348,13 +371,14 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 		// Transient read failure: this sensing pass returns garbage (RBER
 		// ~0.5), guaranteed uncorrectable on both the analytic and real-ECC
 		// decode paths. The page itself is fine — a retry re-senses it.
-		res := &ReadResult{
+		res := ReadResult{
 			RBER:     0.5,
 			Duration: a.cfg.Timing.ReadTime(transferBytes),
 			Injected: true,
 		}
 		if a.cfg.StoreData {
-			res.Data = append([]byte(nil), pg.data...)
+			res.Data = dst[:len(pg.data):len(pg.data)]
+			copy(res.Data, pg.data)
 			res.Flips = corruptPage(res.Data)
 			a.injectedFlips.Add(uint64(res.Flips))
 		}
@@ -371,13 +395,14 @@ func (a *Array) Read(ppa PPA, transferBytes int) (*ReadResult, error) {
 	rberEff := a.effectiveRBERLocked(ppa)
 	bits := int64(a.cfg.Geometry.RawPageBytes()) * 8
 	flips := int(rng.Binomial(bits, rberEff))
-	res := &ReadResult{
+	res := ReadResult{
 		Flips:    flips,
 		RBER:     rberEff,
 		Duration: a.cfg.Timing.ReadTime(transferBytes),
 	}
 	if a.cfg.StoreData {
-		res.Data = append([]byte(nil), pg.data...)
+		res.Data = dst[:len(pg.data):len(pg.data)]
+		copy(res.Data, pg.data)
 		if !a.cfg.PristineReads {
 			for i := 0; i < flips; i++ {
 				bit := rng.Intn(int(bits))

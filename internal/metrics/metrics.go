@@ -126,10 +126,3 @@ func RenderSeries(w io.Writer, xLabel string, series ...*Series) {
 	}
 	t.Render(w)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

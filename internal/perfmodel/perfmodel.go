@@ -224,13 +224,6 @@ func Measure(cfg Config, f float64) (*Result, error) {
 	return res, nil
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Sweep measures every fraction in fs and normalizes against the first
 // point (which should be 0 for the Fig. 3c/3d baselines).
 func Sweep(cfg Config, fs []float64) ([]*Result, error) {

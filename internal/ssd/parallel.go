@@ -130,7 +130,10 @@ func (d *Device) flushStripe() error {
 		groups[ch] = entries[ch*d.slotsPP : (ch+1)*d.slotsPP]
 		var raw []byte
 		if d.cfg.Flash.StoreData {
-			raw = d.composePage(groups[ch])
+			// Per-channel buffer: the dispatcher programs all channels
+			// concurrently, and Submit returns only after the batch
+			// completes, so buffers are free again by the next stripe.
+			raw = d.composePageInto(d.stripeBufs[ch], groups[ch])
 		}
 		ops[ch] = flash.Op{
 			Kind: flash.OpProgram,

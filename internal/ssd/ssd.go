@@ -182,10 +182,18 @@ type Device struct {
 	notify  func(blockdev.Event)
 	tele    devTele
 
+	// Data-path scratch, guarded by mu like the rest of the FTL state:
+	// readBuf receives raw pages from flash.ReadInto and pageBuf is the
+	// serial compose target (flash.Program copies, so one buffer serves
+	// every program). Both are nil in metadata-only mode.
+	readBuf []byte
+	pageBuf []byte
+
 	// Channel-parallel flush state (nil/empty unless Config.ParallelFlush).
-	disp      *flash.Dispatcher
-	parActive []int // per-channel open write block, -1 if none
-	parPg     []int // next page within each channel's open block
+	disp       *flash.Dispatcher
+	parActive  []int    // per-channel open write block, -1 if none
+	parPg      []int    // next page within each channel's open block
+	stripeBufs [][]byte // per-channel compose buffers for flushStripe
 }
 
 // New builds a baseline device on a fresh flash array, attached to the
@@ -257,12 +265,24 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 	for b := 0; b < g.TotalBlocks(); b++ {
 		d.free.Put(b, 0)
 	}
+	if cfg.Flash.StoreData {
+		d.readBuf = make([]byte, g.RawPageBytes())
+		d.pageBuf = make([]byte, g.RawPageBytes())
+	}
 	if cfg.ParallelFlush {
 		d.disp = flash.NewDispatcher(arr, 0)
 		d.parActive = make([]int, g.Channels)
 		d.parPg = make([]int, g.Channels)
 		for ch := range d.parActive {
 			d.parActive[ch] = -1
+		}
+		if cfg.Flash.StoreData {
+			// The dispatcher programs all channels of a stripe concurrently,
+			// so each channel needs its own compose buffer.
+			d.stripeBufs = make([][]byte, g.Channels)
+			for ch := range d.stripeBufs {
+				d.stripeBufs[ch] = make([]byte, g.RawPageBytes())
+			}
 		}
 	}
 	return d, nil
@@ -496,13 +516,14 @@ func (d *Device) Read(md blockdev.MinidiskID, lba int, buf []byte) error {
 		zero(buf)
 		return nil
 	}
-	out, err := d.readOPage(addr)
+	// Decode straight into the host buffer: the whole clean-read path —
+	// flash ReadInto into the device's readBuf, per-sector Check/Decode from
+	// the codec's scratch pool, corrected bytes into buf — allocates nothing.
+	filled, err := d.readOPageInto(addr, buf)
 	if err != nil {
 		return err
 	}
-	if out != nil {
-		copy(buf, out)
-	} else {
+	if !filled {
 		zero(buf)
 	}
 	return nil
@@ -514,16 +535,36 @@ func zero(b []byte) {
 	}
 }
 
-// readOPage fetches and (if RealECC) decodes one oPage from flash, counting
-// the read toward the sim clock and retrying failed reads up to
-// MaxReadRetries times (each retry re-senses the page and pays another full
-// read latency — §2's iterative voltage adjustment).
+// readOPage fetches one oPage into a freshly allocated buffer the caller
+// owns. GC relocation uses this: the moved entries retain their data until
+// the relocated page programs, so they cannot share the device scratch.
 func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
-	out, injected, err := d.readOPageOnce(addr)
+	var dst []byte
+	if d.cfg.Flash.StoreData {
+		dst = make([]byte, rber.OPageSize)
+	}
+	filled, err := d.readOPageInto(addr, dst)
+	if err != nil {
+		return nil, err
+	}
+	if !filled {
+		return nil, nil
+	}
+	return dst, nil
+}
+
+// readOPageInto fetches and (if RealECC) decodes one oPage from flash into
+// dst (len rber.OPageSize; ignored in metadata-only mode), counting the
+// read toward the sim clock and retrying failed reads up to MaxReadRetries
+// times (each retry re-senses the page and pays another full read latency —
+// §2's iterative voltage adjustment). filled reports whether dst holds the
+// oPage; it is false in metadata-only mode.
+func (d *Device) readOPageInto(addr ftl.OPageAddr, dst []byte) (bool, error) {
+	filled, injected, err := d.readOPageOnce(addr, dst)
 	sawInjected := injected
 	for attempt := 0; errors.Is(err, blockdev.ErrUncorrectable) && attempt < d.cfg.MaxReadRetries; attempt++ {
 		d.tele.readRetries.Inc()
-		out, injected, err = d.readOPageOnce(addr)
+		filled, injected, err = d.readOPageOnce(addr, dst)
 		sawInjected = sawInjected || injected
 		if err == nil {
 			d.tele.retrySaves.Inc()
@@ -532,19 +573,21 @@ func (d *Device) readOPage(addr ftl.OPageAddr) ([]byte, error) {
 			}
 		}
 	}
-	return out, err
+	return filled, err
 }
 
-// readOPageOnce performs a single read attempt. injected reports whether the
-// attempt hit an injected transient read failure.
-func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, err error) {
+// readOPageOnce performs a single read attempt: the raw page lands in the
+// device's readBuf, sectors are corrected there in place, and the corrected
+// payload is copied into dst. injected reports whether the attempt hit an
+// injected transient read failure.
+func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected bool, err error) {
 	transfer := rber.OPageSize
 	if d.codec != nil {
 		transfer += d.spb * d.codec.ParityBytes()
 	}
-	res, err := d.arr.Read(addr.PPA, transfer)
+	res, err := d.arr.ReadInto(addr.PPA, transfer, d.readBuf)
 	if err != nil {
-		return nil, false, fmt.Errorf("blockdev: %w", err)
+		return false, false, fmt.Errorf("blockdev: %w", err)
 	}
 	d.tele.flashReads.Inc()
 	d.eng.Advance(res.Duration)
@@ -555,16 +598,16 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 		for s := 0; s < d.spb; s++ {
 			if d.rng.Float64() < pFail {
 				d.tele.uncorrectable.Inc()
-				return nil, res.Injected, blockdev.ErrUncorrectable
+				return false, res.Injected, blockdev.ErrUncorrectable
 			}
 		}
 		if res.Data == nil {
-			return nil, res.Injected, nil // metadata-only mode
+			return false, res.Injected, nil // metadata-only mode
 		}
 		off := addr.Slot * rber.OPageSize
-		return res.Data[off : off+rber.OPageSize], res.Injected, nil
+		copy(dst, res.Data[off:off+rber.OPageSize])
+		return true, res.Injected, nil
 	}
-	out = make([]byte, rber.OPageSize)
 	pb := d.codec.ParityBytes()
 	for s := 0; s < d.spb; s++ {
 		sectorGlobal := addr.Slot*d.spb + s
@@ -575,7 +618,7 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 		bits, err := d.codec.Decode(sector, parity)
 		if err != nil {
 			d.tele.uncorrectable.Inc()
-			return nil, res.Injected, blockdev.ErrUncorrectable
+			return false, res.Injected, blockdev.ErrUncorrectable
 		}
 		if bits > 0 {
 			d.tele.eccCorrectedBits.Add(uint64(bits))
@@ -584,9 +627,9 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr) (out []byte, injected bool, e
 				Block: addr.PPA.Block, Page: addr.PPA.Page, N: int64(bits),
 			})
 		}
-		copy(out[s*rber.SectorSize:], sector)
+		copy(dst[s*rber.SectorSize:], sector)
 	}
-	return out, res.Injected, nil
+	return true, res.Injected, nil
 }
 
 // flushOne programs one fPage from the write buffer.
@@ -611,7 +654,7 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 		ppa := flash.PPA{Block: d.active, Page: d.nextPg}
 		var raw []byte
 		if d.cfg.Flash.StoreData {
-			raw = d.composePage(entries)
+			raw = d.composePageInto(d.pageBuf, entries)
 		}
 		dur, err := d.arr.Program(ppa, raw)
 		if err != nil {
@@ -649,25 +692,25 @@ func (d *Device) programPage(entries []ftl.BufEntry) error {
 	}
 }
 
-// composePage lays out entries' data and per-sector BCH parity into one raw
-// fPage (data area then spare area).
-func (d *Device) composePage(entries []ftl.BufEntry) []byte {
+// composePageInto lays out entries' data and per-sector BCH parity into dst
+// (data area then spare area), returning the raw page slice. dst must hold
+// RawPageBytes; serial callers pass the device's pageBuf scratch —
+// flash.Program copies, so one buffer serves every program — and the
+// parallel flush path passes per-channel stripe buffers. Parity generation
+// goes through the codec's shared EncodeSectors helper (the same loop the
+// core device's level-aware compose uses).
+func (d *Device) composePageInto(dst []byte, entries []ftl.BufEntry) []byte {
 	g := d.arr.Geometry()
-	raw := make([]byte, g.RawPageBytes())
+	raw := dst[:g.RawPageBytes()]
+	zero(raw)
 	for slot, e := range entries {
 		if e.Data != nil {
 			copy(raw[slot*rber.OPageSize:], e.Data)
 		}
 	}
 	if d.codec != nil {
-		pb := d.codec.ParityBytes()
-		for sec := 0; sec < d.slotsPP*d.spb; sec++ {
-			dataOff := sec * rber.SectorSize
-			parity, err := d.codec.Encode(raw[dataOff : dataOff+rber.SectorSize])
-			if err != nil {
-				panic(err) // sector size is fixed; cannot fail
-			}
-			copy(raw[g.PageSize+sec*pb:], parity)
+		if err := d.codec.EncodeSectors(raw, g.PageSize, rber.SectorSize); err != nil {
+			panic(err) // geometry is fixed at construction; cannot fail
 		}
 	}
 	return raw
@@ -892,7 +935,7 @@ func (d *Device) collect() error {
 		ppa := flash.PPA{Block: d.gcBlk, Page: d.gcPg}
 		var raw []byte
 		if d.cfg.Flash.StoreData {
-			raw = d.composePage(entries)
+			raw = d.composePageInto(d.pageBuf, entries)
 		}
 		dur, err := d.arr.Program(ppa, raw)
 		if err != nil {
