@@ -9,11 +9,15 @@
 # data race anywhere in the concurrent data path (channel workers, sharded
 # FTL locks, device mutexes, cluster lock, event sink) fails the gate. A
 # fixed-seed salchaos smoke run then asserts the cross-layer invariants
-# end to end, and the salperf -parallel benchmark is compared against the
-# checked-in BENCH_parallel.json: >15% write-throughput regression at any
-# channel count fails the build. The salperf -ecc benchmark guards the
-# table-driven BCH fast path the same way against BENCH_ecc.json, plus a
-# machine-independent >= 4x syndrome-speedup floor at the level-0 geometry.
+# end to end (once in-process, once with -net through the loopback serving
+# layer and its failpoints armed), and the salperf -parallel benchmark is
+# compared against the checked-in BENCH_parallel.json: >15% write-throughput
+# regression at any channel count fails the build. The salperf -ecc benchmark
+# guards the table-driven BCH fast path the same way against BENCH_ecc.json,
+# plus a machine-independent >= 4x syndrome-speedup floor at the level-0
+# geometry. Finally a loopback salsrv/salload smoke starts the server, drives
+# 8 clients x depth 8 with content verification, requires >= 10k ops/s and no
+# >15% drop vs BENCH_net.json, and asserts a clean graceful drain.
 set -eu
 
 cd "$(dirname "$0")"
@@ -40,6 +44,37 @@ go test -race ./...
 
 echo "== salchaos smoke (fixed seed) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 >/dev/null
+
+echo "== salchaos smoke with network failpoints (-net) =="
+go run ./cmd/salchaos -seed 1 -ops 2000 -net >/dev/null
+
+echo "== salsrv/salload loopback smoke + BENCH_net.json regression guard =="
+nettmp=$(mktemp -d)
+go build -o "$nettmp/salsrv" ./cmd/salsrv
+go build -o "$nettmp/salload" ./cmd/salload
+"$nettmp/salsrv" -addr 127.0.0.1:0 -addr-file "$nettmp/addr" >"$nettmp/salsrv.log" 2>&1 &
+srvpid=$!
+i=0
+while [ ! -s "$nettmp/addr" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+if [ ! -s "$nettmp/addr" ]; then
+    echo "salsrv never bound" >&2
+    cat "$nettmp/salsrv.log" >&2
+    exit 1
+fi
+"$nettmp/salload" -addr "$(cat "$nettmp/addr")" -clients 8 -depth 8 -ops 40000 \
+    -min-ops 10000 -baseline BENCH_net.json
+kill -TERM "$srvpid"
+if ! wait "$srvpid"; then
+    echo "salsrv drain failed" >&2
+    cat "$nettmp/salsrv.log" >&2
+    exit 1
+fi
+grep -q "invariants clean=true" "$nettmp/salsrv.log" || {
+    echo "salsrv invariant sweep failed" >&2
+    cat "$nettmp/salsrv.log" >&2
+    exit 1
+}
+rm -rf "$nettmp"
 
 echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
 go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	salchaos [-seed S] [-ops N] [-nodes N] [-trace FILE] [-metrics] [-metrics-out FILE]
+//	salchaos [-seed S] [-ops N] [-nodes N] [-net] [-trace FILE] [-metrics] [-metrics-out FILE]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "schedule seed (same seed => byte-identical report)")
 		ops        = flag.Int("ops", 20000, "scheduled operations")
 		nodes      = flag.Int("nodes", 6, "cluster nodes (one Salamander device each)")
+		netMode    = flag.Bool("net", false, "route put/get/delete through a loopback salnet server with network failpoints armed")
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file")
 		showMetric = flag.Bool("metrics", false, "print the per-layer telemetry tables after the run")
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot JSON to this file (implies -metrics)")
@@ -42,6 +43,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Ops = *ops
 	cfg.Nodes = *nodes
+	cfg.Net = *netMode
 	rep, err := chaos.Run(cfg, tr)
 	if err != nil {
 		log.Fatal(err)

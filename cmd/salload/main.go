@@ -1,0 +1,280 @@
+// Command salload is the concurrent load generator for salsrv: N clients ×
+// M pipelining depth, each pipeline stream driving a read/write mix from
+// internal/workload over its own keyspace, with every read verified against
+// the deterministically generated content it must hold. It reports
+// throughput and latency percentiles, optionally as a BENCH_net.json that
+// ci.sh guards against regression like BENCH_ecc.json.
+//
+// Usage:
+//
+//	salload -addr HOST:PORT [-clients N] [-depth N] [-ops N] [-objects N]
+//	        [-size N] [-read-frac F] [-zipf S] [-seed S] [-verify]
+//	        [-out FILE] [-baseline FILE] [-min-ops F]
+//
+// Keys are partitioned per pipeline stream ("c<client>-w<stream>-o<obj>"), so
+// -verify is race-free: each stream is the only writer and reader of its
+// keys, and object content is a pure function of (stream, object, version).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"salamander/internal/difs"
+	"salamander/internal/salnet"
+	"salamander/internal/stats"
+	"salamander/internal/telemetry"
+	"salamander/internal/workload"
+)
+
+// regressionTolerance matches the salperf guards: measured throughput may
+// fall at most 15% below the checked-in baseline.
+const regressionTolerance = 0.85
+
+// Report is the BENCH_net.json schema.
+type Report struct {
+	Clients    int     `json:"clients"`
+	Depth      int     `json:"depth"`
+	Ops        int64   `json:"ops"`
+	ReadFrac   float64 `json:"read_frac"`
+	ZipfSkew   float64 `json:"zipf_skew"`
+	SizeBytes  int     `json:"size_bytes"`
+	Elapsed    float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50us      float64 `json:"p50_us"`
+	P95us      float64 `json:"p95_us"`
+	P99us      float64 `json:"p99_us"`
+	Errors     int64   `json:"errors"`
+	Mismatches int64   `json:"mismatches"`
+	Retries    uint64  `json:"retries"`
+	Reconnects uint64  `json:"reconnects"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salload: ")
+	var (
+		addr     = flag.String("addr", "", "salsrv address (required)")
+		clients  = flag.Int("clients", 8, "client connections (one pooled Client each)")
+		depth    = flag.Int("depth", 8, "pipelining depth: concurrent streams per client")
+		ops      = flag.Int64("ops", 40000, "total operations across all streams")
+		objects  = flag.Int("objects", 16, "objects per stream keyspace")
+		size     = flag.Int("size", 4096, "object size in bytes")
+		readFrac = flag.Float64("read-frac", 0.5, "fraction of ops that are reads")
+		zipf     = flag.Float64("zipf", 0, "zipfian skew over each keyspace (0 = uniform)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		verify   = flag.Bool("verify", true, "verify read contents against the deterministic model")
+		outPath  = flag.String("out", "", "write the report JSON (BENCH_net.json) to this file")
+		basePath = flag.String("baseline", "", "compare ops/s against this baseline report (15% tolerance)")
+		minOps   = flag.Float64("min-ops", 0, "machine-independent ops/s floor (0 = no floor)")
+	)
+	flag.Parse()
+	if *addr == "" {
+		log.Fatal("-addr is required")
+	}
+	streams := *clients * *depth
+	if streams <= 0 {
+		log.Fatal("-clients and -depth must be positive")
+	}
+	perStream := *ops / int64(streams)
+	if perStream <= 0 {
+		log.Fatal("-ops too small for clients x depth streams")
+	}
+
+	reg := telemetry.NewRegistry()
+	lat := reg.Histogram("net.load.op_us")
+	pool := make([]*salnet.Client, *clients)
+	for c := range pool {
+		cl, err := salnet.Dial(salnet.ClientConfig{Addr: *addr, Conns: 2})
+		if err != nil {
+			log.Fatalf("dial %s: %v", *addr, err)
+		}
+		cl.Instrument(reg, nil)
+		defer cl.Close()
+		pool[c] = cl
+	}
+
+	var done, errCount, mismatches int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		for d := 0; d < *depth; d++ {
+			c, d := c, d
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := stream{
+					cl:     pool[c],
+					prefix: fmt.Sprintf("c%d-w%d", c, d),
+					id:     uint64(c**depth + d),
+					seed:   *seed,
+					size:   *size,
+					verify: *verify,
+					lat:    lat,
+					vers:   make([]int, *objects),
+					done:   &done,
+					errs:   &errCount,
+					mismat: &mismatches,
+				}
+				rng := stats.NewRNG(*seed*1_000_003 + s.id*7919)
+				var base workload.Generator
+				if *zipf > 0 {
+					base = workload.NewZipfian(rng, *objects, *zipf)
+				} else {
+					base = &workload.Uniform{Space: *objects, Rng: rng}
+				}
+				gen := &workload.Mix{Gen: base, ReadFrac: *readFrac, Rng: rng}
+				s.run(gen, perStream)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := reg.Snapshot()
+	h := snap.Histograms["net.load.op_us"]
+	rep := Report{
+		Clients: *clients, Depth: *depth, Ops: done,
+		ReadFrac: *readFrac, ZipfSkew: *zipf, SizeBytes: *size,
+		Elapsed:   elapsed.Seconds(),
+		OpsPerSec: float64(done) / elapsed.Seconds(),
+		P50us:     h.Quantile(0.50),
+		P95us:     h.Quantile(0.95),
+		P99us:     h.Quantile(0.99),
+		Errors:    errCount, Mismatches: mismatches,
+		Retries:    snap.Counters["net.client.retries"],
+		Reconnects: snap.Counters["net.client.reconnects"],
+	}
+	fmt.Printf("== salload: %d clients x depth %d, %d ops (%d B objects, %.0f%% reads, zipf %.2f) ==\n",
+		rep.Clients, rep.Depth, rep.Ops, rep.SizeBytes, rep.ReadFrac*100, rep.ZipfSkew)
+	fmt.Printf("throughput: %.0f ops/s over %.2fs\n", rep.OpsPerSec, rep.Elapsed)
+	fmt.Printf("latency:    p50 %.0fus  p95 %.0fus  p99 %.0fus\n", rep.P50us, rep.P95us, rep.P99us)
+	fmt.Printf("health:     errors=%d mismatches=%d retries=%d reconnects=%d\n",
+		rep.Errors, rep.Mismatches, rep.Retries, rep.Reconnects)
+
+	exit := 0
+	if rep.Errors > 0 || rep.Mismatches > 0 {
+		log.Printf("FAIL: %d errors, %d content mismatches", rep.Errors, rep.Mismatches)
+		exit = 1
+	}
+	if *minOps > 0 && rep.OpsPerSec < *minOps {
+		log.Printf("FAIL: %.0f ops/s below the %.0f ops/s floor", rep.OpsPerSec, *minOps)
+		exit = 1
+	}
+	if *basePath != "" {
+		if err := compareBaseline(rep, *basePath); err != nil {
+			log.Printf("FAIL: %v", err)
+			exit = 1
+		} else {
+			fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *basePath, (1-regressionTolerance)*100)
+		}
+	}
+	if *outPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *outPath)
+	}
+	os.Exit(exit)
+}
+
+// stream is one pipeline stream: the only writer and reader of its keyspace.
+type stream struct {
+	cl     *salnet.Client
+	prefix string
+	id     uint64
+	seed   uint64
+	size   int
+	verify bool
+	lat    *telemetry.Histogram
+	vers   []int // last acknowledged version per object (0 = never written)
+
+	done, errs, mismat *int64
+}
+
+// content derives an object's bytes from (stream, object, version) alone, so
+// any stream can regenerate the expected bytes for a read without shared
+// state.
+func (s *stream) content(obj, version int) []byte {
+	rng := stats.NewRNG(s.seed ^ (s.id+1)*0x9e3779b97f4a7c15 ^ uint64(obj)<<32 ^ uint64(version))
+	b := make([]byte, s.size)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+func (s *stream) run(gen workload.Generator, n int64) {
+	ctx := context.Background()
+	for i := int64(0); i < n; i++ {
+		op := gen.Next()
+		obj := op.LBA
+		key := fmt.Sprintf("%s-o%d", s.prefix, obj)
+		t0 := time.Now()
+		if op.Read {
+			data, err := s.cl.Get(ctx, key)
+			switch {
+			case errors.Is(err, difs.ErrNotFound) && s.vers[obj] == 0:
+				// Reading a never-written key misses; that's correct.
+			case err != nil:
+				atomic.AddInt64(s.errs, 1)
+			case s.verify:
+				want := s.content(obj, s.vers[obj])
+				if s.vers[obj] == 0 || !equal(data, want) {
+					atomic.AddInt64(s.mismat, 1)
+				}
+			}
+		} else {
+			v := s.vers[obj] + 1
+			if err := s.cl.Put(ctx, key, s.content(obj, v)); err != nil {
+				atomic.AddInt64(s.errs, 1)
+			} else {
+				s.vers[obj] = v
+			}
+		}
+		s.lat.Observe(float64(time.Since(t0).Microseconds()))
+		atomic.AddInt64(s.done, 1)
+	}
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareBaseline fails if throughput fell more than the tolerance below the
+// checked-in baseline's ops/s.
+func compareBaseline(rep Report, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if rep.OpsPerSec < base.OpsPerSec*regressionTolerance {
+		return fmt.Errorf("regression: %.0f ops/s vs baseline %.0f ops/s (>%.0f%% drop)",
+			rep.OpsPerSec, base.OpsPerSec, (1-regressionTolerance)*100)
+	}
+	return nil
+}

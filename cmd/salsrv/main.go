@@ -1,0 +1,175 @@
+// Command salsrv serves a difs cluster over TCP with the salamander wire
+// protocol: per-connection read loops feed a bounded worker pool, pipelined
+// requests are answered out of order by request id, and SIGINT/SIGTERM
+// triggers a graceful drain — every admitted request is answered before the
+// process exits.
+//
+// Usage:
+//
+//	salsrv [-addr HOST:PORT] [-addr-file FILE] [-devices mem|core]
+//	       [-nodes N] [-disks N] [-lbas N] [-seed S] [-workers N]
+//	       [-op-timeout D] [-metrics-out FILE] [-trace FILE]
+//
+// With -addr 127.0.0.1:0 the kernel picks a free port; -addr-file writes the
+// bound address to FILE once the listener is up, so scripts (ci.sh) can wait
+// for the file instead of racing the bind. -devices mem backs the cluster
+// with plain in-memory devices (fast, for protocol/load testing); -devices
+// core builds the full Salamander data path (flash array, tiredness-aware
+// FTL, analytic ECC) under every node, like the chaos harness does.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/core"
+	"salamander/internal/difs"
+	"salamander/internal/flash"
+	"salamander/internal/rber"
+	"salamander/internal/salnet"
+	"salamander/internal/sim"
+	"salamander/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salsrv: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:4150", "listen address (port 0 = kernel-assigned)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		devices    = flag.String("devices", "mem", "node backing: mem (in-memory) or core (full Salamander data path)")
+		nodes      = flag.Int("nodes", 6, "cluster nodes")
+		disks      = flag.Int("disks", 8, "minidisks per mem node")
+		lbas       = flag.Int("lbas", 512, "oPage slots per mem minidisk")
+		seed       = flag.Uint64("seed", 1, "cluster/device seed")
+		workers    = flag.Int("workers", 16, "request worker pool size")
+		opTimeout  = flag.Duration("op-timeout", 0, "per-operation deadline (0 = none)")
+		metricsOut = flag.String("metrics-out", "", "write the final telemetry snapshot JSON to this file on exit")
+		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file on exit")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	var tr *telemetry.Tracer
+	if *tracePath != "" {
+		tr = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+	}
+
+	ccfg := difs.DefaultConfig()
+	ccfg.ChunkOPages = 4
+	ccfg.Seed = *seed * 31
+	cluster, err := difs.NewCluster(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster.Instrument(reg, tr)
+	for i := 0; i < *nodes; i++ {
+		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inst, ok := dev.(interface {
+			Instrument(*telemetry.Registry, *telemetry.Tracer)
+		}); ok {
+			inst.Instrument(reg, tr)
+		}
+		cluster.AddNode(dev)
+	}
+
+	srv := salnet.NewServer(cluster, salnet.ServerConfig{
+		Workers:   *workers,
+		OpTimeout: *opTimeout,
+	})
+	srv.Instrument(reg, tr)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	total, free := cluster.Capacity()
+	log.Printf("serving on %s (%d %s nodes, %d/%d chunk slots free)", bound, *nodes, *devices, free, total)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	exit := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain failed: %v", err)
+		exit = 1
+	}
+	if bad := cluster.CheckInvariants(); len(bad) > 0 {
+		for _, v := range bad {
+			log.Printf("invariant violation: %s", v)
+		}
+		exit = 1
+	}
+
+	snap := reg.Snapshot()
+	log.Printf("drained: %d requests served, %d objects stored, invariants clean=%v",
+		snap.Counters["net.server.requests"], len(cluster.Objects()), exit == 0)
+	if *metricsOut != "" {
+		raw, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	os.Exit(exit)
+}
+
+// buildDevice constructs one node's backing device. The core variant mirrors
+// the chaos harness fleet: real stored bytes, analytic ECC, alternating
+// ShrinkS/RegenS deployments.
+func buildDevice(kind string, seed uint64, i, disks, lbas int) (blockdev.Device, error) {
+	switch kind {
+	case "mem":
+		return blockdev.NewMemDevice(disks, lbas), nil
+	case "core":
+		dcfg := core.DefaultConfig()
+		dcfg.Flash.Geometry = flash.Geometry{
+			Channels:      4,
+			BlocksPerChan: 16,
+			PagesPerBlock: 16,
+			PageSize:      rber.FPageSize,
+			SpareSize:     rber.SpareSize,
+		}
+		dcfg.Flash.StoreData = true
+		dcfg.RealECC = false
+		dcfg.MSizeOPages = 16
+		dcfg.MaxLevel = i % 2
+		dcfg.Flash.Seed = seed + uint64(i)*977
+		dcfg.Seed = seed*13 + uint64(i)
+		return core.New(dcfg, sim.NewEngine())
+	default:
+		return nil, fmt.Errorf("unknown -devices %q (want mem or core)", kind)
+	}
+}

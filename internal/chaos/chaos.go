@@ -14,14 +14,17 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"salamander/internal/core"
 	"salamander/internal/difs"
 	"salamander/internal/faultinject"
 	"salamander/internal/flash"
 	"salamander/internal/rber"
+	"salamander/internal/salnet"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
 	"salamander/internal/telemetry"
@@ -39,6 +42,14 @@ type Config struct {
 	// CheckEvery runs the cross-layer invariant sweep after every this many
 	// ops (and always at the end). Default 100.
 	CheckEvery int
+	// Net routes every put/get/delete through a loopback salnet server and
+	// pooled client with the network failpoints (conn drop, injected latency,
+	// truncated frame) armed, so the schedule also exercises the serving
+	// layer's retry/reconnect path. Off by default: existing seeds keep their
+	// byte-identical reports. The client runs sequentially on the schedule
+	// goroutine, so failpoint hit ordinals — and therefore the report — stay
+	// deterministic per seed.
+	Net bool
 
 	// armOverride replaces the default fault-site plans (tests only).
 	armOverride map[string]float64
@@ -63,6 +74,9 @@ type Report struct {
 	EventDrops, EventDups                      int64
 	NodeCrashes, NodeRestarts, Quarantines     int64
 	RepairRetries                              int64
+	// Network tallies (zero unless Cfg.Net).
+	NetOps, NetRetries, NetReconnects int64
+	NetInjected, NetRecovered         int64
 	// Cluster outcome.
 	RecoveryOps, LostChunks int64
 	ObjectsAtEnd            int
@@ -83,6 +97,10 @@ func (r *Report) Render(w *bytes.Buffer) {
 		r.FlashInjected, r.SSDRecovered, r.CoreRecovered, r.EventDrops, r.EventDups)
 	fmt.Fprintf(w, "nodes: crashes=%d restarts=%d quarantines=%d repair-retries=%d\n",
 		r.NodeCrashes, r.NodeRestarts, r.Quarantines, r.RepairRetries)
+	if r.Cfg.Net {
+		fmt.Fprintf(w, "net: ops=%d retries=%d reconnects=%d injected=%d recovered=%d\n",
+			r.NetOps, r.NetRetries, r.NetReconnects, r.NetInjected, r.NetRecovered)
+	}
 	fmt.Fprintf(w, "cluster: recovery-ops=%d lost-chunks=%d objects=%d\n",
 		r.RecoveryOps, r.LostChunks, r.ObjectsAtEnd)
 	if len(r.Violations) == 0 {
@@ -105,6 +123,47 @@ type runner struct {
 	model   map[string][]byte
 	rep     *Report
 	reg     *telemetry.Registry
+
+	// Net mode: put/get/delete go through the loopback serving layer.
+	srv *salnet.Server
+	cl  *salnet.Client
+}
+
+// put/get/del route one schedule op through the serving layer when Net mode
+// is on, or straight to the cluster otherwise. The network path maps status
+// responses back to difs sentinels, so callers' errors.Is checks hold on
+// either path.
+func (r *runner) put(name string, data []byte) error {
+	if r.cl == nil {
+		return r.cluster.Put(name, data)
+	}
+	r.rep.NetOps++
+	return r.cl.Put(context.Background(), name, data)
+}
+
+func (r *runner) get(name string) ([]byte, error) {
+	if r.cl == nil {
+		return r.cluster.Get(name)
+	}
+	r.rep.NetOps++
+	return r.cl.Get(context.Background(), name)
+}
+
+func (r *runner) del(name string) error {
+	if r.cl == nil {
+		return r.cluster.Delete(name)
+	}
+	r.rep.NetOps++
+	err := r.cl.Delete(context.Background(), name)
+	if err == nil {
+		// The serving layer's delete is idempotent: deleting a missing object
+		// answers OK. Preserve the direct path's contract so the schedule's
+		// tallies mean the same thing on both paths.
+		if _, ok := r.model[name]; !ok {
+			return difs.ErrNotFound
+		}
+	}
+	return err
 }
 
 // Run executes one deterministic chaos schedule. The returned Report is
@@ -214,7 +273,63 @@ func Run(cfg Config, tr *telemetry.Tracer) (*Report, error) {
 		r.devs = append(r.devs, dev)
 		cluster.AddNode(dev)
 	}
+
+	if cfg.Net {
+		// One extra fault registry for the serving layer. A single sequential
+		// client keeps every failpoint's hit ordinal — and so the report —
+		// deterministic per seed; retries after drops/truncations are part of
+		// that deterministic sequence.
+		netFR := faultinject.New(cfg.Seed*104729 + 1)
+		netFR.Instrument(reg, tr)
+		srv := salnet.NewServer(cluster, salnet.ServerConfig{
+			InjectedLatency: 100 * time.Microsecond,
+		})
+		srv.Instrument(reg, tr)
+		srv.InjectFaults(netFR)
+		for site, prob := range map[string]float64{
+			"net.conn.drop":      0.015,
+			"net.resp.slow":      0.005,
+			"net.frame.truncate": 0.01,
+		} {
+			if err := netFR.Arm(site, faultinject.Plan{Prob: prob}); err != nil {
+				return nil, err
+			}
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("chaos: net serving layer: %w", err)
+		}
+		cl, err := salnet.Dial(salnet.ClientConfig{
+			Addr:         addr.String(),
+			MaxRetries:   8,
+			RetryBackoff: 200 * time.Microsecond,
+		})
+		if err != nil {
+			srv.Shutdown(context.Background())
+			return nil, fmt.Errorf("chaos: net serving layer: %w", err)
+		}
+		cl.Instrument(reg, tr)
+		cl.InjectFaults(netFR)
+		r.srv, r.cl = srv, cl
+	}
+
 	r.run()
+
+	if r.cl != nil {
+		// A clean drain is part of the contract under test.
+		r.cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := r.srv.Shutdown(ctx); err != nil {
+			r.violate("net: shutdown drain failed: %v", err)
+		}
+		cancel()
+		r.rep.NetRetries = int64(reg.Counter("net.client.retries").Value())
+		r.rep.NetReconnects = int64(reg.Counter("net.client.reconnects").Value())
+		r.rep.NetInjected = int64(reg.Counter("net.faults_injected").Value())
+		r.rep.NetRecovered = int64(reg.Counter("net.faults_recovered").Value())
+		// Refresh the snapshot so the net.* counters land in Telemetry too.
+		r.rep.Telemetry = reg.Snapshot()
+	}
 	return r.rep, nil
 }
 
@@ -270,12 +385,12 @@ func (r *runner) run() {
 			for i := range data {
 				data[i] = byte(rng.Uint64())
 			}
-			if err := r.cluster.Put(name, data); err == nil {
+			if err := r.put(name, data); err == nil {
 				r.model[name] = data
 				r.rep.Puts++
 			}
 		case 4, 5: // delete
-			if err := r.cluster.Delete(name); err == nil {
+			if err := r.del(name); err == nil {
 				delete(r.model, name)
 				r.rep.Deletes++
 			}
@@ -285,7 +400,7 @@ func (r *runner) run() {
 				break
 			}
 			r.rep.Gets++
-			got, err := r.cluster.Get(name)
+			got, err := r.get(name)
 			if err != nil {
 				// Tolerable only while a crash hides replicas.
 				if r.anyDown() {

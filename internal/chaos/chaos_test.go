@@ -47,6 +47,54 @@ func TestChaosDeterministicAndClean(t *testing.T) {
 	}
 }
 
+// TestChaosNetDeterministicAndClean runs the schedule through the loopback
+// serving layer with the network failpoints armed: the run must stay clean
+// (every injected drop/latency/truncation absorbed by the client's retry
+// path, clean drain at the end) and stay byte-identical per seed — the
+// network layer must not smuggle wall-clock nondeterminism into the report.
+func TestChaosNetDeterministicAndClean(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.Ops = 2000
+			cfg.Net = true
+
+			render := func() *Report {
+				rep, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("seed %d: %d violations, first: %s",
+						seed, len(rep.Violations), rep.Violations[0])
+				}
+				return rep
+			}
+			first, second := render(), render()
+			if first.NetOps == 0 {
+				t.Fatal("net mode routed no ops through the serving layer")
+			}
+			if first.NetInjected == 0 {
+				t.Fatalf("no network faults injected over %d net ops", first.NetOps)
+			}
+			if first.NetRecovered == 0 || first.NetRetries == 0 {
+				t.Fatalf("client absorbed nothing: retries=%d recovered=%d (injected=%d)",
+					first.NetRetries, first.NetRecovered, first.NetInjected)
+			}
+			var b1, b2 bytes.Buffer
+			first.Render(&b1)
+			second.Render(&b2)
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Errorf("seed %d net run not reproducible:\n--- first ---\n%s--- second ---\n%s",
+					seed, b1.Bytes(), b2.Bytes())
+			}
+		})
+	}
+}
+
 // TestChaosEmitsFaultEvents: the trace stream must carry the new event kinds
 // so post-mortem tooling can reconstruct what was injected and when.
 func TestChaosEmitsFaultEvents(t *testing.T) {

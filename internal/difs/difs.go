@@ -15,6 +15,7 @@
 package difs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -765,10 +766,18 @@ func (c *Cluster) chunkBytes() int { return c.cfg.ChunkOPages * blockdev.OPageSi
 // space) is queued for repair rather than failing the Put, as long as at
 // least one copy landed.
 func (c *Cluster) Put(name string, data []byte) error {
+	return c.PutCtx(context.Background(), name, data)
+}
+
+// PutCtx is Put with cancellation: the context is checked at every chunk
+// boundary, and an aborted Put rolls back the replicas it already placed so
+// no orphan chunks survive (the serving layer's per-op deadlines rely on
+// this). The returned error wraps ctx.Err().
+func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.codec != nil {
-		return c.putEC(name, data)
+		return c.putEC(ctx, name, data)
 	}
 	if _, ok := c.objects[name]; ok {
 		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
@@ -780,6 +789,10 @@ func (c *Cluster) Put(name string, data []byte) error {
 		nChunks = 1 // empty object still gets a (zero) chunk for uniformity
 	}
 	for i := 0; i < nChunks; i++ {
+		if err := ctx.Err(); err != nil {
+			c.dropObjectChunks(obj)
+			return fmt.Errorf("difs: put %q aborted at chunk %d: %w", name, i, err)
+		}
 		ch := &chunk{obj: obj, idx: i}
 		padded := make([]byte, cb)
 		copy(padded, data[min(i*cb, len(data)):min((i+1)*cb, len(data))])
@@ -813,12 +826,19 @@ func (c *Cluster) Put(name string, data []byte) error {
 
 // Get retrieves an object, reading each chunk from any live replica.
 func (c *Cluster) Get(name string) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.get(name)
+	return c.GetCtx(context.Background(), name)
 }
 
-func (c *Cluster) get(name string) ([]byte, error) {
+// GetCtx is Get with cancellation, checked at every chunk boundary. Reads
+// are side-effect free apart from repair queueing, so an aborted Get simply
+// stops; the error wraps ctx.Err().
+func (c *Cluster) GetCtx(ctx context.Context, name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get(ctx, name)
+}
+
+func (c *Cluster) get(ctx context.Context, name string) ([]byte, error) {
 	obj, ok := c.objects[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -827,6 +847,9 @@ func (c *Cluster) get(name string) ([]byte, error) {
 	out := make([]byte, len(obj.chunks)*cb)
 	buf := make([]byte, cb)
 	for i, ch := range obj.chunks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("difs: get %q aborted at chunk %d: %w", name, i, err)
+		}
 		if err := c.readAnyReplica(ch, buf); err != nil {
 			if ch.stripe == nil {
 				return nil, fmt.Errorf("object %q chunk %d: %w", name, i, err)
@@ -909,8 +932,18 @@ func (c *Cluster) dropReplica(ch *chunk, bad replica) {
 
 // Delete removes an object and trims its replicas.
 func (c *Cluster) Delete(name string) error {
+	return c.DeleteCtx(context.Background(), name)
+}
+
+// DeleteCtx is Delete with cancellation. Deletion is metadata-cheap, so the
+// context is only consulted up front: once started, the delete completes
+// atomically rather than leaving a half-trimmed object.
+func (c *Cluster) DeleteCtx(ctx context.Context, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("difs: delete %q aborted: %w", name, err)
+	}
 	obj, ok := c.objects[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -962,12 +995,20 @@ func (c *Cluster) downReplicas(ch *chunk) int {
 // every remaining chunk still gets its turn. Returns the number of chunk
 // copies created — the §4.3 recovery traffic.
 func (c *Cluster) Repair() (copies int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.repair()
+	return c.RepairCtx(context.Background())
 }
 
-func (c *Cluster) repair() (copies int, err error) {
+// RepairCtx is Repair with cancellation, checked before each queued chunk. An
+// aborted pass puts every unprocessed chunk back on the repair queue (no work
+// is forgotten, PendingRepairs still reports it) and returns the copies made
+// so far alongside an error wrapping ctx.Err().
+func (c *Cluster) RepairCtx(ctx context.Context) (copies int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.repair(ctx)
+}
+
+func (c *Cluster) repair(ctx context.Context) (copies int, err error) {
 	queue := c.repairQ
 	c.repairQ = nil
 	c.tele.tr.Emit(telemetry.Event{
@@ -984,7 +1025,15 @@ func (c *Cluster) repair() (copies int, err error) {
 	}()
 	var repErr RepairError
 	var drainingTouched []*target
-	for _, ch := range queue {
+	for qi, ch := range queue {
+		if cerr := ctx.Err(); cerr != nil {
+			// Unprocessed chunks are still in the dedup set but the queue
+			// slice was reset at entry, so re-append them directly —
+			// enqueueRepair would skip them as already queued.
+			c.repairQ = append(c.repairQ, queue[qi:]...)
+			err = fmt.Errorf("difs: repair aborted with %d chunk(s) unprocessed: %w", len(queue)-qi, cerr)
+			break
+		}
 		delete(c.queued, ch)
 		if cur, ok := c.objects[ch.obj.name]; !ok || cur != ch.obj {
 			// Object deleted while queued (possibly re-created under the
@@ -1102,6 +1151,12 @@ func (c *Cluster) repair() (copies int, err error) {
 			delete(c.targets, t.key)
 		}
 	}
+	if err != nil {
+		// Aborted by the context; chunk losses observed before the abort are
+		// already in the lost_chunks counter and will resurface on the next
+		// full pass.
+		return copies, err
+	}
 	if len(repErr.Lost) > 0 {
 		return copies, &repErr
 	}
@@ -1126,7 +1181,7 @@ func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []s
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, name := range c.objectNames() {
-		data, err := c.get(name)
+		data, err := c.get(context.Background(), name)
 		if err != nil {
 			bad = append(bad, name)
 			continue

@@ -1,6 +1,7 @@
 package difs
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -15,8 +16,10 @@ func (c *Cluster) wantReplicas(ch *chunk) int {
 }
 
 // putEC stores an object as Reed-Solomon stripes: k chunk-sized data shards
-// plus m parity shards per stripe, each placed once on a distinct node.
-func (c *Cluster) putEC(name string, data []byte) error {
+// plus m parity shards per stripe, each placed once on a distinct node. The
+// context is checked per stripe; an aborted put rolls back every placed
+// shard, mirroring the ErrNoSpace path.
+func (c *Cluster) putEC(ctx context.Context, name string, data []byte) error {
 	if _, ok := c.objects[name]; ok {
 		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
 	}
@@ -29,6 +32,10 @@ func (c *Cluster) putEC(name string, data []byte) error {
 		nStripes = 1
 	}
 	for s := 0; s < nStripes; s++ {
+		if err := ctx.Err(); err != nil {
+			c.dropObjectChunks(obj)
+			return fmt.Errorf("difs: put %q aborted at stripe %d: %w", name, s, err)
+		}
 		shards := make([][]byte, 0, k+m)
 		for j := 0; j < k; j++ {
 			padded := make([]byte, cb)

@@ -1,6 +1,7 @@
 package difs
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -52,7 +53,7 @@ func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if workers <= 1 {
-		return c.repair()
+		return c.repair(context.Background())
 	}
 
 	queue := c.repairQ

@@ -1,0 +1,460 @@
+package salnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/difs"
+	"salamander/internal/faultinject"
+	"salamander/internal/stats"
+	"salamander/internal/telemetry"
+	"salamander/internal/wire"
+)
+
+// testCluster builds a small in-memory cluster: n nodes x disks minidisks x
+// lbas oPage slots, 4-oPage chunks so modest objects span several chunks.
+func testCluster(t *testing.T, n, disks, lbas int) (*difs.Cluster, []*blockdev.MemDevice) {
+	t.Helper()
+	cfg := difs.DefaultConfig()
+	cfg.ChunkOPages = 4
+	c, err := difs.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devs []*blockdev.MemDevice
+	for i := 0; i < n; i++ {
+		d := blockdev.NewMemDevice(disks, lbas)
+		devs = append(devs, d)
+		c.AddNode(d)
+	}
+	return c, devs
+}
+
+// startServer runs a server over loopback and registers shutdown cleanup.
+func startServer(t *testing.T, cluster *difs.Cluster, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv := NewServer(cluster, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, addr.String()
+}
+
+func dialTest(t *testing.T, cfg ClientConfig) *Client {
+	t.Helper()
+	cl, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func testBytes(rng *stats.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+func TestRoundTripAllOps(t *testing.T) {
+	cluster, devs := testCluster(t, 5, 4, 64)
+	_, addr := startServer(t, cluster, ServerConfig{})
+	cl := dialTest(t, ClientConfig{Addr: addr})
+	ctx := context.Background()
+	rng := stats.NewRNG(42)
+
+	if err := cl.Ping(ctx, []byte("hello")); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	want := testBytes(rng, 50000)
+	if err := cl.Put(ctx, "obj", want); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := cl.Get(ctx, "obj")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("get returned different bytes than put")
+	}
+
+	// Ranged read: middle slice, then an open-ended tail.
+	part, err := cl.GetRange(ctx, "obj", 1000, 2000)
+	if err != nil {
+		t.Fatalf("get range: %v", err)
+	}
+	if !bytes.Equal(part, want[1000:3000]) {
+		t.Fatal("ranged read mismatch")
+	}
+	tail, err := cl.GetRange(ctx, "obj", uint64(len(want)-100), 0)
+	if err != nil {
+		t.Fatalf("get tail: %v", err)
+	}
+	if !bytes.Equal(tail, want[len(want)-100:]) {
+		t.Fatal("tail read mismatch")
+	}
+
+	// Put is an upsert: same key again replaces the content.
+	want2 := testBytes(rng, 30000)
+	if err := cl.Put(ctx, "obj", want2); err != nil {
+		t.Fatalf("upsert: %v", err)
+	}
+	if got, err = cl.Get(ctx, "obj"); err != nil || !bytes.Equal(got, want2) {
+		t.Fatalf("get after upsert: err=%v match=%v", err, bytes.Equal(got, want2))
+	}
+
+	if err := cl.Put(ctx, "other", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := cl.List(ctx)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("list: got %v, want 2 names", names)
+	}
+
+	// Repair with a failed minidisk repairs over the wire.
+	if err := devs[0].FailMinidisk(devs[0].Minidisks()[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.PendingRepairs() == 0 {
+		t.Fatal("no repairs queued after minidisk failure")
+	}
+	copies, err := cl.Repair(ctx)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if copies == 0 {
+		t.Fatal("repair over the wire created no copies")
+	}
+
+	// Delete is idempotent: removing a live then missing object both succeed.
+	if err := cl.Delete(ctx, "obj"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := cl.Delete(ctx, "obj"); err != nil {
+		t.Fatalf("idempotent delete: %v", err)
+	}
+	if _, err := cl.Get(ctx, "obj"); !errors.Is(err, difs.ErrNotFound) {
+		t.Fatalf("get after delete: want difs.ErrNotFound, got %v", err)
+	}
+
+	if bad := cluster.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated: %v", bad)
+	}
+}
+
+// TestPipelinedConcurrentCalls drives many concurrent calls over a small
+// connection pool: every call multiplexes onto a shared connection, responses
+// come back out of order, and the demux must route each to its caller.
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 6, 256)
+	srv, addr := startServer(t, cluster, ServerConfig{Workers: 8})
+	reg := telemetry.NewRegistry()
+	srv.Instrument(reg, nil)
+	cl := dialTest(t, ClientConfig{Addr: addr, Conns: 2})
+	ctx := context.Background()
+
+	const workers, opsEach = 16, 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(1000 + w))
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("w%d-o%d", w, i%5)
+				data := testBytes(rng, 256+rng.Intn(4096))
+				if err := cl.Put(ctx, key, data); err != nil {
+					errCh <- fmt.Errorf("put %s: %w", key, err)
+					return
+				}
+				got, err := cl.Get(ctx, key)
+				if err != nil {
+					errCh <- fmt.Errorf("get %s: %w", key, err)
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errCh <- fmt.Errorf("%s: response routed to wrong caller or corrupted", key)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// 16 goroutines over 2 connections: the server must have seen every
+	// request, and the cluster must still be coherent.
+	if n := reg.Counter("net.server.requests").Value(); n < workers*opsEach*2 {
+		t.Fatalf("server saw %d requests, want >= %d", n, workers*opsEach*2)
+	}
+	if bad := cluster.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated: %v", bad)
+	}
+}
+
+// TestNetworkEquivalence is the acceptance check: the same seeded op sequence
+// applied over the wire and directly in-process must leave byte-identical
+// object contents.
+func TestNetworkEquivalence(t *testing.T) {
+	netCluster, _ := testCluster(t, 5, 6, 256)
+	dirCluster, _ := testCluster(t, 5, 6, 256)
+	_, addr := startServer(t, netCluster, ServerConfig{})
+	cl := dialTest(t, ClientConfig{Addr: addr})
+	ctx := context.Background()
+
+	// One deterministic schedule, two executions.
+	type op struct {
+		kind int // 0 put, 1 delete
+		key  string
+		data []byte
+	}
+	rng := stats.NewRNG(7)
+	var ops []op
+	for i := 0; i < 120; i++ {
+		key := fmt.Sprintf("o%d", rng.Intn(20))
+		switch rng.Intn(4) {
+		case 0:
+			ops = append(ops, op{kind: 1, key: key})
+		default:
+			ops = append(ops, op{kind: 0, key: key, data: testBytes(rng, 100+rng.Intn(20000))})
+		}
+	}
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			if err := cl.Put(ctx, o.key, o.data); err != nil {
+				t.Fatalf("net put %s: %v", o.key, err)
+			}
+			// Direct path mirrors the server's upsert semantics.
+			if err := dirCluster.Delete(o.key); err != nil && !errors.Is(err, difs.ErrNotFound) {
+				t.Fatal(err)
+			}
+			if err := dirCluster.Put(o.key, o.data); err != nil {
+				t.Fatalf("direct put %s: %v", o.key, err)
+			}
+		case 1:
+			if err := cl.Delete(ctx, o.key); err != nil {
+				t.Fatalf("net delete %s: %v", o.key, err)
+			}
+			if err := dirCluster.Delete(o.key); err != nil && !errors.Is(err, difs.ErrNotFound) {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	netNames, err := cl.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirNames := dirCluster.Objects()
+	if len(netNames) != len(dirNames) {
+		t.Fatalf("object sets differ: net=%v direct=%v", netNames, dirNames)
+	}
+	for _, name := range dirNames {
+		want, err := dirCluster.Get(name)
+		if err != nil {
+			t.Fatalf("direct get %s: %v", name, err)
+		}
+		got, err := cl.Get(ctx, name)
+		if err != nil {
+			t.Fatalf("net get %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("object %s differs between network and direct execution", name)
+		}
+	}
+}
+
+// TestFaultInjectionRecovery arms all three network failpoints and checks the
+// client's retry/reconnect path absorbs every injected fault: all ops succeed
+// and the registry's recovery accounting matches.
+func TestFaultInjectionRecovery(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 6, 256)
+	reg := telemetry.NewRegistry()
+	fr := faultinject.New(99)
+	fr.Instrument(reg, nil)
+
+	srv := NewServer(cluster, ServerConfig{InjectedLatency: time.Millisecond})
+	srv.InjectFaults(fr)
+	srv.Instrument(reg, nil)
+	for site, prob := range map[string]float64{
+		"net.conn.drop":      0.05,
+		"net.resp.slow":      0.03,
+		"net.frame.truncate": 0.05,
+	} {
+		if err := fr.Arm(site, faultinject.Plan{Prob: prob}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	cl := dialTest(t, ClientConfig{Addr: addr.String(), MaxRetries: 10, RetryBackoff: time.Millisecond})
+	cl.Instrument(reg, nil)
+	cl.InjectFaults(fr)
+	ctx := context.Background()
+	rng := stats.NewRNG(5)
+
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("o%d", i%10)
+		switch rng.Intn(3) {
+		case 0, 1:
+			if err := cl.Put(ctx, key, testBytes(rng, 100+rng.Intn(4000))); err != nil {
+				t.Fatalf("op %d put %s: %v", i, key, err)
+			}
+		case 2:
+			if _, err := cl.Get(ctx, key); err != nil && !errors.Is(err, difs.ErrNotFound) {
+				t.Fatalf("op %d get %s: %v", i, key, err)
+			}
+		}
+	}
+
+	injected := reg.Counter("net.faults_injected").Value()
+	recovered := reg.Counter("net.faults_recovered").Value()
+	retries := reg.Counter("net.client.retries").Value()
+	reconnects := reg.Counter("net.client.reconnects").Value()
+	if injected == 0 {
+		t.Fatal("no network faults injected — sites armed at these probabilities must fire over 200 ops")
+	}
+	if retries == 0 || recovered == 0 {
+		t.Fatalf("client absorbed nothing: retries=%d recovered=%d (injected=%d)", retries, recovered, injected)
+	}
+	// Drops and truncations kill the connection; the pool must have redialed.
+	if reconnects == 0 {
+		t.Fatal("no reconnects despite injected connection drops")
+	}
+	if bad := cluster.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated under network faults: %v", bad)
+	}
+}
+
+// TestGracefulDrain checks Shutdown answers every admitted request before
+// closing connections, and that post-drain traffic is cleanly refused.
+func TestGracefulDrain(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 6, 256)
+	reg := telemetry.NewRegistry()
+	fr := faultinject.New(1)
+	srv := NewServer(cluster, ServerConfig{InjectedLatency: 20 * time.Millisecond})
+	srv.Instrument(reg, nil)
+	srv.InjectFaults(fr)
+	// Every request gets injected latency, so requests are reliably in flight
+	// when Shutdown lands.
+	if err := fr.Arm("net.resp.slow", faultinject.Plan{Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dialTest(t, ClientConfig{Addr: addr.String(), MaxRetries: 0})
+	ctx := context.Background()
+
+	const inflight = 8
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	for i := 0; i < inflight; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = cl.Put(ctx, fmt.Sprintf("drain-%d", i), bytes.Repeat([]byte{byte(i)}, 1000))
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the puts reach the server
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("in-flight put %d not answered before drain: %v", i, err)
+		}
+	}
+	// Every admitted object landed and is intact.
+	for i := 0; i < inflight; i++ {
+		got, err := cluster.Get(fmt.Sprintf("drain-%d", i))
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 1000)) {
+			t.Fatalf("drained object %d missing or corrupt: %v", i, err)
+		}
+	}
+	// Post-drain traffic fails: the listener is closed and conns are gone.
+	if err := cl.Ping(ctx, []byte("late")); err == nil {
+		t.Fatal("ping succeeded after shutdown")
+	}
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if bad := cluster.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated after drain: %v", bad)
+	}
+}
+
+// TestOpTimeout checks a per-op deadline surfaces as wire.ErrTimeout on the
+// client without being retried (a deadline is not a transport failure).
+func TestOpTimeout(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 6, 256)
+	_, addr := startServer(t, cluster, ServerConfig{OpTimeout: time.Nanosecond})
+	reg := telemetry.NewRegistry()
+	cl := dialTest(t, ClientConfig{Addr: addr})
+	cl.Instrument(reg, nil)
+
+	err := cl.Put(context.Background(), "obj", make([]byte, 100000))
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("want wire.ErrTimeout, got %v", err)
+	}
+	if n := reg.Counter("net.client.retries").Value(); n != 0 {
+		t.Fatalf("status error was retried %d times", n)
+	}
+	// The aborted put must not leak slots.
+	total, free := cluster.Capacity()
+	if total != free {
+		t.Fatalf("timed-out put leaked slots: total=%d free=%d", total, free)
+	}
+}
+
+// TestClientCtxCancel checks a canceled caller context aborts the call
+// without wedging the connection for other requests.
+func TestClientCtxCancel(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 6, 256)
+	_, addr := startServer(t, cluster, ServerConfig{})
+	cl := dialTest(t, ClientConfig{Addr: addr})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cl.Put(ctx, "obj", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The connection is still usable.
+	if err := cl.Ping(context.Background(), []byte("ok")); err != nil {
+		t.Fatalf("ping after canceled call: %v", err)
+	}
+}

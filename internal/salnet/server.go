@@ -1,0 +1,516 @@
+// Package salnet is the network serving layer: a TCP server that fronts a
+// difs.Cluster with the wire protocol, and a pooled, retrying client library.
+// It is the tier that turns the in-process cluster into a service — the layer
+// where, per the paper's premise, a distributed file system absorbs device
+// failures behind a network boundary instead of surfacing them to every
+// consumer.
+//
+// Server model (one goroutine per connection plus a shared bounded worker
+// pool):
+//
+//	accept loop ─> per-conn read loop ──(bounded work queue)──> worker pool
+//	                                                               │
+//	client <────── per-conn locked writer <── encode response ─────┘
+//
+// The read loop parses frames into pooled buffers and blocks on the work
+// queue when the pool falls behind — backpressure propagates to the client
+// through TCP flow control rather than through unbounded queueing. Workers
+// execute against the cluster with a per-op deadline (difs *Ctx entry points
+// abort chunk-granular work when it expires) and write responses directly
+// under a per-connection mutex, so responses leave in completion order:
+// pipelined requests are answered out of order and matched by request id.
+//
+// Fault injection: the server declares net.conn.drop (connection severed
+// before the response), net.resp.slow (injected latency), and
+// net.frame.truncate (half a response frame, then the connection severed) on
+// the registry given to InjectFaults. All three surface to the client as
+// transport failures its retry/reconnect path must absorb — the same
+// contract as injected device faults under the FTL.
+package salnet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"salamander/internal/difs"
+	"salamander/internal/faultinject"
+	"salamander/internal/telemetry"
+	"salamander/internal/wire"
+)
+
+// ServerConfig parameterizes a Server. The zero value gets sane defaults.
+type ServerConfig struct {
+	// Workers is the request worker pool size (default 8). It bounds how many
+	// cluster operations are in flight at once; the cluster serializes on its
+	// own lock, so this mainly bounds queued work and decode/encode overlap.
+	Workers int
+	// QueueDepth is the work queue capacity (default 4*Workers). When full,
+	// connection read loops block — backpressure, not load shedding.
+	QueueDepth int
+	// OpTimeout is the per-operation deadline (0 = none). Expiry aborts the
+	// cluster work via the difs context entry points and answers
+	// StatusTimeout.
+	OpTimeout time.Duration
+	// InjectedLatency is the delay added when the net.resp.slow failpoint
+	// fires (default 2ms).
+	InjectedLatency time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.InjectedLatency <= 0 {
+		c.InjectedLatency = 2 * time.Millisecond
+	}
+	return c
+}
+
+// sTele holds the server's registry-backed telemetry handles.
+type sTele struct {
+	conns, closed   *telemetry.Counter
+	requests        *telemetry.Counter
+	badFrames       *telemetry.Counter
+	bytesIn         *telemetry.Counter
+	bytesOut        *telemetry.Counter
+	timeouts        *telemetry.Counter
+	shutdownRejects *telemetry.Counter
+	droppedConns    *telemetry.Counter
+	slowResponses   *telemetry.Counter
+	truncatedFrames *telemetry.Counter
+	opNs            *telemetry.Histogram
+	tr              *telemetry.Tracer
+}
+
+func bindSrvTele(reg *telemetry.Registry, tr *telemetry.Tracer) sTele {
+	return sTele{
+		conns:           reg.Counter("net.server.conns"),
+		closed:          reg.Counter("net.server.conns_closed"),
+		requests:        reg.Counter("net.server.requests"),
+		badFrames:       reg.Counter("net.server.bad_frames"),
+		bytesIn:         reg.Counter("net.server.bytes_in"),
+		bytesOut:        reg.Counter("net.server.bytes_out"),
+		timeouts:        reg.Counter("net.server.timeouts"),
+		shutdownRejects: reg.Counter("net.server.shutdown_rejects"),
+		droppedConns:    reg.Counter("net.server.dropped_conns"),
+		slowResponses:   reg.Counter("net.server.slow_responses"),
+		truncatedFrames: reg.Counter("net.server.truncated_frames"),
+		opNs:            reg.Histogram("net.server.op_ns"),
+		tr:              tr,
+	}
+}
+
+// Server serves a difs.Cluster over the wire protocol.
+type Server struct {
+	cluster *difs.Cluster
+	cfg     ServerConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*srvConn]struct{}
+	draining bool
+	started  bool
+
+	work     chan *request
+	inflight sync.WaitGroup // admitted requests not yet answered
+	connWg   sync.WaitGroup // read loops
+	workerWg sync.WaitGroup // worker pool
+	acceptWg sync.WaitGroup // accept loop
+
+	bufPool sync.Pool // *[]byte scratch, shared by readers and workers
+
+	tele sTele
+
+	siteDrop  *faultinject.Site
+	siteSlow  *faultinject.Site
+	siteTrunc *faultinject.Site
+}
+
+// request is one admitted frame: f aliases *bufp, which belongs to the
+// request until the worker releases it back to the pool.
+type request struct {
+	conn *srvConn
+	f    wire.Frame
+	bufp *[]byte
+}
+
+// NewServer returns a server fronting cluster. Call Start (or Serve) to
+// accept connections and Shutdown to drain.
+func NewServer(cluster *difs.Cluster, cfg ServerConfig) *Server {
+	s := &Server{
+		cluster: cluster,
+		cfg:     cfg.withDefaults(),
+		conns:   map[*srvConn]struct{}{},
+		tele:    bindSrvTele(telemetry.NewRegistry(), nil),
+	}
+	s.work = make(chan *request, s.cfg.QueueDepth)
+	s.bufPool.New = func() any { b := make([]byte, 0, 4096); return &b }
+	return s
+}
+
+// Instrument rebinds the server's counters and histograms to a shared
+// registry and attaches a tracer. Call before Start for complete counts.
+func (s *Server) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tele = bindSrvTele(reg, tr)
+}
+
+// InjectFaults declares the network failpoints on fr: net.conn.drop,
+// net.resp.slow, net.frame.truncate. Disarmed sites cost one atomic load per
+// request.
+func (s *Server) InjectFaults(fr *faultinject.Registry) {
+	s.siteDrop = fr.Site("net.conn.drop")
+	s.siteSlow = fr.Site("net.resp.slow")
+	s.siteTrunc = fr.Site("net.frame.truncate")
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the background.
+// It returns the bound address, so ":0" callers learn their port.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, wire.ErrShutdown
+	}
+	s.ln = ln
+	s.startLocked()
+	s.mu.Unlock()
+	s.acceptWg.Add(1)
+	go func() {
+		defer s.acceptWg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return wire.ErrShutdown
+	}
+	s.ln = ln
+	s.startLocked()
+	s.mu.Unlock()
+	s.acceptLoop(ln)
+	return nil
+}
+
+func (s *Server) startLocked() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWg.Add(1)
+		go func() {
+			defer s.workerWg.Done()
+			for req := range s.work {
+				s.handle(req)
+			}
+		}()
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			// Listener closed by Shutdown, or fatal accept error either way
+			// the loop is done; Shutdown owns the rest of the teardown.
+			return
+		}
+		sc := &srvConn{s: s, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10)}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.tele.conns.Inc()
+		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "accept"})
+		s.connWg.Add(1)
+		go func() {
+			defer s.connWg.Done()
+			s.readLoop(sc)
+		}()
+	}
+}
+
+// readLoop parses frames off one connection and admits them to the worker
+// pool. Any read or protocol error ends the connection: a frame stream that
+// lost sync cannot be trusted past the first bad frame.
+func (s *Server) readLoop(sc *srvConn) {
+	defer s.dropConn(sc, "close")
+	br := bufio.NewReaderSize(sc.nc, 64<<10)
+	for {
+		bufp := s.bufPool.Get().(*[]byte)
+		f, buf, err := wire.ReadFrame(br, *bufp)
+		*bufp = buf
+		if err != nil {
+			s.bufPool.Put(bufp)
+			if isProtocolErr(err) {
+				s.tele.badFrames.Inc()
+			}
+			return
+		}
+		s.tele.bytesIn.Add(uint64(wire.HeaderSize + 4 + len(f.Key) + len(f.Payload)))
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.bufPool.Put(bufp)
+			// Best-effort rejection so a pipelining client can tell a drain
+			// from a crash, then stop reading.
+			s.tele.shutdownRejects.Inc()
+			resp := wire.Frame{ID: f.ID, Op: f.Op, Status: wire.StatusShutdown}
+			out, _ := wire.AppendFrame(nil, &resp)
+			_ = sc.write(out)
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		s.tele.requests.Inc()
+		s.work <- &request{conn: sc, f: f, bufp: bufp}
+	}
+}
+
+func isProtocolErr(err error) bool {
+	return errors.Is(err, wire.ErrFrameTooBig) || errors.Is(err, wire.ErrShortFrame) ||
+		errors.Is(err, wire.ErrBadOp) || errors.Is(err, wire.ErrBadKey)
+}
+
+// handle executes one admitted request on a worker goroutine.
+func (s *Server) handle(req *request) {
+	defer s.inflight.Done()
+	start := time.Now()
+	if s.siteDrop.Fire() {
+		// Injected connection drop: the op never executes, the client sees
+		// the conn die and retries on a fresh one.
+		s.tele.droppedConns.Inc()
+		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "drop"})
+		s.releaseBuf(req)
+		req.conn.abort()
+		return
+	}
+	if s.siteSlow.Fire() {
+		s.tele.slowResponses.Inc()
+		time.Sleep(s.cfg.InjectedLatency)
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.OpTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
+	}
+	resp := s.dispatch(ctx, &req.f)
+	if cancel != nil {
+		cancel()
+	}
+	if resp.Status == wire.StatusTimeout {
+		s.tele.timeouts.Inc()
+	}
+
+	outp := s.bufPool.Get().(*[]byte)
+	out, err := wire.AppendFrame((*outp)[:0], &resp)
+	*outp = out
+	// The response may alias the request buffer (ping echo), so the request
+	// buffer is released only after encoding.
+	s.releaseBuf(req)
+	if err != nil {
+		// Response too big for the protocol (object larger than MaxFrame):
+		// replace with an error frame.
+		resp = wire.Frame{ID: req.f.ID, Op: req.f.Op, Status: wire.StatusInternal, Payload: []byte(err.Error())}
+		out, _ = wire.AppendFrame((*outp)[:0], &resp)
+		*outp = out
+	}
+	if s.siteTrunc.Fire() {
+		// Injected truncated frame: half the response, then the conn dies.
+		s.tele.truncatedFrames.Inc()
+		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "truncate"})
+		_ = req.conn.write(out[:len(out)/2])
+		req.conn.abort()
+	} else if req.conn.write(out) == nil {
+		s.tele.bytesOut.Add(uint64(len(out)))
+	}
+	s.bufPool.Put(outp)
+	s.tele.opNs.Observe(float64(time.Since(start).Nanoseconds()))
+}
+
+func (s *Server) releaseBuf(req *request) {
+	if req.bufp != nil {
+		s.bufPool.Put(req.bufp)
+		req.bufp = nil
+	}
+}
+
+// dispatch runs one decoded request against the cluster and builds the
+// response frame. Status carries the error class; the payload of an error
+// response is its message.
+func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
+	resp := wire.Frame{ID: f.ID, Op: f.Op}
+	fail := func(err error) wire.Frame {
+		resp.Status = statusOf(err)
+		resp.Payload = []byte(err.Error())
+		return resp
+	}
+	key := string(f.Key)
+	switch f.Op {
+	case wire.OpPing:
+		resp.Payload = f.Payload
+	case wire.OpPut:
+		// Upsert: replace any existing object, so a retried Put whose first
+		// attempt landed (response lost) is idempotent.
+		if err := s.cluster.DeleteCtx(ctx, key); err != nil && !errors.Is(err, difs.ErrNotFound) {
+			return fail(err)
+		}
+		if err := s.cluster.PutCtx(ctx, key, f.Payload); err != nil {
+			return fail(err)
+		}
+	case wire.OpGet:
+		data, err := s.cluster.GetCtx(ctx, key)
+		if err != nil {
+			return fail(err)
+		}
+		lo := int(f.Offset)
+		if lo > len(data) {
+			lo = len(data)
+		}
+		hi := len(data)
+		if f.Length > 0 && lo+int(f.Length) < hi {
+			hi = lo + int(f.Length)
+		}
+		resp.Payload = data[lo:hi]
+	case wire.OpDelete:
+		// Idempotent: deleting a missing object succeeds, so a retried
+		// delete whose first attempt landed reports success, not NotFound.
+		if err := s.cluster.DeleteCtx(ctx, key); err != nil && !errors.Is(err, difs.ErrNotFound) {
+			return fail(err)
+		}
+	case wire.OpList:
+		resp.Payload = []byte(strings.Join(s.cluster.Objects(), "\n"))
+	case wire.OpRepair:
+		copies, err := s.cluster.RepairCtx(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = binary.BigEndian.AppendUint64(nil, uint64(copies))
+	default:
+		return fail(fmt.Errorf("%w: opcode %v", wire.ErrBadRequest, f.Op))
+	}
+	return resp
+}
+
+// statusOf maps errors to wire statuses, folding context expiry into
+// StatusTimeout (the difs *Ctx entry points wrap ctx.Err()).
+func statusOf(err error) wire.Status {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return wire.StatusTimeout
+	}
+	return wire.StatusOf(err)
+}
+
+// dropConn removes a connection from the registry and closes it.
+func (s *Server) dropConn(sc *srvConn, detail string) {
+	s.mu.Lock()
+	_, present := s.conns[sc]
+	delete(s.conns, sc)
+	s.mu.Unlock()
+	sc.abort()
+	if present {
+		s.tele.closed.Inc()
+		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: detail})
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, reject new frames
+// with StatusShutdown, wait for every admitted request to be answered (or ctx
+// to expire), then close all connections and join every goroutine. Safe to
+// call more than once; later calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	started := s.started
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.acceptWg.Wait()
+
+	var err error
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("salnet: shutdown drain: %w", ctx.Err())
+	}
+
+	s.mu.Lock()
+	for sc := range s.conns {
+		delete(s.conns, sc)
+		sc.abort()
+		s.tele.closed.Inc()
+	}
+	s.mu.Unlock()
+	s.connWg.Wait()
+	if started {
+		close(s.work)
+		s.workerWg.Wait()
+	}
+	return err
+}
+
+// srvConn is one accepted connection. Responses are written whole under wmu,
+// so concurrent workers interleave frames, never bytes.
+type srvConn struct {
+	s    *Server
+	nc   net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	once sync.Once
+}
+
+func (sc *srvConn) write(b []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if _, err := sc.bw.Write(b); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// abort severs the connection; the read loop unblocks with an error.
+func (sc *srvConn) abort() {
+	sc.once.Do(func() { sc.nc.Close() })
+}

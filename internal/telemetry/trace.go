@@ -59,6 +59,13 @@ const (
 	// KindRepairRetry: a difs read attempt failed transiently and was
 	// retried after virtual-time backoff (layer difs).
 	KindRepairRetry EventKind = "repair_retry"
+	// KindNetConn: a serving-layer connection transition (layer net; Detail
+	// "accept", "close", "drop" for an injected drop, or "truncate" for an
+	// injected short frame).
+	KindNetConn EventKind = "net_conn"
+	// KindNetRetry: a salnet client call hit a transport failure and was
+	// retried after exponential backoff (layer net; N = attempt number).
+	KindNetRetry EventKind = "net_retry"
 )
 
 // Event is one structured trace record. T is the emitting layer's virtual

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the frame decoder. The invariants:
+// Decode never panics, never returns a frame aliasing memory outside the
+// input, and every successfully decoded frame re-encodes to the exact input
+// (the codec is a bijection on its valid domain).
+func FuzzFrameDecode(f *testing.F) {
+	// Seed corpus: every round-trip frame plus each malformed class.
+	for _, fr := range roundTripFrames() {
+		enc, err := AppendFrame(nil, &fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc[4:])
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize-1))    // short header
+	f.Add(make([]byte, HeaderSize))      // opcode 0
+	f.Add(append(make([]byte, 8), 0xff)) // bad opcode, short
+	seed := make([]byte, HeaderSize+4)
+	seed[8] = byte(OpGet)
+	seed[10], seed[11] = 0xff, 0xff // key length far past frame end
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Variable sections must alias the input, not fresh memory.
+		if len(fr.Key) > 0 && &fr.Key[0] != &data[HeaderSize] {
+			t.Fatal("decoded key does not alias the input buffer")
+		}
+		reenc, err := AppendFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc[4:], data) {
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", data, reenc[4:])
+		}
+	})
+}
