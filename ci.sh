@@ -9,15 +9,20 @@
 # data race anywhere in the concurrent data path (channel workers, sharded
 # FTL locks, device mutexes, cluster lock, event sink) fails the gate. A
 # fixed-seed salchaos smoke run then asserts the cross-layer invariants
-# end to end (once in-process, once with -net through the loopback serving
-# layer and its failpoints armed), and the salperf -parallel benchmark is
-# compared against the checked-in BENCH_parallel.json: >15% write-throughput
-# regression at any channel count fails the build. The salperf -ecc benchmark
-# guards the table-driven BCH fast path the same way against BENCH_ecc.json,
-# plus a machine-independent >= 4x syndrome-speedup floor at the level-0
-# geometry. Finally a loopback salsrv/salload smoke starts the server, drives
-# 8 clients x depth 8 with content verification, requires >= 10k ops/s and no
-# >15% drop vs BENCH_net.json, and asserts a clean graceful drain.
+# end to end, and the salperf -parallel benchmark is compared against the
+# checked-in BENCH_parallel.json: >15% write-throughput regression at any
+# channel count fails the build. The salperf -ecc benchmark guards the
+# table-driven BCH fast path the same way against BENCH_ecc.json, plus a
+# machine-independent >= 4x syndrome-speedup floor at the level-0 geometry.
+# Both salperf guards run BEFORE the network smokes (the wall-clock-sensitive
+# ECC guard first): the loopback load run is CPU-heavy, and benchmarking in
+# its wake would force the checked-in floors down to under-load minima,
+# weakening the regression guard. The -net chaos
+# smoke then replays the fixed seed through the loopback serving layer with
+# its failpoints armed, and a loopback salsrv/salload smoke starts the
+# server, drives 8 clients x depth 8 with content verification, requires
+# >= 10k ops/s and no >15% drop vs BENCH_net.json, and asserts a clean
+# graceful drain.
 set -eu
 
 cd "$(dirname "$0")"
@@ -44,6 +49,12 @@ go test -race ./...
 
 echo "== salchaos smoke (fixed seed) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 >/dev/null
+
+echo "== salperf -ecc regression guard (baseline BENCH_ecc.json) =="
+go run ./cmd/salperf -ecc -ecc-baseline BENCH_ecc.json
+
+echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
+go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
 
 echo "== salchaos smoke with network failpoints (-net) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 -net >/dev/null
@@ -75,11 +86,5 @@ grep -q "invariants clean=true" "$nettmp/salsrv.log" || {
     exit 1
 }
 rm -rf "$nettmp"
-
-echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
-go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
-
-echo "== salperf -ecc regression guard (baseline BENCH_ecc.json) =="
-go run ./cmd/salperf -ecc -ecc-baseline BENCH_ecc.json
 
 echo "CI PASSED"

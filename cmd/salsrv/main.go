@@ -52,6 +52,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "cluster/device seed")
 		workers    = flag.Int("workers", 16, "request worker pool size")
 		opTimeout  = flag.Duration("op-timeout", 0, "per-operation deadline (0 = none)")
+		wrTimeout  = flag.Duration("write-timeout", 0, "response write deadline; stalled readers are dropped (0 = 10s default, negative = none)")
 		metricsOut = flag.String("metrics-out", "", "write the final telemetry snapshot JSON to this file on exit")
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file on exit")
 	)
@@ -85,8 +86,9 @@ func main() {
 	}
 
 	srv := salnet.NewServer(cluster, salnet.ServerConfig{
-		Workers:   *workers,
-		OpTimeout: *opTimeout,
+		Workers:      *workers,
+		OpTimeout:    *opTimeout,
+		WriteTimeout: *wrTimeout,
 	})
 	srv.Instrument(reg, tr)
 	bound, err := srv.Start(*addr)

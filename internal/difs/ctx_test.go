@@ -91,6 +91,76 @@ func TestPutCtxAbortECRollsBack(t *testing.T) {
 	}
 }
 
+func TestReplaceAtomicSwap(t *testing.T) {
+	c, _ := memCluster(t, DefaultConfig(), 4, 4, 64)
+	rng := stats.NewRNG(21)
+	old := objData(rng, 100000)
+	if err := c.Put("obj", old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace also creates: a fresh name works without a prior Put.
+	fresh := objData(rng, 5000)
+	if err := c.Replace("new", fresh); err != nil {
+		t.Fatalf("replace of a fresh name: %v", err)
+	}
+	if got, err := c.Get("new"); err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("fresh replace content: %v", err)
+	}
+
+	// A successful replace swaps the content and frees the old slots.
+	next := objData(rng, 60000)
+	if err := c.Replace("obj", next); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if got, err := c.Get("obj"); err != nil || !bytes.Equal(got, next) {
+		t.Fatalf("content after replace: %v", err)
+	}
+
+	// A replace aborted mid-placement keeps the previous object intact and
+	// leaks nothing.
+	_, freeBefore := c.Capacity()
+	err := c.ReplaceCtx(&stepCtx{limit: 1}, "obj", objData(rng, 150000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got, gerr := c.Get("obj"); gerr != nil || !bytes.Equal(got, next) {
+		t.Fatalf("aborted replace destroyed the previous object: %v", gerr)
+	}
+	if _, free := c.Capacity(); free != freeBefore {
+		t.Fatalf("aborted replace leaked slots: free %d -> %d", freeBefore, free)
+	}
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated after aborted replace: %v", bad)
+	}
+}
+
+func TestReplaceNoSpaceKeepsOldObjectEC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 1
+	cfg.ECDataShards = 4
+	cfg.ECParityShards = 2
+	cfg.ChunkOPages = 4
+	// 6 nodes x 1 minidisk x 8 oPages = 2 slots per node, 12 total. One
+	// 1-stripe object takes 6 slots; a 2-stripe replacement needs 12 more.
+	c, _ := memCluster(t, cfg, 6, 1, 8)
+	rng := stats.NewRNG(22)
+	old := objData(rng, 2*blockdev.OPageSize)
+	if err := c.Put("obj", old); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Replace("obj", objData(rng, 5*4*blockdev.OPageSize))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if got, gerr := c.Get("obj"); gerr != nil || !bytes.Equal(got, old) {
+		t.Fatalf("failed EC replace destroyed the previous object: %v", gerr)
+	}
+	if bad := c.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated after failed EC replace: %v", bad)
+	}
+}
+
 func TestGetCtxCanceled(t *testing.T) {
 	c, _ := memCluster(t, DefaultConfig(), 4, 4, 64)
 	data := objData(stats.NewRNG(5), 200000)

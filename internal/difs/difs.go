@@ -776,11 +776,60 @@ func (c *Cluster) Put(name string, data []byte) error {
 func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.codec != nil {
-		return c.putEC(ctx, name, data)
-	}
 	if _, ok := c.objects[name]; ok {
 		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
+	}
+	obj, err := c.placeObject(ctx, name, data)
+	if err != nil {
+		return err
+	}
+	c.commitObject(obj)
+	return nil
+}
+
+// Replace atomically stores data under name, replacing any existing object.
+func (c *Cluster) Replace(name string, data []byte) error {
+	return c.ReplaceCtx(context.Background(), name, data)
+}
+
+// ReplaceCtx is an atomic upsert: the new object's chunks are fully placed
+// first, and only then is the old object (if any) dropped and the name swapped
+// to the new content — one step under the cluster lock. A failed replace (no
+// space, expired context) rolls back the new chunks and leaves the previous
+// object intact, and concurrent readers never observe the name missing or
+// half-written. The price of atomicity is transient double occupancy: while
+// the new copy is being placed the old one still holds its slots, so a
+// replace can report ErrNoSpace where delete-then-put would have fit. The
+// serving layer's OpPut maps here so a retried put converges without
+// destroying data when the second attempt fails.
+func (c *Cluster) ReplaceCtx(ctx context.Context, name string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	obj, err := c.placeObject(ctx, name, data)
+	if err != nil {
+		return err
+	}
+	if old, ok := c.objects[name]; ok {
+		c.dropObjectChunks(old)
+	}
+	c.commitObject(obj)
+	return nil
+}
+
+// commitObject installs a fully placed object into the namespace. Callers
+// hold the cluster lock.
+func (c *Cluster) commitObject(obj *object) {
+	c.objects[obj.name] = obj
+	c.tele.objectSize.Observe(float64(obj.size))
+}
+
+// placeObject places every chunk of a new object without installing it into
+// the namespace — Put and Replace differ only in how they commit the result.
+// On any failure the already-placed replicas are rolled back and the cluster
+// is exactly as before. Callers hold the cluster lock.
+func (c *Cluster) placeObject(ctx context.Context, name string, data []byte) (*object, error) {
+	if c.codec != nil {
+		return c.placeEC(ctx, name, data)
 	}
 	obj := &object{name: name, size: len(data)}
 	cb := c.chunkBytes()
@@ -791,7 +840,7 @@ func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 	for i := 0; i < nChunks; i++ {
 		if err := ctx.Err(); err != nil {
 			c.dropObjectChunks(obj)
-			return fmt.Errorf("difs: put %q aborted at chunk %d: %w", name, i, err)
+			return nil, fmt.Errorf("difs: put %q aborted at chunk %d: %w", name, i, err)
 		}
 		ch := &chunk{obj: obj, idx: i}
 		padded := make([]byte, cb)
@@ -811,7 +860,10 @@ func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 			}
 		}
 		if placed == 0 {
-			return fmt.Errorf("%w: object %q chunk %d", ErrNoSpace, name, i)
+			// Roll back the chunks already placed so a failed put (or the put
+			// half of a replace) leaves no orphan replicas behind.
+			c.dropObjectChunks(obj)
+			return nil, fmt.Errorf("%w: object %q chunk %d", ErrNoSpace, name, i)
 		}
 		if placed < c.cfg.ReplicationFactor {
 			c.enqueueRepair(ch)
@@ -819,9 +871,7 @@ func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 		obj.chunks = append(obj.chunks, ch)
 		c.tele.putBytes.Add(uint64(len(padded)) * uint64(placed))
 	}
-	c.objects[name] = obj
-	c.tele.objectSize.Observe(float64(len(data)))
-	return nil
+	return obj, nil
 }
 
 // Get retrieves an object, reading each chunk from any live replica.

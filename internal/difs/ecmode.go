@@ -15,14 +15,12 @@ func (c *Cluster) wantReplicas(ch *chunk) int {
 	return c.cfg.ReplicationFactor
 }
 
-// putEC stores an object as Reed-Solomon stripes: k chunk-sized data shards
+// placeEC places an object as Reed-Solomon stripes: k chunk-sized data shards
 // plus m parity shards per stripe, each placed once on a distinct node. The
 // context is checked per stripe; an aborted put rolls back every placed
-// shard, mirroring the ErrNoSpace path.
-func (c *Cluster) putEC(ctx context.Context, name string, data []byte) error {
-	if _, ok := c.objects[name]; ok {
-		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
-	}
+// shard, mirroring the ErrNoSpace path. Like placeObject's replicated path it
+// does not install the object — the caller commits it.
+func (c *Cluster) placeEC(ctx context.Context, name string, data []byte) (*object, error) {
 	k, m := c.codec.K, c.codec.M
 	cb := c.chunkBytes()
 	stripeBytes := k * cb
@@ -34,7 +32,7 @@ func (c *Cluster) putEC(ctx context.Context, name string, data []byte) error {
 	for s := 0; s < nStripes; s++ {
 		if err := ctx.Err(); err != nil {
 			c.dropObjectChunks(obj)
-			return fmt.Errorf("difs: put %q aborted at stripe %d: %w", name, s, err)
+			return nil, fmt.Errorf("difs: put %q aborted at stripe %d: %w", name, s, err)
 		}
 		shards := make([][]byte, 0, k+m)
 		for j := 0; j < k; j++ {
@@ -47,7 +45,8 @@ func (c *Cluster) putEC(ctx context.Context, name string, data []byte) error {
 		}
 		parity, err := c.codec.EncodeParity(shards)
 		if err != nil {
-			return err
+			c.dropObjectChunks(obj)
+			return nil, err
 		}
 		shards = append(shards, parity...)
 
@@ -72,7 +71,7 @@ func (c *Cluster) putEC(ctx context.Context, name string, data []byte) error {
 				// Put leaves no orphans.
 				c.dropObjectChunks(obj)
 				c.dropStripeChunks(st)
-				return fmt.Errorf("%w: object %q stripe %d shard %d (EC needs %d nodes with space)",
+				return nil, fmt.Errorf("%w: object %q stripe %d shard %d (EC needs %d nodes with space)",
 					ErrNoSpace, name, s, i, k+m)
 			}
 			c.tele.putBytes.Add(uint64(cb))
@@ -80,9 +79,7 @@ func (c *Cluster) putEC(ctx context.Context, name string, data []byte) error {
 		obj.chunks = append(obj.chunks, st.chunks[:k]...)
 		obj.stripes = append(obj.stripes, st)
 	}
-	c.objects[name] = obj
-	c.tele.objectSize.Observe(float64(len(data)))
-	return nil
+	return obj, nil
 }
 
 func (c *Cluster) dropStripeChunks(st *stripe) {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -160,6 +161,142 @@ func TestRoundTripAllOps(t *testing.T) {
 	}
 }
 
+// TestGetRangeHostileOffsets sends ranged reads with offsets and lengths a
+// hostile or buggy client could craft. Offsets at or above 2^63 used to turn
+// negative when converted to int, panicking the worker with a negative slice
+// index and killing the whole server; every range must instead clamp to the
+// object's bounds.
+func TestGetRangeHostileOffsets(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 4, 64)
+	_, addr := startServer(t, cluster, ServerConfig{})
+	cl := dialTest(t, ClientConfig{Addr: addr})
+	ctx := context.Background()
+
+	want := testBytes(stats.NewRNG(3), 10000)
+	if err := cl.Put(ctx, "obj", want); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		off  uint64
+		n    uint32
+		want []byte
+	}{
+		{1 << 63, 0, nil},               // sign-bit offset: clamp to empty
+		{^uint64(0), ^uint32(0), nil},   // max offset and length
+		{uint64(len(want)), 10, nil},    // exactly at the end
+		{uint64(len(want)) + 1, 0, nil}, // just past the end
+		{9990, ^uint32(0), want[9990:]}, // huge length clamps to the tail
+		{0, ^uint32(0), want},           // huge length from the start
+		{5000, 100, want[5000:5100]},    // ordinary range still works
+	}
+	for _, tc := range cases {
+		got, err := cl.GetRange(ctx, "obj", tc.off, tc.n)
+		if err != nil {
+			t.Fatalf("GetRange(off=%d, n=%d): %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Fatalf("GetRange(off=%d, n=%d): got %d bytes, want %d", tc.off, tc.n, len(got), len(tc.want))
+		}
+	}
+	// The server survived every hostile range: a fresh op still works.
+	if err := cl.Ping(ctx, []byte("alive")); err != nil {
+		t.Fatalf("server dead after hostile ranges: %v", err)
+	}
+}
+
+// TestFailedOverwriteKeepsOldObject checks the upsert's atomicity: when the
+// replacement cannot be placed (no space), the previous object must survive
+// intact — the non-atomic delete-then-put it replaced destroyed the old data
+// on exactly this path.
+func TestFailedOverwriteKeepsOldObject(t *testing.T) {
+	// 3 nodes x 1 minidisk x 8 oPages at 4-oPage chunks = 2 slots per node.
+	// A 1-chunk object at factor 3 takes one slot on every node; a 2-chunk
+	// replacement needs 6 free slots but only 3 remain.
+	cluster, _ := testCluster(t, 3, 1, 8)
+	_, addr := startServer(t, cluster, ServerConfig{})
+	cl := dialTest(t, ClientConfig{Addr: addr})
+	ctx := context.Background()
+
+	want := testBytes(stats.NewRNG(9), 10000) // one 16KB chunk
+	if err := cl.Put(ctx, "obj", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(ctx, "obj", testBytes(stats.NewRNG(10), 20000)); !errors.Is(err, difs.ErrNoSpace) {
+		t.Fatalf("oversized overwrite: want difs.ErrNoSpace, got %v", err)
+	}
+	got, err := cl.Get(ctx, "obj")
+	if err != nil {
+		t.Fatalf("get after failed overwrite: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failed overwrite destroyed the previous object")
+	}
+	if bad := cluster.CheckInvariants(); len(bad) > 0 {
+		t.Fatalf("invariants violated: %v", bad)
+	}
+}
+
+// TestStalledReaderDropped checks the response write deadline: a client that
+// sends requests but never reads responses must be disconnected once TCP
+// backpressure stalls a write, instead of pinning workers of the shared pool
+// forever and wedging both other connections and Shutdown's drain.
+func TestStalledReaderDropped(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 4, 64)
+	reg := telemetry.NewRegistry()
+	srv, addr := startServer(t, cluster, ServerConfig{Workers: 4, WriteTimeout: 100 * time.Millisecond})
+	srv.Instrument(reg, nil)
+	cl := dialTest(t, ClientConfig{Addr: addr})
+	ctx := context.Background()
+
+	big := testBytes(stats.NewRNG(11), 256<<10)
+	if err := cl.Put(ctx, "big", big); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw connection with a tiny receive buffer that never reads: pipelined
+	// gets of the 256KB object overwhelm the socket buffers, so the server's
+	// response writes block on backpressure until the deadline fires.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if tc, ok := raw.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10)
+	}
+	var reqs []byte
+	for i := 0; i < 64; i++ {
+		f := wire.Frame{ID: uint64(i), Op: wire.OpGet, Key: []byte("big")}
+		reqs, err = wire.AppendFrame(reqs, &f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := raw.Write(reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counter("net.server.write_timeouts").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled connection never hit the write deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The pool is free again: a well-behaved client still gets served.
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if got, err := cl.Get(wctx, "big"); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("healthy client starved after a stalled peer: %v", err)
+	}
+	// And the drain is not wedged behind the dead connection.
+	sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown wedged by stalled connection: %v", err)
+	}
+}
+
 // TestPipelinedConcurrentCalls drives many concurrent calls over a small
 // connection pool: every call multiplexes onto a shared connection, responses
 // come back out of order, and the demux must route each to its caller.
@@ -248,12 +385,9 @@ func TestNetworkEquivalence(t *testing.T) {
 			if err := cl.Put(ctx, o.key, o.data); err != nil {
 				t.Fatalf("net put %s: %v", o.key, err)
 			}
-			// Direct path mirrors the server's upsert semantics.
-			if err := dirCluster.Delete(o.key); err != nil && !errors.Is(err, difs.ErrNotFound) {
-				t.Fatal(err)
-			}
-			if err := dirCluster.Put(o.key, o.data); err != nil {
-				t.Fatalf("direct put %s: %v", o.key, err)
+			// Direct path mirrors the server's atomic upsert semantics.
+			if err := dirCluster.Replace(o.key, o.data); err != nil {
+				t.Fatalf("direct replace %s: %v", o.key, err)
 			}
 		case 1:
 			if err := cl.Delete(ctx, o.key); err != nil {

@@ -19,6 +19,9 @@
 // abort chunk-granular work when it expires) and write responses directly
 // under a per-connection mutex, so responses leave in completion order:
 // pipelined requests are answered out of order and matched by request id.
+// Each response write carries a deadline (ServerConfig.WriteTimeout): a peer
+// that stops reading is disconnected rather than allowed to pin a worker of
+// the shared pool through TCP backpressure.
 //
 // Fault injection: the server declares net.conn.drop (connection severed
 // before the response), net.resp.slow (injected latency), and
@@ -35,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -61,6 +65,12 @@ type ServerConfig struct {
 	// InjectedLatency is the delay added when the net.resp.slow failpoint
 	// fires (default 2ms).
 	InjectedLatency time.Duration
+	// WriteTimeout bounds each response write (default 10s, negative =
+	// none). A client that stops reading otherwise blocks a worker forever
+	// on TCP backpressure — with the shared bounded pool, a few stalled
+	// connections would starve every other connection and wedge Shutdown's
+	// drain. On expiry the connection is severed and the response dropped.
+	WriteTimeout time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -73,6 +83,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.InjectedLatency <= 0 {
 		c.InjectedLatency = 2 * time.Millisecond
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
 	return c
 }
 
@@ -84,6 +97,7 @@ type sTele struct {
 	bytesIn         *telemetry.Counter
 	bytesOut        *telemetry.Counter
 	timeouts        *telemetry.Counter
+	writeTimeouts   *telemetry.Counter
 	shutdownRejects *telemetry.Counter
 	droppedConns    *telemetry.Counter
 	slowResponses   *telemetry.Counter
@@ -101,6 +115,7 @@ func bindSrvTele(reg *telemetry.Registry, tr *telemetry.Tracer) sTele {
 		bytesIn:         reg.Counter("net.server.bytes_in"),
 		bytesOut:        reg.Counter("net.server.bytes_out"),
 		timeouts:        reg.Counter("net.server.timeouts"),
+		writeTimeouts:   reg.Counter("net.server.write_timeouts"),
 		shutdownRejects: reg.Counter("net.server.shutdown_rejects"),
 		droppedConns:    reg.Counter("net.server.dropped_conns"),
 		slowResponses:   reg.Counter("net.server.slow_responses"),
@@ -241,7 +256,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			// the loop is done; Shutdown owns the rest of the teardown.
 			return
 		}
-		sc := &srvConn{s: s, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10)}
+		sc := &srvConn{s: s, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), wt: s.cfg.WriteTimeout}
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -381,12 +396,11 @@ func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
 	case wire.OpPing:
 		resp.Payload = f.Payload
 	case wire.OpPut:
-		// Upsert: replace any existing object, so a retried Put whose first
-		// attempt landed (response lost) is idempotent.
-		if err := s.cluster.DeleteCtx(ctx, key); err != nil && !errors.Is(err, difs.ErrNotFound) {
-			return fail(err)
-		}
-		if err := s.cluster.PutCtx(ctx, key, f.Payload); err != nil {
+		// Upsert: atomically replace any existing object, so a retried Put
+		// whose first attempt landed (response lost) is idempotent, a failed
+		// overwrite keeps the previous content, and no concurrent Get observes
+		// the key missing mid-replace.
+		if err := s.cluster.ReplaceCtx(ctx, key, f.Payload); err != nil {
 			return fail(err)
 		}
 	case wire.OpGet:
@@ -394,12 +408,14 @@ func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
 		if err != nil {
 			return fail(err)
 		}
-		lo := int(f.Offset)
-		if lo > len(data) {
-			lo = len(data)
+		// Clamp the client-controlled range in uint64 space: converting first
+		// would turn offsets >= 2^63 into negative slice indexes.
+		lo := len(data)
+		if f.Offset < uint64(len(data)) {
+			lo = int(f.Offset)
 		}
 		hi := len(data)
-		if f.Length > 0 && lo+int(f.Length) < hi {
+		if f.Length > 0 && uint64(hi-lo) > uint64(f.Length) {
 			hi = lo + int(f.Length)
 		}
 		resp.Payload = data[lo:hi]
@@ -498,16 +514,32 @@ type srvConn struct {
 	nc   net.Conn
 	wmu  sync.Mutex
 	bw   *bufio.Writer
+	wt   time.Duration
 	once sync.Once
 }
 
+// write sends one whole response frame under a write deadline. A peer that
+// stops reading must not pin a worker on TCP backpressure, so on any write
+// failure — deadline expiry included — the connection is severed: a frame
+// stream that may have been partially flushed cannot be trusted anyway.
 func (sc *srvConn) write(b []byte) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
-	if _, err := sc.bw.Write(b); err != nil {
-		return err
+	if sc.wt > 0 {
+		_ = sc.nc.SetWriteDeadline(time.Now().Add(sc.wt))
 	}
-	return sc.bw.Flush()
+	_, err := sc.bw.Write(b)
+	if err == nil {
+		err = sc.bw.Flush()
+	}
+	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			sc.s.tele.writeTimeouts.Inc()
+			sc.s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "write_timeout"})
+		}
+		sc.abort()
+	}
+	return err
 }
 
 // abort severs the connection; the read loop unblocks with an error.
