@@ -22,7 +22,11 @@
 # its failpoints armed, and a loopback salsrv/salload smoke starts the
 # server, drives 8 clients x depth 8 with content verification, requires
 # >= 10k ops/s and no >15% drop vs BENCH_net.json, and asserts a clean
-# graceful drain.
+# graceful drain. The same run exercises the live ops surface: /healthz
+# must answer ok, /metrics must expose a parseable sal_net_server_requests
+# counting the load, /wear must return the fleet report, and /readyz must
+# flip to 503 after SIGTERM while the -drain-linger window keeps the
+# server answering.
 set -eu
 
 cd "$(dirname "$0")"
@@ -59,22 +63,66 @@ go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
 echo "== salchaos smoke with network failpoints (-net) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 -net >/dev/null
 
-echo "== salsrv/salload loopback smoke + BENCH_net.json regression guard =="
+echo "== salsrv/salload loopback smoke + BENCH_net.json regression guard + ops surface =="
 nettmp=$(mktemp -d)
 go build -o "$nettmp/salsrv" ./cmd/salsrv
 go build -o "$nettmp/salload" ./cmd/salload
-"$nettmp/salsrv" -addr 127.0.0.1:0 -addr-file "$nettmp/addr" >"$nettmp/salsrv.log" 2>&1 &
+# -drain-linger keeps the server in the not-ready-but-still-serving state
+# for a beat after SIGTERM, so the /readyz 503 assert below cannot race the
+# drain completing first.
+"$nettmp/salsrv" -addr 127.0.0.1:0 -addr-file "$nettmp/addr" \
+    -ops-addr 127.0.0.1:0 -ops-addr-file "$nettmp/opsaddr" \
+    -drain-linger 2s >"$nettmp/salsrv.log" 2>&1 &
 srvpid=$!
 i=0
-while [ ! -s "$nettmp/addr" ] && [ $i -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
-if [ ! -s "$nettmp/addr" ]; then
+while { [ ! -s "$nettmp/addr" ] || [ ! -s "$nettmp/opsaddr" ]; } && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -s "$nettmp/addr" ] || [ ! -s "$nettmp/opsaddr" ]; then
     echo "salsrv never bound" >&2
     cat "$nettmp/salsrv.log" >&2
     exit 1
 fi
+ops="http://$(cat "$nettmp/opsaddr")"
+[ "$(curl -s "$ops/healthz")" = "ok" ] || {
+    echo "ops /healthz not ok" >&2
+    exit 1
+}
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$ops/readyz")" = "200" ] || {
+    echo "ops /readyz not ready before drain" >&2
+    exit 1
+}
 "$nettmp/salload" -addr "$(cat "$nettmp/addr")" -clients 8 -depth 8 -ops 40000 \
     -min-ops 10000 -baseline BENCH_net.json
+# The exposition must be valid Prometheus text and the request counter must
+# have counted the load we just drove.
+curl -s "$ops/metrics" >"$nettmp/metrics.prom"
+reqs=$(awk '$1 == "sal_net_server_requests" { print $2 }' "$nettmp/metrics.prom")
+case "$reqs" in
+'' | *[!0-9]*)
+    echo "ops /metrics: sal_net_server_requests missing or non-numeric: '$reqs'" >&2
+    head -20 "$nettmp/metrics.prom" >&2
+    exit 1
+    ;;
+esac
+if [ "$reqs" -lt 40000 ]; then
+    echo "ops /metrics: sal_net_server_requests=$reqs after a 40k-op load" >&2
+    exit 1
+fi
+curl -s "$ops/wear" | grep -q '"repair_backlog"' || {
+    echo "ops /wear missing report fields" >&2
+    exit 1
+}
 kill -TERM "$srvpid"
+# /readyz must flip to 503 after SIGTERM and before the drain completes;
+# the 2s linger window guarantees the server is still up to answer.
+sleep 0.3
+code=$(curl -s -o /dev/null -w '%{http_code}' "$ops/readyz")
+if [ "$code" != "503" ]; then
+    echo "ops /readyz served $code after SIGTERM (want 503)" >&2
+    exit 1
+fi
 if ! wait "$srvpid"; then
     echo "salsrv drain failed" >&2
     cat "$nettmp/salsrv.log" >&2

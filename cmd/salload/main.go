@@ -9,7 +9,7 @@
 //
 //	salload -addr HOST:PORT [-clients N] [-depth N] [-ops N] [-objects N]
 //	        [-size N] [-read-frac F] [-zipf S] [-seed S] [-verify]
-//	        [-out FILE] [-baseline FILE] [-min-ops F]
+//	        [-out FILE] [-baseline FILE] [-min-ops F] [-max-p99 D]
 //
 // Keys are partitioned per pipeline stream ("c<client>-w<stream>-o<obj>"), so
 // -verify is race-free: each stream is the only writer and reader of its
@@ -39,7 +39,11 @@ import (
 // fall at most 15% below the checked-in baseline.
 const regressionTolerance = 0.85
 
-// Report is the BENCH_net.json schema.
+// Report is the BENCH_net.json schema. The p50/p95/p99 trio appears three
+// times: over all ops, and split by read and write, because the two paths
+// have different tails (writes pay erasure encoding and placement, reads pay
+// reconstruction only when degraded) and a combined quantile hides whichever
+// side the mix underweights.
 type Report struct {
 	Clients    int     `json:"clients"`
 	Depth      int     `json:"depth"`
@@ -52,6 +56,16 @@ type Report struct {
 	P50us      float64 `json:"p50_us"`
 	P95us      float64 `json:"p95_us"`
 	P99us      float64 `json:"p99_us"`
+	Reads      int64   `json:"reads"`
+	ReadP50us  float64 `json:"read_p50_us"`
+	ReadP95us  float64 `json:"read_p95_us"`
+	ReadP99us  float64 `json:"read_p99_us"`
+	ReadErrors int64   `json:"read_errors"`
+	Writes     int64   `json:"writes"`
+	WriteP50us float64 `json:"write_p50_us"`
+	WriteP95us float64 `json:"write_p95_us"`
+	WriteP99us float64 `json:"write_p99_us"`
+	WriteErrs  int64   `json:"write_errors"`
 	Errors     int64   `json:"errors"`
 	Mismatches int64   `json:"mismatches"`
 	Retries    uint64  `json:"retries"`
@@ -75,6 +89,7 @@ func main() {
 		outPath  = flag.String("out", "", "write the report JSON (BENCH_net.json) to this file")
 		basePath = flag.String("baseline", "", "compare ops/s against this baseline report (15% tolerance)")
 		minOps   = flag.Float64("min-ops", 0, "machine-independent ops/s floor (0 = no floor)")
+		maxP99   = flag.Duration("max-p99", 0, "fail if overall p99 latency exceeds this (0 = no ceiling)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -91,6 +106,8 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	lat := reg.Histogram("net.load.op_us")
+	latR := reg.Histogram("net.load.read_us")
+	latW := reg.Histogram("net.load.write_us")
 	pool := make([]*salnet.Client, *clients)
 	for c := range pool {
 		cl, err := salnet.Dial(salnet.ClientConfig{Addr: *addr, Conns: 2})
@@ -103,6 +120,7 @@ func main() {
 	}
 
 	var done, errCount, mismatches int64
+	var readErrs, writeErrs int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
@@ -119,9 +137,13 @@ func main() {
 					size:   *size,
 					verify: *verify,
 					lat:    lat,
+					latR:   latR,
+					latW:   latW,
 					vers:   make([]int, *objects),
 					done:   &done,
 					errs:   &errCount,
+					errsR:  &readErrs,
+					errsW:  &writeErrs,
 					mismat: &mismatches,
 				}
 				rng := stats.NewRNG(*seed*1_000_003 + s.id*7919)
@@ -141,6 +163,8 @@ func main() {
 
 	snap := reg.Snapshot()
 	h := snap.Histograms["net.load.op_us"]
+	hr := snap.Histograms["net.load.read_us"]
+	hw := snap.Histograms["net.load.write_us"]
 	rep := Report{
 		Clients: *clients, Depth: *depth, Ops: done,
 		ReadFrac: *readFrac, ZipfSkew: *zipf, SizeBytes: *size,
@@ -149,6 +173,12 @@ func main() {
 		P50us:     h.Quantile(0.50),
 		P95us:     h.Quantile(0.95),
 		P99us:     h.Quantile(0.99),
+		Reads:     int64(hr.Count),
+		ReadP50us: hr.Quantile(0.50), ReadP95us: hr.Quantile(0.95), ReadP99us: hr.Quantile(0.99),
+		ReadErrors: readErrs,
+		Writes:     int64(hw.Count),
+		WriteP50us: hw.Quantile(0.50), WriteP95us: hw.Quantile(0.95), WriteP99us: hw.Quantile(0.99),
+		WriteErrs: writeErrs,
 		Errors:    errCount, Mismatches: mismatches,
 		Retries:    snap.Counters["net.client.retries"],
 		Reconnects: snap.Counters["net.client.reconnects"],
@@ -157,6 +187,10 @@ func main() {
 		rep.Clients, rep.Depth, rep.Ops, rep.SizeBytes, rep.ReadFrac*100, rep.ZipfSkew)
 	fmt.Printf("throughput: %.0f ops/s over %.2fs\n", rep.OpsPerSec, rep.Elapsed)
 	fmt.Printf("latency:    p50 %.0fus  p95 %.0fus  p99 %.0fus\n", rep.P50us, rep.P95us, rep.P99us)
+	fmt.Printf("reads:      %d ops  p50 %.0fus  p95 %.0fus  p99 %.0fus  errors=%d\n",
+		rep.Reads, rep.ReadP50us, rep.ReadP95us, rep.ReadP99us, rep.ReadErrors)
+	fmt.Printf("writes:     %d ops  p50 %.0fus  p95 %.0fus  p99 %.0fus  errors=%d\n",
+		rep.Writes, rep.WriteP50us, rep.WriteP95us, rep.WriteP99us, rep.WriteErrs)
 	fmt.Printf("health:     errors=%d mismatches=%d retries=%d reconnects=%d\n",
 		rep.Errors, rep.Mismatches, rep.Retries, rep.Reconnects)
 
@@ -167,6 +201,10 @@ func main() {
 	}
 	if *minOps > 0 && rep.OpsPerSec < *minOps {
 		log.Printf("FAIL: %.0f ops/s below the %.0f ops/s floor", rep.OpsPerSec, *minOps)
+		exit = 1
+	}
+	if *maxP99 > 0 && rep.P99us > float64(maxP99.Microseconds()) {
+		log.Printf("FAIL: p99 %.0fus above the %v ceiling", rep.P99us, *maxP99)
 		exit = 1
 	}
 	if *basePath != "" {
@@ -199,9 +237,11 @@ type stream struct {
 	size   int
 	verify bool
 	lat    *telemetry.Histogram
+	latR   *telemetry.Histogram
+	latW   *telemetry.Histogram
 	vers   []int // last acknowledged version per object (0 = never written)
 
-	done, errs, mismat *int64
+	done, errs, errsR, errsW, mismat *int64
 }
 
 // content derives an object's bytes from (stream, object, version) alone, so
@@ -230,19 +270,23 @@ func (s *stream) run(gen workload.Generator, n int64) {
 				// Reading a never-written key misses; that's correct.
 			case err != nil:
 				atomic.AddInt64(s.errs, 1)
+				atomic.AddInt64(s.errsR, 1)
 			case s.verify:
 				want := s.content(obj, s.vers[obj])
 				if s.vers[obj] == 0 || !equal(data, want) {
 					atomic.AddInt64(s.mismat, 1)
 				}
 			}
+			s.latR.Observe(float64(time.Since(t0).Microseconds()))
 		} else {
 			v := s.vers[obj] + 1
 			if err := s.cl.Put(ctx, key, s.content(obj, v)); err != nil {
 				atomic.AddInt64(s.errs, 1)
+				atomic.AddInt64(s.errsW, 1)
 			} else {
 				s.vers[obj] = v
 			}
+			s.latW.Observe(float64(time.Since(t0).Microseconds()))
 		}
 		s.lat.Observe(float64(time.Since(t0).Microseconds()))
 		atomic.AddInt64(s.done, 1)

@@ -5,9 +5,16 @@
 // kind-by-layer summary. With -diff, a second snapshot is subtracted first
 // so the tables show activity between two points in time.
 //
+// With -live it becomes the fleet dashboard: it polls a salsrv ops surface
+// (salsrv -ops-addr) every -interval, computes the interval delta between
+// consecutive snapshots, and prints one row per interval — ops/s, per-op
+// latency quantiles, ECC corrections/s, and the wear report's retired-block
+// and repair-backlog state.
+//
 // Usage:
 //
 //	salmon [-snapshot metrics.json [-diff earlier.json]] [-trace out.jsonl] [-events N]
+//	salmon -live http://HOST:PORT [-interval D] [-count N]
 package main
 
 import (
@@ -15,8 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
+	"salamander/internal/obs"
 	"salamander/internal/telemetry"
 )
 
@@ -28,11 +39,21 @@ func main() {
 		diffPath = flag.String("diff", "", "earlier snapshot to subtract (counter/histogram deltas)")
 		tracern  = flag.String("trace", "", "JSONL event trace (written by -trace)")
 		events   = flag.Int("events", 0, "also print the last N raw events from the trace")
+		liveURL  = flag.String("live", "", "poll this ops surface (salsrv -ops-addr) and render a live dashboard")
+		interval = flag.Duration("interval", 2*time.Second, "polling interval for -live")
+		count    = flag.Int("count", 0, "render this many -live rows then exit (0 = until interrupted)")
 	)
 	flag.Parse()
-	if *snapPath == "" && *tracern == "" {
+	if *snapPath == "" && *tracern == "" && *liveURL == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *liveURL != "" {
+		if err := runLive(*liveURL, *interval, *count); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *snapPath != "" {
@@ -80,6 +101,94 @@ func main() {
 			}
 		}
 	}
+}
+
+// runLive polls the ops surface and prints one dashboard row per interval.
+// The first poll only establishes the baseline; every later row shows the
+// delta since the previous poll, so rates and quantiles describe that
+// interval alone rather than the process lifetime.
+func runLive(url string, interval time.Duration, count int) error {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimRight(url, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	prev, err := fetchSnapshot(client, url)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== live fleet: %s (every %v", url, interval)
+	if count > 0 {
+		fmt.Printf(", %d rows", count)
+	}
+	fmt.Printf(") ==\n")
+	fmt.Printf("%-8s %9s %9s %9s %9s %8s %6s %8s %8s %6s\n",
+		"time", "ops/s", "p50us", "p95us", "p99us", "corr/s", "slow", "retired", "backlog", "down")
+
+	for rows := 0; count == 0 || rows < count; rows++ {
+		time.Sleep(interval)
+		cur, err := fetchSnapshot(client, url)
+		if err != nil {
+			return err
+		}
+		d := cur.Delta(prev)
+		prev = cur
+
+		h := d.Histograms["net.server.op_ns"]
+		row := fmt.Sprintf("%-8s %9.0f %9.0f %9.0f %9.0f %8.1f %6d",
+			time.Now().Format("15:04:05"),
+			d.Rate("net.server.requests"),
+			h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3,
+			d.Rate("core.ecc_corrections")+d.Rate("ssd.ecc_corrections"),
+			d.Counters["net.server.slow_ops"])
+		if wear, err := fetchWear(client, url); err == nil {
+			down := fmt.Sprintf("%d", wear.Totals.NodesDown)
+			if wear.Totals.NodesQuarantined > 0 {
+				down += fmt.Sprintf("+%dq", wear.Totals.NodesQuarantined)
+			}
+			row += fmt.Sprintf(" %8d %8d %6s", wear.Totals.RetiredBlocks, wear.RepairBacklog, down)
+		} else {
+			row += fmt.Sprintf(" %8s %8s %6s", "-", "-", "-")
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+// fetchSnapshot polls /metrics?format=json: the registry Snapshot wire
+// format, so client-side Delta and Quantile work on the server's exact log2
+// bucket boundaries.
+func fetchSnapshot(client *http.Client, base string) (telemetry.Snapshot, error) {
+	var s telemetry.Snapshot
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("GET /metrics: %w", err)
+	}
+	return s, nil
+}
+
+func fetchWear(client *http.Client, base string) (obs.WearReport, error) {
+	var w obs.WearReport
+	resp, err := client.Get(base + "/wear")
+	if err != nil {
+		return w, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return w, fmt.Errorf("GET /wear: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		return w, fmt.Errorf("GET /wear: %w", err)
+	}
+	return w, nil
 }
 
 func readSnapshot(path string) (telemetry.Snapshot, error) {

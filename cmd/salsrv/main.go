@@ -9,6 +9,8 @@
 //	salsrv [-addr HOST:PORT] [-addr-file FILE] [-devices mem|core]
 //	       [-nodes N] [-disks N] [-lbas N] [-seed S] [-workers N]
 //	       [-op-timeout D] [-metrics-out FILE] [-trace FILE]
+//	       [-ops-addr HOST:PORT] [-ops-addr-file FILE] [-ops-pprof]
+//	       [-slow-op D] [-drain-linger D]
 //
 // With -addr 127.0.0.1:0 the kernel picks a free port; -addr-file writes the
 // bound address to FILE once the listener is up, so scripts (ci.sh) can wait
@@ -16,6 +18,14 @@
 // with plain in-memory devices (fast, for protocol/load testing); -devices
 // core builds the full Salamander data path (flash array, tiredness-aware
 // FTL, analytic ECC) under every node, like the chaos harness does.
+//
+// -ops-addr mounts the live ops surface (internal/obs) on a second listener:
+// /metrics, /healthz, /readyz, /wear, and with -ops-pprof the Go profiler.
+// /readyz flips to 503 the instant a shutdown signal arrives — before the
+// data-plane drain begins — and -drain-linger holds the process in that
+// not-ready-but-still-serving state for a grace period so load balancers
+// observe the flip before connections start closing (the usual preStop
+// pattern).
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -33,6 +44,7 @@ import (
 	"salamander/internal/core"
 	"salamander/internal/difs"
 	"salamander/internal/flash"
+	"salamander/internal/obs"
 	"salamander/internal/rber"
 	"salamander/internal/salnet"
 	"salamander/internal/sim"
@@ -55,6 +67,12 @@ func main() {
 		wrTimeout  = flag.Duration("write-timeout", 0, "response write deadline; stalled readers are dropped (0 = 10s default, negative = none)")
 		metricsOut = flag.String("metrics-out", "", "write the final telemetry snapshot JSON to this file on exit")
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file on exit")
+
+		opsAddr     = flag.String("ops-addr", "", "ops HTTP listen address for /metrics, /healthz, /readyz, /wear (empty = disabled)")
+		opsAddrFile = flag.String("ops-addr-file", "", "write the bound ops address to this file once listening")
+		opsPprof    = flag.Bool("ops-pprof", false, "also mount /debug/pprof/* on the ops listener")
+		slowOp      = flag.Duration("slow-op", 0, "log server ops slower than this into the event trace (0 = disabled)")
+		drainLinger = flag.Duration("drain-linger", 0, "after a shutdown signal, keep serving for this long with /readyz at 503 before draining")
 	)
 	flag.Parse()
 
@@ -72,6 +90,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cluster.Instrument(reg, tr)
+	var devRefs []obs.DeviceRef
 	for i := 0; i < *nodes; i++ {
 		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas)
 		if err != nil {
@@ -83,12 +102,14 @@ func main() {
 			inst.Instrument(reg, tr)
 		}
 		cluster.AddNode(dev)
+		devRefs = append(devRefs, obs.DeviceRef{Node: i, Device: 0, Dev: dev})
 	}
 
 	srv := salnet.NewServer(cluster, salnet.ServerConfig{
-		Workers:      *workers,
-		OpTimeout:    *opTimeout,
-		WriteTimeout: *wrTimeout,
+		Workers:         *workers,
+		OpTimeout:       *opTimeout,
+		WriteTimeout:    *wrTimeout,
+		SlowOpThreshold: *slowOp,
 	})
 	srv.Instrument(reg, tr)
 	bound, err := srv.Start(*addr)
@@ -100,12 +121,41 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// stopping flips the instant a shutdown signal arrives, before the
+	// data-plane drain begins, so /readyz goes 503 while the server is still
+	// accepting traffic (the -drain-linger window).
+	var stopping atomic.Bool
+	if *opsAddr != "" {
+		ops, err := obs.Start(*opsAddr, obs.Config{
+			Registry: reg,
+			Ready:    func() bool { return !stopping.Load() && !srv.Draining() },
+			Devices:  devRefs,
+			Cluster:  cluster,
+			Pprof:    *opsPprof,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		log.Printf("ops surface on http://%s (/metrics /healthz /readyz /wear)", ops.Addr())
+		if *opsAddrFile != "" {
+			if err := os.WriteFile(*opsAddrFile, []byte(ops.Addr().String()+"\n"), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	total, free := cluster.Capacity()
 	log.Printf("serving on %s (%d %s nodes, %d/%d chunk slots free)", bound, *nodes, *devices, free, total)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	stopping.Store(true)
+	if *drainLinger > 0 {
+		log.Printf("not ready; lingering %v before drain...", *drainLinger)
+		time.Sleep(*drainLinger)
+	}
 	log.Printf("draining...")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -101,6 +101,52 @@ type Drainer interface {
 	Release(md MinidiskID) error
 }
 
+// WearInfo is a device's media-wear self-report for the fleet ops surface:
+// the per-device slice of the cross-layer /wear report (internal/obs). All
+// fields are cumulative-or-current at call time; slices are indexed by
+// tiredness level where the device tracks levels (the baseline SSD reports a
+// single level 0 entry).
+type WearInfo struct {
+	// Kind labels the device implementation ("core", "ssd", "mem").
+	Kind string `json:"kind"`
+	// MeanPEC / MaxPEC are program/erase-cycle wear across flash blocks.
+	MeanPEC float64 `json:"mean_pec"`
+	MaxPEC  uint32  `json:"max_pec"`
+	// RBEREstimate is the modeled raw bit error rate at the mean PEC — the
+	// device's "tiredness" signal in the paper's terms.
+	RBEREstimate float64 `json:"rber_estimate"`
+	// Corrections counts ECC correction events (sectors that decoded only
+	// with error correction); CorrectionsByLevel splits them by the tiredness
+	// level of the page read. CorrectedBits is the total bits repaired.
+	Corrections        uint64   `json:"corrections"`
+	CorrectionsByLevel []uint64 `json:"corrections_by_level,omitempty"`
+	CorrectedBits      uint64   `json:"corrected_bits"`
+	// DeadBlocks are flash blocks worn past endurance; DeadPages are fPages
+	// past the maximum usable tiredness level (Salamander device only).
+	DeadBlocks int `json:"dead_blocks"`
+	DeadPages  int `json:"dead_pages,omitempty"`
+	// SuspectBlocks took a program failure and are sealed pending GC;
+	// RetiredBlocks are out of service (bad-block remapped, or parked barren).
+	SuspectBlocks int `json:"suspect_blocks"`
+	RetiredBlocks int `json:"retired_blocks"`
+	// LimboPages is the per-tiredness-level limbo population (Salamander
+	// device only): capacity between serving lives.
+	LimboPages []int `json:"limbo_pages,omitempty"`
+	// Minidisk lifecycle state and remaining serving capacity.
+	LiveMinidisks     int     `json:"live_minidisks"`
+	DrainingMinidisks int     `json:"draining_minidisks"`
+	CapacityFrac      float64 `json:"capacity_frac"`
+	// Retired reports the device is out of service entirely (bricked).
+	Retired bool `json:"retired"`
+}
+
+// WearReporter is implemented by devices that can self-report wear. The ops
+// surface type-asserts for it; devices without one (the RAM-backed test
+// device) are reported with zeroed wear.
+type WearReporter interface {
+	Wear() WearInfo
+}
+
 // Device is the host-visible SSD interface.
 type Device interface {
 	// Minidisks lists the currently live minidisks.

@@ -36,6 +36,26 @@ func NewMemDevice(n, lbas int) *MemDevice {
 	return d
 }
 
+// Wear implements WearReporter. RAM has no media wear, so everything but the
+// minidisk lifecycle counts reports zero — which keeps a mem-backed fleet's
+// /wear report structurally identical to a flash-backed one.
+func (d *MemDevice) Wear() WearInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := WearInfo{Kind: "mem", Retired: d.brick}
+	for _, disk := range d.disks {
+		if disk.draining {
+			w.DrainingMinidisks++
+		} else {
+			w.LiveMinidisks++
+		}
+	}
+	if !d.brick {
+		w.CapacityFrac = 1
+	}
+	return w
+}
+
 // AddMinidisk creates a new minidisk (simulating RegenS regeneration when
 // tiredness > 0) and emits EventRegenerate. It returns the new ID.
 func (d *MemDevice) AddMinidisk(lbas, tiredness int) MinidiskID {

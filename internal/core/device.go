@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ecc"
@@ -179,6 +180,7 @@ type devTele struct {
 	drains, releases         *telemetry.Counter
 	readRetries, retrySaves  *telemetry.Counter
 	wearLevelMoves           *telemetry.Counter
+	eccCorrections           *telemetry.Counter
 	eccCorrectedBits         *telemetry.Counter
 	readLatency              *telemetry.Histogram
 	writeLatency             *telemetry.Histogram
@@ -202,6 +204,7 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
 		readRetries:      reg.Counter("core.read_retries"),
 		retrySaves:       reg.Counter("core.retry_saves"),
 		wearLevelMoves:   reg.Counter("core.wear_level_moves"),
+		eccCorrections:   reg.Counter("core.ecc_corrections"),
 		eccCorrectedBits: reg.Counter("core.ecc_corrected_bits"),
 		readLatency:      reg.Histogram("core.host_read_latency_ns"),
 		writeLatency:     reg.Histogram("core.host_write_latency_ns"),
@@ -260,6 +263,13 @@ type Device struct {
 	fiEvDup  *faultinject.Site // "core.event.duplicate"
 
 	tele devTele
+
+	// Device-local wear tallies for the /wear ops report. Registry counters
+	// are shared across a fleet after Instrument, so per-device correction
+	// counts must live on the device itself; atomics keep them readable
+	// without the device lock.
+	wearCorr [rber.MaxUsableLevel + 1]atomic.Uint64
+	wearBits atomic.Uint64
 
 	// Data-path scratch, guarded by mu like the rest of the FTL state:
 	// readBuf receives raw pages from flash.ReadInto and pageBuf is the
@@ -436,6 +446,7 @@ func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(d.tele.readRetries, old.readRetries)
 	carry(d.tele.retrySaves, old.retrySaves)
 	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
+	carry(d.tele.eccCorrections, old.eccCorrections)
 	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
 	d.updateGauges()
 	d.arr.Instrument(reg, tr)
@@ -550,6 +561,40 @@ func (d *Device) Health() Health {
 	total := d.arr.Geometry().TotalPages() * rber.OPagesPerFPage
 	h.CapacityFrac = float64(d.servingSlots) / float64(total)
 	return h
+}
+
+// Wear implements blockdev.WearReporter: the Salamander device's media-wear
+// self-report for the fleet ops surface. Correction tallies come from the
+// device-local atomics (registry counters are fleet-shared once the device
+// is instrumented); everything else is derived from Health and flash stats.
+func (d *Device) Wear() blockdev.WearInfo {
+	h := d.Health()
+	st := d.arr.Stats()
+	w := blockdev.WearInfo{
+		Kind:              "core",
+		MeanPEC:           st.MeanPEC,
+		MaxPEC:            st.MaxPEC,
+		RBEREstimate:      d.model.RBER(st.MeanPEC),
+		CorrectedBits:     d.wearBits.Load(),
+		DeadBlocks:        st.DeadBlocks,
+		DeadPages:         h.DeadPages,
+		LimboPages:        append([]int(nil), h.Limbo[:]...),
+		LiveMinidisks:     h.LiveMinidisks,
+		DrainingMinidisks: h.DrainingMinidisks,
+		CapacityFrac:      h.CapacityFrac,
+		Retired:           h.Retired,
+	}
+	w.CorrectionsByLevel = make([]uint64, len(d.wearCorr))
+	for i := range d.wearCorr {
+		w.CorrectionsByLevel[i] = d.wearCorr[i].Load()
+		w.Corrections += w.CorrectionsByLevel[i]
+	}
+	d.mu.Lock()
+	// Barren blocks are this device's retired-block analogue: erased blocks
+	// with zero serving capacity, parked out of the free pool.
+	w.RetiredBlocks = len(d.barren)
+	d.mu.Unlock()
+	return w
 }
 
 // Notify implements blockdev.Device.
@@ -808,7 +853,10 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected
 			return false, res.Injected, blockdev.ErrUncorrectable
 		}
 		if bits > 0 {
+			d.tele.eccCorrections.Inc()
 			d.tele.eccCorrectedBits.Add(uint64(bits))
+			d.wearCorr[level].Add(1)
+			d.wearBits.Add(uint64(bits))
 			d.tele.tr.Emit(telemetry.Event{
 				T: d.eng.Now(), Kind: telemetry.KindEccCorrection, Layer: "core",
 				Block: addr.PPA.Block, Page: addr.PPA.Page, Level: level, N: int64(bits),

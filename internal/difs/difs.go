@@ -581,6 +581,56 @@ func (c *Cluster) PendingRepairs() int {
 	return len(c.repairQ)
 }
 
+// NodeInfo is one node's liveness summary for the ops surface: target
+// lifecycle counts plus the crash/flap state the quarantine policy acts on.
+type NodeInfo struct {
+	ID      NodeID `json:"id"`
+	Devices int    `json:"devices"`
+	// Target counts by lifecycle state. Down overlaps the others: a down
+	// target keeps its live/draining state and regains it on restart.
+	LiveTargets     int `json:"live_targets"`
+	DrainingTargets int `json:"draining_targets"`
+	DeadTargets     int `json:"dead_targets"`
+	DownTargets     int `json:"down_targets"`
+	// Down reports the node is crashed (it has down targets).
+	Down bool `json:"down"`
+	// Flaps is the node's crash/restart cycle count; Quarantined reports it
+	// exceeded Config.FlapLimit and its targets were dropped for good.
+	Flaps       int  `json:"flaps"`
+	Quarantined bool `json:"quarantined"`
+}
+
+// NodeInfos returns a per-node liveness summary in node-ID order.
+func (c *Cluster) NodeInfos() []NodeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeInfo, len(c.nodes))
+	for i, n := range c.nodes {
+		ni := NodeInfo{
+			ID:          n.id,
+			Devices:     len(n.devices),
+			Flaps:       c.flaps[n.id],
+			Quarantined: c.cfg.FlapLimit > 0 && c.flaps[n.id] > c.cfg.FlapLimit,
+		}
+		for _, t := range c.targetsOfNode(n.id) {
+			switch t.state {
+			case tLive:
+				ni.LiveTargets++
+			case tDraining:
+				ni.DrainingTargets++
+			case tDead:
+				ni.DeadTargets++
+			}
+			if t.down {
+				ni.DownTargets++
+			}
+		}
+		ni.Down = ni.DownTargets > 0
+		out[i] = ni
+	}
+	return out
+}
+
 // Capacity returns total and free cluster capacity in chunk slots.
 func (c *Cluster) Capacity() (total, free int) {
 	c.mu.Lock()

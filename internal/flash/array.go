@@ -143,7 +143,7 @@ type arrayTele struct {
 // Instrument attaches the array to a shared telemetry registry and tracer
 // (either may be nil). Counters aggregate across every array bound to the
 // same registry, which is the fleet-level view the CLIs want. Programs emit
-// KindPageProgram events; reads feed the flash.rber histogram that PS-WL
+// KindPageProgram events; reads feed the flash.rber_frac histogram that PS-WL
 // style wear analyses need. Call before issuing operations.
 func (a *Array) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	if reg == nil && tr == nil {
@@ -159,7 +159,7 @@ func (a *Array) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 		erases:      reg.Counter("flash.erase_ops"),
 		flips:       reg.Counter("flash.injected_bit_flips"),
 		eraseFails:  reg.Counter("flash.erase_failures"),
-		rberHist:    reg.Histogram("flash.rber"),
+		rberHist:    reg.Histogram("flash.rber_frac"),
 		progLatency: reg.Histogram("flash.program_latency_ns"),
 		readLatency: reg.Histogram("flash.read_latency_ns"),
 		tr:          tr,

@@ -1,0 +1,169 @@
+// Package obs is the live ops surface: an HTTP server any daemon can mount
+// next to its data-plane listener, exposing the telemetry registry as
+// Prometheus text (/metrics), liveness and drain-aware readiness probes
+// (/healthz, /readyz), a cross-layer wear-health report (/wear), and —
+// behind a flag — the Go profiler (/debug/pprof/*).
+//
+// The paper's operating premise is that software fault tolerance lets a
+// fleet keep running "tired" flash as raw bit error rates climb; an operator
+// can only make that call if the degradation is visible while it happens.
+// This package is the seam between the in-process telemetry (counters,
+// gauges, log2 histograms, wear self-reports) and whatever watches the fleet
+// (Prometheus, cmd/salmon -live, ci.sh's smoke curls).
+//
+// Everything here is read-only and off the data path: handlers snapshot the
+// registry or poll device wear reports on request, so mounting the surface
+// adds no per-op cost to the serving layer.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/difs"
+	"salamander/internal/telemetry"
+)
+
+// DeviceRef names one device in the fleet for the /wear report.
+type DeviceRef struct {
+	// Node is the difs node the device backs (difs.NodeID order), -1 if the
+	// device is not attached to a cluster.
+	Node int
+	// Device is the device's index within its node.
+	Device int
+	Dev    blockdev.Device
+}
+
+// Config wires an ops surface to the daemon it observes. Every field is
+// optional: a zero Config serves empty metrics, an always-ready /readyz, and
+// an empty /wear report.
+type Config struct {
+	// Registry is the telemetry registry /metrics renders. Nil serves only
+	// the process self-metrics.
+	Registry *telemetry.Registry
+	// Ready reports whether the daemon should receive traffic; /readyz
+	// serves 503 when it returns false. Wire it to salnet's drain signal
+	// (func() bool { return !srv.Draining() }) so readiness flips the moment
+	// a SIGTERM drain begins. Nil means always ready.
+	Ready func() bool
+	// Devices are the fleet's devices for the /wear report.
+	Devices []DeviceRef
+	// Cluster contributes node up/down/quarantine state and the repair
+	// backlog to /wear.
+	Cluster *difs.Cluster
+	// Pprof mounts /debug/pprof/*. Off by default: the profiler is a debug
+	// door, not something to leave open on every fleet daemon.
+	Pprof bool
+}
+
+// NewHandler builds the ops surface. The handler is safe for concurrent use
+// and holds no state beyond its start time (for the uptime self-metric).
+func NewHandler(cfg Config) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Ready != nil && !cfg.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap telemetry.Snapshot
+		if cfg.Registry != nil {
+			snap = cfg.Registry.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			// The JSON form is the Snapshot wire format cmd/salmon -live
+			// polls: exact bucket boundaries survive, so client-side deltas
+			// and quantiles match what the server would compute.
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProcessMetrics(w, time.Since(start))
+		WritePrometheus(w, snap)
+	})
+
+	mux.HandleFunc("/wear", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := BuildWearReport(cfg.Devices, cfg.Cluster)
+		rep.TakenAtNs = time.Now().UnixNano()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	return mux
+}
+
+// Server is a running ops surface.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (":0" for a kernel-assigned port) and serves the ops
+// surface in the background.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler: NewHandler(cfg),
+			// The surface serves tiny responses to curl and pollers; a stuck
+			// header read should not pin a connection.
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the surface down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// writeProcessMetrics emits the process self-metrics: uptime, goroutines,
+// and heap in use. They carry the same sal_ prefix as registry metrics but
+// live outside the registry — they describe the process, not the workload.
+func writeProcessMetrics(w http.ResponseWriter, uptime time.Duration) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeGauge(w, "sal_process_uptime_seconds", uptime.Seconds())
+	writeGauge(w, "sal_process_goroutines", float64(runtime.NumGoroutine()))
+	writeGauge(w, "sal_process_heap_bytes", float64(ms.HeapAlloc))
+}

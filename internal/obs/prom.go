@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"salamander/internal/telemetry"
+)
+
+// Prometheus text exposition (format version 0.0.4) of a telemetry snapshot.
+//
+// Name mapping: every instrument gets the sal_ prefix and its dots become
+// underscores — net.server.op_ns exposes as sal_net_server_op_ns. The
+// registry's naming convention (internal/telemetry/names.go) guarantees the
+// result is a legal Prometheus metric name, but mangle sanitizes anyway so a
+// non-strict build with a stray name still produces a parseable exposition.
+//
+// Histogram mapping: the registry's sparse log2 buckets become cumulative
+// Prometheus buckets. A registry bucket [Lo, Hi) containing n samples
+// contributes n to every le >= Hi, so each retained bucket emits one
+// cumulative line with le = Hi (the smallest bound that contains it), and
+// the +Inf line carries the total count — which also covers the underflow
+// and overflow buckets at the representation's edges. _sum and _count come
+// straight from the snapshot.
+
+// WritePrometheus renders a snapshot in Prometheus text format. Metrics are
+// emitted in sorted name order so expositions diff cleanly.
+func WritePrometheus(w io.Writer, s telemetry.Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := mangle(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n", m)
+		fmt.Fprintf(w, "%s %d\n", m, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		writeGauge(w, mangle(n), s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := mangle(n)
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m, fmtFloat(b.Hi), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", m, fmtFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+	}
+}
+
+func writeGauge(w io.Writer, mangled string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n", mangled)
+	fmt.Fprintf(w, "%s %s\n", mangled, fmtFloat(v))
+}
+
+// mangle converts a registry name to a Prometheus metric name: sal_ prefix,
+// dots to underscores, anything outside [a-zA-Z0-9_] to underscore.
+func mangle(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("sal_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"salamander/internal/blockdev"
+	"salamander/internal/difs"
+)
+
+// DeviceWear is one device's slice of the fleet wear report.
+type DeviceWear struct {
+	Node   int `json:"node"`
+	Device int `json:"device"`
+	blockdev.WearInfo
+}
+
+// WearTotals aggregates the per-device reports plus cluster-level state into
+// the handful of numbers an operator glances at first.
+type WearTotals struct {
+	Corrections       uint64 `json:"corrections"`
+	CorrectedBits     uint64 `json:"corrected_bits"`
+	DeadBlocks        int    `json:"dead_blocks"`
+	DeadPages         int    `json:"dead_pages"`
+	SuspectBlocks     int    `json:"suspect_blocks"`
+	RetiredBlocks     int    `json:"retired_blocks"`
+	RetiredDevices    int    `json:"retired_devices"`
+	LiveMinidisks     int    `json:"live_minidisks"`
+	DrainingMinidisks int    `json:"draining_minidisks"`
+	NodesDown         int    `json:"nodes_down"`
+	NodesQuarantined  int    `json:"nodes_quarantined"`
+}
+
+// WearReport is the /wear payload: the cross-layer health view from flash
+// wear up through FTL block state, device capacity, and the distributed
+// layer's node/repair state.
+type WearReport struct {
+	TakenAtNs int64           `json:"taken_at_ns"`
+	Devices   []DeviceWear    `json:"devices"`
+	Nodes     []difs.NodeInfo `json:"nodes,omitempty"`
+	// RepairBacklog is the queued under-replicated chunk count; LostChunks
+	// and DegradedReads are the cluster's cumulative data-loss signals.
+	RepairBacklog int        `json:"repair_backlog"`
+	LostChunks    int64      `json:"lost_chunks"`
+	DegradedReads int64      `json:"degraded_reads"`
+	Totals        WearTotals `json:"totals"`
+}
+
+// BuildWearReport assembles the cross-layer wear view. Devices that do not
+// implement blockdev.WearReporter appear with a zeroed WearInfo (Kind
+// "unknown") so the fleet inventory stays complete.
+func BuildWearReport(devices []DeviceRef, cluster *difs.Cluster) WearReport {
+	rep := WearReport{Devices: make([]DeviceWear, 0, len(devices))}
+	for _, ref := range devices {
+		w := blockdev.WearInfo{Kind: "unknown"}
+		if wr, ok := ref.Dev.(blockdev.WearReporter); ok {
+			w = wr.Wear()
+		}
+		rep.Devices = append(rep.Devices, DeviceWear{Node: ref.Node, Device: ref.Device, WearInfo: w})
+		rep.Totals.Corrections += w.Corrections
+		rep.Totals.CorrectedBits += w.CorrectedBits
+		rep.Totals.DeadBlocks += w.DeadBlocks
+		rep.Totals.DeadPages += w.DeadPages
+		rep.Totals.SuspectBlocks += w.SuspectBlocks
+		rep.Totals.RetiredBlocks += w.RetiredBlocks
+		rep.Totals.LiveMinidisks += w.LiveMinidisks
+		rep.Totals.DrainingMinidisks += w.DrainingMinidisks
+		if w.Retired {
+			rep.Totals.RetiredDevices++
+		}
+	}
+	if cluster != nil {
+		rep.Nodes = cluster.NodeInfos()
+		rep.RepairBacklog = cluster.PendingRepairs()
+		st := cluster.Stats()
+		rep.LostChunks = st.LostChunks
+		rep.DegradedReads = st.DegradedReads
+		for _, n := range rep.Nodes {
+			if n.Down {
+				rep.Totals.NodesDown++
+			}
+			if n.Quarantined {
+				rep.Totals.NodesQuarantined++
+			}
+		}
+	}
+	return rep
+}

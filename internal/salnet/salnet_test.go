@@ -592,3 +592,85 @@ func TestClientCtxCancel(t *testing.T) {
 		t.Fatalf("ping after canceled call: %v", err)
 	}
 }
+
+// TestSlowOpLog checks the slow-op log fires only for ops above the
+// configured threshold: fast ops leave no trace, while an op slowed past the
+// threshold (injected latency) bumps net.server.slow_ops and records a
+// KindSlowOp event carrying op, key, and duration.
+func TestSlowOpLog(t *testing.T) {
+	cluster, _ := testCluster(t, 5, 4, 64)
+	fr := faultinject.New(7)
+	srv := NewServer(cluster, ServerConfig{
+		SlowOpThreshold: 20 * time.Millisecond,
+		InjectedLatency: 50 * time.Millisecond,
+	})
+	srv.InjectFaults(fr)
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(64)
+	srv.Instrument(reg, tr)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	cl := dialTest(t, ClientConfig{Addr: addr.String()})
+
+	// Fast ops: far under threshold, nothing may fire.
+	for i := 0; i < 5; i++ {
+		if err := cl.Ping(context.Background(), []byte("quick")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := reg.Counter("net.server.slow_ops").Value(); n != 0 {
+		t.Fatalf("slow_ops = %d after fast ops, want 0", n)
+	}
+
+	// Slow op: injected latency pushes it over the threshold.
+	if err := fr.Arm("net.resp.slow", faultinject.Plan{Prob: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(context.Background(), "slowkey", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("net.server.slow_ops").Value(); n != 1 {
+		t.Fatalf("slow_ops = %d after injected-slow put, want 1", n)
+	}
+	var ev *telemetry.Event
+	for _, e := range tr.Events() {
+		if e.Kind == telemetry.KindSlowOp {
+			e := e
+			ev = &e
+		}
+	}
+	if ev == nil {
+		t.Fatal("no KindSlowOp event recorded")
+	}
+	if !bytes.Contains([]byte(ev.Detail), []byte("slowkey")) {
+		t.Fatalf("slow-op detail %q does not name the key", ev.Detail)
+	}
+	if ev.N < (20 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("slow-op duration %dns under the threshold", ev.N)
+	}
+}
+
+// TestDrainingProbe checks Draining() tracks the shutdown lifecycle: false
+// while serving, true from the moment Shutdown begins, and still true after.
+func TestDrainingProbe(t *testing.T) {
+	cluster, _ := testCluster(t, 3, 2, 64)
+	srv, _ := startServer(t, cluster, ServerConfig{})
+	if srv.Draining() {
+		t.Fatal("Draining() = true before shutdown")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after shutdown")
+	}
+}

@@ -71,6 +71,12 @@ type ServerConfig struct {
 	// connections would starve every other connection and wedge Shutdown's
 	// drain. On expiry the connection is severed and the response dropped.
 	WriteTimeout time.Duration
+	// SlowOpThreshold enables the slow-op log: an op whose server-side
+	// latency (admission to response written) exceeds it bumps
+	// net.server.slow_ops and records a KindSlowOp trace event carrying the
+	// op, key, and duration. Zero disables; the check is one comparison per
+	// op, so it is safe to leave on in production.
+	SlowOpThreshold time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -102,6 +108,7 @@ type sTele struct {
 	droppedConns    *telemetry.Counter
 	slowResponses   *telemetry.Counter
 	truncatedFrames *telemetry.Counter
+	slowOps         *telemetry.Counter
 	opNs            *telemetry.Histogram
 	tr              *telemetry.Tracer
 }
@@ -120,6 +127,7 @@ func bindSrvTele(reg *telemetry.Registry, tr *telemetry.Tracer) sTele {
 		droppedConns:    reg.Counter("net.server.dropped_conns"),
 		slowResponses:   reg.Counter("net.server.slow_responses"),
 		truncatedFrames: reg.Counter("net.server.truncated_frames"),
+		slowOps:         reg.Counter("net.server.slow_ops"),
 		opNs:            reg.Histogram("net.server.op_ns"),
 		tr:              tr,
 	}
@@ -351,9 +359,10 @@ func (s *Server) handle(req *request) {
 	outp := s.bufPool.Get().(*[]byte)
 	out, err := wire.AppendFrame((*outp)[:0], &resp)
 	*outp = out
-	// The response may alias the request buffer (ping echo), so the request
-	// buffer is released only after encoding.
-	s.releaseBuf(req)
+	// The response may alias the request buffer (ping echo), and the slow-op
+	// check below reads the key, so the request buffer is released only at
+	// the end of handle.
+	defer s.releaseBuf(req)
 	if err != nil {
 		// Response too big for the protocol (object larger than MaxFrame):
 		// replace with an error frame.
@@ -371,7 +380,16 @@ func (s *Server) handle(req *request) {
 		s.tele.bytesOut.Add(uint64(len(out)))
 	}
 	s.bufPool.Put(outp)
-	s.tele.opNs.Observe(float64(time.Since(start).Nanoseconds()))
+	elapsed := time.Since(start)
+	s.tele.opNs.Observe(float64(elapsed.Nanoseconds()))
+	if thr := s.cfg.SlowOpThreshold; thr > 0 && elapsed > thr {
+		s.tele.slowOps.Inc()
+		s.tele.tr.Emit(telemetry.Event{
+			Kind: telemetry.KindSlowOp, Layer: "net",
+			Detail: fmt.Sprintf("%v %s", req.f.Op, req.f.Key),
+			N:      elapsed.Nanoseconds(),
+		})
+	}
 }
 
 func (s *Server) releaseBuf(req *request) {
@@ -459,6 +477,16 @@ func (s *Server) dropConn(sc *srvConn, detail string) {
 		s.tele.closed.Inc()
 		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: detail})
 	}
+}
+
+// Draining reports whether Shutdown has begun. It flips true the moment the
+// drain starts — while admitted requests are still being answered — which
+// makes it the readiness signal for a drain-aware /readyz probe: a load
+// balancer stops routing to the server before its last response leaves.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Shutdown gracefully drains the server: stop accepting, reject new frames

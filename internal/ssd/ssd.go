@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"salamander/internal/blockdev"
 	"salamander/internal/ecc"
@@ -114,6 +115,7 @@ type devTele struct {
 	lostOPages              *telemetry.Counter
 	readRetries, retrySaves *telemetry.Counter
 	wearLevelMoves          *telemetry.Counter
+	eccCorrections          *telemetry.Counter
 	eccCorrectedBits        *telemetry.Counter
 	readLatency             *telemetry.Histogram
 	writeLatency            *telemetry.Histogram
@@ -132,6 +134,7 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
 		readRetries:      reg.Counter("ssd.read_retries"),
 		retrySaves:       reg.Counter("ssd.retry_saves"),
 		wearLevelMoves:   reg.Counter("ssd.wear_level_moves"),
+		eccCorrections:   reg.Counter("ssd.ecc_corrections"),
 		eccCorrectedBits: reg.Counter("ssd.ecc_corrected_bits"),
 		readLatency:      reg.Histogram("ssd.host_read_latency_ns"),
 		writeLatency:     reg.Histogram("ssd.host_write_latency_ns"),
@@ -181,6 +184,12 @@ type Device struct {
 	inGC    bool
 	notify  func(blockdev.Event)
 	tele    devTele
+
+	// Device-local wear tallies for the /wear ops report (registry counters
+	// are fleet-shared once instrumented). The baseline decodes everything at
+	// level 0, so a single correction counter suffices.
+	wearCorr atomic.Uint64
+	wearBits atomic.Uint64
 
 	// Data-path scratch, guarded by mu like the rest of the FTL state:
 	// readBuf receives raw pages from flash.ReadInto and pageBuf is the
@@ -354,6 +363,7 @@ func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(d.tele.readRetries, old.readRetries)
 	carry(d.tele.retrySaves, old.retrySaves)
 	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
+	carry(d.tele.eccCorrections, old.eccCorrections)
 	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
 	d.arr.Instrument(reg, tr)
 }
@@ -377,6 +387,39 @@ func (d *Device) Bricked() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.bricked
+}
+
+// Wear implements blockdev.WearReporter: the baseline device's media-wear
+// self-report for the fleet ops surface. The baseline has no tiredness
+// levels, so corrections report as a single level-0 entry, and its
+// retired-block count is the bad-block remap population.
+func (d *Device) Wear() blockdev.WearInfo {
+	d.mu.Lock()
+	suspect := len(d.suspect)
+	bad := d.badBlocks()
+	bricked := d.bricked
+	d.mu.Unlock()
+	st := d.arr.Stats()
+	totalBlocks := d.arr.Geometry().TotalBlocks()
+	corr := d.wearCorr.Load()
+	w := blockdev.WearInfo{
+		Kind:               "ssd",
+		MeanPEC:            st.MeanPEC,
+		MaxPEC:             st.MaxPEC,
+		RBEREstimate:       d.model.RBER(st.MeanPEC),
+		Corrections:        corr,
+		CorrectionsByLevel: []uint64{corr},
+		CorrectedBits:      d.wearBits.Load(),
+		DeadBlocks:         st.DeadBlocks,
+		SuspectBlocks:      suspect,
+		RetiredBlocks:      bad,
+		CapacityFrac:       float64(totalBlocks-bad) / float64(totalBlocks),
+		Retired:            bricked,
+	}
+	if !bricked {
+		w.LiveMinidisks = 1
+	}
+	return w
 }
 
 // Array exposes the underlying flash for inspection in tests and benches.
@@ -621,7 +664,10 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected
 			return false, res.Injected, blockdev.ErrUncorrectable
 		}
 		if bits > 0 {
+			d.tele.eccCorrections.Inc()
 			d.tele.eccCorrectedBits.Add(uint64(bits))
+			d.wearCorr.Add(1)
+			d.wearBits.Add(uint64(bits))
 			d.tele.tr.Emit(telemetry.Event{
 				T: d.eng.Now(), Kind: telemetry.KindEccCorrection, Layer: "ssd",
 				Block: addr.PPA.Block, Page: addr.PPA.Page, N: int64(bits),

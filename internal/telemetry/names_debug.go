@@ -1,0 +1,10 @@
+//go:build saldebug
+
+package telemetry
+
+// Under the saldebug build tag, non-conforming metric names panic at
+// instrument creation (see names.go for the convention). Release builds
+// tolerate them: observability must never be what takes a server down.
+func init() {
+	strictNames.Store(true)
+}

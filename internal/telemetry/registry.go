@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing uint64. The zero value is NOT usable;
@@ -152,11 +153,21 @@ func (s HistSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
-// Quantile returns an approximate quantile (q in [0,1]): the geometric
-// midpoint of the bucket containing the q-th observation. Log-bucketed
-// quantiles are accurate to within a factor of sqrt(2).
+// Quantile returns an approximate quantile: the geometric midpoint of the
+// bucket containing the q-th observation. Log-bucketed quantiles are accurate
+// to within a factor of sqrt(2). The edge behavior is pinned:
+//
+//   - An empty snapshot (Count == 0, or no buckets — possible on a Delta of
+//     an idle interval) returns 0.
+//   - q outside [0,1] is clamped into the range.
+//   - q = 0 returns the geometric midpoint of the first populated bucket —
+//     NOT the true minimum; the bucket floor is all the histogram retains.
+//   - q = 1 returns the geometric midpoint of the last populated bucket —
+//     NOT the true maximum, for the same reason.
+//   - A single-bucket histogram returns that bucket's geometric midpoint for
+//     every q: within one log2 bucket there is no finer information.
 func (s HistSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -203,6 +214,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if ok {
 		return c
 	}
+	debugCheckName(name, false)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok = r.counters[name]; ok {
@@ -221,6 +233,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if ok {
 		return g
 	}
+	debugCheckName(name, false)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g, ok = r.gauges[name]; ok {
@@ -239,6 +252,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if ok {
 		return h
 	}
+	debugCheckName(name, true)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok = r.hists[name]; ok {
@@ -252,7 +266,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 // Snapshot is a point-in-time copy of every instrument in a registry. It is
 // a plain value: mutating it never affects the live registry, and it
 // marshals to JSON directly (the interchange format cmd/salmon reads).
+//
+// TakenAtNs is the wall-clock capture time (Unix nanoseconds), stamped by
+// Registry.Snapshot; IntervalNs is zero on a raw snapshot and set by Delta to
+// the span the delta covers — together they make rates first-class (see
+// Seconds and Rate). Both are informational: nothing in the deterministic
+// render path depends on them.
 type Snapshot struct {
+	TakenAtNs  int64                   `json:"taken_at_ns,omitempty"`
+	IntervalNs int64                   `json:"interval_ns,omitempty"`
 	Counters   map[string]uint64       `json:"counters,omitempty"`
 	Gauges     map[string]float64      `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
@@ -264,6 +286,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
+		TakenAtNs:  time.Now().UnixNano(),
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistSnapshot, len(r.hists)),
@@ -283,22 +306,65 @@ func (r *Registry) Snapshot() Snapshot {
 // Diff returns this snapshot minus prev: counter deltas, histogram
 // count/sum/bucket deltas, and current gauge values (gauges are levels, not
 // flows — a delta would be meaningless). Instruments absent from prev pass
-// through unchanged.
+// through unchanged. Diff assumes prev was taken earlier in the same process:
+// a counter that shrank (a restart between the two snapshots) underflows.
+// Delta is the reset-tolerant variant for polling a live server.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	return s.subtract(prev, false)
+}
+
+// Delta returns the activity in the interval (prev, s]: counter and histogram
+// deltas like Diff, plus the interval metadata that makes rates first-class —
+// out.IntervalNs = s.TakenAtNs - prev.TakenAtNs (when both are stamped) and
+// out.TakenAtNs = s.TakenAtNs. Unlike Diff, Delta tolerates counter resets:
+// an instrument whose value shrank since prev (the serving process restarted
+// between polls) contributes its current value rather than an underflowed
+// uint64, so a live dashboard shows a restart as a dip, not a spike of 2^64.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := s.subtract(prev, true)
+	out.TakenAtNs = s.TakenAtNs
+	if s.TakenAtNs > 0 && prev.TakenAtNs > 0 && s.TakenAtNs > prev.TakenAtNs {
+		out.IntervalNs = s.TakenAtNs - prev.TakenAtNs
+	}
+	return out
+}
+
+// Seconds returns the delta interval in seconds (0 when unknown — a raw
+// snapshot, or a Delta against an unstamped snapshot).
+func (s Snapshot) Seconds() float64 {
+	return float64(s.IntervalNs) / 1e9
+}
+
+// Rate returns the named counter's per-second rate over the snapshot's
+// interval. Meaningful only on a Delta result; returns 0 when the interval is
+// unknown.
+func (s Snapshot) Rate(name string) float64 {
+	sec := s.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(s.Counters[name]) / sec
+}
+
+func (s Snapshot) subtract(prev Snapshot, resetAware bool) Snapshot {
 	out := Snapshot{
 		Counters:   make(map[string]uint64, len(s.Counters)),
 		Gauges:     make(map[string]float64, len(s.Gauges)),
 		Histograms: make(map[string]HistSnapshot, len(s.Histograms)),
 	}
 	for name, v := range s.Counters {
-		out.Counters[name] = v - prev.Counters[name]
+		pv := prev.Counters[name]
+		if resetAware && pv > v {
+			pv = 0
+		}
+		out.Counters[name] = v - pv
 	}
 	for name, v := range s.Gauges {
 		out.Gauges[name] = v
 	}
 	for name, h := range s.Histograms {
 		ph, ok := prev.Histograms[name]
-		if !ok {
+		if !ok || (resetAware && ph.Count > h.Count) {
 			out.Histograms[name] = h
 			continue
 		}

@@ -153,7 +153,7 @@ func TestConcurrentMutation(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				r.Counter("hot.counter").Inc()
-				r.Histogram("hot.hist").Observe(float64(i + 1))
+				r.Histogram("hot.hist_ns").Observe(float64(i + 1))
 				r.Gauge("hot.gauge").Add(1)
 			}
 		}()
@@ -162,12 +162,191 @@ func TestConcurrentMutation(t *testing.T) {
 	if got := r.Counter("hot.counter").Value(); got != workers*per {
 		t.Fatalf("counter = %d, want %d", got, workers*per)
 	}
-	if got := r.Histogram("hot.hist").N(); got != workers*per {
+	if got := r.Histogram("hot.hist_ns").N(); got != workers*per {
 		t.Fatalf("hist N = %d, want %d", got, workers*per)
 	}
 	if got := r.Gauge("hot.gauge").Value(); got != workers*per {
 		t.Fatalf("gauge = %v, want %d", got, workers*per)
 	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	// Pinned behavior at the extremes (see the Quantile doc comment).
+	t.Run("empty", func(t *testing.T) {
+		var s HistSnapshot
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := s.Quantile(q); got != 0 {
+				t.Fatalf("empty.Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+	t.Run("count-without-buckets", func(t *testing.T) {
+		// A Delta over an idle interval can leave Count/Sum deltas with no
+		// bucket movement retained; Quantile must not panic.
+		s := HistSnapshot{Count: 3, Sum: 42}
+		if got := s.Quantile(0.5); got != 0 {
+			t.Fatalf("bucketless.Quantile(0.5) = %v, want 0", got)
+		}
+	})
+	t.Run("single-bucket", func(t *testing.T) {
+		h := &Histogram{}
+		for i := 0; i < 7; i++ {
+			h.Observe(1000)
+		}
+		s := h.snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("want 1 bucket, got %d", len(s.Buckets))
+		}
+		mid := math.Sqrt(s.Buckets[0].Lo * s.Buckets[0].Hi)
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			if got := s.Quantile(q); math.Abs(got-mid) > 1e-9 {
+				t.Fatalf("single-bucket Quantile(%v) = %v, want geometric midpoint %v", q, got, mid)
+			}
+		}
+		if mid < s.Buckets[0].Lo || mid > s.Buckets[0].Hi {
+			t.Fatalf("midpoint %v outside bucket [%v,%v)", mid, s.Buckets[0].Lo, s.Buckets[0].Hi)
+		}
+	})
+	t.Run("q0-q1-clamped", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(1)   // low bucket
+		h.Observe(1e6) // high bucket
+		s := h.snapshot()
+		lowMid := math.Sqrt(s.Buckets[0].Lo * s.Buckets[0].Hi)
+		highMid := math.Sqrt(s.Buckets[len(s.Buckets)-1].Lo * s.Buckets[len(s.Buckets)-1].Hi)
+		cases := []struct {
+			q    float64
+			want float64
+		}{
+			{-0.5, lowMid}, {0, lowMid}, {1, highMid}, {1.5, highMid},
+		}
+		for _, c := range cases {
+			if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+				t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		}
+	})
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("net.server.requests")
+	h := r.Histogram("net.server.op_ns")
+	c.Add(10)
+	h.Observe(100)
+	prev := r.Snapshot()
+	c.Add(5)
+	h.Observe(200)
+	cur := r.Snapshot()
+	d := cur.Delta(prev)
+	if d.Counters["net.server.requests"] != 5 {
+		t.Fatalf("delta counter = %d, want 5", d.Counters["net.server.requests"])
+	}
+	if d.Histograms["net.server.op_ns"].Count != 1 {
+		t.Fatalf("delta hist count = %d, want 1", d.Histograms["net.server.op_ns"].Count)
+	}
+	if d.TakenAtNs != cur.TakenAtNs {
+		t.Fatalf("delta TakenAtNs = %d, want %d", d.TakenAtNs, cur.TakenAtNs)
+	}
+	if d.IntervalNs != cur.TakenAtNs-prev.TakenAtNs {
+		t.Fatalf("IntervalNs = %d, want %d", d.IntervalNs, cur.TakenAtNs-prev.TakenAtNs)
+	}
+	if sec := d.Seconds(); math.Abs(sec-float64(d.IntervalNs)/1e9) > 1e-12 {
+		t.Fatalf("Seconds() = %v", sec)
+	}
+	if d.IntervalNs > 0 {
+		want := float64(5) / d.Seconds()
+		if got := d.Rate("net.server.requests"); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Rate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSnapshotDeltaCounterReset(t *testing.T) {
+	// The serving process restarted between polls: current < previous. Delta
+	// must clamp to the current value, not underflow, so a dashboard shows a
+	// dip rather than 2^64 ops/s.
+	prev := Snapshot{
+		TakenAtNs: 1000,
+		Counters:  map[string]uint64{"net.server.requests": 100},
+		Histograms: map[string]HistSnapshot{
+			"net.server.op_ns": {Count: 100, Sum: 5000, Buckets: []Bucket{{Lo: 1, Hi: 2, Count: 100}}},
+		},
+	}
+	cur := Snapshot{
+		TakenAtNs: 2000,
+		Counters:  map[string]uint64{"net.server.requests": 7},
+		Histograms: map[string]HistSnapshot{
+			"net.server.op_ns": {Count: 7, Sum: 300, Buckets: []Bucket{{Lo: 1, Hi: 2, Count: 7}}},
+		},
+	}
+	d := cur.Delta(prev)
+	if d.Counters["net.server.requests"] != 7 {
+		t.Fatalf("reset counter delta = %d, want clamped 7", d.Counters["net.server.requests"])
+	}
+	if d.Histograms["net.server.op_ns"].Count != 7 {
+		t.Fatalf("reset hist delta = %d, want pass-through 7", d.Histograms["net.server.op_ns"].Count)
+	}
+	if d.IntervalNs != 1000 {
+		t.Fatalf("IntervalNs = %d, want 1000", d.IntervalNs)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	good := []struct {
+		name string
+		hist bool
+	}{
+		{"flash.program_ops", false},
+		{"net.server.op_ns", true},
+		{"difs.repair_bytes", true},
+		{"flash.rber_frac", true},
+		{"core.capacity_frac", false},
+		{"ssd.read_latency_ns", true},
+	}
+	for _, c := range good {
+		if err := CheckName(c.name, c.hist); err != nil {
+			t.Errorf("CheckName(%q, %v) = %v, want nil", c.name, c.hist, err)
+		}
+	}
+	bad := []struct {
+		name string
+		hist bool
+	}{
+		{"plain", false},             // no layer
+		{"a.b.c.d", false},           // too many segments
+		{"Net.server", false},        // uppercase
+		{"net.op-latency", false},    // dash
+		{"net._x", false},            // leading underscore
+		{"net.", false},              // empty segment
+		{"net.server.latency", true}, // histogram without unit suffix
+		{"flash.rber", true},         // the old straggler
+	}
+	for _, c := range bad {
+		if err := CheckName(c.name, c.hist); err == nil {
+			t.Errorf("CheckName(%q, %v) = nil, want error", c.name, c.hist)
+		}
+	}
+}
+
+func TestStrictNamesRejectAtCreation(t *testing.T) {
+	defer SetStrict(SetStrict(true))
+	r := NewRegistry()
+	// Conforming names still work.
+	r.Counter("net.server.requests").Inc()
+	r.Histogram("net.server.op_ns").Observe(1)
+	mustPanic := func(desc string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic under strict names", desc)
+			}
+		}()
+		fn()
+	}
+	mustPanic("counter without layer", func() { r.Counter("plain") })
+	mustPanic("histogram without unit suffix", func() { r.Histogram("net.latency") })
+	mustPanic("uppercase gauge", func() { r.Gauge("Net.pending") })
 }
 
 func TestLayerGrouping(t *testing.T) {

@@ -66,6 +66,9 @@ const (
 	// KindNetRetry: a salnet client call hit a transport failure and was
 	// retried after exponential backoff (layer net; N = attempt number).
 	KindNetRetry EventKind = "net_retry"
+	// KindSlowOp: a served op exceeded the server's slow-op latency
+	// threshold (layer net; Detail = "<op> <key>", N = duration in ns).
+	KindSlowOp EventKind = "slow_op"
 )
 
 // Event is one structured trace record. T is the emitting layer's virtual
