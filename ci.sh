@@ -26,7 +26,11 @@
 # must answer ok, /metrics must expose a parseable sal_net_server_requests
 # counting the load, /wear must return the fleet report, and /readyz must
 # flip to 503 after SIGTERM while the -drain-linger window keeps the
-# server answering.
+# server answering. Finally the kill -9 durability smoke (salchaos -proc)
+# SIGKILLs a real salsrv mid-load on a durable -data-dir, restarts it on
+# the same directory, and content-verifies every acked write — then one
+# more cold restart asserts sal_difs_recover_ns and a non-zero
+# sal_difs_recover_objects in the exposition.
 set -eu
 
 cd "$(dirname "$0")"
@@ -134,5 +138,76 @@ grep -q "invariants clean=true" "$nettmp/salsrv.log" || {
     exit 1
 }
 rm -rf "$nettmp"
+
+echo "== kill -9 durability smoke (salchaos -proc) =="
+durtmp=$(mktemp -d)
+go build -o "$durtmp/salsrv" ./cmd/salsrv
+go build -o "$durtmp/salchaos" ./cmd/salchaos
+# Process-level chaos: salchaos spawns a real salsrv on a durable -data-dir,
+# SIGKILLs it mid-load twice, restarts it on the same directory each time,
+# and content-verifies that every acked write survived. The harness also
+# asserts the stale-address-file crash marker, the /readyz "recovering"
+# gate, the sal_difs_recover_ns exposition, and a final SIGTERM drain that
+# exits 0 with the address files removed.
+"$durtmp/salchaos" -proc -proc-bin "$durtmp/salsrv" -proc-dir "$durtmp/run" \
+    -proc-kills 2 -proc-ops 1200 >"$durtmp/salchaos.log" 2>&1 || {
+    cat "$durtmp/salchaos.log" >&2
+    exit 1
+}
+grep -q "proc chaos: PASS" "$durtmp/salchaos.log" || {
+    echo "salchaos -proc did not report PASS" >&2
+    cat "$durtmp/salchaos.log" >&2
+    exit 1
+}
+# One more cold restart on the surviving data dir, asserted from the outside:
+# recovery telemetry must be present in the Prometheus exposition and count
+# the namespace the kills left behind.
+"$durtmp/salsrv" -addr 127.0.0.1:0 -addr-file "$durtmp/addr" \
+    -ops-addr 127.0.0.1:0 -ops-addr-file "$durtmp/opsaddr" \
+    -data-dir "$durtmp/run/data" -fsync=false -nodes 5 >"$durtmp/salsrv.log" 2>&1 &
+dursrv=$!
+i=0
+while { [ ! -s "$durtmp/addr" ] || [ ! -s "$durtmp/opsaddr" ]; } && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -s "$durtmp/addr" ] || [ ! -s "$durtmp/opsaddr" ]; then
+    echo "durable salsrv never became ready" >&2
+    cat "$durtmp/salsrv.log" >&2
+    exit 1
+fi
+durops="http://$(cat "$durtmp/opsaddr")"
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$durops/readyz")" = "200" ] || {
+    echo "durable salsrv /readyz not 200 after recovery" >&2
+    exit 1
+}
+curl -s "$durops/metrics" >"$durtmp/metrics.prom"
+grep -q 'sal_difs_recover_ns' "$durtmp/metrics.prom" || {
+    echo "ops /metrics missing sal_difs_recover_ns after recovery" >&2
+    exit 1
+}
+recovered=$(awk '$1 == "sal_difs_recover_objects" { print $2 }' "$durtmp/metrics.prom")
+case "$recovered" in
+'' | *[!0-9]*)
+    echo "ops /metrics: sal_difs_recover_objects missing or non-numeric: '$recovered'" >&2
+    exit 1
+    ;;
+esac
+if [ "$recovered" -eq 0 ]; then
+    echo "ops /metrics: sal_difs_recover_objects=0 after a loaded restart" >&2
+    exit 1
+fi
+kill -TERM "$dursrv"
+if ! wait "$dursrv"; then
+    echo "durable salsrv drain failed" >&2
+    cat "$durtmp/salsrv.log" >&2
+    exit 1
+fi
+grep -q "invariants clean=true" "$durtmp/salsrv.log" || {
+    echo "durable salsrv invariant sweep failed" >&2
+    cat "$durtmp/salsrv.log" >&2
+    exit 1
+}
+rm -rf "$durtmp"
 
 echo "CI PASSED"

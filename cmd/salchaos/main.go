@@ -7,6 +7,13 @@
 // Usage:
 //
 //	salchaos [-seed S] [-ops N] [-nodes N] [-net] [-trace FILE] [-metrics] [-metrics-out FILE]
+//	salchaos -proc -proc-bin ./salsrv [-proc-dir DIR] [-proc-kills N] [-proc-ops N]
+//
+// -proc switches to process-level chaos (see proc.go): it spawns a real
+// salsrv subprocess on a durable -data-dir, SIGKILLs it under load, restarts
+// it on the same directory, and content-verifies every acked write survived
+// — then SIGTERMs it and checks the clean-exit contract. Exit status 1 on
+// any violation, same as the in-process harness.
 package main
 
 import (
@@ -32,8 +39,18 @@ func main() {
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file")
 		showMetric = flag.Bool("metrics", false, "print the per-layer telemetry tables after the run")
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot JSON to this file (implies -metrics)")
+
+		proc      = flag.Bool("proc", false, "process-level chaos: SIGKILL a real salsrv subprocess mid-load and verify recovery")
+		procBin   = flag.String("proc-bin", "", "path to the salsrv binary (required with -proc)")
+		procDir   = flag.String("proc-dir", "", "scratch directory for -proc data and address files (default: a fresh temp dir, removed on pass)")
+		procKills = flag.Int("proc-kills", 2, "SIGKILL/restart cycles for -proc")
+		procOps   = flag.Int("proc-ops", 1200, "put attempts per -proc load phase")
 	)
 	flag.Parse()
+
+	if *proc {
+		os.Exit(procMain(*procBin, *procDir, *seed, *procOps, *procKills))
+	}
 
 	var tr *telemetry.Tracer
 	if *tracePath != "" {

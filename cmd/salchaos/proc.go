@@ -1,0 +1,451 @@
+// Process-level chaos: instead of simulating node crashes inside one
+// process, -proc spawns a real salsrv subprocess on a durable -data-dir,
+// SIGKILLs it mid-load, restarts it against the same directory, and checks
+// that every acked write survives — content-verified, not just present.
+// This is the one failure mode the in-process harness cannot exercise:
+// actual process death, where nothing gets a chance to flush.
+//
+// The harness tracks acked versions client-side, so verification does not
+// trust the server's own manifests: a key whose Put was acked must read
+// back as exactly that version (or the one in-flight write racing the
+// kill). It also asserts the operational contract around the crash:
+// address files left behind by SIGKILL (stale file = unclean death),
+// /readyz serving 503 "recovering" before 200 on restart, the
+// sal_difs_recover_ns metric present after recovery, and a final SIGTERM
+// drain that exits 0 and removes the address files.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"salamander/internal/difs"
+	"salamander/internal/salnet"
+	"salamander/internal/stats"
+)
+
+// procMain is the -proc entry point: it fills in defaults, runs the
+// scenario, prints a pass/fail report, and returns the process exit code.
+// The scratch directory is kept on failure so the on-disk state that broke
+// recovery is available as a repro.
+func procMain(bin, dir string, seed uint64, ops, kills int) int {
+	if bin == "" {
+		log.Print("-proc requires -proc-bin (path to the salsrv binary)")
+		return 2
+	}
+	if _, err := exec.LookPath(bin); err != nil {
+		log.Printf("-proc-bin: %v", err)
+		return 2
+	}
+	madeTemp := false
+	if dir == "" {
+		td, err := os.MkdirTemp("", "salchaos-proc-*")
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		dir, madeTemp = td, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Print(err)
+		return 2
+	}
+	cfg := procConfig{
+		Bin: bin, Dir: dir, Seed: seed, Ops: ops, Kills: kills,
+		Clients: 4, Keys: 128,
+		// 5 nodes x 8 disks x (512 LBAs / 4 oPages per chunk) = 5120 chunk
+		// slots: ample headroom for 128 small keys times 3 replicas,
+		// including the transient double-occupancy a Replace needs while
+		// the old copy is still on disk.
+		Nodes: 5, Disks: 8, LBAs: 512,
+	}
+	violations := runProc(cfg)
+	if len(violations) > 0 {
+		fmt.Printf("\nproc chaos: FAIL (%d violations, state kept in %s)\n", len(violations), dir)
+		for _, v := range violations {
+			fmt.Printf("  - %s\n", v)
+		}
+		return 1
+	}
+	fmt.Printf("\nproc chaos: PASS (%d kill cycles survived, every acked write verified)\n", kills)
+	if madeTemp {
+		os.RemoveAll(dir)
+	}
+	return 0
+}
+
+// procConfig parameterizes one process-level chaos run.
+type procConfig struct {
+	Bin     string // salsrv binary path
+	Dir     string // scratch dir: data under Dir/data, addr files beside it
+	Seed    uint64
+	Ops     int // put attempts per load phase
+	Kills   int // SIGKILL/restart cycles
+	Clients int // concurrent load workers (keyspace is sharded across them)
+	Keys    int // keyspace size
+	Nodes   int // salsrv -nodes
+	Disks   int // salsrv -disks
+	LBAs    int // salsrv -lbas
+}
+
+// procHarness carries the client-side model across kill cycles: for every
+// key, the highest version the server acked and the version that was in
+// flight when a kill landed. Keys are sharded by worker, so versions per
+// key are strictly sequential with at most one write outstanding.
+type procHarness struct {
+	cfg procConfig
+
+	mu      sync.Mutex
+	acked   map[string]uint64 // highest version whose Put was acked
+	pending map[string]uint64 // highest version ever attempted
+	ackOps  int               // acked puts in the current load phase
+
+	violations []string
+}
+
+func (h *procHarness) violatef(format string, args ...any) {
+	h.mu.Lock()
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+	h.mu.Unlock()
+}
+
+// procPayload is the deterministic content model: a self-describing header
+// followed by seeded pseudo-random fill, sized 256B..2KB by (key, version).
+// Both sides recompute it, so a verify mismatch pinpoints exactly which
+// version of which key the server served.
+func procPayload(seed uint64, key string, ver uint64) []byte {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	rng := stats.NewRNG(seed ^ h ^ ver*0x9e3779b97f4a7c15)
+	n := 256 + rng.Intn(1792)
+	buf := make([]byte, 0, n)
+	buf = append(buf, fmt.Sprintf("%s v%d|", key, ver)...)
+	for len(buf) < n {
+		buf = append(buf, byte(rng.Uint64()))
+	}
+	return buf[:n]
+}
+
+func (h *procHarness) key(i int) string { return fmt.Sprintf("chaos/%04d", i) }
+
+// runProc drives the whole scenario: load, kill -9, restart, verify —
+// Kills times — then a clean SIGTERM drain. It returns the invariant
+// violations observed (empty = pass).
+func runProc(cfg procConfig) []string {
+	h := &procHarness{
+		cfg:     cfg,
+		acked:   make(map[string]uint64),
+		pending: make(map[string]uint64),
+	}
+
+	srv, err := h.start()
+	if err != nil {
+		return append(h.violations, fmt.Sprintf("initial start: %v", err))
+	}
+
+	for cycle := 1; cycle <= cfg.Kills; cycle++ {
+		log.Printf("proc cycle %d/%d: loading %d ops against pid %d", cycle, cfg.Kills, cfg.Ops, srv.cmd.Process.Pid)
+		h.loadAndKill(srv)
+
+		// SIGKILL means nothing cleaned up: the address files must still be
+		// there. That is the documented unclean-death marker scripts rely on.
+		if _, err := os.Stat(srv.addrFile); err != nil {
+			h.violatef("cycle %d: addr file missing after SIGKILL (stale file should mark unclean death): %v", cycle, err)
+		}
+
+		srv, err = h.start()
+		if err != nil {
+			return append(h.violations, fmt.Sprintf("cycle %d restart: %v", cycle, err))
+		}
+		if !srv.sawRecovering {
+			// Informational: recovery can finish between our readyz polls.
+			log.Printf("proc cycle %d: /readyz never observed in 'recovering' (recovery outran the poll)", cycle)
+		}
+		h.verify(srv, cycle)
+		h.checkRecoverMetric(srv, cycle)
+	}
+
+	// Final act: a clean drain must exit 0 and remove the address files,
+	// distinguishing shutdown from crash.
+	if err := srv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		h.violatef("final SIGTERM: %v", err)
+		return h.violations
+	}
+	if err := srv.cmd.Wait(); err != nil {
+		h.violatef("clean drain exited non-zero: %v", err)
+	}
+	for _, f := range []string{srv.addrFile, srv.opsFile} {
+		if _, err := os.Stat(f); err == nil {
+			h.violatef("clean exit left address file behind: %s", f)
+		}
+	}
+	return h.violations
+}
+
+// procServer is one live salsrv subprocess.
+type procServer struct {
+	cmd           *exec.Cmd
+	addrFile      string
+	opsFile       string
+	addr          string // data-plane address
+	opsAddr       string // ops HTTP address
+	sawRecovering bool   // /readyz served 503 "recovering" during startup
+}
+
+// start spawns salsrv on the shared data dir and waits until it is ready,
+// recording whether the recovering window was observable on /readyz.
+func (h *procHarness) start() (*procServer, error) {
+	s := &procServer{
+		addrFile: filepath.Join(h.cfg.Dir, "addr.txt"),
+		opsFile:  filepath.Join(h.cfg.Dir, "ops.txt"),
+	}
+	// A prior SIGKILL leaves stale address files; remove them so the waits
+	// below see only the new process's files.
+	os.Remove(s.addrFile)
+	os.Remove(s.opsFile)
+
+	s.cmd = exec.Command(h.cfg.Bin,
+		"-addr", "127.0.0.1:0", "-addr-file", s.addrFile,
+		"-ops-addr", "127.0.0.1:0", "-ops-addr-file", s.opsFile,
+		"-data-dir", filepath.Join(h.cfg.Dir, "data"), "-fsync=false",
+		"-devices", "mem",
+		"-nodes", fmt.Sprint(h.cfg.Nodes),
+		"-disks", fmt.Sprint(h.cfg.Disks),
+		"-lbas", fmt.Sprint(h.cfg.LBAs),
+		"-seed", fmt.Sprint(h.cfg.Seed),
+	)
+	s.cmd.Stdout = os.Stderr
+	s.cmd.Stderr = os.Stderr
+	if err := s.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawn %s: %w", h.cfg.Bin, err)
+	}
+
+	// The ops listener comes up before recovery, so its address file is the
+	// earliest hook; poll /readyz from there to catch the recovering window.
+	opsAddr, err := waitAddrFile(s.opsFile, 10*time.Second)
+	if err != nil {
+		s.cmd.Process.Kill()
+		s.cmd.Wait()
+		return nil, fmt.Errorf("ops addr: %w", err)
+	}
+	s.opsAddr = opsAddr
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := httpGet("http://" + s.opsAddr + "/readyz")
+		if code == http.StatusServiceUnavailable && strings.TrimSpace(body) == "recovering" {
+			s.sawRecovering = true
+		}
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			s.cmd.Process.Kill()
+			s.cmd.Wait()
+			return nil, fmt.Errorf("server never became ready (last /readyz: %d %q)", code, strings.TrimSpace(body))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	addr, err := waitAddrFile(s.addrFile, 10*time.Second)
+	if err != nil {
+		s.cmd.Process.Kill()
+		s.cmd.Wait()
+		return nil, fmt.Errorf("data addr: %w", err)
+	}
+	s.addr = addr
+	return s, nil
+}
+
+// loadAndKill runs the put workers against the live server and SIGKILLs it
+// once roughly half the phase's ops have been acked, so the kill lands in
+// the middle of real traffic with writes in flight.
+func (h *procHarness) loadAndKill(s *procServer) {
+	h.mu.Lock()
+	h.ackOps = 0
+	h.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	perWorker := h.cfg.Ops / h.cfg.Clients
+	for w := 0; w < h.cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h.loadWorker(ctx, s.addr, w, perWorker)
+		}(w)
+	}
+
+	// Kill once half the ops are acked (or the workers run dry first).
+	half := h.cfg.Ops / 2
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	killed := false
+	for !killed {
+		select {
+		case <-done:
+			killed = true // workers finished before the threshold; kill anyway
+		case <-time.After(time.Millisecond):
+			h.mu.Lock()
+			reached := h.ackOps >= half
+			h.mu.Unlock()
+			killed = reached
+		}
+	}
+	if err := s.cmd.Process.Kill(); err != nil {
+		h.violatef("SIGKILL: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	err := s.cmd.Wait()
+	log.Printf("proc: SIGKILL after %d acked puts (server exit: %v)", h.ackedOps(), err)
+}
+
+func (h *procHarness) ackedOps() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ackOps
+}
+
+// loadWorker writes sequential versions over its shard of the keyspace.
+// Each worker owns keys where idx % Clients == w, so versions per key are
+// strictly ordered and at most one write per key is ever in flight.
+func (h *procHarness) loadWorker(ctx context.Context, addr string, w, ops int) {
+	cl, err := salnet.Dial(salnet.ClientConfig{Addr: addr, Conns: 2, MaxRetries: 1, RetryBudget: 100 * time.Millisecond})
+	if err != nil {
+		return // server may already be dying; the model just stays smaller
+	}
+	defer cl.Close()
+	rng := stats.NewRNG(h.cfg.Seed*1000003 + uint64(w))
+	for i := 0; i < ops; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		idx := rng.Intn((h.cfg.Keys+h.cfg.Clients-1)/h.cfg.Clients)*h.cfg.Clients + w
+		if idx >= h.cfg.Keys {
+			idx = w
+		}
+		key := h.key(idx)
+		h.mu.Lock()
+		ver := h.pending[key] + 1
+		h.pending[key] = ver
+		h.mu.Unlock()
+		opCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		err := cl.Put(opCtx, key, procPayload(h.cfg.Seed, key, ver))
+		cancel()
+		if err != nil {
+			return // transport down: the kill landed; this write stays pending
+		}
+		h.mu.Lock()
+		h.acked[key] = ver
+		h.ackOps++
+		h.mu.Unlock()
+	}
+}
+
+// verify reads every key the model knows about and checks the server came
+// back with exactly the acked content — or the single in-flight version
+// that was racing the kill. Anything else is lost acked data or fabricated
+// bytes, the two things recovery must never produce.
+func (h *procHarness) verify(s *procServer, cycle int) {
+	cl, err := salnet.Dial(salnet.ClientConfig{Addr: s.addr, Conns: 4})
+	if err != nil {
+		h.violatef("cycle %d: verify dial: %v", cycle, err)
+		return
+	}
+	defer cl.Close()
+	checked, inflight := 0, 0
+	h.mu.Lock()
+	keys := make([]string, 0, len(h.pending))
+	for k := range h.pending {
+		keys = append(keys, k)
+	}
+	h.mu.Unlock()
+	for _, key := range keys {
+		h.mu.Lock()
+		va, vp := h.acked[key], h.pending[key]
+		h.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		data, err := cl.Get(ctx, key)
+		cancel()
+		switch {
+		case errors.Is(err, difs.ErrNotFound):
+			if va > 0 {
+				h.violatef("cycle %d: acked key %s v%d lost after restart", cycle, key, va)
+			}
+			continue
+		case err != nil:
+			h.violatef("cycle %d: get %s: %v", cycle, key, err)
+			continue
+		}
+		if va > 0 && string(data) == string(procPayload(h.cfg.Seed, key, va)) {
+			checked++
+			continue
+		}
+		// The write in flight at kill time may have committed before its ack
+		// was sent; promote the model so later cycles expect it.
+		if vp > va && string(data) == string(procPayload(h.cfg.Seed, key, vp)) {
+			h.mu.Lock()
+			h.acked[key] = vp
+			h.mu.Unlock()
+			checked++
+			inflight++
+			continue
+		}
+		h.violatef("cycle %d: key %s content matches neither acked v%d nor in-flight v%d (%d bytes)", cycle, key, va, vp, len(data))
+	}
+	log.Printf("proc cycle %d: verified %d keys (%d in-flight writes had committed)", cycle, checked, inflight)
+}
+
+// checkRecoverMetric asserts the restarted server's /metrics exposes the
+// recovery histogram — the signal dashboards and CI key off.
+func (h *procHarness) checkRecoverMetric(s *procServer, cycle int) {
+	code, body := httpGet("http://" + s.opsAddr + "/metrics")
+	if code != http.StatusOK {
+		h.violatef("cycle %d: /metrics returned %d", cycle, code)
+		return
+	}
+	if !strings.Contains(body, "sal_difs_recover_ns") {
+		h.violatef("cycle %d: /metrics missing sal_difs_recover_ns after recovery", cycle)
+	}
+}
+
+// waitAddrFile polls for an address file salsrv writes once its listener is
+// bound, returning the trimmed address.
+func waitAddrFile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		raw, err := os.ReadFile(path)
+		if err == nil && len(strings.TrimSpace(string(raw))) > 0 {
+			return strings.TrimSpace(string(raw)), nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("timed out waiting for %s", path)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// httpGet fetches a URL with a short timeout, returning (0, "") on
+// transport errors so callers can treat "not up yet" uniformly.
+func httpGet(url string) (int, string) {
+	cl := http.Client{Timeout: 2 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, string(body)
+}

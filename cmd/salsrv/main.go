@@ -8,16 +8,29 @@
 //
 //	salsrv [-addr HOST:PORT] [-addr-file FILE] [-devices mem|core]
 //	       [-nodes N] [-disks N] [-lbas N] [-seed S] [-workers N]
+//	       [-data-dir DIR] [-fsync=BOOL]
 //	       [-op-timeout D] [-metrics-out FILE] [-trace FILE]
 //	       [-ops-addr HOST:PORT] [-ops-addr-file FILE] [-ops-pprof]
 //	       [-slow-op D] [-drain-linger D]
 //
 // With -addr 127.0.0.1:0 the kernel picks a free port; -addr-file writes the
 // bound address to FILE once the listener is up, so scripts (ci.sh) can wait
-// for the file instead of racing the bind. -devices mem backs the cluster
-// with plain in-memory devices (fast, for protocol/load testing); -devices
-// core builds the full Salamander data path (flash array, tiredness-aware
-// FTL, analytic ECC) under every node, like the chaos harness does.
+// for the file instead of racing the bind. Address files are removed again on
+// clean exit, so a stale file means an unclean death. -devices mem backs the
+// cluster with plain in-memory devices (fast, for protocol/load testing);
+// -devices core builds the full Salamander data path (flash array,
+// tiredness-aware FTL, analytic ECC) under every node, like the chaos
+// harness does.
+//
+// -data-dir makes the daemon durable: every node's device persists its pages
+// under DIR/node<i>, the cluster's object manifests live under DIR/cluster,
+// and startup runs a recovery phase that rebuilds the namespace from them —
+// verifying every replica's checksum against its device, quarantining torn
+// data, and queueing repairs. While recovery runs, /readyz serves 503
+// "recovering". A salsrv killed with SIGKILL and restarted on the same
+// -data-dir comes back with its acked objects intact. -fsync=false skips the
+// per-write fsync: state still survives kill -9 (the page cache outlives the
+// process) but not power loss — useful for tests and CI.
 //
 // -ops-addr mounts the live ops surface (internal/obs) on a second listener:
 // /metrics, /healthz, /readyz, /wear, and with -ops-pprof the Go profiler.
@@ -36,6 +49,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -48,6 +62,7 @@ import (
 	"salamander/internal/rber"
 	"salamander/internal/salnet"
 	"salamander/internal/sim"
+	"salamander/internal/store"
 	"salamander/internal/telemetry"
 )
 
@@ -62,6 +77,8 @@ func main() {
 		disks      = flag.Int("disks", 8, "minidisks per mem node")
 		lbas       = flag.Int("lbas", 512, "oPage slots per mem minidisk")
 		seed       = flag.Uint64("seed", 1, "cluster/device seed")
+		dataDir    = flag.String("data-dir", "", "persist device contents and cluster manifests under this directory and recover from it on start (empty = volatile)")
+		fsync      = flag.Bool("fsync", true, "fsync durable writes; -fsync=false survives kill -9 but not power loss (faster, for tests)")
 		workers    = flag.Int("workers", 16, "request worker pool size")
 		opTimeout  = flag.Duration("op-timeout", 0, "per-operation deadline (0 = none)")
 		wrTimeout  = flag.Duration("write-timeout", 0, "response write deadline; stalled readers are dropped (0 = 10s default, negative = none)")
@@ -90,9 +107,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cluster.Instrument(reg, tr)
+	fileOpts := store.FileOptions{NoSync: !*fsync}
 	var devRefs []obs.DeviceRef
+	var devs []blockdev.Device
 	for i := 0; i < *nodes; i++ {
-		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas)
+		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas, *dataDir, fileOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -102,6 +121,7 @@ func main() {
 			inst.Instrument(reg, tr)
 		}
 		cluster.AddNode(dev)
+		devs = append(devs, dev)
 		devRefs = append(devRefs, obs.DeviceRef{Node: i, Device: 0, Dev: dev})
 	}
 
@@ -112,26 +132,29 @@ func main() {
 		SlowOpThreshold: *slowOp,
 	})
 	srv.Instrument(reg, tr)
-	bound, err := srv.Start(*addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644); err != nil {
-			log.Fatal(err)
-		}
-	}
+
 	// stopping flips the instant a shutdown signal arrives, before the
 	// data-plane drain begins, so /readyz goes 503 while the server is still
-	// accepting traffic (the -drain-linger window).
-	var stopping atomic.Bool
+	// accepting traffic (the -drain-linger window). recovering holds /readyz
+	// at 503 "recovering" from before the ops listener is up until the
+	// namespace is rebuilt — probes never see a ready-but-empty server.
+	var stopping, recovering atomic.Bool
+	recovering.Store(*dataDir != "")
 	if *opsAddr != "" {
 		ops, err := obs.Start(*opsAddr, obs.Config{
 			Registry: reg,
-			Ready:    func() bool { return !stopping.Load() && !srv.Draining() },
-			Devices:  devRefs,
-			Cluster:  cluster,
-			Pprof:    *opsPprof,
+			Ready: func() bool {
+				return !recovering.Load() && !stopping.Load() && !srv.Draining()
+			},
+			NotReadyReason: func() string {
+				if recovering.Load() {
+					return "recovering"
+				}
+				return "draining"
+			},
+			Devices: devRefs,
+			Cluster: cluster,
+			Pprof:   *opsPprof,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -144,6 +167,48 @@ func main() {
 			}
 		}
 	}
+
+	var metaSt store.Store
+	if *dataDir != "" {
+		st, err := store.OpenFile(filepath.Join(*dataDir, "cluster"), fileOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metaSt = st
+		quar, err := cluster.AttachMeta(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if quar > 0 {
+			log.Printf("recovery: quarantined %d manifests from an older layout", quar)
+		}
+		rep, err := cluster.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recovered %d objects (%d chunks, %d replicas verified, %d quarantined, %d repairs queued, %d lost) in %v",
+			rep.Objects, rep.Chunks, rep.VerifiedReplicas,
+			rep.QuarantinedReplicas+rep.BadManifests, rep.RepairsQueued,
+			len(rep.LostObjects), rep.Duration.Round(time.Millisecond))
+		if rep.RepairsQueued > 0 {
+			if copies, err := cluster.Repair(); err != nil {
+				log.Printf("startup repair incomplete: %v", err)
+			} else {
+				log.Printf("startup repair: %d chunk copies restored", copies)
+			}
+		}
+	}
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	recovering.Store(false)
 
 	total, free := cluster.Capacity()
 	log.Printf("serving on %s (%d %s nodes, %d/%d chunk slots free)", bound, *nodes, *devices, free, total)
@@ -169,6 +234,29 @@ func main() {
 			log.Printf("invariant violation: %s", v)
 		}
 		exit = 1
+	}
+	// Settle durable state: devices checkpoint wear, stores sync. A clean
+	// exit also removes the address files, so their presence after death
+	// distinguishes a crash from a shutdown.
+	for _, d := range devs {
+		if c, ok := d.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				log.Printf("device close: %v", err)
+				exit = 1
+			}
+		}
+	}
+	if metaSt != nil {
+		if err := metaSt.Close(); err != nil {
+			log.Printf("meta store close: %v", err)
+			exit = 1
+		}
+	}
+	if *addrFile != "" {
+		os.Remove(*addrFile)
+	}
+	if *opsAddrFile != "" {
+		os.Remove(*opsAddrFile)
 	}
 
 	snap := reg.Snapshot()
@@ -200,11 +288,38 @@ func main() {
 
 // buildDevice constructs one node's backing device. The core variant mirrors
 // the chaos harness fleet: real stored bytes, analytic ECC, alternating
-// ShrinkS/RegenS deployments.
-func buildDevice(kind string, seed uint64, i, disks, lbas int) (blockdev.Device, error) {
+// ShrinkS/RegenS deployments. With dataDir set, both variants persist to
+// dataDir/node<i> and reload whatever survived the last process.
+func buildDevice(kind string, seed uint64, i, disks, lbas int, dataDir string, fileOpts store.FileOptions) (blockdev.Device, error) {
+	var st store.Store
+	if dataDir != "" {
+		fs, err := store.OpenFile(filepath.Join(dataDir, fmt.Sprintf("node%d", i)), fileOpts)
+		if err != nil {
+			return nil, err
+		}
+		st = fs
+	}
 	switch kind {
 	case "mem":
-		return blockdev.NewMemDevice(disks, lbas), nil
+		if st == nil {
+			return blockdev.NewMemDevice(disks, lbas), nil
+		}
+		dev, err := blockdev.OpenDurable(st)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dev.Damaged() {
+			log.Printf("node%d: dropped corrupt durable record %s", i, d)
+		}
+		// First boot on this directory: provision the minidisks.
+		if len(dev.Minidisks()) == 0 {
+			for d := 0; d < disks; d++ {
+				if _, err := dev.AddMinidisk(lbas, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return dev, nil
 	case "core":
 		dcfg := core.DefaultConfig()
 		dcfg.Flash.Geometry = flash.Geometry{
@@ -220,7 +335,18 @@ func buildDevice(kind string, seed uint64, i, disks, lbas int) (blockdev.Device,
 		dcfg.MaxLevel = i % 2
 		dcfg.Flash.Seed = seed + uint64(i)*977
 		dcfg.Seed = seed*13 + uint64(i)
-		return core.New(dcfg, sim.NewEngine())
+		if st == nil {
+			return core.New(dcfg, sim.NewEngine())
+		}
+		dev, err := core.OpenDurable(dcfg, sim.NewEngine(), st, core.DurableOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rs := dev.ReplayStats()
+		if rs.ReplayedPages > 0 || rs.DroppedPages > 0 {
+			log.Printf("node%d: replayed %d pages, dropped %d torn", i, rs.ReplayedPages, rs.DroppedPages)
+		}
+		return dev, nil
 	default:
 		return nil, fmt.Errorf("unknown -devices %q (want mem or core)", kind)
 	}

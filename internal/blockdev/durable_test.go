@@ -1,0 +1,207 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"salamander/internal/store"
+)
+
+func newDurable(t *testing.T, st store.Store, disks, lbas int) *DurableDevice {
+	t.Helper()
+	d, err := OpenDurable(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < disks; i++ {
+		if _, err := d.AddMinidisk(lbas, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestDurableConformance(t *testing.T) {
+	d := newDurable(t, store.NewMem(), 3, 16)
+	if err := CheckConformance(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableConformanceOnFileStore(t *testing.T) {
+	st, err := store.OpenFile(t.TempDir(), store.FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDurable(t, st, 2, 8)
+	if err := CheckConformance(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableSurvivesReopen is the core durability property: everything an
+// acked write established is visible through a fresh device over the same
+// store.
+func TestDurableSurvivesReopen(t *testing.T) {
+	st := store.NewMem()
+	d := newDurable(t, st, 2, 8)
+	mds := d.Minidisks()
+
+	page := func(b byte) []byte {
+		p := make([]byte, OPageSize)
+		for i := range p {
+			p[i] = b ^ byte(i)
+		}
+		return p
+	}
+	if err := d.Write(mds[0].ID, 3, page(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(mds[1].ID, 7, page(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(mds[1].ID, 0, page(0xCC)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trim(mds[1].ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DrainMinidisk(mds[0].ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new device over the same store.
+	d2, err := OpenDurable(st.Reopen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmg := d2.Damaged(); len(dmg) != 0 {
+		t.Fatalf("clean reopen reported damage: %v", dmg)
+	}
+	// The draining disk stays draining (hidden from Minidisks, writes
+	// rejected, reads still served).
+	live := d2.Minidisks()
+	if len(live) != 1 || live[0].ID != mds[1].ID {
+		t.Fatalf("Minidisks after reopen = %v, want only %d", live, mds[1].ID)
+	}
+	buf := make([]byte, OPageSize)
+	if err := d2.Read(mds[0].ID, 3, buf); err != nil {
+		t.Fatalf("read draining disk after reopen: %v", err)
+	}
+	if !bytes.Equal(buf, page(0xAA)) {
+		t.Fatal("draining disk lost its contents across reopen")
+	}
+	if err := d2.Write(mds[0].ID, 3, page(0x11)); !errors.Is(err, ErrNoSuchMinidisk) {
+		t.Fatalf("write to draining disk after reopen = %v, want ErrNoSuchMinidisk", err)
+	}
+	if err := d2.Read(mds[1].ID, 7, buf); err != nil || !bytes.Equal(buf, page(0xBB)) {
+		t.Fatalf("read md %d lba 7: %v", mds[1].ID, err)
+	}
+	// The trimmed LBA stayed trimmed.
+	if err := d2.Read(mds[1].ID, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("trim did not survive reopen")
+		}
+	}
+	// New minidisk IDs never collide with pre-restart ones.
+	id, err := d2.AddMinidisk(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= mds[1].ID {
+		t.Fatalf("new ID %d collides with pre-restart IDs", id)
+	}
+}
+
+func TestDurableFailAndBrickPersist(t *testing.T) {
+	st := store.NewMem()
+	d := newDurable(t, st, 2, 4)
+	mds := d.Minidisks()
+	if err := d.FailMinidisk(mds[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(st.Reopen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Minidisks(); len(got) != 1 || got[0].ID != mds[1].ID {
+		t.Fatalf("Minidisks after fail+reopen = %v", got)
+	}
+	if err := d2.Brick(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := OpenDurable(st.Reopen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.Bricked() {
+		t.Fatal("brick did not survive reopen")
+	}
+	buf := make([]byte, OPageSize)
+	if err := d3.Read(mds[1].ID, 0, buf); !errors.Is(err, ErrBricked) {
+		t.Fatalf("read on reopened bricked device = %v, want ErrBricked", err)
+	}
+}
+
+// TestDurableToleratesCorruptRecords: undecodable metadata quarantines that
+// record (the disk is simply absent — difs repair handles the fallout);
+// orphan or short pages are reclaimed. Never a panic, never wrong bytes.
+func TestDurableToleratesCorruptRecords(t *testing.T) {
+	st := store.NewMem()
+	d := newDurable(t, st, 2, 4)
+	mds := d.Minidisks()
+	good := make([]byte, OPageSize)
+	for i := range good {
+		good[i] = 7
+	}
+	if err := d.Write(mds[1].ID, 2, good); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := st.Reopen()
+	// Truncated metadata record for disk 0.
+	if err := raw.Put("md/0", []byte(`{"info":{"id":0,`)); err != nil {
+		t.Fatal(err)
+	}
+	// A short (torn-looking) page and an orphan page of a never-known disk.
+	if err := raw.Put("pg/1/3", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Put("pg/99/0", bytes.Repeat([]byte{1}, OPageSize)); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmg := d2.Damaged(); len(dmg) != 2 { // md/0 and pg/1/3
+		t.Fatalf("Damaged = %v, want [md/0 pg/1/3]", dmg)
+	}
+	if got := d2.Minidisks(); len(got) != 1 || got[0].ID != mds[1].ID {
+		t.Fatalf("Minidisks = %v, want only %d", got, mds[1].ID)
+	}
+	buf := make([]byte, OPageSize)
+	// The good page still reads good; the torn page reads zeros.
+	if err := d2.Read(mds[1].ID, 2, buf); err != nil || !bytes.Equal(buf, good) {
+		t.Fatalf("good page: %v", err)
+	}
+	if err := d2.Read(mds[1].ID, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("torn page served non-zero bytes")
+		}
+	}
+	// The reclaimed keys are gone from the store.
+	for _, k := range []string{"pg/1/3", "pg/99/0"} {
+		if _, err := raw.Get(k); !errors.Is(err, store.ErrNotFound) {
+			t.Fatalf("orphan %s not reclaimed: %v", k, err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 func (c *Cluster) CrashNode(id NodeID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() { _ = c.flushMeta() }()
 	affected := 0
 	for _, t := range c.targetsOfNode(id) {
 		if t.down {
@@ -53,6 +54,7 @@ func (c *Cluster) CrashNode(id NodeID) int {
 func (c *Cluster) RestartNode(id NodeID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() { _ = c.flushMeta() }()
 	any := false
 	for _, t := range c.targetsOfNode(id) {
 		if t.down {

@@ -25,6 +25,7 @@ import (
 	"salamander/internal/ec"
 	"salamander/internal/sim"
 	"salamander/internal/stats"
+	"salamander/internal/store"
 	"salamander/internal/telemetry"
 )
 
@@ -158,6 +159,10 @@ type chunk struct {
 	obj      *object
 	idx      int
 	replicas []replica
+	// sum is the CRC-32C of the chunk's padded content, fixed at placement.
+	// Recovery verifies every persisted replica against it before trusting
+	// the bytes — a torn or stale slot is quarantined, never served.
+	sum uint32
 	// stripe links erasure-coded shards: chunks of one stripe are the k
 	// data + m parity shards of an RS stripe, each stored once. nil for
 	// replicated chunks.
@@ -216,6 +221,10 @@ type Stats struct {
 	FaultsInjected, FaultsRecovered int64
 	// NodeCrashes/NodeRestarts/Quarantines count crash-fault transitions.
 	NodeCrashes, NodeRestarts, Quarantines int64
+	// RecoverObjects counts objects rebuilt from durable manifests by
+	// Recover; RecoverQuarantined counts manifests and replicas recovery
+	// refused to trust (moved aside or left for repair).
+	RecoverObjects, RecoverQuarantined int64
 }
 
 // cTele holds the registry-backed handles behind Stats(). A fresh cluster
@@ -240,8 +249,11 @@ type cTele struct {
 	nodeCrashes        *telemetry.Counter
 	nodeRestarts       *telemetry.Counter
 	quarantines        *telemetry.Counter
+	recoverObjects     *telemetry.Counter
+	recoverQuarantined *telemetry.Counter
 	objectSize         *telemetry.Histogram
 	repairBytes        *telemetry.Histogram
+	recoverNs          *telemetry.Histogram
 	tr                 *telemetry.Tracer
 }
 
@@ -266,8 +278,11 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) cTele {
 		nodeCrashes:        reg.Counter("difs.node_crashes"),
 		nodeRestarts:       reg.Counter("difs.node_restarts"),
 		quarantines:        reg.Counter("difs.quarantines"),
+		recoverObjects:     reg.Counter("difs.recover_objects"),
+		recoverQuarantined: reg.Counter("difs.recover_quarantined"),
 		objectSize:         reg.Histogram("difs.object_size_bytes"),
 		repairBytes:        reg.Histogram("difs.repair_run_bytes"),
+		recoverNs:          reg.Histogram("difs.recover_ns"),
 		tr:                 tr,
 	}
 }
@@ -295,6 +310,14 @@ type Cluster struct {
 	flaps   map[NodeID]int // crash/restart cycles per node (quarantine input)
 	tele    cTele
 	codec   *ec.Code // non-nil in erasure-coding mode
+
+	// meta is the durable manifest store attached by AttachMeta (nil =
+	// metadata lives only in RAM, the pre-durability behaviour). metaDirty
+	// tracks object names whose manifest must be rewritten; flushMeta
+	// drains it at the end of every exported mutation, which makes the
+	// manifest write the commit point for acked operations.
+	meta      store.Store
+	metaDirty map[string]bool
 
 	// sinkMu/sink buffer device events raised while RepairParallel's
 	// workers drive devices off the cluster goroutine. sinkMu is a leaf
@@ -389,6 +412,8 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(c.tele.nodeCrashes, old.nodeCrashes)
 	carry(c.tele.nodeRestarts, old.nodeRestarts)
 	carry(c.tele.quarantines, old.quarantines)
+	carry(c.tele.recoverObjects, old.recoverObjects)
+	carry(c.tele.recoverQuarantined, old.recoverQuarantined)
 }
 
 // AddNode attaches a node with its devices. The cluster registers itself
@@ -518,6 +543,7 @@ func (c *Cluster) loseTarget(key targetKey) {
 			}
 		}
 		ch.replicas = kept
+		c.markDirty(ch.obj.name)
 		c.enqueueRepair(ch)
 	}
 	t.chunks = map[int]*chunk{}
@@ -571,6 +597,8 @@ func (c *Cluster) Stats() Stats {
 		NodeCrashes:        int64(c.tele.nodeCrashes.Value()),
 		NodeRestarts:       int64(c.tele.nodeRestarts.Value()),
 		Quarantines:        int64(c.tele.quarantines.Value()),
+		RecoverObjects:     int64(c.tele.recoverObjects.Value()),
+		RecoverQuarantined: int64(c.tele.recoverQuarantined.Value()),
 	}
 }
 
@@ -736,6 +764,7 @@ func (c *Cluster) writeChunk(t *target, ch *chunk, data []byte) error {
 	t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
 	t.chunks[slot] = ch
 	ch.replicas = append(ch.replicas, replica{tgt: t, slot: slot})
+	c.markDirty(ch.obj.name)
 	return nil
 }
 
@@ -831,10 +860,14 @@ func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 	}
 	obj, err := c.placeObject(ctx, name, data)
 	if err != nil {
+		_ = c.flushMeta() // persist any rollback-side replica drops
 		return err
 	}
 	c.commitObject(obj)
-	return nil
+	// The manifest write is the commit point: only after it lands may the
+	// caller be acked, so a crash before it leaves (at worst) orphan device
+	// pages that recovery reclaims — never a half-acked object.
+	return c.flushMeta()
 }
 
 // Replace atomically stores data under name, replacing any existing object.
@@ -857,19 +890,30 @@ func (c *Cluster) ReplaceCtx(ctx context.Context, name string, data []byte) erro
 	defer c.mu.Unlock()
 	obj, err := c.placeObject(ctx, name, data)
 	if err != nil {
+		_ = c.flushMeta()
 		return err
 	}
-	if old, ok := c.objects[name]; ok {
+	old := c.objects[name]
+	c.commitObject(obj)
+	// Flush the new manifest BEFORE dropping the old chunks: the durable
+	// name swap is the commit point, so a crash in this window leaves either
+	// the old object intact (manifest not yet flushed — the new chunks are
+	// orphans) or the new one fully referenced (the old chunks are orphans).
+	// Trimming the old copy first would destroy acked data on a torn flush.
+	if err := c.flushMeta(); err != nil {
+		return err
+	}
+	if old != nil {
 		c.dropObjectChunks(old)
 	}
-	c.commitObject(obj)
-	return nil
+	return c.flushMeta()
 }
 
 // commitObject installs a fully placed object into the namespace. Callers
 // hold the cluster lock.
 func (c *Cluster) commitObject(obj *object) {
 	c.objects[obj.name] = obj
+	c.markDirty(obj.name)
 	c.tele.objectSize.Observe(float64(obj.size))
 }
 
@@ -895,6 +939,7 @@ func (c *Cluster) placeObject(ctx context.Context, name string, data []byte) (*o
 		ch := &chunk{obj: obj, idx: i}
 		padded := make([]byte, cb)
 		copy(padded, data[min(i*cb, len(data)):min((i+1)*cb, len(data))])
+		ch.sum = chunkSum(padded)
 		placed := 0
 		exclude := map[NodeID]bool{}
 		for attempt := 0; attempt < 2*c.cfg.ReplicationFactor && placed < c.cfg.ReplicationFactor; attempt++ {
@@ -935,6 +980,9 @@ func (c *Cluster) Get(name string) ([]byte, error) {
 func (c *Cluster) GetCtx(ctx context.Context, name string) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Reads can drop bad replicas; persist that best-effort (a failed flush
+	// leaves the names dirty for the next mutation to retry).
+	defer func() { _ = c.flushMeta() }()
 	return c.get(ctx, name)
 }
 
@@ -1017,6 +1065,7 @@ func (c *Cluster) dropReplica(ch *chunk, bad replica) {
 		}
 	}
 	ch.replicas = kept
+	c.markDirty(ch.obj.name)
 	if bad.tgt.readable() {
 		delete(bad.tgt.chunks, bad.slot)
 		// The slot's content is untrusted; trim it back to the device and
@@ -1048,10 +1097,19 @@ func (c *Cluster) DeleteCtx(ctx context.Context, name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	c.dropObjectChunks(obj)
+	// Durably delete the manifest BEFORE trimming the replicas: a crash
+	// mid-delete must leave either the object fully present (unacked delete)
+	// or orphan pages that recovery reclaims — never a manifest pointing at
+	// trimmed slots.
 	delete(c.objects, name)
+	c.markDirty(name)
+	if err := c.flushMeta(); err != nil {
+		c.objects[name] = obj // delete not acked; keep the object
+		return err
+	}
+	c.dropObjectChunks(obj)
 	// Purge the repair queue lazily: Repair skips deleted chunks.
-	return nil
+	return c.flushMeta()
 }
 
 // RepairError aggregates the per-chunk failures of one Repair pass. Lost
@@ -1105,6 +1163,7 @@ func (c *Cluster) Repair() (copies int, err error) {
 func (c *Cluster) RepairCtx(ctx context.Context) (copies int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() { _ = c.flushMeta() }()
 	return c.repair(ctx)
 }
 
@@ -1280,6 +1339,7 @@ func (c *Cluster) liveReplicas(ch *chunk) int {
 func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() { _ = c.flushMeta() }()
 	for _, name := range c.objectNames() {
 		data, err := c.get(context.Background(), name)
 		if err != nil {

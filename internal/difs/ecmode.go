@@ -53,7 +53,7 @@ func (c *Cluster) placeEC(ctx context.Context, name string, data []byte) (*objec
 		st := &stripe{}
 		exclude := map[NodeID]bool{}
 		for i, content := range shards {
-			ch := &chunk{obj: obj, idx: s*k + min(i, k-1), stripe: st, shardIdx: i}
+			ch := &chunk{obj: obj, idx: s*k + min(i, k-1), stripe: st, shardIdx: i, sum: chunkSum(content)}
 			st.chunks = append(st.chunks, ch)
 			placed := false
 			for attempt := 0; attempt < 3 && !placed; attempt++ {
@@ -192,6 +192,7 @@ func (c *Cluster) repairShard(ch *chunk) bool {
 func (c *Cluster) DecommissionNode(id NodeID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() { _ = c.flushMeta() }()
 	n := 0
 	for _, t := range c.targetsOfNode(id) {
 		if !t.live() {

@@ -1,0 +1,188 @@
+package difs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/store"
+)
+
+// Manifest persistence: every object's placement — which chunks it has,
+// their checksums, and which (node, device, minidisk, slot) holds each
+// replica — is serialized to an attached store.Store. The manifest write is
+// the commit point of every acked mutation: Put/Replace/Delete return only
+// after their manifest change is durable, and recovery (recover.go)
+// rebuilds the cluster view from manifests plus the devices' own persisted
+// contents, verifying every replica's checksum before trusting it.
+
+// metaFormatKey/metaFormatV1 stamp the manifest namespace so an older (or
+// foreign) layout is detected instead of misread.
+const (
+	metaFormatKey = "meta/format"
+	metaFormatV1  = "difs-meta-v1"
+	objPrefix     = "obj/"
+	quarPrefix    = "quarantine/"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// chunkSum is the replica-verification checksum over a chunk's padded
+// content.
+func chunkSum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+func objKey(name string) string { return objPrefix + name }
+
+// replicaRec pins one replica to its physical slot.
+type replicaRec struct {
+	Node NodeID              `json:"node"`
+	Dev  int                 `json:"dev"`
+	MD   blockdev.MinidiskID `json:"md"`
+	Slot int                 `json:"slot"`
+}
+
+type chunkRec struct {
+	Idx      int          `json:"idx"`
+	Sum      uint32       `json:"sum"`
+	Shard    int          `json:"shard,omitempty"` // shard index within the stripe (EC)
+	Replicas []replicaRec `json:"replicas"`
+}
+
+type stripeRec struct {
+	Chunks []chunkRec `json:"chunks"` // len k+m, shard order
+}
+
+// objRec is one object's durable manifest.
+type objRec struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+	// K/M record the erasure-coding shape the object was written with
+	// (zero = replicated). Recovery refuses to reinterpret an object under
+	// a different shape.
+	K       int         `json:"k,omitempty"`
+	M       int         `json:"m,omitempty"`
+	Chunks  []chunkRec  `json:"chunks,omitempty"`  // replicated objects
+	Stripes []stripeRec `json:"stripes,omitempty"` // EC objects
+}
+
+// AttachMeta attaches a durable manifest store. From this point on, every
+// acked mutation flushes its manifest changes before returning. If the
+// store carries an unknown manifest format, its records are moved under
+// "quarantine/" (returned count) and the namespace restarts empty — an old
+// layout degrades to a repair problem for the operator, it is never
+// silently reinterpreted as current-format bytes.
+func (c *Cluster) AttachMeta(st store.Store) (quarantined int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, err := st.Get(metaFormatKey)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		if err := st.Put(metaFormatKey, []byte(metaFormatV1)); err != nil {
+			return 0, fmt.Errorf("difs: stamp meta format: %w", err)
+		}
+	case err != nil:
+		return 0, fmt.Errorf("difs: read meta format: %w", err)
+	case string(raw) != metaFormatV1:
+		old := string(raw)
+		keys, lerr := st.List(objPrefix)
+		if lerr != nil {
+			return 0, fmt.Errorf("difs: quarantine %q manifests: %w", old, lerr)
+		}
+		for _, k := range keys {
+			if data, gerr := st.Get(k); gerr == nil {
+				if perr := st.Put(quarPrefix+old+"/"+k, data); perr != nil {
+					return quarantined, fmt.Errorf("difs: quarantine %q: %w", k, perr)
+				}
+			}
+			if derr := st.Delete(k); derr != nil {
+				return quarantined, fmt.Errorf("difs: quarantine %q: %w", k, derr)
+			}
+			quarantined++
+		}
+		if err := st.Put(metaFormatKey, []byte(metaFormatV1)); err != nil {
+			return quarantined, fmt.Errorf("difs: stamp meta format: %w", err)
+		}
+		c.tele.recoverQuarantined.Add(uint64(quarantined))
+	}
+	c.meta = st
+	c.metaDirty = map[string]bool{}
+	return quarantined, nil
+}
+
+// markDirty notes that an object's manifest no longer matches the store.
+// No-op until AttachMeta.
+func (c *Cluster) markDirty(name string) {
+	if c.metaDirty != nil {
+		c.metaDirty[name] = true
+	}
+}
+
+// flushMeta writes every dirty manifest (sorted, for deterministic store
+// traffic). Names whose object is gone have their record deleted. A failed
+// write keeps its name dirty so the next flush retries; the first error is
+// returned so ack paths can refuse to ack.
+func (c *Cluster) flushMeta() error {
+	if c.meta == nil || len(c.metaDirty) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(c.metaDirty))
+	for name := range c.metaDirty {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var firstErr error
+	for _, name := range names {
+		var err error
+		if obj, ok := c.objects[name]; ok {
+			raw, merr := json.Marshal(c.objRecord(obj))
+			if merr != nil {
+				err = merr
+			} else {
+				err = c.meta.Put(objKey(name), raw)
+			}
+		} else {
+			err = c.meta.Delete(objKey(name))
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("difs: flush manifest %q: %w", name, err)
+			}
+			continue
+		}
+		delete(c.metaDirty, name)
+	}
+	return firstErr
+}
+
+// objRecord serializes an object's current placement.
+func (c *Cluster) objRecord(obj *object) objRec {
+	rec := objRec{Name: obj.name, Size: obj.size}
+	if len(obj.stripes) > 0 {
+		rec.K, rec.M = c.codec.K, c.codec.M
+		for _, st := range obj.stripes {
+			var sr stripeRec
+			for _, ch := range st.chunks {
+				sr.Chunks = append(sr.Chunks, chunkRecord(ch))
+			}
+			rec.Stripes = append(rec.Stripes, sr)
+		}
+		return rec
+	}
+	for _, ch := range obj.chunks {
+		rec.Chunks = append(rec.Chunks, chunkRecord(ch))
+	}
+	return rec
+}
+
+func chunkRecord(ch *chunk) chunkRec {
+	cr := chunkRec{Idx: ch.idx, Sum: ch.sum, Shard: ch.shardIdx}
+	for _, r := range ch.replicas {
+		cr.Replicas = append(cr.Replicas, replicaRec{
+			Node: r.tgt.key.node, Dev: r.tgt.key.dev, MD: r.tgt.key.md, Slot: r.slot,
+		})
+	}
+	return cr
+}

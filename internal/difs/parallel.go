@@ -52,6 +52,7 @@ type repairPlan struct {
 func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer func() { _ = c.flushMeta() }()
 	if workers <= 1 {
 		return c.repair(context.Background())
 	}

@@ -1,0 +1,273 @@
+package difs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"salamander/internal/telemetry"
+)
+
+// RecoveryReport summarizes what Recover rebuilt and what it refused to
+// trust.
+type RecoveryReport struct {
+	// Objects/Chunks are what the manifests described and recovery
+	// installed into the namespace.
+	Objects int `json:"objects"`
+	Chunks  int `json:"chunks"`
+	// VerifiedReplicas read back from their devices with a matching
+	// checksum and rejoined the cluster view.
+	VerifiedReplicas int `json:"verified_replicas"`
+	// QuarantinedReplicas are manifest-listed replicas recovery refused:
+	// missing target, out-of-range or double-booked slot, unreadable pages,
+	// or a checksum mismatch (a torn chunk write). Their slots stay free
+	// and their pages are reclaimed.
+	QuarantinedReplicas int `json:"quarantined_replicas"`
+	// TornChunks had no valid replica at all (for EC shards the stripe may
+	// still reconstruct them lazily).
+	TornChunks int `json:"torn_chunks"`
+	// RepairsQueued is how many chunks recovery left on the repair queue.
+	RepairsQueued int `json:"repairs_queued"`
+	// LostObjects cannot currently serve reads: some chunk has zero valid
+	// replicas and (for EC) too few stripe survivors. Gets return errors
+	// for them — never fabricated bytes.
+	LostObjects []string `json:"lost_objects,omitempty"`
+	// BadManifests were undecodable or structurally impossible records,
+	// moved under "quarantine/".
+	BadManifests int `json:"bad_manifests"`
+	// Duration is wall-clock recovery time (also observed into the
+	// difs.recover_ns histogram).
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Recover rebuilds the cluster's object namespace from the manifest store
+// attached with AttachMeta. Call it after AddNode has registered every
+// node (in the same order as the previous process — node IDs are
+// positional) and before serving traffic.
+//
+// For every manifest record, each listed replica is verified against the
+// device: the target minidisk must exist, the slot must be sane, and the
+// chunk's bytes must match the manifest checksum. Replicas that fail any
+// of these are quarantined (slot left free, pages reclaimed) and the chunk
+// is queued for repair from its surviving copies — a torn write degrades
+// to redundancy repair, exactly like a failed minidisk. Undecodable
+// manifests are moved aside, never guessed at. After reconciliation every
+// free slot is trimmed so orphan pages from un-acked operations are
+// reclaimed.
+func (c *Cluster) Recover() (*RecoveryReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.meta == nil {
+		return nil, errors.New("difs: Recover requires AttachMeta first")
+	}
+	if len(c.objects) != 0 {
+		return nil, fmt.Errorf("difs: Recover on a non-empty namespace (%d objects)", len(c.objects))
+	}
+	start := time.Now()
+	rep := &RecoveryReport{}
+	keys, err := c.meta.List(objPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("difs: recover: %w", err)
+	}
+	for _, key := range keys {
+		raw, err := c.meta.Get(key)
+		if err != nil {
+			rep.BadManifests++
+			continue
+		}
+		var rec objRec
+		name := key[len(objPrefix):]
+		if jerr := json.Unmarshal(raw, &rec); jerr != nil || rec.Name != name || rec.Size < 0 {
+			c.quarantineManifest(key, raw, rep)
+			continue
+		}
+		obj, ok := c.rebuildObject(&rec, rep)
+		if !ok {
+			c.quarantineManifest(key, raw, rep)
+			continue
+		}
+		c.objects[name] = obj
+		rep.Objects++
+	}
+	// Reclaim orphan pages: every free slot is trimmed, so chunk data from
+	// un-acked puts (placed but never committed to a manifest) and from
+	// quarantined replicas does not survive as unaccounted device pages.
+	c.trimFreeSlots()
+	rep.RepairsQueued = len(c.repairQ)
+	if err := c.flushMeta(); err != nil {
+		return rep, err
+	}
+	rep.Duration = time.Since(start)
+	c.tele.recoverNs.Observe(float64(rep.Duration.Nanoseconds()))
+	c.tele.recoverObjects.Add(uint64(rep.Objects))
+	c.tele.recoverQuarantined.Add(uint64(rep.QuarantinedReplicas + rep.BadManifests))
+	c.tele.tr.Emit(telemetry.Event{
+		Kind: telemetry.KindRecover, Layer: "difs", N: int64(rep.Objects),
+		Detail: fmt.Sprintf("chunks=%d verified=%d quarantined=%d torn=%d lost=%d bad_manifests=%d",
+			rep.Chunks, rep.VerifiedReplicas, rep.QuarantinedReplicas,
+			rep.TornChunks, len(rep.LostObjects), rep.BadManifests),
+	})
+	return rep, nil
+}
+
+// quarantineManifest moves an untrusted record aside so it is preserved
+// for debugging but never re-read as live metadata.
+func (c *Cluster) quarantineManifest(key string, raw []byte, rep *RecoveryReport) {
+	_ = c.meta.Put(quarPrefix+key, raw)
+	_ = c.meta.Delete(key)
+	rep.BadManifests++
+}
+
+// rebuildObject reconstructs one object from its manifest, verifying every
+// replica. Returns ok=false for structurally impossible records (the
+// caller quarantines them); per-replica damage is handled by degrading to
+// repair, not by rejecting the object.
+func (c *Cluster) rebuildObject(rec *objRec, rep *RecoveryReport) (*object, bool) {
+	obj := &object{name: rec.Name, size: rec.Size}
+	switch {
+	case len(rec.Stripes) > 0:
+		if c.codec == nil || rec.K != c.codec.K || rec.M != c.codec.M {
+			return nil, false // written under a different EC shape
+		}
+		if len(rec.Chunks) != 0 {
+			return nil, false
+		}
+		lost := false
+		for _, sr := range rec.Stripes {
+			if len(sr.Chunks) != rec.K+rec.M {
+				return nil, false
+			}
+			st := &stripe{}
+			valid := 0
+			for shard, cr := range sr.Chunks {
+				if cr.Shard != shard {
+					return nil, false
+				}
+				ch := &chunk{obj: obj, idx: cr.Idx, sum: cr.Sum, stripe: st, shardIdx: shard}
+				st.chunks = append(st.chunks, ch)
+				c.recoverReplicas(ch, cr, rep)
+				if len(ch.replicas) > 0 {
+					valid++
+				} else {
+					rep.TornChunks++
+					c.enqueueRepair(ch)
+				}
+				rep.Chunks++
+			}
+			obj.chunks = append(obj.chunks, st.chunks[:rec.K]...)
+			obj.stripes = append(obj.stripes, st)
+			if valid < rec.K {
+				lost = true
+			}
+		}
+		if lost {
+			rep.LostObjects = append(rep.LostObjects, obj.name)
+		}
+	case rec.K != 0 || rec.M != 0:
+		return nil, false // EC shape without stripes
+	default:
+		lost := false
+		for i, cr := range rec.Chunks {
+			if cr.Idx != i {
+				return nil, false
+			}
+			ch := &chunk{obj: obj, idx: i, sum: cr.Sum}
+			c.recoverReplicas(ch, cr, rep)
+			if len(ch.replicas) == 0 {
+				rep.TornChunks++
+				lost = true
+			}
+			if len(ch.replicas) < c.cfg.ReplicationFactor {
+				c.enqueueRepair(ch)
+			}
+			obj.chunks = append(obj.chunks, ch)
+			rep.Chunks++
+		}
+		if len(obj.chunks) == 0 {
+			return nil, false // every object has at least one chunk
+		}
+		if lost {
+			rep.LostObjects = append(rep.LostObjects, obj.name)
+		}
+	}
+	return obj, true
+}
+
+// recoverReplicas verifies each manifest-listed replica against its device
+// and installs the ones whose bytes check out. Any discrepancy between the
+// manifest and what survived is flushed back at the end of Recover.
+func (c *Cluster) recoverReplicas(ch *chunk, cr chunkRec, rep *RecoveryReport) {
+	buf := make([]byte, c.chunkBytes())
+	for _, rr := range cr.Replicas {
+		t, ok := c.targets[targetKey{node: rr.Node, dev: rr.Dev, md: rr.MD}]
+		if !ok || t.state != tLive {
+			rep.QuarantinedReplicas++
+			c.markDirty(ch.obj.name)
+			continue
+		}
+		slots := t.info.LBAs / c.cfg.ChunkOPages
+		if rr.Slot < 0 || rr.Slot >= slots || t.chunks[rr.Slot] != nil {
+			rep.QuarantinedReplicas++
+			c.markDirty(ch.obj.name)
+			continue
+		}
+		r := replica{tgt: t, slot: rr.Slot}
+		if err := c.readChunk(r, buf); err != nil || chunkSum(buf) != ch.sum {
+			// Torn or rotted: the slot stays free and trimFreeSlots reclaims
+			// the pages. The chunk heals from its other replicas.
+			rep.QuarantinedReplicas++
+			c.markDirty(ch.obj.name)
+			continue
+		}
+		if !t.takeSlot(rr.Slot) {
+			rep.QuarantinedReplicas++
+			c.markDirty(ch.obj.name)
+			continue
+		}
+		t.chunks[rr.Slot] = ch
+		ch.replicas = append(ch.replicas, r)
+		rep.VerifiedReplicas++
+	}
+}
+
+// takeSlot removes a specific slot from the target's free list, returning
+// whether it was free.
+func (t *target) takeSlot(slot int) bool {
+	for i, s := range t.freeSlots {
+		if s == slot {
+			t.freeSlots = append(t.freeSlots[:i], t.freeSlots[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// trimFreeSlots trims every free slot on every target (deterministic
+// order), reclaiming orphan device pages left by un-acked operations.
+func (c *Cluster) trimFreeSlots() {
+	keys := make([]targetKey, 0, len(c.targets))
+	for k := range c.targets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.node != kj.node {
+			return ki.node < kj.node
+		}
+		if ki.dev != kj.dev {
+			return ki.dev < kj.dev
+		}
+		return ki.md < kj.md
+	})
+	for _, k := range keys {
+		t := c.targets[k]
+		for _, slot := range t.freeSlots {
+			base := slot * c.cfg.ChunkOPages
+			for p := 0; p < c.cfg.ChunkOPages; p++ {
+				_ = t.dev.Trim(t.key.md, base+p)
+			}
+		}
+	}
+}

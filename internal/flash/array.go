@@ -492,6 +492,25 @@ func (a *Array) BlockDead(blockID int) bool {
 	return a.blocks[blockID].dead
 }
 
+// RestoreWear reinstates a block's wear state from a persisted snapshot.
+// It exists for durable recovery: a freshly constructed array models
+// pristine flash, but the physical media whose wear was checkpointed has
+// already aged — replaying content without replaying wear would reset the
+// lifetime clock on every restart. Only wear is restored (PEC and the
+// dead flag); page contents are replayed separately through the FTL.
+func (a *Array) RestoreWear(blockID int, pec uint32, dead bool) error {
+	if blockID < 0 || blockID >= len(a.blocks) {
+		return fmt.Errorf("%w: block %d", ErrBadAddress, blockID)
+	}
+	mu := a.channelMu(blockID)
+	mu.Lock()
+	defer mu.Unlock()
+	blk := &a.blocks[blockID]
+	blk.pec = pec
+	blk.dead = dead
+	return nil
+}
+
 // PageEnduranceScale returns the endurance factor of one page (block scale x
 // page scale); 1.0 is nominal. Scales are immutable after construction, so
 // no lock is needed.

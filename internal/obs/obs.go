@@ -52,6 +52,10 @@ type Config struct {
 	// (func() bool { return !srv.Draining() }) so readiness flips the moment
 	// a SIGTERM drain begins. Nil means always ready.
 	Ready func() bool
+	// NotReadyReason names why Ready is false ("recovering", "draining");
+	// /readyz serves it as the 503 body so probes and scripts can tell a
+	// starting daemon from a stopping one. Nil defaults to "draining".
+	NotReadyReason func() string
 	// Devices are the fleet's devices for the /wear report.
 	Devices []DeviceRef
 	// Cluster contributes node up/down/quarantine state and the repair
@@ -76,8 +80,14 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if cfg.Ready != nil && !cfg.Ready() {
+			reason := "draining"
+			if cfg.NotReadyReason != nil {
+				if r := cfg.NotReadyReason(); r != "" {
+					reason = r
+				}
+			}
 			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("draining\n"))
+			w.Write([]byte(reason + "\n"))
 			return
 		}
 		w.Write([]byte("ready\n"))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"salamander/internal/faultinject"
+	"salamander/internal/stats"
 	"salamander/internal/telemetry"
 	"salamander/internal/wire"
 )
@@ -37,8 +38,16 @@ type ClientConfig struct {
 	// attempts = MaxRetries+1). Server status errors are never retried.
 	MaxRetries int
 	// RetryBackoff is the delay before the first retry, doubling per attempt
-	// (default 2ms).
+	// (default 2ms). Each sleep is equal-jittered — half fixed, half random —
+	// so a fleet of clients hitting a restarting server doesn't reconnect in
+	// lockstep.
 	RetryBackoff time.Duration
+	// RetryBudget caps the total time one call may spend sleeping between
+	// retries (default 2s; negative = uncapped). A call also never starts a
+	// sleep its context deadline would cut short: it gives up immediately
+	// with the last transport error instead of burning the caller's
+	// remaining time.
+	RetryBudget time.Duration
 	// DialTimeout bounds each (re)connect (default 5s).
 	DialTimeout time.Duration
 }
@@ -54,6 +63,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2 * time.Second
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
@@ -95,6 +107,9 @@ type Client struct {
 	conns  []*clientConn // fixed length cfg.Conns; nil/dead slots redialed
 	closed bool
 
+	rngMu sync.Mutex
+	rng   *stats.RNG // backoff jitter
+
 	tele cTele
 	fr   *faultinject.Registry // recovery accounting (may be nil)
 }
@@ -106,6 +121,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	cl := &Client{
 		cfg:  cfg.withDefaults(),
 		tele: bindCliTele(telemetry.NewRegistry(), nil),
+		rng:  stats.NewRNG(uint64(time.Now().UnixNano())),
 	}
 	cl.conns = make([]*clientConn, cl.cfg.Conns)
 	cc, err := cl.dial()
@@ -211,21 +227,38 @@ func (cl *Client) conn() (*clientConn, error) {
 	return fresh, nil
 }
 
-// do runs one request with transport-failure retries and exponential
-// backoff. Status errors come back as the corresponding difs sentinel and
-// are never retried.
+// do runs one request with transport-failure retries and jittered
+// exponential backoff, bounded by both the per-call retry budget and the
+// context deadline. Status errors come back as the corresponding difs
+// sentinel and are never retried.
 func (cl *Client) do(ctx context.Context, f wire.Frame) (wire.Frame, error) {
 	start := time.Now()
 	cl.tele.ops.Inc()
+	budget := cl.cfg.RetryBudget
+	deadline, hasDeadline := ctx.Deadline()
 	var lastErr error
 	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			d := cl.jittered(cl.cfg.RetryBackoff << uint(attempt-1))
+			if budget >= 0 {
+				if d > budget {
+					cl.tele.errs.Inc()
+					return wire.Frame{}, fmt.Errorf("salnet: %s retry budget exhausted after %d attempts: %w", f.Op, attempt, lastErr)
+				}
+				budget -= d
+			}
+			if hasDeadline && time.Until(deadline) <= d {
+				// The sleep would outlive the caller: fail now with the real
+				// transport error instead of burning their remaining time.
+				cl.tele.errs.Inc()
+				return wire.Frame{}, fmt.Errorf("salnet: %s out of time after %d attempts: %w", f.Op, attempt, lastErr)
+			}
 			cl.tele.retries.Inc()
 			cl.tele.tr.Emit(telemetry.Event{
 				Kind: telemetry.KindNetRetry, Layer: "net",
 				N: int64(attempt), Detail: f.Op.String(),
 			})
-			if err := sleepCtx(ctx, cl.cfg.RetryBackoff<<uint(attempt-1)); err != nil {
+			if err := sleepCtx(ctx, d); err != nil {
 				cl.tele.errs.Inc()
 				return wire.Frame{}, fmt.Errorf("salnet: %s retry wait: %w (last transport error: %v)", f.Op, err, lastErr)
 			}
@@ -257,6 +290,19 @@ func (cl *Client) do(ctx context.Context, f wire.Frame) (wire.Frame, error) {
 	}
 	cl.tele.errs.Inc()
 	return wire.Frame{}, fmt.Errorf("salnet: %s gave up after %d attempts: %w", f.Op, cl.cfg.MaxRetries+1, lastErr)
+}
+
+// jittered applies equal jitter: half the nominal backoff fixed, half
+// uniformly random, so independent clients spread their retries.
+func (cl *Client) jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	cl.rngMu.Lock()
+	r := cl.rng.Uint64()
+	cl.rngMu.Unlock()
+	half := d / 2
+	return half + time.Duration(r%uint64(half)+1)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -672,5 +673,99 @@ func TestDrainingProbe(t *testing.T) {
 	}
 	if !srv.Draining() {
 		t.Fatal("Draining() = false after shutdown")
+	}
+}
+
+// TestJitteredBackoffBounds pins the equal-jitter contract: every draw lands
+// in (d/2, d], and draws actually vary.
+func TestJitteredBackoffBounds(t *testing.T) {
+	cl := &Client{rng: stats.NewRNG(7)}
+	const d = 8 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		got := cl.jittered(d)
+		if got <= d/2 || got > d {
+			t.Fatalf("jittered(%v) = %v, want in (%v, %v]", d, got, d/2, d)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct values over 200 draws", len(seen))
+	}
+	if got := cl.jittered(1); got != 1 {
+		t.Fatalf("jittered(1) = %v", got)
+	}
+}
+
+// TestRetryBudgetExhausted: once cumulative backoff would exceed the
+// per-call budget, the call gives up immediately instead of sleeping on.
+func TestRetryBudgetExhausted(t *testing.T) {
+	cluster, _ := testCluster(t, 3, 2, 64)
+	srv := NewServer(cluster, ServerConfig{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dialTest(t, ClientConfig{
+		Addr:         addr.String(),
+		MaxRetries:   20,
+		RetryBackoff: 20 * time.Millisecond,
+		RetryBudget:  30 * time.Millisecond,
+	})
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = cl.Ping(context.Background(), []byte("x"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ping of a dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want retry-budget give-up", err)
+	}
+	// 20 retries at 20ms nominal backoff would sleep seconds; the 30ms
+	// budget admits at most two sleeps.
+	if elapsed > time.Second {
+		t.Fatalf("budget-capped call took %v", elapsed)
+	}
+}
+
+// TestRetryStopsBeforeDeadline: a retry sleep that would outlive the
+// context deadline is never started — the call fails fast with the last
+// transport error instead of burning the caller's remaining time.
+func TestRetryStopsBeforeDeadline(t *testing.T) {
+	cluster, _ := testCluster(t, 3, 2, 64)
+	srv := NewServer(cluster, ServerConfig{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dialTest(t, ClientConfig{
+		Addr:         addr.String(),
+		MaxRetries:   20,
+		RetryBackoff: 40 * time.Millisecond,
+		RetryBudget:  -1, // uncapped: the deadline must do the bounding
+	})
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	err = cl.Ping(ctx, []byte("x"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ping of a dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "out of time") && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline-aware give-up", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline-bounded call took %v", elapsed)
 	}
 }

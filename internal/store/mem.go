@@ -1,0 +1,99 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mem is a RAM-backed Store. It exists so durable layers can be exercised
+// in tests without touching the filesystem, and so "restart" can be
+// simulated by handing the same Mem to a freshly constructed layer — the
+// map survives the layer, standing in for the disk surviving the process.
+type Mem struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	closed bool
+}
+
+// NewMem returns an empty RAM store.
+func NewMem() *Mem { return &Mem{m: map[string][]byte{}} }
+
+// Put implements Store.
+func (s *Mem) Put(key string, data []byte) error {
+	if key == "" {
+		return ErrBadKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: mem closed (put %q)", key)
+	}
+	s.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: mem closed (get %q)", key)
+	}
+	data, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: mem closed (delete %q)", key)
+	}
+	delete(s.m, key)
+	return nil
+}
+
+// List implements Store.
+func (s *Mem) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: mem closed (list %q)", prefix)
+	}
+	var out []string
+	for k := range s.m {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Sync implements Store (a no-op for RAM).
+func (s *Mem) Sync() error { return nil }
+
+// Close implements Store: the handle becomes unusable, but the underlying
+// map is retained — use Reopen to get a fresh handle over the same data
+// (simulated restart).
+func (s *Mem) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Reopen returns a fresh usable handle over the same underlying data — the
+// test-harness analogue of reopening a data directory after process death.
+func (s *Mem) Reopen() *Mem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Mem{m: s.m}
+}
+
+var _ Store = (*Mem)(nil)

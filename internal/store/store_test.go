@@ -1,0 +1,156 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// conformance drives the Store contract every implementation must honor.
+func conformance(t *testing.T, s Store) {
+	t.Helper()
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+	if err := s.Put("", []byte("x")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("Put(\"\") = %v, want ErrBadKey", err)
+	}
+	if err := s.Put("obj/alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-put and overwrite.
+	if err := s.Put("obj/alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("obj/alpha", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("obj/alpha")
+	if err != nil || !bytes.Equal(got, []byte("two")) {
+		t.Fatalf("Get = %q, %v; want %q", got, err, "two")
+	}
+	// Keys that stress the escaping: slashes, percent, spaces, unicode.
+	hostile := []string{"pg/3/17", "a%2Fb", "with space", "uni/ço∂e", "obj/beta"}
+	for _, k := range hostile {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for _, k := range hostile {
+		got, err := s.Get(k)
+		if err != nil || string(got) != k {
+			t.Fatalf("Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	names, err := s.List("obj/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"obj/alpha", "obj/beta"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("List(obj/) = %v, want %v", names, want)
+	}
+	// Delete is idempotent.
+	if err := s.Delete("obj/alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("obj/alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("obj/alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemConformance(t *testing.T) { conformance(t, NewMem()) }
+
+func TestFileConformance(t *testing.T) {
+	s, err := OpenFile(t.TempDir(), FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformance(t, s)
+}
+
+func TestFileReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k/1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("k/1")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("after reopen: Get = %q, %v", got, err)
+	}
+}
+
+func TestFileSweepsStagedTemp(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(dir, FileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between temp-write and rename: a half-renamed chunk
+	// is a leftover staging file that was never committed.
+	torn := filepath.Join(dir, "tmp", "999.1.tmp")
+	if err := os.WriteFile(torn, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("staged temp survived reopen: %v", err)
+	}
+	// The key it would have committed to reads as not-found, not as a
+	// truncated value.
+	if _, err := s.Get("whatever"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFileLayoutVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(dir, FileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("salstore v0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir, FileOptions{}); !errors.Is(err, ErrLayout) {
+		t.Fatalf("OpenFile over v0 layout = %v, want ErrLayout", err)
+	}
+}
+
+func TestMemReopenSharesData(t *testing.T) {
+	s := NewMem()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err == nil {
+		t.Fatal("Put on a closed Mem succeeded")
+	}
+	s2 := s.Reopen()
+	got, err := s2.Get("a")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("reopened Mem: Get = %q, %v", got, err)
+	}
+}

@@ -69,6 +69,10 @@ const (
 	// KindSlowOp: a served op exceeded the server's slow-op latency
 	// threshold (layer net; Detail = "<op> <key>", N = duration in ns).
 	KindSlowOp EventKind = "slow_op"
+	// KindRecover: the distributed layer finished rebuilding its state from
+	// durable manifests after a restart (layer difs; N = objects recovered,
+	// Detail = summary counts).
+	KindRecover EventKind = "recover"
 )
 
 // Event is one structured trace record. T is the emitting layer's virtual
