@@ -7,7 +7,13 @@
 # The race-detector pass runs the whole module: the stress battery in
 # blockdev/ssd/core/difs hammers each layer from many goroutines, so a
 # data race anywhere in the concurrent data path (channel workers, sharded
-# FTL locks, device mutexes, cluster lock, event sink) fails the gate. A
+# FTL locks, device mutexes, per-shard cluster locks, event sink) fails the
+# gate. The difs corpus is replayed at DIFS_SHARDS=4 and 16 (sharded-cluster
+# conformance: the same tests must pass at every shard count), the 16-shard
+# replay also runs under -race, two fixed-seed 16-shard salchaos runs must
+# render byte-identical reports (shard determinism), and the salperf
+# -shardbench model must show >= 2x modeled throughput at 16 shards vs 1
+# (BENCH_shard.json guards its points against regression). A
 # fixed-seed salchaos smoke run then asserts the cross-layer invariants
 # end to end, and the salperf -parallel benchmark is compared against the
 # checked-in BENCH_parallel.json: >15% write-throughput regression at any
@@ -52,17 +58,48 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== sharded-cluster conformance (difs corpus at DIFS_SHARDS=4 and 16) =="
+# The whole difs test corpus doubles as the shard conformance battery: every
+# crash/recovery/EC/invariant test must pass unchanged when the metadata
+# plane is split 4 and 16 ways.
+DIFS_SHARDS=4 go test -count=1 ./internal/difs/
+DIFS_SHARDS=16 go test -count=1 ./internal/difs/
+
 echo "== go test -race (all packages, concurrency stress battery) =="
 go test -race ./...
 
+echo "== go test -race (difs corpus at DIFS_SHARDS=16) =="
+DIFS_SHARDS=16 go test -race -count=1 ./internal/difs/
+
 echo "== salchaos smoke (fixed seed) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 >/dev/null
+
+echo "== salchaos determinism at 16 shards (two runs, identical bytes) =="
+chaostmp=$(mktemp -d)
+go build -o "$chaostmp/salchaos" ./cmd/salchaos
+"$chaostmp/salchaos" -seed 1 -ops 2000 -shards 16 >"$chaostmp/run1.txt"
+"$chaostmp/salchaos" -seed 1 -ops 2000 -shards 16 >"$chaostmp/run2.txt"
+cmp "$chaostmp/run1.txt" "$chaostmp/run2.txt" || {
+    echo "sharded salchaos reports differ across identical runs" >&2
+    diff "$chaostmp/run1.txt" "$chaostmp/run2.txt" >&2 || true
+    exit 1
+}
+grep -q "shards=16" "$chaostmp/run1.txt" || {
+    echo "sharded salchaos report missing shard stamp" >&2
+    exit 1
+}
+rm -rf "$chaostmp"
 
 echo "== salperf -ecc regression guard (baseline BENCH_ecc.json) =="
 go run ./cmd/salperf -ecc -ecc-baseline BENCH_ecc.json
 
 echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
 go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
+
+echo "== salperf -shardbench guard (>= 2x at 16 shards + baseline BENCH_shard.json) =="
+# Virtual-time model of the metadata-shard split: must scale >= 2x from one
+# shard to 16 (absolute floor) and stay within 15% of the checked-in points.
+go run ./cmd/salperf -shardbench 16 -shardbench-baseline BENCH_shard.json
 
 echo "== salchaos smoke with network failpoints (-net) =="
 go run ./cmd/salchaos -seed 1 -ops 2000 -net >/dev/null
@@ -76,7 +113,7 @@ go build -o "$nettmp/salload" ./cmd/salload
 # drain completing first.
 "$nettmp/salsrv" -addr 127.0.0.1:0 -addr-file "$nettmp/addr" \
     -ops-addr 127.0.0.1:0 -ops-addr-file "$nettmp/opsaddr" \
-    -drain-linger 2s >"$nettmp/salsrv.log" 2>&1 &
+    -shards 16 -drain-linger 2s >"$nettmp/salsrv.log" 2>&1 &
 srvpid=$!
 i=0
 while { [ ! -s "$nettmp/addr" ] || [ ! -s "$nettmp/opsaddr" ]; } && [ $i -lt 100 ]; do
@@ -118,6 +155,19 @@ curl -s "$ops/wear" | grep -q '"repair_backlog"' || {
     echo "ops /wear missing report fields" >&2
     exit 1
 }
+# The shard layer's counters must be in the exposition and must have counted
+# the load (one sal_difs_shard_ops per object op at any shard count).
+shardops=$(awk '$1 == "sal_difs_shard_ops" { print $2 }' "$nettmp/metrics.prom")
+case "$shardops" in
+'' | *[!0-9]*)
+    echo "ops /metrics: sal_difs_shard_ops missing or non-numeric: '$shardops'" >&2
+    exit 1
+    ;;
+esac
+if [ "$shardops" -eq 0 ]; then
+    echo "ops /metrics: sal_difs_shard_ops=0 after a 40k-op load" >&2
+    exit 1
+fi
 kill -TERM "$srvpid"
 # /readyz must flip to 503 after SIGTERM and before the drain completes;
 # the 2s linger window guarantees the server is still up to answer.
@@ -135,6 +185,42 @@ fi
 grep -q "invariants clean=true" "$nettmp/salsrv.log" || {
     echo "salsrv invariant sweep failed" >&2
     cat "$nettmp/salsrv.log" >&2
+    exit 1
+}
+
+echo "== salsrv/salload loopback smoke at -shards 1 (unsharded conformance) =="
+# Same serving stack with the shard facade disabled: clients must not be
+# able to tell. A lighter load, no baseline (single-lock throughput is the
+# thing the shard split exists to beat), but full content verification,
+# shard counters present, and a clean drain.
+"$nettmp/salsrv" -addr 127.0.0.1:0 -addr-file "$nettmp/addr1" \
+    -ops-addr 127.0.0.1:0 -ops-addr-file "$nettmp/opsaddr1" \
+    -shards 1 >"$nettmp/salsrv1.log" 2>&1 &
+srv1pid=$!
+i=0
+while { [ ! -s "$nettmp/addr1" ] || [ ! -s "$nettmp/opsaddr1" ]; } && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -s "$nettmp/addr1" ] || [ ! -s "$nettmp/opsaddr1" ]; then
+    echo "unsharded salsrv never bound" >&2
+    cat "$nettmp/salsrv1.log" >&2
+    exit 1
+fi
+"$nettmp/salload" -addr "$(cat "$nettmp/addr1")" -clients 8 -depth 8 -ops 8000
+curl -s "http://$(cat "$nettmp/opsaddr1")/metrics" | grep -q 'sal_difs_shard_ops' || {
+    echo "unsharded salsrv /metrics missing sal_difs_shard_ops" >&2
+    exit 1
+}
+kill -TERM "$srv1pid"
+if ! wait "$srv1pid"; then
+    echo "unsharded salsrv drain failed" >&2
+    cat "$nettmp/salsrv1.log" >&2
+    exit 1
+fi
+grep -q "invariants clean=true" "$nettmp/salsrv1.log" || {
+    echo "unsharded salsrv invariant sweep failed" >&2
+    cat "$nettmp/salsrv1.log" >&2
     exit 1
 }
 rm -rf "$nettmp"

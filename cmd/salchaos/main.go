@@ -35,6 +35,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "schedule seed (same seed => byte-identical report)")
 		ops        = flag.Int("ops", 20000, "scheduled operations")
 		nodes      = flag.Int("nodes", 6, "cluster nodes (one Salamander device each)")
+		shards     = flag.Int("shards", 16, "diFS metadata shards (reports are byte-identical per seed AND shard count; 1 = unsharded)")
 		netMode    = flag.Bool("net", false, "route put/get/delete through a loopback salnet server with network failpoints armed")
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file")
 		showMetric = flag.Bool("metrics", false, "print the per-layer telemetry tables after the run")
@@ -49,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	if *proc {
-		os.Exit(procMain(*procBin, *procDir, *seed, *procOps, *procKills))
+		os.Exit(procMain(*procBin, *procDir, *seed, *procOps, *procKills, *shards))
 	}
 
 	var tr *telemetry.Tracer
@@ -61,6 +62,7 @@ func main() {
 	cfg.Ops = *ops
 	cfg.Nodes = *nodes
 	cfg.Net = *netMode
+	cfg.Shards = *shards
 	rep, err := chaos.Run(cfg, tr)
 	if err != nil {
 		log.Fatal(err)

@@ -39,7 +39,7 @@ import (
 // scenario, prints a pass/fail report, and returns the process exit code.
 // The scratch directory is kept on failure so the on-disk state that broke
 // recovery is available as a repro.
-func procMain(bin, dir string, seed uint64, ops, kills int) int {
+func procMain(bin, dir string, seed uint64, ops, kills, shards int) int {
 	if bin == "" {
 		log.Print("-proc requires -proc-bin (path to the salsrv binary)")
 		return 2
@@ -61,7 +61,7 @@ func procMain(bin, dir string, seed uint64, ops, kills int) int {
 		return 2
 	}
 	cfg := procConfig{
-		Bin: bin, Dir: dir, Seed: seed, Ops: ops, Kills: kills,
+		Bin: bin, Dir: dir, Seed: seed, Ops: ops, Kills: kills, Shards: shards,
 		Clients: 4, Keys: 128,
 		// 5 nodes x 8 disks x (512 LBAs / 4 oPages per chunk) = 5120 chunk
 		// slots: ample headroom for 128 small keys times 3 replicas,
@@ -96,6 +96,7 @@ type procConfig struct {
 	Nodes   int // salsrv -nodes
 	Disks   int // salsrv -disks
 	LBAs    int // salsrv -lbas
+	Shards  int // salsrv -shards: every restart reopens the same sharded layout
 }
 
 // procHarness carries the client-side model across kill cycles: for every
@@ -225,6 +226,7 @@ func (h *procHarness) start() (*procServer, error) {
 		"-disks", fmt.Sprint(h.cfg.Disks),
 		"-lbas", fmt.Sprint(h.cfg.LBAs),
 		"-seed", fmt.Sprint(h.cfg.Seed),
+		"-shards", fmt.Sprint(h.cfg.Shards),
 	)
 	s.cmd.Stdout = os.Stderr
 	s.cmd.Stderr = os.Stderr
@@ -418,6 +420,15 @@ func (h *procHarness) checkRecoverMetric(s *procServer, cycle int) {
 	}
 	if !strings.Contains(body, "sal_difs_recover_ns") {
 		h.violatef("cycle %d: /metrics missing sal_difs_recover_ns after recovery", cycle)
+	}
+	// The shard layer's counters must survive a restart too: a recovered
+	// server that dropped them would blind the fleet dashboard's per-shard
+	// ops view. They exist at every shard count (shards=1 included), so this
+	// holds regardless of -shards.
+	for _, m := range []string{"sal_difs_shard_ops", "sal_difs_shard_epochs"} {
+		if !strings.Contains(body, m) {
+			h.violatef("cycle %d: /metrics missing %s after recovery", cycle, m)
+		}
 	}
 }
 

@@ -51,6 +51,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		useEC      = flag.Bool("ec", false, "use RS(4+2) erasure coding instead of 3-way replication (needs >= 6 nodes)")
 		parallel   = flag.Int("parallel", 0, "repair-worker fan-out per pass (0 or 1 = serial repair)")
+		shards     = flag.Int("shards", 16, "metadata shards per cluster (1 = unsharded)")
 		showMetric = flag.Bool("metrics", false, "collect cross-layer telemetry, print per-layer tables, write snapshot JSON")
 		metricsOut = flag.String("metrics-out", "metrics.json", "snapshot JSON path for -metrics (read by salmon)")
 		tracePath  = flag.String("trace", "", "write the cross-layer event trace as JSONL to this file")
@@ -74,6 +75,7 @@ func main() {
 
 	ecMode = *useEC
 	repairWorkers = *parallel
+	shardCount = *shards
 	t := metrics.NewTable("deployment", "churn rounds", "decommissions", "bricks",
 		"regenerations", "recovery ops", "recovery bytes", "recovery reads", "degraded reads", "lost chunks")
 	for _, mode := range []string{"baseline", "shrinkS", "regenS"} {
@@ -127,6 +129,9 @@ var ecMode bool
 // repairWorkers > 1 fans repair I/O out via difs.RepairParallel.
 var repairWorkers int
 
+// shardCount partitions each deployment's metadata plane (-shards).
+var shardCount int
+
 func flashGeom() flash.Geometry {
 	return flash.Geometry{
 		Channels:      2,
@@ -143,6 +148,7 @@ func flashGeom() flash.Geometry {
 func run(mode string, nodes, objects, rounds int, pec float64, seed uint64,
 	reg *telemetry.Registry, tr *telemetry.Tracer) (difs.Stats, int) {
 	ccfg := difs.DefaultConfig()
+	ccfg.Shards = shardCount
 	if ecMode {
 		ccfg.ECDataShards = 4
 		ccfg.ECParityShards = 2

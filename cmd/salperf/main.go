@@ -60,6 +60,10 @@ func main() {
 		eccBench   = flag.Bool("ecc", false, "run the per-level BCH codec benchmark (encode/check/decode/syndrome MB/s)")
 		eccOut     = flag.String("ecc-out", "", "write the ECC benchmark points as JSON to this file")
 		eccBase    = flag.String("ecc-baseline", "", "compare against this baseline JSON; fail on >15% codec-throughput regression")
+		shardBench = flag.Int("shardbench", 0, "run the metadata-shard scaling benchmark from 1 to N shards (0 skips it); fails below the 2x floor at N vs 1")
+		shardOps   = flag.Int("shardbench-ops", 600, "mixed get/replace operations per shard-scaling point")
+		shardOut   = flag.String("shardbench-out", "", "write the shard scaling points as JSON to this file")
+		shardBase  = flag.String("shardbench-baseline", "", "compare against this baseline JSON; fail on >15% modeled-throughput regression")
 	)
 	flag.Parse()
 
@@ -72,6 +76,13 @@ func main() {
 
 	if *parallel > 0 {
 		if err := runParallelBench(*parallel, *dataMB, *parOut, *parBase); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *shardBench > 0 {
+		if err := runShardBench(*shardBench, *shardOps, *shardOut, *shardBase); err != nil {
 			log.Fatal(err)
 		}
 		return

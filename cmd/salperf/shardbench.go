@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"salamander/internal/metrics"
+	"salamander/internal/perfmodel"
+)
+
+// shardSpeedupFloor is the acceptance floor the sharded metadata plane must
+// clear: modeled throughput at the top shard count must be at least 2x the
+// single-shard (one global lock) anchor. Unlike the baseline comparison,
+// this is an absolute property of the current build — ci.sh fails the build
+// if the shard layer stops scaling, baseline file or not.
+const shardSpeedupFloor = 2.0
+
+// shardBenchCounts returns the shard counts measured by -shardbench: powers
+// of two from 1 up to max, plus max itself.
+func shardBenchCounts(max int) []int {
+	var counts []int
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return append(counts, max)
+}
+
+// runShardBench measures modeled ops/s from 1 to maxShards metadata shards,
+// prints the scaling table, enforces the >=2x speedup floor at the top
+// count, optionally writes the points as JSON, and optionally compares them
+// against a checked-in baseline.
+func runShardBench(maxShards, ops int, outPath, basePath string) error {
+	pts, err := perfmodel.MeasureShardScaling(shardBenchCounts(maxShards), ops, benchSeed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== metadata-shard scaling (%d mixed ops, %d modeled workers) ==\n", ops, 16)
+	t := metrics.NewTable("shards", "ops/s", "speedup")
+	for _, p := range pts {
+		t.Row(float64(p.Shards), p.OpsPerSec, p.Speedup)
+	}
+	t.Render(os.Stdout)
+
+	top := pts[len(pts)-1]
+	if top.Shards > 1 && top.Speedup < shardSpeedupFloor {
+		return fmt.Errorf("shard scaling floor: %.2fx at %d shards, need >= %.1fx vs shards=1",
+			top.Speedup, top.Shards, shardSpeedupFloor)
+	}
+
+	if outPath != "" {
+		raw, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("shard scaling points written to %s\n", outPath)
+	}
+	if basePath != "" {
+		if err := compareShardBaseline(pts, basePath); err != nil {
+			return err
+		}
+		fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", basePath, (1-regressionTolerance)*100)
+	}
+	return nil
+}
+
+// compareShardBaseline fails if any measured point's modeled throughput
+// fell more than the tolerance below the baseline's point for the same
+// shard count. Points present on only one side are ignored, same as the
+// channel-scaling guard.
+func compareShardBaseline(pts []perfmodel.ShardScalingPoint, basePath string) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base []perfmodel.ShardScalingPoint
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", basePath, err)
+	}
+	byShards := make(map[int]perfmodel.ShardScalingPoint, len(base))
+	for _, b := range base {
+		byShards[b.Shards] = b
+	}
+	for _, p := range pts {
+		b, ok := byShards[p.Shards]
+		if !ok {
+			continue
+		}
+		if p.OpsPerSec < b.OpsPerSec*regressionTolerance {
+			return fmt.Errorf("regression at %d shards: %.1f ops/s vs baseline %.1f ops/s (>%.0f%% drop)",
+				p.Shards, p.OpsPerSec, b.OpsPerSec, (1-regressionTolerance)*100)
+		}
+	}
+	return nil
+}

@@ -77,6 +77,7 @@ func main() {
 		disks      = flag.Int("disks", 8, "minidisks per mem node")
 		lbas       = flag.Int("lbas", 512, "oPage slots per mem minidisk")
 		seed       = flag.Uint64("seed", 1, "cluster/device seed")
+		shards     = flag.Int("shards", 16, "metadata shards (must match an existing data dir's shard count; 1 = unsharded)")
 		dataDir    = flag.String("data-dir", "", "persist device contents and cluster manifests under this directory and recover from it on start (empty = volatile)")
 		fsync      = flag.Bool("fsync", true, "fsync durable writes; -fsync=false survives kill -9 but not power loss (faster, for tests)")
 		workers    = flag.Int("workers", 16, "request worker pool size")
@@ -102,6 +103,7 @@ func main() {
 	ccfg := difs.DefaultConfig()
 	ccfg.ChunkOPages = 4
 	ccfg.Seed = *seed * 31
+	ccfg.Shards = *shards
 	cluster, err := difs.NewCluster(ccfg)
 	if err != nil {
 		log.Fatal(err)

@@ -50,6 +50,12 @@ type Config struct {
 	// goroutine, so failpoint hit ordinals — and therefore the report — stay
 	// deterministic per seed.
 	Net bool
+	// Shards is the diFS metadata shard count. 0 means 1 (standalone): the
+	// chaos harness always pins the count explicitly so a DIFS_SHARDS
+	// environment override can never leak into a seeded run and change the
+	// report. Per-shard RNG streams derive from the seed, so reports stay
+	// byte-identical per (seed, shards) pair.
+	Shards int
 
 	// armOverride replaces the default fault-site plans (tests only).
 	armOverride map[string]float64
@@ -90,7 +96,12 @@ type Report struct {
 
 // Render writes the report in a stable, diff-friendly layout.
 func (r *Report) Render(w *bytes.Buffer) {
-	fmt.Fprintf(w, "chaos seed=%d ops=%d nodes=%d\n", r.Cfg.Seed, r.Cfg.Ops, r.Cfg.Nodes)
+	fmt.Fprintf(w, "chaos seed=%d ops=%d nodes=%d", r.Cfg.Seed, r.Cfg.Ops, r.Cfg.Nodes)
+	if r.Cfg.Shards > 1 {
+		// Only stamped when sharded so pre-shard seeds render byte-identically.
+		fmt.Fprintf(w, " shards=%d", r.Cfg.Shards)
+	}
+	fmt.Fprintf(w, "\n")
 	fmt.Fprintf(w, "ops: puts=%d gets=%d deletes=%d repairs=%d gets-during-crash-errors=%d\n",
 		r.Puts, r.Gets, r.Deletes, r.Repairs, r.GetErrsDuringCrash)
 	fmt.Fprintf(w, "faults: flash-injected=%d ssd-recovered=%d core-recovered=%d event-drops=%d event-dups=%d\n",
@@ -192,6 +203,10 @@ func Run(cfg Config, tr *telemetry.Tracer) (*Report, error) {
 	// (correctly) lose data — a scenario the difs unit tests cover instead.
 	ccfg.FlapLimit = 0
 	ccfg.Seed = cfg.Seed * 31
+	ccfg.Shards = cfg.Shards
+	if ccfg.Shards == 0 {
+		ccfg.Shards = 1
+	}
 	cluster, err := difs.NewCluster(ccfg)
 	if err != nil {
 		return nil, err

@@ -47,6 +47,50 @@ func TestChaosDeterministicAndClean(t *testing.T) {
 	}
 }
 
+// TestChaosShardedDeterministicAndClean replays the acceptance gate against
+// a 16-shard cluster for 12 seeds: sharding the metadata plane must neither
+// lose data nor smuggle nondeterminism (map iteration order, event fan-out
+// timing, parallel recovery) into the report — two runs of one seed render
+// byte-identical reports, and the header records the shard count so sharded
+// and standalone baselines can never be confused.
+func TestChaosShardedDeterministicAndClean(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.Ops = 1500
+			cfg.Shards = 16
+
+			render := func() []byte {
+				rep, err := Run(cfg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("seed %d: %d violations, first: %s",
+						seed, len(rep.Violations), rep.Violations[0])
+				}
+				if rep.LostChunks != 0 {
+					t.Fatalf("seed %d: %d chunks lost", seed, rep.LostChunks)
+				}
+				var buf bytes.Buffer
+				rep.Render(&buf)
+				return buf.Bytes()
+			}
+			first, second := render(), render()
+			if !bytes.Equal(first, second) {
+				t.Errorf("seed %d not reproducible at 16 shards:\n--- first ---\n%s--- second ---\n%s",
+					seed, first, second)
+			}
+			if !bytes.HasPrefix(first, []byte(fmt.Sprintf("chaos seed=%d ops=%d nodes=%d shards=16\n", seed, cfg.Ops, cfg.Nodes))) {
+				t.Errorf("seed %d: report header missing shard stamp:\n%s", seed, first[:64])
+			}
+		})
+	}
+}
+
 // TestChaosNetDeterministicAndClean runs the schedule through the loopback
 // serving layer with the network failpoints armed: the run must stay clean
 // (every injected drop/latency/truncation absorbed by the client's retry

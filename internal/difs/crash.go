@@ -13,8 +13,21 @@ import (
 // from surviving copies. Returns the number of targets taken down; crashing
 // an already-crashed or target-less node is a no-op.
 func (c *Cluster) CrashNode(id NodeID) int {
+	if c.shards != nil {
+		// Membership mirrors across shards: every shard marks its own view
+		// of the node down; shard 0 is authoritative for the count.
+		n := 0
+		for i, s := range c.shards {
+			v := s.CrashNode(id)
+			if i == 0 {
+				n = v
+			}
+		}
+		return n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	defer func() { _ = c.flushMeta() }()
 	affected := 0
 	for _, t := range c.targetsOfNode(id) {
@@ -28,12 +41,15 @@ func (c *Cluster) CrashNode(id NodeID) int {
 		affected++
 	}
 	if affected > 0 {
-		c.tele.nodeCrashes.Inc()
-		c.tele.faultsInjected.Inc()
-		c.tele.tr.Emit(telemetry.Event{
-			Kind: telemetry.KindNodeCrash, Layer: "difs",
-			Detail: "crash", N: int64(affected),
-		})
+		c.bumpEpoch()
+		if c.countEvents {
+			c.tele.nodeCrashes.Inc()
+			c.tele.faultsInjected.Inc()
+			c.tele.tr.Emit(telemetry.Event{
+				Kind: telemetry.KindNodeCrash, Layer: "difs",
+				Detail: "crash", N: int64(affected),
+			})
+		}
 	}
 	return affected
 }
@@ -52,8 +68,19 @@ func (c *Cluster) CrashNode(id NodeID) int {
 // from other copies, so a flapping node stops churning the repair queue.
 // Returns the number of targets that rejoined.
 func (c *Cluster) RestartNode(id NodeID) int {
+	if c.shards != nil {
+		n := 0
+		for i, s := range c.shards {
+			v := s.RestartNode(id)
+			if i == 0 {
+				n = v
+			}
+		}
+		return n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	defer func() { _ = c.flushMeta() }()
 	any := false
 	for _, t := range c.targetsOfNode(id) {
@@ -86,29 +113,40 @@ func (c *Cluster) RestartNode(id NodeID) int {
 		c.reconcileTarget(t)
 		revived++
 	}
-	c.tele.nodeRestarts.Inc()
+	c.bumpEpoch()
+	if c.countEvents {
+		c.tele.nodeRestarts.Inc()
+	}
 	if quarantine {
-		c.tele.quarantines.Inc()
-		c.tele.tr.Emit(telemetry.Event{
-			Kind: telemetry.KindNodeCrash, Layer: "difs",
-			Detail: "quarantine", N: int64(c.flaps[id]),
-		})
+		if c.countEvents {
+			c.tele.quarantines.Inc()
+			c.tele.tr.Emit(telemetry.Event{
+				Kind: telemetry.KindNodeCrash, Layer: "difs",
+				Detail: "quarantine", N: int64(c.flaps[id]),
+			})
+		}
 		return 0
 	}
-	if revived > 0 {
+	if revived > 0 && c.countEvents {
 		c.tele.faultsRecovered.Inc()
 	}
-	c.tele.tr.Emit(telemetry.Event{
-		Kind: telemetry.KindNodeCrash, Layer: "difs",
-		Detail: "restart", N: int64(revived),
-	})
+	if c.countEvents {
+		c.tele.tr.Emit(telemetry.Event{
+			Kind: telemetry.KindNodeCrash, Layer: "difs",
+			Detail: "restart", N: int64(revived),
+		})
+	}
 	return revived
 }
 
 // NodeDown reports whether any of the node's targets is currently crashed.
 func (c *Cluster) NodeDown(id NodeID) bool {
+	if c.shards != nil {
+		return c.shards[0].NodeDown(id)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	for _, t := range c.targetsOfNode(id) {
 		if t.down {
 			return true
@@ -152,7 +190,7 @@ func (c *Cluster) reconcileTarget(t *target) {
 			for p := 0; p < c.cfg.ChunkOPages; p++ {
 				_ = t.dev.Trim(t.key.md, base+p)
 			}
-			t.freeSlots = append(t.freeSlots, slot)
+			c.releaseSlot(t, slot)
 			continue
 		}
 		c.enqueueRepair(ch)

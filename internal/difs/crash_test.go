@@ -211,9 +211,11 @@ func TestFlappingNodeQuarantined(t *testing.T) {
 	if st.Quarantines == 0 {
 		t.Fatal("third restart above FlapLimit=2 did not quarantine")
 	}
-	for _, tg := range c.targetsOfNode(0) {
-		t.Errorf("quarantined node still has target %v", tg.key)
-	}
+	eachTarget(c, func(key targetKey, tg *target) {
+		if key.node == 0 {
+			t.Errorf("quarantined node still has target %v", key)
+		}
+	})
 	// Data survives on the other nodes.
 	got, err := c.Get("obj")
 	if err != nil || !bytes.Equal(got, want) {

@@ -18,7 +18,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 
 	"salamander/internal/blockdev"
@@ -85,6 +87,13 @@ type Config struct {
 	// Zero disables quarantine; negative is rejected.
 	FlapLimit int
 	Seed      uint64
+	// Shards partitions the metadata/control plane into this many
+	// independently locked shards behind a routing facade (consistent hash
+	// over the object name, see ShardOf). 1 keeps the classic single-lock
+	// cluster. 0 means "unset": NewCluster consults the DIFS_SHARDS
+	// environment variable (used by CI to replay the whole test corpus at
+	// several shard counts) and falls back to 1. Negative is rejected.
+	Shards int
 }
 
 // DefaultConfig returns 3-way replication with 16-oPage (64KB) chunks.
@@ -225,6 +234,11 @@ type Stats struct {
 	// Recover; RecoverQuarantined counts manifests and replicas recovery
 	// refused to trust (moved aside or left for repair).
 	RecoverObjects, RecoverQuarantined int64
+	// ShardOps counts object operations (Put/Get/Replace/Delete) routed
+	// through the shard layer — one per op at any shard count. ShardEpochs
+	// counts per-shard placement-epoch bumps (membership changes: targets
+	// added, drained, lost, or flipped by crash/restart).
+	ShardOps, ShardEpochs int64
 }
 
 // cTele holds the registry-backed handles behind Stats(). A fresh cluster
@@ -251,6 +265,8 @@ type cTele struct {
 	quarantines        *telemetry.Counter
 	recoverObjects     *telemetry.Counter
 	recoverQuarantined *telemetry.Counter
+	shardOps           *telemetry.Counter
+	shardEpochs        *telemetry.Counter
 	objectSize         *telemetry.Histogram
 	repairBytes        *telemetry.Histogram
 	recoverNs          *telemetry.Histogram
@@ -280,6 +296,8 @@ func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) cTele {
 		quarantines:        reg.Counter("difs.quarantines"),
 		recoverObjects:     reg.Counter("difs.recover_objects"),
 		recoverQuarantined: reg.Counter("difs.recover_quarantined"),
+		shardOps:           reg.Counter("difs.shard.ops"),
+		shardEpochs:        reg.Counter("difs.shard.epochs"),
 		objectSize:         reg.Histogram("difs.object_size_bytes"),
 		repairBytes:        reg.Histogram("difs.repair_run_bytes"),
 		recoverNs:          reg.Histogram("difs.recover_ns"),
@@ -326,6 +344,33 @@ type Cluster struct {
 	sinkMu sync.Mutex
 	sinkOn bool
 	sink   []sunkEvent
+
+	// --- sharding (shard.go) ------------------------------------------
+	// A Cluster is one of three things: a classic standalone cluster
+	// (shards == nil, led == nil), the facade of a sharded cluster
+	// (shards != nil), or one shard of a sharded cluster (sub == true).
+	// The facade owns routing, the shared slot ledger, and event fan-out;
+	// shards own disjoint slices of the namespace under their own locks.
+	shards  []*Cluster  // facade only: the N shard children
+	led     *slotLedger // shared physical slot accounting (facade + shards)
+	shardID int
+	sub     bool
+	// epoch is this shard's placement epoch: bumped on every membership
+	// change (target added/drained/lost, node crash/restart) so clients of
+	// ShardInfos can detect placement-relevant churn per shard.
+	epoch uint64
+	// countEvents gates once-per-event counters. Device events and node
+	// crash/restarts fan out to every shard; only the standalone cluster
+	// and shard 0 count them, keeping telemetry identical across shard
+	// counts.
+	countEvents bool
+	// evMu/evSeq (facade) order fanned-out device notifications; pendMu/
+	// pend (shards) buffer them until the shard next holds its own lock
+	// (settleLocked). pendMu is a leaf lock like sinkMu.
+	evMu   sync.Mutex
+	evSeq  int
+	pendMu sync.Mutex
+	pend   []sunkEvent
 }
 
 // sunkEvent is one deferred device notification captured during a parallel
@@ -337,8 +382,27 @@ type sunkEvent struct {
 	e   blockdev.Event
 }
 
-// NewCluster creates an empty cluster.
+// NewCluster creates an empty cluster. With cfg.Shards > 1 the returned
+// Cluster is a routing facade over that many independently locked metadata
+// shards (see shard.go); the API is identical either way.
 func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Shards == 0 {
+		if v := os.Getenv("DIFS_SHARDS"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("difs: bad DIFS_SHARDS %q", v)
+			}
+			cfg.Shards = n
+		} else {
+			cfg.Shards = 1
+		}
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("difs: Shards %d is negative", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		return newShardedCluster(cfg)
+	}
 	if cfg.ReplicationFactor < 1 {
 		return nil, errors.New("difs: replication factor must be >= 1")
 	}
@@ -363,14 +427,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 	return &Cluster{
-		cfg:     cfg,
-		rng:     stats.NewRNG(cfg.Seed),
-		targets: map[targetKey]*target{},
-		objects: map[string]*object{},
-		queued:  map[*chunk]bool{},
-		flaps:   map[NodeID]int{},
-		tele:    bindTele(telemetry.NewRegistry(), nil),
-		codec:   codec,
+		cfg:         cfg,
+		rng:         stats.NewRNG(cfg.Seed),
+		targets:     map[targetKey]*target{},
+		objects:     map[string]*object{},
+		queued:      map[*chunk]bool{},
+		flaps:       map[NodeID]int{},
+		tele:        bindTele(telemetry.NewRegistry(), nil),
+		codec:       codec,
+		countEvents: true,
 	}, nil
 }
 
@@ -381,6 +446,24 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // here — call their own Instrument with the same pair for a cross-layer
 // view.
 func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if c.shards != nil {
+		// The facade and its shards share one set of counter handles; the
+		// facade rebinds with a carry, the shards rebind without one (the
+		// carry must happen exactly once). Resolve a nil registry here so
+		// facade and shards land on the same private one.
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		c.rebindTele(reg, tr, true)
+		for _, s := range c.shards {
+			s.rebindTele(reg, tr, false)
+		}
+		return
+	}
+	c.rebindTele(reg, tr, true)
+}
+
+func (c *Cluster) rebindTele(reg *telemetry.Registry, tr *telemetry.Tracer, carryOver bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if reg == nil {
@@ -388,6 +471,9 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	}
 	old := c.tele
 	c.tele = bindTele(reg, tr)
+	if !carryOver {
+		return
+	}
 	carry := func(dst, src *telemetry.Counter) {
 		if dst != src {
 			dst.Add(src.Value())
@@ -414,11 +500,16 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(c.tele.quarantines, old.quarantines)
 	carry(c.tele.recoverObjects, old.recoverObjects)
 	carry(c.tele.recoverQuarantined, old.recoverQuarantined)
+	carry(c.tele.shardOps, old.shardOps)
+	carry(c.tele.shardEpochs, old.shardEpochs)
 }
 
 // AddNode attaches a node with its devices. The cluster registers itself
 // for every device's events; each live minidisk becomes a placement target.
 func (c *Cluster) AddNode(devices ...blockdev.Device) NodeID {
+	if c.shards != nil {
+		return c.addNodeFacade(devices...)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := NodeID(len(c.nodes))
@@ -430,6 +521,23 @@ func (c *Cluster) AddNode(devices ...blockdev.Device) NodeID {
 			c.addTarget(id, di, info)
 		}
 		dev.Notify(func(e blockdev.Event) { c.handleEvent(id, di, e) })
+	}
+	return id
+}
+
+// addNodeQuiet registers a node without subscribing to its device events —
+// on a sharded cluster the facade owns the single Notify subscription per
+// device and fans events out to every shard (fanEvent).
+func (c *Cluster) addNodeQuiet(devices ...blockdev.Device) NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := NodeID(len(c.nodes))
+	n := &node{id: id, devices: devices}
+	c.nodes = append(c.nodes, n)
+	for di, dev := range devices {
+		for _, info := range dev.Minidisks() {
+			c.addTarget(id, di, info)
+		}
 	}
 	return id
 }
@@ -451,10 +559,24 @@ func (c *Cluster) addTarget(nid NodeID, dev int, info blockdev.MinidiskInfo) {
 		state:  tLive,
 		dev:    c.nodes[nid].devices[dev],
 	}
-	for s := slots - 1; s >= 0; s-- {
-		t.freeSlots = append(t.freeSlots, s)
+	if c.led != nil {
+		// Physical slot accounting lives in the shared ledger; the per-shard
+		// freeSlots list stays empty (slot helpers branch on c.led).
+		c.led.register(t.key, slots, t.dev)
+	} else {
+		for s := slots - 1; s >= 0; s-- {
+			t.freeSlots = append(t.freeSlots, s)
+		}
 	}
 	c.targets[t.key] = t
+	c.bumpEpoch()
+}
+
+// bumpEpoch advances this cluster/shard's placement epoch. Callers hold the
+// lock.
+func (c *Cluster) bumpEpoch() {
+	c.epoch++
+	c.tele.shardEpochs.Inc()
 }
 
 // handleEvent processes a device notification. It must not call back into
@@ -479,16 +601,24 @@ func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
 func (c *Cluster) applyEvent(nid NodeID, dev int, e blockdev.Event) {
 	switch e.Kind {
 	case blockdev.EventDecommission:
-		c.tele.decommissionEvents.Inc()
+		if c.countEvents {
+			c.tele.decommissionEvents.Inc()
+		}
 		c.loseTarget(targetKey{nid, dev, e.Minidisk})
 	case blockdev.EventDrain:
-		c.tele.drainEvents.Inc()
+		if c.countEvents {
+			c.tele.drainEvents.Inc()
+		}
 		c.drainTarget(targetKey{nid, dev, e.Minidisk})
 	case blockdev.EventRegenerate:
-		c.tele.regenerateEvents.Inc()
+		if c.countEvents {
+			c.tele.regenerateEvents.Inc()
+		}
 		c.addTarget(nid, dev, e.Info)
 	case blockdev.EventBrick:
-		c.tele.brickEvents.Inc()
+		if c.countEvents {
+			c.tele.brickEvents.Inc()
+		}
 		for _, t := range c.targetsOfDevice(nid, dev) {
 			if t.state != tDead {
 				c.loseTarget(t.key)
@@ -534,6 +664,13 @@ func (c *Cluster) loseTarget(key targetKey) {
 		return
 	}
 	t.state = tDead
+	if c.led != nil {
+		// Drop the ledger entry too: the disk is gone physically, so its
+		// slots must never be handed out again. Every shard processes the
+		// same loss (events fan out; error-driven losses replay identically),
+		// so the idempotent drop is consistent across shards.
+		c.led.drop(key)
+	}
 	for _, ch := range t.chunksInSlotOrder() {
 		// Drop the dead replica from the chunk.
 		kept := ch.replicas[:0]
@@ -548,6 +685,7 @@ func (c *Cluster) loseTarget(key targetKey) {
 	}
 	t.chunks = map[int]*chunk{}
 	delete(c.targets, key)
+	c.bumpEpoch()
 }
 
 // drainTarget handles a grace-period decommission: the minidisk stops
@@ -562,6 +700,7 @@ func (c *Cluster) drainTarget(key targetKey) {
 	for _, ch := range t.chunksInSlotOrder() {
 		c.enqueueRepair(ch)
 	}
+	c.bumpEpoch()
 }
 
 func (c *Cluster) enqueueRepair(ch *chunk) {
@@ -575,6 +714,14 @@ func (c *Cluster) enqueueRepair(ch *chunk) {
 // the cluster's registry-backed telemetry handles at call time; mutating
 // the returned value has no effect on the live cluster.
 func (c *Cluster) Stats() Stats {
+	// On a sharded cluster, device events ride pending queues until a shard
+	// next settles; force a settle so event counters read as fresh as the
+	// standalone (inline-applied) path.
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.settleLocked()
+		s.mu.Unlock()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
@@ -599,13 +746,23 @@ func (c *Cluster) Stats() Stats {
 		Quarantines:        int64(c.tele.quarantines.Value()),
 		RecoverObjects:     int64(c.tele.recoverObjects.Value()),
 		RecoverQuarantined: int64(c.tele.recoverQuarantined.Value()),
+		ShardOps:           int64(c.tele.shardOps.Value()),
+		ShardEpochs:        int64(c.tele.shardEpochs.Value()),
 	}
 }
 
 // PendingRepairs reports queued under-replicated chunks.
 func (c *Cluster) PendingRepairs() int {
+	if c.shards != nil {
+		n := 0
+		for _, s := range c.shards {
+			n += s.PendingRepairs()
+		}
+		return n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	return len(c.repairQ)
 }
 
@@ -630,8 +787,14 @@ type NodeInfo struct {
 
 // NodeInfos returns a per-node liveness summary in node-ID order.
 func (c *Cluster) NodeInfos() []NodeInfo {
+	if c.shards != nil {
+		// Membership and flap state mirror across shards; shard 0 is
+		// authoritative for the summary.
+		return c.shards[0].NodeInfos()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	out := make([]NodeInfo, len(c.nodes))
 	for i, n := range c.nodes {
 		ni := NodeInfo{
@@ -661,23 +824,38 @@ func (c *Cluster) NodeInfos() []NodeInfo {
 
 // Capacity returns total and free cluster capacity in chunk slots.
 func (c *Cluster) Capacity() (total, free int) {
+	if c.shards != nil {
+		// Physical capacity is shared: any shard sees the same targets, and
+		// free slots come from the shared ledger.
+		return c.shards[0].Capacity()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	for _, t := range c.targets {
 		if !t.live() {
 			continue
 		}
 		slots := t.info.LBAs / c.cfg.ChunkOPages
 		total += slots
-		free += len(t.freeSlots)
+		free += c.slotCount(t)
 	}
 	return total, free
 }
 
 // Objects lists stored object names (sorted).
 func (c *Cluster) Objects() []string {
+	if c.shards != nil {
+		var out []string
+		for _, s := range c.shards {
+			out = append(out, s.Objects()...)
+		}
+		sort.Strings(out)
+		return out
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	return c.objectNames()
 }
 
@@ -696,12 +874,22 @@ func (c *Cluster) objectNames() []string {
 // already hosting the chunk. Random choice among the least-loaded halves the
 // variance without a full cost model.
 func (c *Cluster) pickTargets(want int, exclude map[NodeID]bool) []*target {
-	// Group candidate targets by node.
+	// Group candidate targets by node. Free-slot counts are snapshotted up
+	// front: on a sharded cluster they live in the shared ledger and other
+	// shards allocate concurrently (a stale count just makes writeChunk
+	// return ErrNoSpace and the placement loop try elsewhere).
+	free := map[*target]int{}
 	byNode := map[NodeID][]*target{}
 	for _, t := range c.targets {
-		if t.live() && len(t.freeSlots) > 0 && !exclude[t.key.node] {
-			byNode[t.key.node] = append(byNode[t.key.node], t)
+		if !t.live() || exclude[t.key.node] {
+			continue
 		}
+		n := c.slotCount(t)
+		if n == 0 {
+			continue
+		}
+		free[t] = n
+		byNode[t.key.node] = append(byNode[t.key.node], t)
 	}
 	nodes := make([]NodeID, 0, len(byNode))
 	for nid := range byNode {
@@ -718,7 +906,7 @@ func (c *Cluster) pickTargets(want int, exclude map[NodeID]bool) []*target {
 		// Order per the placement policy, breaking ties by ID for
 		// determinism.
 		sort.Slice(cands, func(i, j int) bool {
-			fi, fj := len(cands[i].freeSlots), len(cands[j].freeSlots)
+			fi, fj := free[cands[i]], free[cands[j]]
 			if fi != fj {
 				if c.cfg.Placement == PlacementPack {
 					return fi < fj // fullest (but non-full) first
@@ -732,6 +920,15 @@ func (c *Cluster) pickTargets(want int, exclude map[NodeID]bool) []*target {
 	return out
 }
 
+// slotCount reports a target's free chunk slots (ledger-backed on sharded
+// clusters).
+func (c *Cluster) slotCount(t *target) int {
+	if c.led != nil {
+		return c.led.freeCount(t.key)
+	}
+	return len(t.freeSlots)
+}
+
 func (t *target) device(c *Cluster) blockdev.Device {
 	return c.nodes[t.key.node].devices[t.key.dev]
 }
@@ -739,6 +936,9 @@ func (t *target) device(c *Cluster) blockdev.Device {
 // writeChunk stores data (exactly ChunkOPages*4KB, already padded) into a
 // free slot on t.
 func (c *Cluster) writeChunk(t *target, ch *chunk, data []byte) error {
+	if c.led != nil {
+		return c.writeChunkSharded(t, ch, data)
+	}
 	if len(t.freeSlots) == 0 {
 		return ErrNoSpace
 	}
@@ -853,8 +1053,13 @@ func (c *Cluster) Put(name string, data []byte) error {
 // no orphan chunks survive (the serving layer's per-op deadlines rely on
 // this). The returned error wraps ctx.Err().
 func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
+	if c.shards != nil {
+		return c.shardFor(name).PutCtx(ctx, name, data)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
+	c.tele.shardOps.Inc()
 	if _, ok := c.objects[name]; ok {
 		return fmt.Errorf("%w: %q", ErrAlreadyExist, name)
 	}
@@ -886,8 +1091,13 @@ func (c *Cluster) Replace(name string, data []byte) error {
 // serving layer's OpPut maps here so a retried put converges without
 // destroying data when the second attempt fails.
 func (c *Cluster) ReplaceCtx(ctx context.Context, name string, data []byte) error {
+	if c.shards != nil {
+		return c.shardFor(name).ReplaceCtx(ctx, name, data)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
+	c.tele.shardOps.Inc()
 	obj, err := c.placeObject(ctx, name, data)
 	if err != nil {
 		_ = c.flushMeta()
@@ -978,8 +1188,13 @@ func (c *Cluster) Get(name string) ([]byte, error) {
 // are side-effect free apart from repair queueing, so an aborted Get simply
 // stops; the error wraps ctx.Err().
 func (c *Cluster) GetCtx(ctx context.Context, name string) ([]byte, error) {
+	if c.shards != nil {
+		return c.shardFor(name).GetCtx(ctx, name)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
+	c.tele.shardOps.Inc()
 	// Reads can drop bad replicas; persist that best-effort (a failed flush
 	// leaves the names dirty for the next mutation to retry).
 	defer func() { _ = c.flushMeta() }()
@@ -1046,7 +1261,10 @@ func (c *Cluster) readAnyReplica(ch *chunk, buf []byte) error {
 		}
 		// Media error on this replica: drop it and repair. Authoritative
 		// device errors (bricked, no-such-minidisk) mean the failure event
-		// was lost; retire the whole target, not just this replica.
+		// was lost; retire the whole target, not just this replica. On a
+		// sharded cluster the failed read may have fanned a real event into
+		// our pend queue — apply it first so we don't double-handle.
+		c.settleLocked()
 		c.noteDeviceError(r.tgt, err, false)
 		c.dropReplica(ch, r)
 		c.enqueueRepair(ch)
@@ -1075,8 +1293,35 @@ func (c *Cluster) dropReplica(ch *chunk, bad replica) {
 		for p := 0; p < c.cfg.ChunkOPages; p++ {
 			_ = dev.Trim(bad.tgt.key.md, base+p)
 		}
-		bad.tgt.freeSlots = append(bad.tgt.freeSlots, bad.slot)
+		c.releaseSlot(bad.tgt, bad.slot)
 	}
+}
+
+// allocSlot pops a free slot off a target (the shared ledger on sharded
+// clusters). Returns false when the target has no free slot — possible on
+// sharded clusters even right after pickTargets, because other shards
+// allocate from the same ledger concurrently.
+func (c *Cluster) allocSlot(t *target) (int, bool) {
+	if c.led != nil {
+		return c.led.alloc(t.key)
+	}
+	if len(t.freeSlots) == 0 {
+		return 0, false
+	}
+	s := t.freeSlots[len(t.freeSlots)-1]
+	t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
+	return s, true
+}
+
+// releaseSlot returns a slot to its target's free pool (the shared ledger
+// on sharded clusters). Dead targets keep legacy behaviour: the slot is
+// still appended to the (now unreachable) per-target list, a no-op.
+func (c *Cluster) releaseSlot(t *target, slot int) {
+	if c.led != nil {
+		c.led.release(t.key, slot)
+		return
+	}
+	t.freeSlots = append(t.freeSlots, slot)
 }
 
 // Delete removes an object and trims its replicas.
@@ -1088,8 +1333,13 @@ func (c *Cluster) Delete(name string) error {
 // context is only consulted up front: once started, the delete completes
 // atomically rather than leaving a half-trimmed object.
 func (c *Cluster) DeleteCtx(ctx context.Context, name string) error {
+	if c.shards != nil {
+		return c.shardFor(name).DeleteCtx(ctx, name)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
+	c.tele.shardOps.Inc()
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("difs: delete %q aborted: %w", name, err)
 	}
@@ -1161,8 +1411,12 @@ func (c *Cluster) Repair() (copies int, err error) {
 // is forgotten, PendingRepairs still reports it) and returns the copies made
 // so far alongside an error wrapping ctx.Err().
 func (c *Cluster) RepairCtx(ctx context.Context) (copies int, err error) {
+	if c.shards != nil {
+		return c.repairFacade(ctx, 1)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	defer func() { _ = c.flushMeta() }()
 	return c.repair(ctx)
 }
@@ -1299,17 +1553,7 @@ func (c *Cluster) repair(ctx context.Context) (copies int, err error) {
 		}
 	}
 	// Release draining minidisks that no longer hold any chunk.
-	for _, t := range drainingTouched {
-		if t.state == tDraining && !t.down && len(t.chunks) == 0 {
-			if dr, ok := t.dev.(blockdev.Drainer); ok {
-				if err := dr.Release(t.key.md); err == nil {
-					c.tele.releases.Inc()
-				}
-			}
-			t.state = tDead
-			delete(c.targets, t.key)
-		}
-	}
+	c.releaseDrained(drainingTouched)
 	if err != nil {
 		// Aborted by the context; chunk losses observed before the abort are
 		// already in the lost_chunks counter and will resurface on the next
@@ -1320,6 +1564,44 @@ func (c *Cluster) repair(ctx context.Context) (copies int, err error) {
 		return copies, &repErr
 	}
 	return copies, nil
+}
+
+// releaseDrained hands fully drained minidisks back to their devices. On a
+// sharded cluster the disk is only physically released once EVERY shard has
+// migrated its replicas off it: each shard retires its local view, and the
+// shard that finds the ledger entry fully free (an atomic take) performs
+// the device Release — so the releases counter counts each disk once,
+// exactly like the standalone path.
+func (c *Cluster) releaseDrained(drainingTouched []*target) {
+	for _, t := range drainingTouched {
+		if t.state != tDraining || t.down || len(t.chunks) != 0 {
+			continue
+		}
+		if c.led != nil {
+			if c.led.takeIfFullyFree(t.key) {
+				if dr, ok := t.dev.(blockdev.Drainer); ok {
+					if err := dr.Release(t.key.md); err == nil {
+						c.tele.releases.Inc()
+					}
+				}
+			}
+			// Whether or not this shard won the release (other shards may
+			// still hold replicas, or the disk is already gone), this
+			// shard's view of it is drained: retire the local target.
+			t.state = tDead
+			delete(c.targets, t.key)
+			c.bumpEpoch()
+			continue
+		}
+		if dr, ok := t.dev.(blockdev.Drainer); ok {
+			if err := dr.Release(t.key.md); err == nil {
+				c.tele.releases.Inc()
+			}
+		}
+		t.state = tDead
+		delete(c.targets, t.key)
+		c.bumpEpoch()
+	}
 }
 
 // liveReplicas counts a chunk's replicas on live (non-draining) targets.
@@ -1337,8 +1619,16 @@ func (c *Cluster) liveReplicas(ch *chunk) int {
 // could not be retrieved. It is the cluster's fsck, used by tests and the
 // examples to demonstrate zero data loss under minidisk churn.
 func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []string) {
+	if c.shards != nil {
+		for _, s := range c.shards {
+			bad = append(bad, s.VerifyAll(check)...)
+		}
+		sort.Strings(bad)
+		return bad
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	defer func() { _ = c.flushMeta() }()
 	for _, name := range c.objectNames() {
 		data, err := c.get(context.Background(), name)

@@ -110,7 +110,7 @@ func TestReplicasOnDistinctNodes(t *testing.T) {
 	if err := c.Put("obj", objData(stats.NewRNG(2), 4*c.chunkBytes())); err != nil {
 		t.Fatal(err)
 	}
-	for _, ch := range c.objects["obj"].chunks {
+	for _, ch := range objOf(c, "obj").chunks {
 		if len(ch.replicas) != cfg.ReplicationFactor {
 			t.Fatalf("chunk has %d replicas, want %d", len(ch.replicas), cfg.ReplicationFactor)
 		}
@@ -193,13 +193,13 @@ func TestMinidiskFailureRecovery(t *testing.T) {
 		t.Errorf("pending repairs = %d after Repair", c.PendingRepairs())
 	}
 	// Full replication restored.
-	for _, obj := range c.objects {
+	eachObject(c, func(obj *object) {
 		for _, ch := range obj.chunks {
 			if len(ch.replicas) != cfg.ReplicationFactor {
 				t.Fatalf("chunk of %q has %d replicas after repair", obj.name, len(ch.replicas))
 			}
 		}
-	}
+	})
 	if bad := c.VerifyAll(func(name string, data []byte) error {
 		if !bytes.Equal(data, want[name]) {
 			return errors.New("mismatch")
@@ -334,7 +334,7 @@ func TestDegradedReadCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kill the first replica's minidisk.
-	first := c.objects["a"].chunks[0].replicas[0]
+	first := objOf(c, "a").chunks[0].replicas[0]
 	node := first.tgt.key.node
 	if err := devs[node].FailMinidisk(first.tgt.key.md); err != nil {
 		t.Fatal(err)
@@ -352,7 +352,7 @@ func TestRepairSkipsDeletedObjects(t *testing.T) {
 	if err := c.Put("a", objData(stats.NewRNG(13), 1000)); err != nil {
 		t.Fatal(err)
 	}
-	first := c.objects["a"].chunks[0].replicas[0]
+	first := objOf(c, "a").chunks[0].replicas[0]
 	if err := devs[first.tgt.key.node].FailMinidisk(first.tgt.key.md); err != nil {
 		t.Fatal(err)
 	}
@@ -381,13 +381,13 @@ func TestPlacementPolicies(t *testing.T) {
 			}
 		}
 		used := map[targetKey]bool{}
-		for _, obj := range c.objects {
+		eachObject(c, func(obj *object) {
 			for _, ch := range obj.chunks {
 				for _, r := range ch.replicas {
 					used[r.tgt.key] = true
 				}
 			}
-		}
+		})
 		return len(used)
 	}
 	if got := countUsedDisks(PlacementSpread); got != 4 {

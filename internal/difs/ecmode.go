@@ -190,8 +190,19 @@ func (c *Cluster) repairShard(ch *chunk) bool {
 // repair sources until Repair moves their chunks; call Repair (repeatedly,
 // if capacity is tight) to complete the migration.
 func (c *Cluster) DecommissionNode(id NodeID) int {
+	if c.shards != nil {
+		n := 0
+		for i, s := range c.shards {
+			v := s.DecommissionNode(id)
+			if i == 0 {
+				n = v
+			}
+		}
+		return n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	defer func() { _ = c.flushMeta() }()
 	n := 0
 	for _, t := range c.targetsOfNode(id) {
@@ -203,6 +214,9 @@ func (c *Cluster) DecommissionNode(id NodeID) int {
 			c.enqueueRepair(ch)
 		}
 		n++
+	}
+	if n > 0 {
+		c.bumpEpoch()
 	}
 	return n
 }

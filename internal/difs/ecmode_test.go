@@ -56,7 +56,7 @@ func TestECShardsOnDistinctNodes(t *testing.T) {
 	if err := c.Put("obj", objData(stats.NewRNG(2), 1000)); err != nil {
 		t.Fatal(err)
 	}
-	for _, st := range c.objects["obj"].stripes {
+	for _, st := range objOf(c, "obj").stripes {
 		if len(st.chunks) != 6 {
 			t.Fatalf("stripe has %d shards", len(st.chunks))
 		}
@@ -136,7 +136,7 @@ func TestECSurvivesUpToMFailures(t *testing.T) {
 		t.Errorf("EC repair read amplification %.2f, want ~k=4", readAmp)
 	}
 	// All shards whole again: another failure round is survivable.
-	for _, obj := range c.objects {
+	eachObject(c, func(obj *object) {
 		for _, stp := range obj.stripes {
 			for _, ch := range stp.chunks {
 				if len(ch.replicas) != 1 {
@@ -144,7 +144,7 @@ func TestECSurvivesUpToMFailures(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 	if bad := c.VerifyAll(func(name string, data []byte) error {
 		if !bytes.Equal(data, want[name]) {
 			return errors.New("mismatch")
@@ -258,15 +258,15 @@ func TestDecommissionNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Nothing lives on node 1 anymore.
-	for key, tgt := range c.targets {
+	eachTarget(c, func(key targetKey, tgt *target) {
 		if key.node == 1 && tgt.state == tLive {
 			t.Fatalf("target %v still live after decommission", key)
 		}
 		if key.node == 1 && len(tgt.chunks) > 0 {
 			t.Fatalf("target %v still holds %d chunks", key, len(tgt.chunks))
 		}
-	}
-	for _, obj := range c.objects {
+	})
+	eachObject(c, func(obj *object) {
 		for _, ch := range obj.chunks {
 			if len(ch.replicas) != cfg.ReplicationFactor {
 				t.Fatalf("chunk of %q has %d replicas after migration", obj.name, len(ch.replicas))
@@ -277,7 +277,7 @@ func TestDecommissionNode(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 	if bad := c.VerifyAll(func(name string, data []byte) error {
 		if !bytes.Equal(data, want[name]) {
 			return errors.New("mismatch")

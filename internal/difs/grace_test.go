@@ -82,14 +82,15 @@ func TestGraceRepairUsesLocalSourceAndReleases(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Drain one minidisk holding data.
+	// Drain one minidisk holding data (in any shard's view).
 	var victim targetKey
-	for key, tgt := range c.targets {
-		if len(tgt.chunks) > 0 {
+	found := false
+	eachTarget(c, func(key targetKey, tgt *target) {
+		if !found && len(tgt.chunks) > 0 {
 			victim = key
-			break
+			found = true
 		}
-	}
+	})
 	if err := devs[victim.node].DrainMinidisk(victim.md); err != nil {
 		t.Fatal(err)
 	}
@@ -124,16 +125,18 @@ func TestGraceRepairUsesLocalSourceAndReleases(t *testing.T) {
 		t.Errorf("final decommission events = %d", st.DecommissionEvents)
 	}
 	// The drained target is gone; all data intact and fully replicated.
-	if _, ok := c.targets[victim]; ok {
-		t.Error("drained target still tracked")
-	}
-	for _, obj := range c.objects {
+	eachTarget(c, func(key targetKey, tgt *target) {
+		if key == victim {
+			t.Error("drained target still tracked")
+		}
+	})
+	eachObject(c, func(obj *object) {
 		for _, ch := range obj.chunks {
-			if got := c.liveReplicas(ch); got != cfg.ReplicationFactor {
+			if got := c.shardFor(obj.name).liveReplicas(ch); got != cfg.ReplicationFactor {
 				t.Fatalf("chunk of %q has %d live replicas", obj.name, got)
 			}
 		}
-	}
+	})
 	if bad := c.VerifyAll(func(name string, data []byte) error {
 		if !bytes.Equal(data, want[name]) {
 			return errors.New("mismatch")

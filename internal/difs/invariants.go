@@ -23,9 +23,30 @@ import (
 //
 // It is a pure read. Returns one message per violation (empty when all hold),
 // in deterministic order so chaos reports are byte-stable.
+//
+// On a sharded cluster each shard is checked under its own lock (messages
+// prefixed "s<id>: "), per-target slot checks move to the shared ledger
+// (checkLedgerInvariants), and a cross-shard pass asserts no physical slot
+// is claimed by two shards.
 func (c *Cluster) CheckInvariants() []string {
+	if c.shards != nil {
+		var bad []string
+		for i, s := range c.shards {
+			s.mu.Lock()
+			s.settleLocked()
+			for _, m := range s.checkInvariantsLocked() {
+				bad = append(bad, fmt.Sprintf("s%d: %s", i, m))
+			}
+			s.mu.Unlock()
+		}
+		return append(bad, c.checkLedgerInvariants()...)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.checkInvariantsLocked()
+}
+
+func (c *Cluster) checkInvariantsLocked() []string {
 	var bad []string
 
 	// Targets, in key order.
@@ -49,21 +70,25 @@ func (c *Cluster) CheckInvariants() []string {
 			bad = append(bad, fmt.Sprintf("target %v is dead but still registered", k))
 		}
 		slots := t.info.LBAs / c.cfg.ChunkOPages
-		if len(t.freeSlots)+len(t.chunks) != slots {
-			bad = append(bad, fmt.Sprintf("target %v slot conservation: %d free + %d occupied != %d capacity",
-				k, len(t.freeSlots), len(t.chunks), slots))
-		}
-		seen := map[int]bool{}
-		for _, s := range t.freeSlots {
-			if s < 0 || s >= slots {
-				bad = append(bad, fmt.Sprintf("target %v free slot %d out of range [0,%d)", k, s, slots))
+		if c.led == nil {
+			// Slot books are per-target only on unsharded clusters; on a
+			// sharded one the shared ledger is checked by the facade.
+			if len(t.freeSlots)+len(t.chunks) != slots {
+				bad = append(bad, fmt.Sprintf("target %v slot conservation: %d free + %d occupied != %d capacity",
+					k, len(t.freeSlots), len(t.chunks), slots))
 			}
-			if seen[s] {
-				bad = append(bad, fmt.Sprintf("target %v free slot %d duplicated", k, s))
-			}
-			seen[s] = true
-			if _, occupied := t.chunks[s]; occupied {
-				bad = append(bad, fmt.Sprintf("target %v slot %d both free and occupied", k, s))
+			seen := map[int]bool{}
+			for _, s := range t.freeSlots {
+				if s < 0 || s >= slots {
+					bad = append(bad, fmt.Sprintf("target %v free slot %d out of range [0,%d)", k, s, slots))
+				}
+				if seen[s] {
+					bad = append(bad, fmt.Sprintf("target %v free slot %d duplicated", k, s))
+				}
+				seen[s] = true
+				if _, occupied := t.chunks[s]; occupied {
+					bad = append(bad, fmt.Sprintf("target %v slot %d both free and occupied", k, s))
+				}
 			}
 		}
 		if t.down {

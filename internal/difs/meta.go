@@ -26,6 +26,11 @@ const (
 	metaFormatV1  = "difs-meta-v1"
 	objPrefix     = "obj/"
 	quarPrefix    = "quarantine/"
+	// metaShardsKey stamps a sharded manifest store with its shard count.
+	// The name→shard hash decides each manifest's on-disk prefix, so
+	// reopening under a different count would silently lose objects;
+	// AttachMeta refuses a mismatch instead.
+	metaShardsKey = "meta/shards"
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -35,6 +40,16 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 func chunkSum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
 
 func objKey(name string) string { return objPrefix + name }
+
+// manifestKey returns the store key holding name's manifest, including the
+// shard prefix on sharded clusters — the one place tests and tools should
+// go through when planting or inspecting manifests directly.
+func (c *Cluster) manifestKey(name string) string {
+	if c.shards != nil {
+		return fmt.Sprintf("s%d/", ShardOf(name, len(c.shards))) + objKey(name)
+	}
+	return objKey(name)
+}
 
 // replicaRec pins one replica to its physical slot.
 type replicaRec struct {
@@ -75,8 +90,18 @@ type objRec struct {
 // layout degrades to a repair problem for the operator, it is never
 // silently reinterpreted as current-format bytes.
 func (c *Cluster) AttachMeta(st store.Store) (quarantined int, err error) {
+	if c.shards != nil {
+		return c.attachMetaFacade(st)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.sub {
+		// A standalone cluster must not reopen a sharded store: the shard
+		// prefixes would be invisible and the namespace would look empty.
+		if raw, gerr := st.Get(metaShardsKey); gerr == nil {
+			return 0, fmt.Errorf("difs: manifest store is sharded (%s shards); set Config.Shards to match", raw)
+		}
+	}
 	raw, err := st.Get(metaFormatKey)
 	switch {
 	case errors.Is(err, store.ErrNotFound):
@@ -86,21 +111,9 @@ func (c *Cluster) AttachMeta(st store.Store) (quarantined int, err error) {
 	case err != nil:
 		return 0, fmt.Errorf("difs: read meta format: %w", err)
 	case string(raw) != metaFormatV1:
-		old := string(raw)
-		keys, lerr := st.List(objPrefix)
-		if lerr != nil {
-			return 0, fmt.Errorf("difs: quarantine %q manifests: %w", old, lerr)
-		}
-		for _, k := range keys {
-			if data, gerr := st.Get(k); gerr == nil {
-				if perr := st.Put(quarPrefix+old+"/"+k, data); perr != nil {
-					return quarantined, fmt.Errorf("difs: quarantine %q: %w", k, perr)
-				}
-			}
-			if derr := st.Delete(k); derr != nil {
-				return quarantined, fmt.Errorf("difs: quarantine %q: %w", k, derr)
-			}
-			quarantined++
+		quarantined, err = quarantineOldFormat(st, string(raw))
+		if err != nil {
+			return quarantined, err
 		}
 		if err := st.Put(metaFormatKey, []byte(metaFormatV1)); err != nil {
 			return quarantined, fmt.Errorf("difs: stamp meta format: %w", err)
@@ -109,6 +122,28 @@ func (c *Cluster) AttachMeta(st store.Store) (quarantined int, err error) {
 	}
 	c.meta = st
 	c.metaDirty = map[string]bool{}
+	return quarantined, nil
+}
+
+// quarantineOldFormat moves every manifest of an unknown-format store under
+// "quarantine/<format>/" so the namespace can restart empty without
+// destroying the old records.
+func quarantineOldFormat(st store.Store, old string) (quarantined int, err error) {
+	keys, lerr := st.List(objPrefix)
+	if lerr != nil {
+		return 0, fmt.Errorf("difs: quarantine %q manifests: %w", old, lerr)
+	}
+	for _, k := range keys {
+		if data, gerr := st.Get(k); gerr == nil {
+			if perr := st.Put(quarPrefix+old+"/"+k, data); perr != nil {
+				return quarantined, fmt.Errorf("difs: quarantine %q: %w", k, perr)
+			}
+		}
+		if derr := st.Delete(k); derr != nil {
+			return quarantined, fmt.Errorf("difs: quarantine %q: %w", k, derr)
+		}
+		quarantined++
+	}
 	return quarantined, nil
 }
 

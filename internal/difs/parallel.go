@@ -50,8 +50,12 @@ type repairPlan struct {
 // PendingRepairs that the serial path would have finished; callers loop
 // until PendingRepairs is stable, exactly as with Repair.
 func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
+	if c.shards != nil {
+		return c.repairFacade(context.Background(), workers)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	defer func() { _ = c.flushMeta() }()
 	if workers <= 1 {
 		return c.repair(context.Background())
@@ -148,8 +152,12 @@ func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 			}
 			t := tgts[0]
 			exclude[t.key.node] = true
-			slot := t.freeSlots[len(t.freeSlots)-1]
-			t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
+			slot, ok := c.allocSlot(t)
+			if !ok {
+				// Lost a ledger race with another shard; retry next pass.
+				c.enqueueRepair(ch)
+				break
+			}
 			plan.dsts = append(plan.dsts, &plannedDst{tgt: t, slot: slot})
 		}
 		plan.buf = make([]byte, c.chunkBytes())
@@ -157,9 +165,13 @@ func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 	}
 
 	// --- read phase (parallel per source device) --------------------------
-	c.sinkMu.Lock()
-	c.sinkOn = true
-	c.sinkMu.Unlock()
+	// On a sharded cluster events already route through the facade's pend
+	// queues; the sink is only needed standalone.
+	if c.led == nil {
+		c.sinkMu.Lock()
+		c.sinkOn = true
+		c.sinkMu.Unlock()
+	}
 	byDev := map[targetKey][]*repairPlan{}
 	for _, p := range plans {
 		k := targetKey{node: p.src.tgt.key.node, dev: p.src.tgt.key.dev}
@@ -201,22 +213,28 @@ func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 	})
 
 	// --- replay buffered device events in deterministic order -------------
-	c.sinkMu.Lock()
-	events := c.sink
-	c.sink = nil
-	c.sinkOn = false
-	c.sinkMu.Unlock()
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].nid != events[j].nid {
-			return events[i].nid < events[j].nid
+	if c.led == nil {
+		c.sinkMu.Lock()
+		events := c.sink
+		c.sink = nil
+		c.sinkOn = false
+		c.sinkMu.Unlock()
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].nid != events[j].nid {
+				return events[i].nid < events[j].nid
+			}
+			if events[i].dev != events[j].dev {
+				return events[i].dev < events[j].dev
+			}
+			return events[i].seq < events[j].seq
+		})
+		for _, se := range events {
+			c.applyEvent(se.nid, se.dev, se.e)
 		}
-		if events[i].dev != events[j].dev {
-			return events[i].dev < events[j].dev
-		}
-		return events[i].seq < events[j].seq
-	})
-	for _, se := range events {
-		c.applyEvent(se.nid, se.dev, se.e)
+	} else {
+		// Sharded: the workers' device calls fanned events into our pend
+		// queue; apply them in the same (node, device, sequence) order.
+		c.settleSortedLocked()
 	}
 
 	// --- commit (serial, plan order) --------------------------------------
@@ -279,17 +297,7 @@ func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 		}
 	}
 	// Release draining minidisks that no longer hold any chunk.
-	for _, t := range drainingTouched {
-		if t.state == tDraining && !t.down && len(t.chunks) == 0 {
-			if dr, ok := t.dev.(blockdev.Drainer); ok {
-				if err := dr.Release(t.key.md); err == nil {
-					c.tele.releases.Inc()
-				}
-			}
-			t.state = tDead
-			delete(c.targets, t.key)
-		}
-	}
+	c.releaseDrained(drainingTouched)
 	if len(repErr.Lost) > 0 {
 		return copies, &repErr
 	}
@@ -299,6 +307,11 @@ func (c *Cluster) RepairParallel(workers int) (copies int, err error) {
 // unreserve returns a planned slot to its target's free list if the target
 // is still part of the cluster (dead targets' slot books are gone anyway).
 func (c *Cluster) unreserve(d *plannedDst) {
+	if c.led != nil {
+		// The ledger drops a dead target's entry, so release is a no-op then.
+		c.led.release(d.tgt.key, d.slot)
+		return
+	}
 	if d.tgt.state != tDead {
 		d.tgt.freeSlots = append(d.tgt.freeSlots, d.slot)
 	}

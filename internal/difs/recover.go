@@ -40,6 +40,10 @@ type RecoveryReport struct {
 	// Duration is wall-clock recovery time (also observed into the
 	// difs.recover_ns histogram).
 	Duration time.Duration `json:"duration_ns"`
+	// Shards breaks the recovery down per metadata shard on sharded
+	// clusters (empty on standalone ones). Shard recoveries run in
+	// parallel; the breakdown is always reported in shard order.
+	Shards []ShardRecoverStats `json:"shards,omitempty"`
 }
 
 // Recover rebuilds the cluster's object namespace from the manifest store
@@ -57,6 +61,9 @@ type RecoveryReport struct {
 // free slot is trimmed so orphan pages from un-acked operations are
 // reclaimed.
 func (c *Cluster) Recover() (*RecoveryReport, error) {
+	if c.shards != nil {
+		return c.recoverFacade()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.meta == nil {
@@ -94,21 +101,29 @@ func (c *Cluster) Recover() (*RecoveryReport, error) {
 	// Reclaim orphan pages: every free slot is trimmed, so chunk data from
 	// un-acked puts (placed but never committed to a manifest) and from
 	// quarantined replicas does not survive as unaccounted device pages.
-	c.trimFreeSlots()
+	// Shard children skip this: the free list is the shared ledger's, and
+	// the facade trims it once after every shard has claimed its slots.
+	if c.led == nil {
+		c.trimFreeSlots()
+	}
 	rep.RepairsQueued = len(c.repairQ)
 	if err := c.flushMeta(); err != nil {
 		return rep, err
 	}
 	rep.Duration = time.Since(start)
-	c.tele.recoverNs.Observe(float64(rep.Duration.Nanoseconds()))
 	c.tele.recoverObjects.Add(uint64(rep.Objects))
 	c.tele.recoverQuarantined.Add(uint64(rep.QuarantinedReplicas + rep.BadManifests))
-	c.tele.tr.Emit(telemetry.Event{
-		Kind: telemetry.KindRecover, Layer: "difs", N: int64(rep.Objects),
-		Detail: fmt.Sprintf("chunks=%d verified=%d quarantined=%d torn=%d lost=%d bad_manifests=%d",
-			rep.Chunks, rep.VerifiedReplicas, rep.QuarantinedReplicas,
-			rep.TornChunks, len(rep.LostObjects), rep.BadManifests),
-	})
+	if !c.sub {
+		// Shard children feed the facade's aggregate report instead of
+		// observing per-shard durations or emitting per-shard trace events.
+		c.tele.recoverNs.Observe(float64(rep.Duration.Nanoseconds()))
+		c.tele.tr.Emit(telemetry.Event{
+			Kind: telemetry.KindRecover, Layer: "difs", N: int64(rep.Objects),
+			Detail: fmt.Sprintf("chunks=%d verified=%d quarantined=%d torn=%d lost=%d bad_manifests=%d",
+				rep.Chunks, rep.VerifiedReplicas, rep.QuarantinedReplicas,
+				rep.TornChunks, len(rep.LostObjects), rep.BadManifests),
+		})
+	}
 	return rep, nil
 }
 
@@ -221,7 +236,7 @@ func (c *Cluster) recoverReplicas(ch *chunk, cr chunkRec, rep *RecoveryReport) {
 			c.markDirty(ch.obj.name)
 			continue
 		}
-		if !t.takeSlot(rr.Slot) {
+		if !c.claimSlot(t, rr.Slot) {
 			rep.QuarantinedReplicas++
 			c.markDirty(ch.obj.name)
 			continue

@@ -109,7 +109,7 @@ func TestRecoverTornReplicaQuarantinedAndRepaired(t *testing.T) {
 	}
 	// A kill -9 mid-write leaves a replica whose pages don't match the
 	// committed manifest. Simulate by scribbling on one replica's first page.
-	victim := c1.objects["a"].chunks[0].replicas[0]
+	victim := objOf(c1, "a").chunks[0].replicas[0]
 	node, md, slot := victim.tgt.key.node, victim.tgt.key.md, victim.slot
 	garbage := bytes.Repeat([]byte{0xAB}, blockdev.OPageSize)
 	if err := devs[node].Write(md, slot*cfg.ChunkOPages, garbage); err != nil {
@@ -142,7 +142,7 @@ func TestRecoverTornReplicaQuarantinedAndRepaired(t *testing.T) {
 	if _, err := c2.Repair(); err != nil {
 		t.Fatal(err)
 	}
-	for _, ch := range c2.objects["a"].chunks {
+	for _, ch := range objOf(c2, "a").chunks {
 		if len(ch.replicas) != cfg.ReplicationFactor {
 			t.Fatalf("chunk has %d replicas after repair", len(ch.replicas))
 		}
@@ -160,7 +160,7 @@ func TestRecoverAllReplicasTornReportsLost(t *testing.T) {
 		t.Fatal(err)
 	}
 	garbage := bytes.Repeat([]byte{0xCD}, blockdev.OPageSize)
-	for _, r := range c1.objects["doomed"].chunks[0].replicas {
+	for _, r := range objOf(c1, "doomed").chunks[0].replicas {
 		if err := devs[r.tgt.key.node].Write(r.tgt.key.md, r.slot*cfg.ChunkOPages, garbage); err != nil {
 			t.Fatal(err)
 		}
@@ -188,14 +188,14 @@ func TestRecoverBadManifestQuarantined(t *testing.T) {
 	}
 	// A truncated manifest (torn metadata write on a store without atomic
 	// rename) and outright junk must both quarantine, never panic.
-	raw, err := st.Get(objKey("torn"))
+	raw, err := st.Get(c1.manifestKey("torn"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Put(objKey("torn"), raw[:len(raw)/2]); err != nil {
+	if err := st.Put(c1.manifestKey("torn"), raw[:len(raw)/2]); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Put(objKey("junk"), []byte("not json at all")); err != nil {
+	if err := st.Put(c1.manifestKey("junk"), []byte("not json at all")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -214,17 +214,11 @@ func TestRecoverBadManifestQuarantined(t *testing.T) {
 		t.Fatalf("truncated-manifest object served: %v", err)
 	}
 	// The untrusted bytes are preserved for the operator, not destroyed.
-	quar, err := c2.meta.List(quarPrefix)
-	if err != nil {
-		t.Fatal(err)
-	}
+	quar := listMeta(t, c2, quarPrefix)
 	if len(quar) != 2 {
 		t.Fatalf("quarantine keys = %v", quar)
 	}
-	live, err := c2.meta.List(objPrefix)
-	if err != nil {
-		t.Fatal(err)
-	}
+	live := listMeta(t, c2, objPrefix)
 	for _, k := range live {
 		if strings.HasSuffix(k, "/torn") || strings.HasSuffix(k, "/junk") {
 			t.Fatalf("bad manifest %q still live", k)
@@ -261,8 +255,16 @@ func TestRecoverOldLayoutQuarantined(t *testing.T) {
 	if err != nil || len(quar) != 1 {
 		t.Fatalf("old-layout records not preserved: %v %v", quar, err)
 	}
-	if raw, err := st.Get(metaFormatKey); err != nil || string(raw) != metaFormatV1 {
-		t.Fatalf("format not restamped: %q %v", raw, err)
+	if c.shards == nil {
+		if raw, err := st.Get(metaFormatKey); err != nil || string(raw) != metaFormatV1 {
+			t.Fatalf("format not restamped: %q %v", raw, err)
+		}
+	} else {
+		// Sharded clusters mark the root with the shard count instead of the
+		// v1 stamp (a v1 stamp always means an unsharded namespace).
+		if raw, err := st.Get(metaShardsKey); err != nil || string(raw) != fmt.Sprint(len(c.shards)) {
+			t.Fatalf("shard stamp missing after old-layout attach: %q %v", raw, err)
+		}
 	}
 }
 
@@ -277,7 +279,7 @@ func TestRecoverECRoundTripAndShardRepair(t *testing.T) {
 	}
 	// Tear one shard's single replica: recovery must quarantine it and the
 	// stripe must still reconstruct.
-	victim := c1.objects["ec"].stripes[0].chunks[1].replicas[0]
+	victim := objOf(c1, "ec").stripes[0].chunks[1].replicas[0]
 	garbage := bytes.Repeat([]byte{0xEF}, blockdev.OPageSize)
 	if err := devs[victim.tgt.key.node].Write(victim.tgt.key.md, victim.slot*cfg.ChunkOPages, garbage); err != nil {
 		t.Fatal(err)
@@ -300,7 +302,7 @@ func TestRecoverECRoundTripAndShardRepair(t *testing.T) {
 	if c2.PendingRepairs() != 0 {
 		t.Fatalf("pending repairs = %d after EC repair", c2.PendingRepairs())
 	}
-	for _, stp := range c2.objects["ec"].stripes {
+	for _, stp := range objOf(c2, "ec").stripes {
 		for _, ch := range stp.chunks {
 			if len(ch.replicas) != 1 {
 				t.Fatalf("shard %d has %d replicas after repair", ch.shardIdx, len(ch.replicas))

@@ -1,0 +1,703 @@
+package difs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/store"
+	"salamander/internal/telemetry"
+)
+
+// Sharded metadata/control plane. A Config with Shards > 1 builds a routing
+// facade over N child Clusters, each owning a disjoint, consistently hashed
+// slice of the object namespace under its own lock:
+//
+//	facade  — routing (ShardOf), the shared physical slot ledger, the single
+//	          device-event subscription (fanned out to every shard), and
+//	          aggregate views (Objects, Stats, CheckInvariants, Recover).
+//	shard   — a full classic Cluster (placement, repair queue, RNG stream,
+//	          manifest store prefix "s<i>/", placement epoch), never handed
+//	          to callers directly.
+//
+// What stays deterministic: each shard's RNG stream is derived from the
+// cluster seed and its shard index alone, named operations route by pure
+// hash, device events are applied in fan-out order, and cross-shard passes
+// (repair, invariants, aggregate views) walk shards in index order. A given
+// seed therefore produces byte-identical chaos reports at a fixed shard
+// count, regardless of goroutine scheduling.
+//
+// What is physically shared: devices and their slots. The slot ledger is the
+// single source of truth for free slots so two shards can never place into
+// the same physical slot; per-shard placement decisions race only on slot
+// *counts*, which at worst costs a placement retry (writeChunkSharded
+// returns ErrNoSpace when it loses an allocation race).
+
+// ShardOf maps an object name to its metadata shard: 64-bit FNV-1a over the
+// name, spread over [0,shards) with Lamping-Veach jump consistent hashing.
+// The function is pure and pinned — manifests live under the shard's store
+// prefix, so this mapping changing across builds would orphan every stored
+// object (shard_test.go pins a golden table).
+func ShardOf(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime64
+	}
+	// Jump consistent hash (Lamping & Veach): O(ln shards), no tables, and
+	// growing the shard count moves only 1/N of the keys.
+	var b, j int64 = -1, 0
+	for j < int64(shards) {
+		b = j
+		h = h*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((h>>33)+1)))
+	}
+	return int(b)
+}
+
+// --- shared slot ledger ------------------------------------------------------
+
+// ledgerDisk is one minidisk's physical slot book.
+type ledgerDisk struct {
+	cap  int
+	free []int
+	dev  blockdev.Device
+}
+
+// slotLedger is the shared free-slot accounting of a sharded cluster. Every
+// shard sees the same physical minidisks; the ledger guarantees a slot is
+// handed to at most one shard. Its mutex is a leaf lock: holders never call
+// devices or take a cluster/shard lock.
+type slotLedger struct {
+	mu    sync.Mutex
+	disks map[targetKey]*ledgerDisk
+}
+
+func newSlotLedger() *slotLedger {
+	return &slotLedger{disks: map[targetKey]*ledgerDisk{}}
+}
+
+// register opens a disk's slot book (idempotent — every shard registers the
+// same disk on AddNode/regenerate; the first wins).
+func (l *slotLedger) register(key targetKey, slots int, dev blockdev.Device) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.disks[key]; ok {
+		return
+	}
+	d := &ledgerDisk{cap: slots, dev: dev}
+	// Descending free list: alloc pops the tail, so slots are handed out
+	// 0,1,2,… exactly like the per-target freeSlots list on unsharded
+	// clusters.
+	for s := slots - 1; s >= 0; s-- {
+		d.free = append(d.free, s)
+	}
+	l.disks[key] = d
+}
+
+// drop closes a disk's slot book (idempotent — every shard processes the
+// same decommission/brick event).
+func (l *slotLedger) drop(key targetKey) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.disks, key)
+}
+
+// alloc pops a free slot. ok=false when the disk is gone or full — on a
+// sharded cluster this can happen right after a free-count snapshot, because
+// other shards allocate concurrently.
+func (l *slotLedger) alloc(key targetKey) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.disks[key]
+	if d == nil || len(d.free) == 0 {
+		return 0, false
+	}
+	s := d.free[len(d.free)-1]
+	d.free = d.free[:len(d.free)-1]
+	return s, true
+}
+
+// claim removes a specific slot from the free list (recovery re-seating a
+// manifest-listed replica). Removal preserves list order so parallel
+// per-shard recovery leaves a deterministic free list. Returns whether the
+// slot was free — a second shard claiming the same slot (a corrupt or
+// cross-linked manifest) fails and quarantines its replica.
+func (l *slotLedger) claim(key targetKey, slot int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.disks[key]
+	if d == nil {
+		return false
+	}
+	for i, s := range d.free {
+		if s == slot {
+			d.free = append(d.free[:i], d.free[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release returns a slot to the free list (no-op once the disk is dropped).
+func (l *slotLedger) release(key targetKey, slot int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.disks[key]
+	if d == nil {
+		return
+	}
+	d.free = append(d.free, slot)
+}
+
+func (l *slotLedger) freeCount(key targetKey) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.disks[key]
+	if d == nil {
+		return 0
+	}
+	return len(d.free)
+}
+
+// snapshot copies a disk's slot book for lock-free inspection.
+func (l *slotLedger) snapshot(key targetKey) (free []int, capacity int, dev blockdev.Device, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.disks[key]
+	if d == nil {
+		return nil, 0, nil, false
+	}
+	return append([]int(nil), d.free...), d.cap, d.dev, true
+}
+
+// takeIfFullyFree atomically closes a disk's slot book iff every slot is
+// free. The one shard this succeeds for performs the physical release of a
+// drained minidisk — the others have (or will) merely retire their local
+// view of it.
+func (l *slotLedger) takeIfFullyFree(key targetKey) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.disks[key]
+	if d == nil || len(d.free) != d.cap {
+		return false
+	}
+	delete(l.disks, key)
+	return true
+}
+
+// keysSorted lists registered disks in deterministic key order.
+func (l *slotLedger) keysSorted() []targetKey {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]targetKey, 0, len(l.disks))
+	for k := range l.disks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.node != kj.node {
+			return ki.node < kj.node
+		}
+		if ki.dev != kj.dev {
+			return ki.dev < kj.dev
+		}
+		return ki.md < kj.md
+	})
+	return keys
+}
+
+// --- construction ------------------------------------------------------------
+
+// shardSeedStride separates the shards' RNG streams: shard i seeds its
+// xoshiro stream with Seed + i*stride (the 64-bit golden ratio, so nearby
+// seeds land far apart). The streams depend only on (Seed, shard index) —
+// the determinism contract's first leg.
+const shardSeedStride = 0x9E3779B97F4A7C15
+
+// newShardedCluster builds the facade plus its N shard children. All of them
+// share one telemetry registry (so counters are cluster-global), one slot
+// ledger, and — once AddNode runs — the same physical devices.
+func newShardedCluster(cfg Config) (*Cluster, error) {
+	reg := telemetry.NewRegistry()
+	led := newSlotLedger()
+	facade := &Cluster{
+		cfg:  cfg,
+		led:  led,
+		tele: bindTele(reg, nil),
+	}
+	facade.shards = make([]*Cluster, cfg.Shards)
+	for i := range facade.shards {
+		ccfg := cfg
+		ccfg.Shards = 1
+		ccfg.Seed = cfg.Seed + uint64(i)*shardSeedStride
+		child, err := NewCluster(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		child.led = led
+		child.shardID = i
+		child.sub = true
+		// Device events and node faults fan out to every shard; only shard 0
+		// counts them so fleet counters match the unsharded cluster.
+		child.countEvents = i == 0
+		child.tele = bindTele(reg, nil)
+		facade.shards[i] = child
+	}
+	return facade, nil
+}
+
+// shardFor routes a name to its shard (standalone clusters route to
+// themselves, so internal helpers and tests can stay shard-agnostic).
+func (c *Cluster) shardFor(name string) *Cluster {
+	if c.shards == nil {
+		return c
+	}
+	return c.shards[ShardOf(name, len(c.shards))]
+}
+
+// allShards lists the clusters that actually hold state: the shard children
+// of a facade, or the standalone cluster itself.
+func (c *Cluster) allShards() []*Cluster {
+	if c.shards == nil {
+		return []*Cluster{c}
+	}
+	return c.shards
+}
+
+// --- membership & event fan-out ----------------------------------------------
+
+// addNodeFacade registers a node with every shard and installs the facade's
+// single event subscription per device. Shards never subscribe themselves:
+// one physical event must reach N shard views exactly once each, in one
+// global order.
+func (c *Cluster) addNodeFacade(devices ...blockdev.Device) NodeID {
+	id := NodeID(-1)
+	for _, s := range c.shards {
+		id = s.addNodeQuiet(devices...)
+	}
+	for di, dev := range devices {
+		di, dev := di, dev
+		nid := id
+		dev.Notify(func(e blockdev.Event) { c.fanEvent(nid, di, e) })
+	}
+	return id
+}
+
+// fanEvent appends one device event to every shard's pending queue under a
+// single sequence number. evMu is held across the whole fan-out so every
+// shard receives events in the same global order, and per-shard queue order
+// equals sequence order (settleLocked applies without sorting). The queues
+// are necessary because the event fires while the *emitting* shard holds its
+// lock inside a device call — the other shards' locks cannot be taken here
+// (lock order is cluster→device, never device→cluster).
+func (c *Cluster) fanEvent(nid NodeID, dev int, e blockdev.Event) {
+	c.evMu.Lock()
+	defer c.evMu.Unlock()
+	seq := c.evSeq
+	c.evSeq++
+	for _, s := range c.shards {
+		s.pendMu.Lock()
+		s.pend = append(s.pend, sunkEvent{nid: nid, dev: dev, seq: seq, e: e})
+		s.pendMu.Unlock()
+	}
+}
+
+// settleLocked applies this shard's pending device events. Every exported
+// shard method calls it right after taking the lock, so a shard's view
+// catches up with physical reality before it acts. Standalone clusters have
+// nothing pending (events apply inline) — the call is a no-op there.
+// Callers hold the shard lock; applyEvent never calls a device, so no new
+// events can arrive from this goroutine while draining.
+func (c *Cluster) settleLocked() {
+	if !c.sub {
+		return
+	}
+	c.pendMu.Lock()
+	pending := c.pend
+	c.pend = nil
+	c.pendMu.Unlock()
+	for _, se := range pending {
+		c.applyEvent(se.nid, se.dev, se.e)
+	}
+}
+
+// settleSortedLocked is settleLocked with the (node, device, sequence)
+// ordering RepairParallel's standalone sink replay uses: during a parallel
+// write phase multiple devices emit concurrently, so arrival order is
+// scheduling-dependent — sorting restores a deterministic replay.
+func (c *Cluster) settleSortedLocked() {
+	if !c.sub {
+		return
+	}
+	c.pendMu.Lock()
+	pending := c.pend
+	c.pend = nil
+	c.pendMu.Unlock()
+	sort.SliceStable(pending, func(i, j int) bool {
+		if pending[i].nid != pending[j].nid {
+			return pending[i].nid < pending[j].nid
+		}
+		if pending[i].dev != pending[j].dev {
+			return pending[i].dev < pending[j].dev
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	for _, se := range pending {
+		c.applyEvent(se.nid, se.dev, se.e)
+	}
+}
+
+// --- data path ---------------------------------------------------------------
+
+// writeChunkSharded is writeChunk against the shared slot ledger: the slot
+// is allocated atomically (losing a race with another shard degrades to
+// ErrNoSpace and the placement loop tries elsewhere), and events the write
+// itself fanned back to this shard are settled before the liveness re-check
+// so a decommission triggered by our own write is never committed over.
+func (c *Cluster) writeChunkSharded(t *target, ch *chunk, data []byte) error {
+	slot, ok := c.led.alloc(t.key)
+	if !ok {
+		return ErrNoSpace
+	}
+	dev := t.device(c)
+	base := slot * c.cfg.ChunkOPages
+	for p := 0; p < c.cfg.ChunkOPages; p++ {
+		if err := dev.Write(t.key.md, base+p, data[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize]); err != nil {
+			c.led.release(t.key, slot)
+			// The failed write may have fanned this minidisk's decommission
+			// into our own pend queue; apply it before reacting so the error
+			// handler sees the true target state.
+			c.settleLocked()
+			c.noteDeviceError(t, err, true)
+			return err
+		}
+	}
+	c.settleLocked()
+	if !t.live() {
+		c.led.release(t.key, slot)
+		return blockdev.ErrNoSuchMinidisk
+	}
+	t.chunks[slot] = ch
+	ch.replicas = append(ch.replicas, replica{tgt: t, slot: slot})
+	c.markDirty(ch.obj.name)
+	return nil
+}
+
+// claimSlot reserves a specific slot during recovery (the shared ledger on
+// sharded clusters, the per-target free list otherwise). A false return
+// quarantines the manifest-listed replica — on sharded clusters that also
+// catches two shards' manifests claiming one physical slot.
+func (c *Cluster) claimSlot(t *target, slot int) bool {
+	if c.led != nil {
+		return c.led.claim(t.key, slot)
+	}
+	return t.takeSlot(slot)
+}
+
+// --- repair ------------------------------------------------------------------
+
+// repairFacade runs a repair pass over every shard, in shard order. The
+// pass is deliberately sequential across shards: repairs consume shared
+// placement capacity and wear the shared devices, so a scheduling-dependent
+// interleaving would break the determinism contract (chaos reports must be
+// byte-identical per seed). Shard-wise parallelism lives where it cannot
+// reorder placement: Recover() fans out per-shard, and each shard's own
+// RepairParallel still parallelizes chunk I/O within the shard.
+func (c *Cluster) repairFacade(ctx context.Context, workers int) (copies int, err error) {
+	var agg RepairError
+	for i, s := range c.shards {
+		if s.PendingRepairs() == 0 {
+			continue
+		}
+		var n int
+		var rerr error
+		if workers <= 1 {
+			n, rerr = s.RepairCtx(ctx)
+		} else {
+			n, rerr = s.RepairParallel(workers)
+		}
+		copies += n
+		if rerr == nil {
+			continue
+		}
+		var re *RepairError
+		if !errors.As(rerr, &re) {
+			// Context abort (or another non-aggregable failure): surface it
+			// now; later shards keep their queues for the next pass.
+			return copies, fmt.Errorf("difs: repair shard %d: %w", i, rerr)
+		}
+		agg.Lost = append(agg.Lost, re.Lost...)
+		agg.Deferred += re.Deferred
+	}
+	if len(agg.Lost) > 0 {
+		return copies, &agg
+	}
+	return copies, nil
+}
+
+// --- manifests & recovery ----------------------------------------------------
+
+// attachMetaFacade attaches one durable store to all shards, each under its
+// own "s<i>/" key prefix. The root carries a meta/shards stamp; reopening
+// under a different shard count is refused (the name→shard hash decides
+// which prefix holds a manifest, so a different count would silently lose
+// objects). A pre-sharding v1 store is likewise refused — resharding is an
+// explicit operator migration, not an accident — while an unknown old format
+// quarantines exactly as on standalone clusters.
+func (c *Cluster) attachMetaFacade(st store.Store) (quarantined int, err error) {
+	n := len(c.shards)
+	raw, gerr := st.Get(metaShardsKey)
+	switch {
+	case gerr == nil:
+		if got, aerr := strconv.Atoi(string(raw)); aerr != nil || got != n {
+			return 0, fmt.Errorf("difs: manifest store is sharded %s-ways, cluster wants %d", raw, n)
+		}
+	case errors.Is(gerr, store.ErrNotFound):
+		rawf, ferr := st.Get(metaFormatKey)
+		switch {
+		case errors.Is(ferr, store.ErrNotFound):
+			// Fresh store: stamp and go.
+		case ferr != nil:
+			return 0, fmt.Errorf("difs: read meta format: %w", ferr)
+		case string(rawf) == metaFormatV1:
+			return 0, fmt.Errorf("difs: manifest store holds an unsharded %s namespace; open it with Shards=1 (resharding is an explicit migration)", metaFormatV1)
+		default:
+			q, qerr := quarantineOldFormat(st, string(rawf))
+			quarantined += q
+			if qerr != nil {
+				return quarantined, qerr
+			}
+			if derr := st.Delete(metaFormatKey); derr != nil {
+				return quarantined, fmt.Errorf("difs: clear old meta format: %w", derr)
+			}
+			c.tele.recoverQuarantined.Add(uint64(q))
+		}
+		if perr := st.Put(metaShardsKey, []byte(strconv.Itoa(n))); perr != nil {
+			return quarantined, fmt.Errorf("difs: stamp shard count: %w", perr)
+		}
+	default:
+		return 0, fmt.Errorf("difs: read shard stamp: %w", gerr)
+	}
+	for i, s := range c.shards {
+		q, aerr := s.AttachMeta(store.Prefixed(st, fmt.Sprintf("s%d/", i)))
+		quarantined += q
+		if aerr != nil {
+			return quarantined, fmt.Errorf("difs: attach shard %d: %w", i, aerr)
+		}
+	}
+	c.mu.Lock()
+	c.meta = st
+	c.mu.Unlock()
+	return quarantined, nil
+}
+
+// ShardRecoverStats is one shard's slice of a RecoveryReport.
+type ShardRecoverStats struct {
+	Shard         int `json:"shard"`
+	Objects       int `json:"objects"`
+	Quarantined   int `json:"quarantined"`
+	BadManifests  int `json:"bad_manifests"`
+	RepairsQueued int `json:"repairs_queued"`
+}
+
+// recoverFacade recovers every shard concurrently — shard recoveries touch
+// disjoint manifests and claim (not allocate) ledger slots, so parallel
+// execution cannot reorder any decision: each shard's outcome depends only
+// on its own manifests, and claim preserves free-list order. Two shards'
+// manifests claiming one physical slot cannot both win; the loser
+// quarantines its replica. Free-slot trimming runs once, at the end, over
+// the whole ledger.
+func (c *Cluster) recoverFacade() (*RecoveryReport, error) {
+	for i, s := range c.shards {
+		if s.meta == nil {
+			return nil, fmt.Errorf("difs: Recover requires AttachMeta first (shard %d has no store)", i)
+		}
+	}
+	start := time.Now()
+	reps := make([]*RecoveryReport, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *Cluster) {
+			defer wg.Done()
+			reps[i], errs[i] = s.Recover()
+		}(i, s)
+	}
+	wg.Wait()
+	agg := &RecoveryReport{}
+	var firstErr error
+	for i := range c.shards {
+		if errs[i] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("difs: recover shard %d: %w", i, errs[i])
+		}
+		rep := reps[i]
+		if rep == nil {
+			continue
+		}
+		agg.Objects += rep.Objects
+		agg.Chunks += rep.Chunks
+		agg.VerifiedReplicas += rep.VerifiedReplicas
+		agg.QuarantinedReplicas += rep.QuarantinedReplicas
+		agg.TornChunks += rep.TornChunks
+		agg.RepairsQueued += rep.RepairsQueued
+		agg.BadManifests += rep.BadManifests
+		agg.LostObjects = append(agg.LostObjects, rep.LostObjects...)
+		agg.Shards = append(agg.Shards, ShardRecoverStats{
+			Shard:         i,
+			Objects:       rep.Objects,
+			Quarantined:   rep.QuarantinedReplicas,
+			BadManifests:  rep.BadManifests,
+			RepairsQueued: rep.RepairsQueued,
+		})
+	}
+	sort.Strings(agg.LostObjects)
+	if firstErr != nil {
+		return agg, firstErr
+	}
+	// Reclaim orphan pages exactly once, after every shard has claimed its
+	// verified slots: whatever is still free belongs to no manifest.
+	c.trimLedgerFree()
+	agg.Duration = time.Since(start)
+	c.tele.recoverNs.Observe(float64(agg.Duration.Nanoseconds()))
+	c.tele.tr.Emit(telemetry.Event{
+		Kind: telemetry.KindRecover, Layer: "difs", N: int64(agg.Objects),
+		Detail: fmt.Sprintf("chunks=%d verified=%d quarantined=%d torn=%d lost=%d bad_manifests=%d shards=%d",
+			agg.Chunks, agg.VerifiedReplicas, agg.QuarantinedReplicas,
+			agg.TornChunks, len(agg.LostObjects), agg.BadManifests, len(c.shards)),
+	})
+	return agg, nil
+}
+
+// trimLedgerFree trims every free slot of every registered disk
+// (deterministic order) — the sharded analogue of trimFreeSlots.
+func (c *Cluster) trimLedgerFree() {
+	for _, key := range c.led.keysSorted() {
+		free, _, dev, ok := c.led.snapshot(key)
+		if !ok || dev == nil {
+			continue
+		}
+		for _, slot := range free {
+			base := slot * c.cfg.ChunkOPages
+			for p := 0; p < c.cfg.ChunkOPages; p++ {
+				_ = dev.Trim(key.md, base+p)
+			}
+		}
+	}
+}
+
+// --- invariants & introspection ----------------------------------------------
+
+// checkLedgerInvariants verifies the shared slot books against the union of
+// all shards' occupied slots: free lists in range and duplicate-free, no
+// slot both free and occupied, no slot claimed by two shards, and free +
+// occupied covering each registered disk's capacity. Meaningful on a
+// quiescent cluster (concurrent ops hold allocations mid-write).
+func (c *Cluster) checkLedgerInvariants() []string {
+	var bad []string
+	// Union of occupied slots, noting the claiming shard.
+	occ := map[targetKey]map[int]int{} // disk -> slot -> shard
+	for i, s := range c.shards {
+		s.mu.Lock()
+		keys := make([]targetKey, 0, len(s.targets))
+		for k := range s.targets {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			ka, kb := keys[a], keys[b]
+			if ka.node != kb.node {
+				return ka.node < kb.node
+			}
+			if ka.dev != kb.dev {
+				return ka.dev < kb.dev
+			}
+			return ka.md < kb.md
+		})
+		for _, k := range keys {
+			t := s.targets[k]
+			slots := make([]int, 0, len(t.chunks))
+			for slot := range t.chunks {
+				slots = append(slots, slot)
+			}
+			sort.Ints(slots)
+			for _, slot := range slots {
+				if occ[k] == nil {
+					occ[k] = map[int]int{}
+				}
+				if prev, dup := occ[k][slot]; dup {
+					bad = append(bad, fmt.Sprintf("ledger %v slot %d claimed by shards %d and %d", k, slot, prev, i))
+					continue
+				}
+				occ[k][slot] = i
+			}
+		}
+		s.mu.Unlock()
+	}
+	for _, key := range c.led.keysSorted() {
+		free, capacity, _, ok := c.led.snapshot(key)
+		if !ok {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, s := range free {
+			if s < 0 || s >= capacity {
+				bad = append(bad, fmt.Sprintf("ledger %v free slot %d out of range [0,%d)", key, s, capacity))
+			}
+			if seen[s] {
+				bad = append(bad, fmt.Sprintf("ledger %v free slot %d duplicated", key, s))
+			}
+			seen[s] = true
+			if _, isOcc := occ[key][s]; isOcc {
+				bad = append(bad, fmt.Sprintf("ledger %v slot %d both free and occupied", key, s))
+			}
+		}
+		if len(free)+len(occ[key]) != capacity {
+			bad = append(bad, fmt.Sprintf("ledger %v slot conservation: %d free + %d occupied != %d capacity",
+				key, len(free), len(occ[key]), capacity))
+		}
+	}
+	return bad
+}
+
+// ShardInfo is one shard's control-plane summary for the ops surface.
+type ShardInfo struct {
+	ID             int `json:"id"`
+	Objects        int `json:"objects"`
+	PendingRepairs int `json:"pending_repairs"`
+	// Epoch is the shard's placement epoch: it advances on every membership
+	// change the shard observes (target added, drained, lost, node
+	// crash/restart), so a changed epoch means cached placement knowledge
+	// about this shard is stale.
+	Epoch uint64 `json:"epoch"`
+}
+
+// ShardInfos summarizes every shard in shard order. A standalone cluster
+// reports itself as the single shard 0.
+func (c *Cluster) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, 0, len(c.allShards()))
+	for i, s := range c.allShards() {
+		s.mu.Lock()
+		s.settleLocked()
+		out = append(out, ShardInfo{
+			ID:             i,
+			Objects:        len(s.objects),
+			PendingRepairs: len(s.repairQ),
+			Epoch:          s.epoch,
+		})
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"salamander/internal/core"
+	"salamander/internal/difs"
+	"salamander/internal/flash"
+	"salamander/internal/rber"
+	"salamander/internal/sim"
+	"salamander/internal/stats"
+)
+
+// ShardScalingPoint is one measured point of the metadata-shard scaling
+// benchmark: modeled client throughput against a cluster whose namespace is
+// partitioned into Shards metadata shards.
+type ShardScalingPoint struct {
+	Shards    int     `json:"shards"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Speedup is relative to the first (fewest-shards) point.
+	Speedup float64 `json:"speedup"`
+}
+
+// shardBenchWorkers is the modeled client concurrency: the salnet worker
+// pool default (16 request workers).
+const shardBenchWorkers = 16
+
+// shardBenchNames is the benchmark keyspace size. Names hash across the
+// ring, so 64 names keep every shard of a 16-way split busy.
+const shardBenchNames = 64
+
+// MeasureShardScaling quantifies the shard layer's lock-convoy fix on a
+// single-core host, deterministically. For each shard count it drives one
+// identical seeded workload through a real difs cluster over engine-backed
+// Salamander devices, charging every operation its virtual device time
+// (the sum of all node engines' clock advances — wall time never enters).
+// Those per-op costs then feed a queueing model of the serving layer: W
+// worker goroutines pull ops in order, and an op cannot start before both a
+// worker is free AND its shard's lock is free — exactly the constraint the
+// per-shard mutexes impose on salnet's pool. With one shard every op
+// convoys on one lock and the makespan degenerates to the serial sum; with
+// 16 shards ops on different shards overlap up to W-way. The reported
+// ops/s is workload volume over modeled makespan, byte-identical per seed.
+func MeasureShardScaling(shardCounts []int, ops int, seed uint64) ([]ShardScalingPoint, error) {
+	if len(shardCounts) == 0 {
+		return nil, fmt.Errorf("perfmodel: no shard counts given")
+	}
+	if ops < 1 {
+		return nil, fmt.Errorf("perfmodel: ops %d must be positive", ops)
+	}
+	var out []ShardScalingPoint
+	for _, n := range shardCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("perfmodel: shard count %d must be positive", n)
+		}
+		p, err := measureShardPoint(n, ops, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	base := out[0].OpsPerSec
+	for i := range out {
+		out[i].Speedup = out[i].OpsPerSec / base
+	}
+	return out, nil
+}
+
+// benchOp is one pre-drawn workload step. The whole trace is drawn from the
+// RNG before the cluster sees any traffic, so RNG consumption — and
+// therefore the workload — is identical at every shard count.
+type benchOp struct {
+	verb int // 0 = replace, 1 = get
+	name string
+	size int
+}
+
+func measureShardPoint(shards, ops int, seed uint64) (ShardScalingPoint, error) {
+	cluster, engines, err := shardBenchCluster(shards, seed)
+	if err != nil {
+		return ShardScalingPoint{}, err
+	}
+	virtualNow := func() float64 {
+		var s float64
+		for _, e := range engines {
+			s += e.Now().Seconds()
+		}
+		return s
+	}
+
+	rng := stats.NewRNG(seed*1000003 + 17)
+	names := make([]string, shardBenchNames)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench/obj%02d", i)
+	}
+	trace := make([]benchOp, ops)
+	for i := range trace {
+		op := benchOp{name: names[rng.Intn(len(names))], size: 2048 + rng.Intn(6144)}
+		if rng.Intn(10) < 3 {
+			op.verb = 0 // replace
+		} else {
+			op.verb = 1 // get
+		}
+		trace[i] = op
+	}
+
+	// Seed the keyspace (untimed warm-up: every Get below must hit).
+	warm := stats.NewRNG(seed*7919 + 5)
+	for _, name := range names {
+		if err := cluster.Put(name, objBytes(warm, 2048)); err != nil {
+			return ShardScalingPoint{}, fmt.Errorf("perfmodel: shard bench warm-up put %q: %w", name, err)
+		}
+	}
+
+	// Execute serially, charging each op its virtual device time. Ops that
+	// advance no engine clock (metadata-only paths) are charged a floor of
+	// 1µs so the model never divides by a zero-length critical section.
+	const opFloor = 1e-6
+	durs := make([]float64, len(trace))
+	fill := stats.NewRNG(seed*65537 + 3)
+	for i, op := range trace {
+		before := virtualNow()
+		switch op.verb {
+		case 0:
+			if err := cluster.Replace(op.name, objBytes(fill, op.size)); err != nil {
+				return ShardScalingPoint{}, fmt.Errorf("perfmodel: shard bench replace %q: %w", op.name, err)
+			}
+		default:
+			if _, err := cluster.Get(op.name); err != nil {
+				return ShardScalingPoint{}, fmt.Errorf("perfmodel: shard bench get %q: %w", op.name, err)
+			}
+		}
+		durs[i] = (virtualNow() - before) + opFloor
+	}
+
+	// Queueing model: W workers, per-shard exclusive locks. An op starts
+	// when the earliest-free worker AND its shard's lock are both free.
+	workerFree := make([]float64, shardBenchWorkers)
+	shardFree := make([]float64, shards)
+	makespan := 0.0
+	for i, op := range trace {
+		w := 0
+		for j := 1; j < len(workerFree); j++ {
+			if workerFree[j] < workerFree[w] {
+				w = j
+			}
+		}
+		s := difs.ShardOf(op.name, shards)
+		start := workerFree[w]
+		if shardFree[s] > start {
+			start = shardFree[s]
+		}
+		end := start + durs[i]
+		workerFree[w] = end
+		shardFree[s] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return ShardScalingPoint{Shards: shards, OpsPerSec: float64(len(trace)) / makespan}, nil
+}
+
+// shardBenchCluster builds the fixed 6-node engine-backed cluster the
+// benchmark runs against, returning the per-node engines so callers can sum
+// virtual time. High endurance keeps wear events out of the measurement.
+func shardBenchCluster(shards int, seed uint64) (*difs.Cluster, []*sim.Engine, error) {
+	ccfg := difs.DefaultConfig()
+	ccfg.ChunkOPages = 4
+	ccfg.Seed = seed * 31
+	ccfg.Shards = shards
+	cluster, err := difs.NewCluster(ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	const nodes = 6
+	engines := make([]*sim.Engine, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		dcfg := core.DefaultConfig()
+		dcfg.Flash.Geometry = flash.Geometry{
+			Channels:      2,
+			BlocksPerChan: 8,
+			PagesPerBlock: 8,
+			PageSize:      rber.FPageSize,
+			SpareSize:     rber.SpareSize,
+		}
+		dcfg.Flash.StoreData = true
+		dcfg.RealECC = false
+		dcfg.MSizeOPages = 16
+		dcfg.MaxLevel = 0
+		dcfg.Flash.Reliability.NominalPEC = 10000 // never age out mid-bench
+		dcfg.Flash.Seed = seed + uint64(i)*977
+		dcfg.Seed = seed*13 + uint64(i)
+		eng := sim.NewEngine()
+		dev, err := core.New(dcfg, eng)
+		if err != nil {
+			return nil, nil, err
+		}
+		engines = append(engines, eng)
+		cluster.AddNode(dev)
+	}
+	return cluster, engines, nil
+}
+
+// objBytes draws n seeded payload bytes.
+func objBytes(rng *stats.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}

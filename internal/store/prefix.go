@@ -1,0 +1,42 @@
+package store
+
+import "strings"
+
+// prefixed exposes a sub-namespace of an underlying Store: every key is
+// transparently prefixed on the way in and stripped on the way out. The
+// difs shard facade uses one prefixed view per metadata shard ("s0/",
+// "s1/", ...) over a single physical store, so N shards share one durable
+// directory without seeing each other's manifests.
+type prefixed struct {
+	s Store
+	p string
+}
+
+// Prefixed returns a view of s confined to keys starting with prefix. The
+// view shares the underlying store: Sync passes through, Close is a no-op
+// (the owner of s closes it once).
+func Prefixed(s Store, prefix string) Store {
+	return &prefixed{s: s, p: prefix}
+}
+
+func (p *prefixed) Put(key string, data []byte) error { return p.s.Put(p.p+key, data) }
+func (p *prefixed) Get(key string) ([]byte, error)    { return p.s.Get(p.p + key) }
+func (p *prefixed) Delete(key string) error           { return p.s.Delete(p.p + key) }
+
+func (p *prefixed) List(prefix string) ([]string, error) {
+	keys, err := p.s.List(p.p + prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, strings.TrimPrefix(k, p.p))
+	}
+	return out, nil
+}
+
+func (p *prefixed) Sync() error { return p.s.Sync() }
+
+// Close is a no-op: the underlying store outlives its views and is closed
+// by whoever opened it.
+func (p *prefixed) Close() error { return nil }
