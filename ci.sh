@@ -17,22 +17,29 @@
 # fixed-seed salchaos smoke run then asserts the cross-layer invariants
 # end to end, and the salperf -parallel benchmark is compared against the
 # checked-in BENCH_parallel.json: >15% write-throughput regression at any
-# channel count fails the build. The salperf -ecc benchmark guards the
-# table-driven BCH fast path the same way against BENCH_ecc.json, plus a
-# machine-independent >= 4x syndrome-speedup floor at the level-0 geometry.
+# channel count fails the build. The salperf -ecc -degraded benchmark guards
+# the table-driven BCH fast path the same way against BENCH_ecc.json —
+# including the degraded decode mix and erasure-hinted figures — plus a
+# machine-independent >= 4x syndrome-speedup floor at the level-0 geometry
+# and per-level kernel floors on the baseline file's decode figures.
 # Both salperf guards run BEFORE the network smokes (the wall-clock-sensitive
 # ECC guard first): the loopback load run is CPU-heavy, and benchmarking in
 # its wake would force the checked-in floors down to under-load minima,
 # weakening the regression guard. The -net chaos
 # smoke then replays the fixed seed through the loopback serving layer with
 # its failpoints armed, and a loopback salsrv/salload smoke starts the
-# server, drives 8 clients x depth 8 with content verification, requires
-# >= 10k ops/s and no >15% drop vs BENCH_net.json, and asserts a clean
+# server, drives 8 clients x depth 8 of zipf-skewed traffic with content
+# verification, requires >= 10k ops/s and no >15% drop vs BENCH_net.json,
+# and asserts a clean
 # graceful drain. The same run exercises the live ops surface: /healthz
 # must answer ok, /metrics must expose a parseable sal_net_server_requests
 # counting the load, /wear must return the fleet report, and /readyz must
 # flip to 503 after SIGTERM while the -drain-linger window keeps the
-# server answering. Finally the kill -9 durability smoke (salchaos -proc)
+# server answering. A degraded-fleet smoke then serves verified hot-spot
+# traffic from a pre-worn RealECC core fleet (salsrv -wear 0.6): the p99
+# tail must hold within 15% of BENCH_net_degraded.json and the exposition
+# must prove ECC corrections, erasure-hinted decodes, and server-side GET
+# batching all fired. Finally the kill -9 durability smoke (salchaos -proc)
 # SIGKILLs a real salsrv mid-load on a durable -data-dir, restarts it on
 # the same directory, and content-verifies every acked write — then one
 # more cold restart asserts sal_difs_recover_ns and a non-zero
@@ -90,8 +97,8 @@ grep -q "shards=16" "$chaostmp/run1.txt" || {
 }
 rm -rf "$chaostmp"
 
-echo "== salperf -ecc regression guard (baseline BENCH_ecc.json) =="
-go run ./cmd/salperf -ecc -ecc-baseline BENCH_ecc.json
+echo "== salperf -ecc -degraded regression guard (baseline BENCH_ecc.json) =="
+go run ./cmd/salperf -ecc -degraded -ecc-baseline BENCH_ecc.json
 
 echo "== salperf -parallel regression guard (baseline BENCH_parallel.json) =="
 go run ./cmd/salperf -parallel 4 -data 8 -parallel-baseline BENCH_parallel.json
@@ -135,7 +142,7 @@ ops="http://$(cat "$nettmp/opsaddr")"
     exit 1
 }
 "$nettmp/salload" -addr "$(cat "$nettmp/addr")" -clients 8 -depth 8 -ops 40000 \
-    -min-ops 10000 -baseline BENCH_net.json
+    -zipf 1.1 -min-ops 10000 -baseline BENCH_net.json
 # The exposition must be valid Prometheus text and the request counter must
 # have counted the load we just drove.
 curl -s "$ops/metrics" >"$nettmp/metrics.prom"
@@ -221,6 +228,59 @@ fi
 grep -q "invariants clean=true" "$nettmp/salsrv1.log" || {
     echo "unsharded salsrv invariant sweep failed" >&2
     cat "$nettmp/salsrv1.log" >&2
+    exit 1
+}
+
+echo "== degraded-fleet loopback smoke (-devices core -wear 0.6) + BENCH_net_degraded.json =="
+# A pre-worn RealECC fleet: every block starts at 60% of nominal PEC with
+# grown stuck bit-lines, so reads exercise the degraded decode kernels and
+# the erasure-hinted path while serving verified hot-spot traffic. The tail
+# guard (-p99-tolerance) holds p99 within 15% of the checked-in degraded
+# baseline — a fatter tail under wear is exactly the regression the degraded
+# kernels exist to prevent — and the metric asserts below prove the degraded
+# machinery actually fired instead of the smoke coasting on a clean path.
+"$nettmp/salsrv" -addr 127.0.0.1:0 -addr-file "$nettmp/addrw" \
+    -ops-addr 127.0.0.1:0 -ops-addr-file "$nettmp/opsaddrw" \
+    -devices core -wear 0.6 -nodes 4 -shards 4 -workers 8 >"$nettmp/salsrvw.log" 2>&1 &
+srvwpid=$!
+i=0
+while { [ ! -s "$nettmp/addrw" ] || [ ! -s "$nettmp/opsaddrw" ]; } && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ ! -s "$nettmp/addrw" ] || [ ! -s "$nettmp/opsaddrw" ]; then
+    echo "degraded salsrv never bound" >&2
+    cat "$nettmp/salsrvw.log" >&2
+    exit 1
+fi
+"$nettmp/salload" -addr "$(cat "$nettmp/addrw")" -clients 2 -depth 2 -ops 1200 \
+    -objects 8 -size 2048 -hot-frac 0.7 \
+    -baseline BENCH_net_degraded.json -p99-tolerance 1.15
+opsw="http://$(cat "$nettmp/opsaddrw")"
+curl -s "$opsw/metrics" >"$nettmp/metricsw.prom"
+for m in sal_core_ecc_corrections sal_core_ecc_erasure_decodes sal_net_server_batches; do
+    v=$(awk -v m="$m" '$1 == m { print $2 }' "$nettmp/metricsw.prom")
+    case "$v" in
+    '' | *[!0-9]*)
+        echo "degraded ops /metrics: $m missing or non-numeric: '$v'" >&2
+        head -20 "$nettmp/metricsw.prom" >&2
+        exit 1
+        ;;
+    esac
+    if [ "$v" -eq 0 ]; then
+        echo "degraded ops /metrics: $m=0 — degraded path never fired" >&2
+        exit 1
+    fi
+done
+kill -TERM "$srvwpid"
+if ! wait "$srvwpid"; then
+    echo "degraded salsrv drain failed" >&2
+    cat "$nettmp/salsrvw.log" >&2
+    exit 1
+fi
+grep -q "invariants clean=true" "$nettmp/salsrvw.log" || {
+    echo "degraded salsrv invariant sweep failed" >&2
+    cat "$nettmp/salsrvw.log" >&2
     exit 1
 }
 rm -rf "$nettmp"

@@ -8,8 +8,9 @@
 // Usage:
 //
 //	salload -addr HOST:PORT [-clients N] [-depth N] [-ops N] [-objects N]
-//	        [-size N] [-read-frac F] [-zipf S] [-seed S] [-verify]
-//	        [-out FILE] [-baseline FILE] [-min-ops F] [-max-p99 D]
+//	        [-size N] [-read-frac F] [-zipf S] [-hot-frac F] [-seed S]
+//	        [-verify] [-out FILE] [-baseline FILE] [-min-ops F]
+//	        [-max-p99 D] [-p99-tolerance F]
 //
 // Keys are partitioned per pipeline stream ("c<client>-w<stream>-o<obj>"), so
 // -verify is race-free: each stream is the only writer and reader of its
@@ -45,31 +46,37 @@ const regressionTolerance = 0.85
 // reconstruction only when degraded) and a combined quantile hides whichever
 // side the mix underweights.
 type Report struct {
-	Clients    int     `json:"clients"`
-	Depth      int     `json:"depth"`
-	Ops        int64   `json:"ops"`
-	ReadFrac   float64 `json:"read_frac"`
-	ZipfSkew   float64 `json:"zipf_skew"`
-	SizeBytes  int     `json:"size_bytes"`
-	Elapsed    float64 `json:"elapsed_sec"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
-	P50us      float64 `json:"p50_us"`
-	P95us      float64 `json:"p95_us"`
-	P99us      float64 `json:"p99_us"`
-	Reads      int64   `json:"reads"`
-	ReadP50us  float64 `json:"read_p50_us"`
-	ReadP95us  float64 `json:"read_p95_us"`
-	ReadP99us  float64 `json:"read_p99_us"`
-	ReadErrors int64   `json:"read_errors"`
-	Writes     int64   `json:"writes"`
-	WriteP50us float64 `json:"write_p50_us"`
-	WriteP95us float64 `json:"write_p95_us"`
-	WriteP99us float64 `json:"write_p99_us"`
-	WriteErrs  int64   `json:"write_errors"`
-	Errors     int64   `json:"errors"`
-	Mismatches int64   `json:"mismatches"`
-	Retries    uint64  `json:"retries"`
-	Reconnects uint64  `json:"reconnects"`
+	Clients  int     `json:"clients"`
+	Depth    int     `json:"depth"`
+	Ops      int64   `json:"ops"`
+	ReadFrac float64 `json:"read_frac"`
+	ZipfSkew float64 `json:"zipf_skew"`
+	HotFrac  float64 `json:"hot_frac"`
+	// TopDecileFrac is the measured skew: the fraction of ops that landed on
+	// each stream's hottest decile of objects. ~0.1 for uniform, higher for
+	// zipf/hot-spot — recorded so the baseline pins what traffic shape the
+	// numbers were taken under, not just what was requested.
+	TopDecileFrac float64 `json:"top_decile_frac"`
+	SizeBytes     int     `json:"size_bytes"`
+	Elapsed       float64 `json:"elapsed_sec"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50us         float64 `json:"p50_us"`
+	P95us         float64 `json:"p95_us"`
+	P99us         float64 `json:"p99_us"`
+	Reads         int64   `json:"reads"`
+	ReadP50us     float64 `json:"read_p50_us"`
+	ReadP95us     float64 `json:"read_p95_us"`
+	ReadP99us     float64 `json:"read_p99_us"`
+	ReadErrors    int64   `json:"read_errors"`
+	Writes        int64   `json:"writes"`
+	WriteP50us    float64 `json:"write_p50_us"`
+	WriteP95us    float64 `json:"write_p95_us"`
+	WriteP99us    float64 `json:"write_p99_us"`
+	WriteErrs     int64   `json:"write_errors"`
+	Errors        int64   `json:"errors"`
+	Mismatches    int64   `json:"mismatches"`
+	Retries       uint64  `json:"retries"`
+	Reconnects    uint64  `json:"reconnects"`
 }
 
 func main() {
@@ -84,16 +91,21 @@ func main() {
 		size     = flag.Int("size", 4096, "object size in bytes")
 		readFrac = flag.Float64("read-frac", 0.5, "fraction of ops that are reads")
 		zipf     = flag.Float64("zipf", 0, "zipfian skew over each keyspace (0 = uniform)")
+		hotFrac  = flag.Float64("hot-frac", 0, "fraction of ops aimed at the hottest 10% of each keyspace (0 = off; exclusive with -zipf)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		verify   = flag.Bool("verify", true, "verify read contents against the deterministic model")
 		outPath  = flag.String("out", "", "write the report JSON (BENCH_net.json) to this file")
 		basePath = flag.String("baseline", "", "compare ops/s against this baseline report (15% tolerance)")
 		minOps   = flag.Float64("min-ops", 0, "machine-independent ops/s floor (0 = no floor)")
 		maxP99   = flag.Duration("max-p99", 0, "fail if overall p99 latency exceeds this (0 = no ceiling)")
+		p99Tol   = flag.Float64("p99-tolerance", 0, "with -baseline: fail if p99 exceeds the baseline's p99 by this factor (e.g. 1.15; 0 = no tail guard)")
 	)
 	flag.Parse()
 	if *addr == "" {
 		log.Fatal("-addr is required")
+	}
+	if *zipf > 0 && *hotFrac > 0 {
+		log.Fatal("-zipf and -hot-frac are exclusive")
 	}
 	streams := *clients * *depth
 	if streams <= 0 {
@@ -120,7 +132,8 @@ func main() {
 	}
 
 	var done, errCount, mismatches int64
-	var readErrs, writeErrs int64
+	var readErrs, writeErrs, hotHits int64
+	hotObjs := (*objects + 9) / 10
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
@@ -130,27 +143,32 @@ func main() {
 			go func() {
 				defer wg.Done()
 				s := stream{
-					cl:     pool[c],
-					prefix: fmt.Sprintf("c%d-w%d", c, d),
-					id:     uint64(c**depth + d),
-					seed:   *seed,
-					size:   *size,
-					verify: *verify,
-					lat:    lat,
-					latR:   latR,
-					latW:   latW,
-					vers:   make([]int, *objects),
-					done:   &done,
-					errs:   &errCount,
-					errsR:  &readErrs,
-					errsW:  &writeErrs,
-					mismat: &mismatches,
+					cl:      pool[c],
+					prefix:  fmt.Sprintf("c%d-w%d", c, d),
+					id:      uint64(c**depth + d),
+					seed:    *seed,
+					size:    *size,
+					verify:  *verify,
+					lat:     lat,
+					latR:    latR,
+					latW:    latW,
+					vers:    make([]int, *objects),
+					done:    &done,
+					errs:    &errCount,
+					errsR:   &readErrs,
+					errsW:   &writeErrs,
+					mismat:  &mismatches,
+					hotObjs: hotObjs,
+					hotHits: &hotHits,
 				}
 				rng := stats.NewRNG(*seed*1_000_003 + s.id*7919)
 				var base workload.Generator
-				if *zipf > 0 {
+				switch {
+				case *zipf > 0:
 					base = workload.NewZipfian(rng, *objects, *zipf)
-				} else {
+				case *hotFrac > 0:
+					base = &workload.HotSpot{Space: *objects, HotSpace: hotObjs, HotFrac: *hotFrac, Rng: rng}
+				default:
 					base = &workload.Uniform{Space: *objects, Rng: rng}
 				}
 				gen := &workload.Mix{Gen: base, ReadFrac: *readFrac, Rng: rng}
@@ -167,7 +185,7 @@ func main() {
 	hw := snap.Histograms["net.load.write_us"]
 	rep := Report{
 		Clients: *clients, Depth: *depth, Ops: done,
-		ReadFrac: *readFrac, ZipfSkew: *zipf, SizeBytes: *size,
+		ReadFrac: *readFrac, ZipfSkew: *zipf, HotFrac: *hotFrac, SizeBytes: *size,
 		Elapsed:   elapsed.Seconds(),
 		OpsPerSec: float64(done) / elapsed.Seconds(),
 		P50us:     h.Quantile(0.50),
@@ -183,8 +201,12 @@ func main() {
 		Retries:    snap.Counters["net.client.retries"],
 		Reconnects: snap.Counters["net.client.reconnects"],
 	}
-	fmt.Printf("== salload: %d clients x depth %d, %d ops (%d B objects, %.0f%% reads, zipf %.2f) ==\n",
-		rep.Clients, rep.Depth, rep.Ops, rep.SizeBytes, rep.ReadFrac*100, rep.ZipfSkew)
+	if done > 0 {
+		rep.TopDecileFrac = float64(hotHits) / float64(done)
+	}
+	fmt.Printf("== salload: %d clients x depth %d, %d ops (%d B objects, %.0f%% reads, zipf %.2f, hot %.2f) ==\n",
+		rep.Clients, rep.Depth, rep.Ops, rep.SizeBytes, rep.ReadFrac*100, rep.ZipfSkew, rep.HotFrac)
+	fmt.Printf("skew:       %.1f%% of ops hit each stream's hottest decile\n", rep.TopDecileFrac*100)
 	fmt.Printf("throughput: %.0f ops/s over %.2fs\n", rep.OpsPerSec, rep.Elapsed)
 	fmt.Printf("latency:    p50 %.0fus  p95 %.0fus  p99 %.0fus\n", rep.P50us, rep.P95us, rep.P99us)
 	fmt.Printf("reads:      %d ops  p50 %.0fus  p95 %.0fus  p99 %.0fus  errors=%d\n",
@@ -208,7 +230,7 @@ func main() {
 		exit = 1
 	}
 	if *basePath != "" {
-		if err := compareBaseline(rep, *basePath); err != nil {
+		if err := compareBaseline(rep, *basePath, *p99Tol); err != nil {
 			log.Printf("FAIL: %v", err)
 			exit = 1
 		} else {
@@ -241,7 +263,8 @@ type stream struct {
 	latW   *telemetry.Histogram
 	vers   []int // last acknowledged version per object (0 = never written)
 
-	done, errs, errsR, errsW, mismat *int64
+	hotObjs                                   int // head size for the measured-skew counter
+	done, errs, errsR, errsW, mismat, hotHits *int64
 }
 
 // content derives an object's bytes from (stream, object, version) alone, so
@@ -261,6 +284,9 @@ func (s *stream) run(gen workload.Generator, n int64) {
 	for i := int64(0); i < n; i++ {
 		op := gen.Next()
 		obj := op.LBA
+		if obj < s.hotObjs {
+			atomic.AddInt64(s.hotHits, 1)
+		}
 		key := fmt.Sprintf("%s-o%d", s.prefix, obj)
 		t0 := time.Now()
 		if op.Read {
@@ -306,8 +332,12 @@ func equal(a, b []byte) bool {
 }
 
 // compareBaseline fails if throughput fell more than the tolerance below the
-// checked-in baseline's ops/s.
-func compareBaseline(rep Report, path string) error {
+// checked-in baseline's ops/s, or — with p99Tol > 0 — if the overall p99
+// grew past the baseline's p99 by more than that factor. The tail guard is
+// opt-in because p99 is the noisiest number in the report; it exists for the
+// degraded run, where a fatter tail is exactly the regression the degraded
+// decode kernels are meant to prevent.
+func compareBaseline(rep Report, path string, p99Tol float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -319,6 +349,10 @@ func compareBaseline(rep Report, path string) error {
 	if rep.OpsPerSec < base.OpsPerSec*regressionTolerance {
 		return fmt.Errorf("regression: %.0f ops/s vs baseline %.0f ops/s (>%.0f%% drop)",
 			rep.OpsPerSec, base.OpsPerSec, (1-regressionTolerance)*100)
+	}
+	if p99Tol > 0 && base.P99us > 0 && rep.P99us > base.P99us*p99Tol {
+		return fmt.Errorf("tail regression: p99 %.0fus vs baseline %.0fus (>%.0f%% growth)",
+			rep.P99us, base.P99us, (p99Tol-1)*100)
 	}
 	return nil
 }

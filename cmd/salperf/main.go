@@ -8,7 +8,7 @@
 //	salperf [-points N] [-data MB] [-reads N] [-level L]
 //	        [-metrics] [-metrics-out FILE] [-trace FILE]
 //	        [-parallel N] [-parallel-out FILE] [-parallel-baseline FILE]
-//	        [-ecc] [-ecc-out FILE] [-ecc-baseline FILE]
+//	        [-ecc] [-degraded] [-ecc-out FILE] [-ecc-baseline FILE]
 //
 // With -parallel N, salperf additionally runs the channel-parallel write
 // scaling benchmark from 1 to N channels through the flash dispatcher,
@@ -21,8 +21,12 @@
 // geometry: encode, clean-read check, and decode payload throughput, plus
 // the syndrome stage both table-driven and bit-serial (the reference
 // oracle). The run fails if the level-0 syndrome speedup drops below 4x.
-// -ecc-out writes the points as JSON; -ecc-baseline compares against a
-// checked-in baseline with the same >15% regression rule as -parallel.
+// Adding -degraded also measures the tired-flash decode figures: throughput
+// under an error-count mix spanning a quarter to the full correction budget,
+// and erasure-hinted decode with stuck-column candidates. -ecc-out writes
+// the points as JSON; -ecc-baseline compares against a checked-in baseline
+// with the same >15% regression rule as -parallel, and additionally pins the
+// baseline's own decode figures above machine-independent kernel floors.
 //
 // With -metrics, the measurement's flash arrays feed one registry (op
 // counters, RBER and latency histograms) whose per-layer tables print
@@ -58,6 +62,7 @@ func main() {
 		parOut     = flag.String("parallel-out", "", "write the scaling points as JSON to this file")
 		parBase    = flag.String("parallel-baseline", "", "compare against this baseline JSON; fail on >15% throughput regression")
 		eccBench   = flag.Bool("ecc", false, "run the per-level BCH codec benchmark (encode/check/decode/syndrome MB/s)")
+		eccDegrade = flag.Bool("degraded", false, "with -ecc: also bench decode under the elevated-RBER error mix and erasure-hinted decode")
 		eccOut     = flag.String("ecc-out", "", "write the ECC benchmark points as JSON to this file")
 		eccBase    = flag.String("ecc-baseline", "", "compare against this baseline JSON; fail on >15% codec-throughput regression")
 		shardBench = flag.Int("shardbench", 0, "run the metadata-shard scaling benchmark from 1 to N shards (0 skips it); fails below the 2x floor at N vs 1")
@@ -68,7 +73,7 @@ func main() {
 	flag.Parse()
 
 	if *eccBench {
-		if err := runECCBench(*eccOut, *eccBase); err != nil {
+		if err := runECCBench(*eccOut, *eccBase, *eccDegrade); err != nil {
 			log.Fatal(err)
 		}
 		return

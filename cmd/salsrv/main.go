@@ -8,7 +8,7 @@
 //
 //	salsrv [-addr HOST:PORT] [-addr-file FILE] [-devices mem|core]
 //	       [-nodes N] [-disks N] [-lbas N] [-seed S] [-workers N]
-//	       [-data-dir DIR] [-fsync=BOOL]
+//	       [-wear F] [-data-dir DIR] [-fsync=BOOL]
 //	       [-op-timeout D] [-metrics-out FILE] [-trace FILE]
 //	       [-ops-addr HOST:PORT] [-ops-addr-file FILE] [-ops-pprof]
 //	       [-slow-op D] [-drain-linger D]
@@ -91,8 +91,15 @@ func main() {
 		opsPprof    = flag.Bool("ops-pprof", false, "also mount /debug/pprof/* on the ops listener")
 		slowOp      = flag.Duration("slow-op", 0, "log server ops slower than this into the event trace (0 = disabled)")
 		drainLinger = flag.Duration("drain-linger", 0, "after a shutdown signal, keep serving for this long with /readyz at 503 before draining")
+		wear        = flag.Float64("wear", 0, "with -devices core: pre-wear the fleet's flash to this fraction of nominal PEC and serve through the real BCH data path (elevated RBER, grown stuck columns, tiredness levels)")
 	)
 	flag.Parse()
+	if *wear < 0 || *wear > 1 {
+		log.Fatal("-wear must be in [0, 1]")
+	}
+	if *wear > 0 && *devices != "core" {
+		log.Fatal("-wear requires -devices core")
+	}
 
 	reg := telemetry.NewRegistry()
 	var tr *telemetry.Tracer
@@ -113,7 +120,7 @@ func main() {
 	var devRefs []obs.DeviceRef
 	var devs []blockdev.Device
 	for i := 0; i < *nodes; i++ {
-		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas, *dataDir, fileOpts)
+		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas, *wear, *dataDir, fileOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -290,9 +297,13 @@ func main() {
 
 // buildDevice constructs one node's backing device. The core variant mirrors
 // the chaos harness fleet: real stored bytes, analytic ECC, alternating
-// ShrinkS/RegenS deployments. With dataDir set, both variants persist to
+// ShrinkS/RegenS deployments. With wear > 0 the core fleet instead starts
+// tired: flash pre-worn to that fraction of nominal PEC with grown stuck
+// columns, served through the real BCH data path (decode kernels and
+// erasure hints do the work analytic ECC would skip) with tiredness levels
+// up to 2 available. With dataDir set, both variants persist to
 // dataDir/node<i> and reload whatever survived the last process.
-func buildDevice(kind string, seed uint64, i, disks, lbas int, dataDir string, fileOpts store.FileOptions) (blockdev.Device, error) {
+func buildDevice(kind string, seed uint64, i, disks, lbas int, wear float64, dataDir string, fileOpts store.FileOptions) (blockdev.Device, error) {
 	var st store.Store
 	if dataDir != "" {
 		fs, err := store.OpenFile(filepath.Join(dataDir, fmt.Sprintf("node%d", i)), fileOpts)
@@ -337,6 +348,15 @@ func buildDevice(kind string, seed uint64, i, disks, lbas int, dataDir string, f
 		dcfg.MaxLevel = i % 2
 		dcfg.Flash.Seed = seed + uint64(i)*977
 		dcfg.Seed = seed*13 + uint64(i)
+		if wear > 0 {
+			dcfg.RealECC = true
+			dcfg.MaxLevel = 2
+			dcfg.Flash.PreWornPEC = uint32(wear * dcfg.Flash.Reliability.NominalPEC)
+			// Modest grown-defect rate: a handful of stuck bit-lines per
+			// block at full rating, enough to keep the erasure-hinted decode
+			// path busy without blowing sector error budgets.
+			dcfg.Flash.StuckColumnsPerNominalPEC = 8
+		}
 		if st == nil {
 			return core.New(dcfg, sim.NewEngine())
 		}

@@ -182,6 +182,7 @@ type devTele struct {
 	wearLevelMoves           *telemetry.Counter
 	eccCorrections           *telemetry.Counter
 	eccCorrectedBits         *telemetry.Counter
+	eccErasureDecodes        *telemetry.Counter
 	readLatency              *telemetry.Histogram
 	writeLatency             *telemetry.Histogram
 	servingSlots, capacityFr *telemetry.Gauge
@@ -190,27 +191,28 @@ type devTele struct {
 
 func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
 	return devTele{
-		hostReads:        reg.Counter("core.host_reads"),
-		hostWrites:       reg.Counter("core.host_writes"),
-		flashReads:       reg.Counter("core.flash_reads"),
-		flashWrites:      reg.Counter("core.flash_writes"),
-		gcRelocations:    reg.Counter("core.gc_relocations"),
-		uncorrectable:    reg.Counter("core.uncorrectable"),
-		lostOPages:       reg.Counter("core.lost_opages"),
-		decommissions:    reg.Counter("core.decommissions"),
-		regenerations:    reg.Counter("core.regenerations"),
-		drains:           reg.Counter("core.drains"),
-		releases:         reg.Counter("core.releases"),
-		readRetries:      reg.Counter("core.read_retries"),
-		retrySaves:       reg.Counter("core.retry_saves"),
-		wearLevelMoves:   reg.Counter("core.wear_level_moves"),
-		eccCorrections:   reg.Counter("core.ecc_corrections"),
-		eccCorrectedBits: reg.Counter("core.ecc_corrected_bits"),
-		readLatency:      reg.Histogram("core.host_read_latency_ns"),
-		writeLatency:     reg.Histogram("core.host_write_latency_ns"),
-		servingSlots:     reg.Gauge("core.serving_slots"),
-		capacityFr:       reg.Gauge("core.capacity_frac"),
-		tr:               tr,
+		hostReads:         reg.Counter("core.host_reads"),
+		hostWrites:        reg.Counter("core.host_writes"),
+		flashReads:        reg.Counter("core.flash_reads"),
+		flashWrites:       reg.Counter("core.flash_writes"),
+		gcRelocations:     reg.Counter("core.gc_relocations"),
+		uncorrectable:     reg.Counter("core.uncorrectable"),
+		lostOPages:        reg.Counter("core.lost_opages"),
+		decommissions:     reg.Counter("core.decommissions"),
+		regenerations:     reg.Counter("core.regenerations"),
+		drains:            reg.Counter("core.drains"),
+		releases:          reg.Counter("core.releases"),
+		readRetries:       reg.Counter("core.read_retries"),
+		retrySaves:        reg.Counter("core.retry_saves"),
+		wearLevelMoves:    reg.Counter("core.wear_level_moves"),
+		eccCorrections:    reg.Counter("core.ecc_corrections"),
+		eccCorrectedBits:  reg.Counter("core.ecc_corrected_bits"),
+		eccErasureDecodes: reg.Counter("core.ecc_erasure_decodes"),
+		readLatency:       reg.Histogram("core.host_read_latency_ns"),
+		writeLatency:      reg.Histogram("core.host_write_latency_ns"),
+		servingSlots:      reg.Gauge("core.serving_slots"),
+		capacityFr:        reg.Gauge("core.capacity_frac"),
+		tr:                tr,
 	}
 }
 
@@ -277,6 +279,10 @@ type Device struct {
 	// serves every program). Both are nil in metadata-only mode.
 	readBuf []byte
 	pageBuf []byte
+	// eraPos is the per-sector erasure-candidate scratch: grown stuck-column
+	// positions from flash, remapped to codeword bit indices for
+	// DecodeWithErasures without allocating per read.
+	eraPos []int
 }
 
 // New builds a Salamander device on a fresh flash array.
@@ -331,6 +337,9 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 	if cfg.Flash.StoreData {
 		d.readBuf = make([]byte, g.RawPageBytes())
 		d.pageBuf = make([]byte, g.RawPageBytes())
+	}
+	if cfg.RealECC {
+		d.eraPos = make([]int, 0, 16)
 	}
 	d.servingSlots = g.TotalPages() * rber.OPagesPerFPage
 	for b := 0; b < g.TotalBlocks(); b++ {
@@ -448,6 +457,7 @@ func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
 	carry(d.tele.eccCorrections, old.eccCorrections)
 	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
+	carry(d.tele.eccErasureDecodes, old.eccErasureDecodes)
 	d.updateGauges()
 	d.arr.Instrument(reg, tr)
 }
@@ -847,7 +857,17 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected
 		parityOff := dataBytes + sectorGlobal*pb
 		sector := res.Data[dataOff : dataOff+rber.SectorSize]
 		parity := res.Data[parityOff : parityOff+pb]
-		bits, err := code.Decode(sector, parity)
+		var bits int
+		var err error
+		if cand := d.sectorErasures(code, res.Stuck, dataOff, parityOff, pb); len(cand) > 0 {
+			// Wear tracking knows this block's grown stuck bit-lines: hand
+			// them to the codec as erasure candidates so a hit skips the
+			// full Chien scan. A miss falls back inside the codec.
+			bits, err = code.DecodeWithErasures(sector, parity, cand)
+			d.tele.eccErasureDecodes.Inc()
+		} else {
+			bits, err = code.Decode(sector, parity)
+		}
 		if err != nil {
 			d.tele.uncorrectable.Inc()
 			return false, res.Injected, blockdev.ErrUncorrectable
@@ -865,6 +885,34 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected
 		copy(dst[s*rber.SectorSize:], sector)
 	}
 	return true, res.Injected, nil
+}
+
+// sectorErasures remaps raw-page stuck bit offsets (LSB-first within each
+// byte, flash's convention) into codeword bit indices (MSB-first, data bits
+// then parity bits, the codec's convention) for the sector whose data bytes
+// span [dataOff, dataOff+SectorSize) and parity bytes
+// [parityOff, parityOff+pb) of the raw page. Offsets landing in other
+// sectors are dropped; parity offsets past the code's R bits (padding in
+// the final parity byte) are dropped too. The result reuses the device
+// scratch and stays distinct because the stuck positions are distinct.
+func (d *Device) sectorErasures(code *ecc.Code, stuck []int, dataOff, parityOff, pb int) []int {
+	if len(stuck) == 0 {
+		return nil
+	}
+	cand := d.eraPos[:0]
+	for _, bit := range stuck {
+		byteOff, cwBit := bit/8, 7-bit%8
+		switch {
+		case byteOff >= dataOff && byteOff < dataOff+rber.SectorSize:
+			cand = append(cand, (byteOff-dataOff)*8+cwBit)
+		case byteOff >= parityOff && byteOff < parityOff+pb:
+			if cw := code.K + (byteOff-parityOff)*8 + cwBit; cw < code.N {
+				cand = append(cand, cw)
+			}
+		}
+	}
+	d.eraPos = cand
+	return cand
 }
 
 var _ blockdev.Device = (*Device)(nil)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/stats"
+)
+
+// TestErasureHintedDecodePath is the Salamander-side twin of the baseline
+// test: grown stuck columns corrupt pages as blocks wear, reads must stay
+// correct, and the per-level codecs must take the erasure-hinted fast path
+// when wear tracking hands them the block's stuck bit-lines.
+func TestErasureHintedDecodePath(t *testing.T) {
+	cfg := testConfig()
+	cfg.Flash.StuckColumnsPerNominalPEC = 40 * cfg.Flash.Reliability.NominalPEC
+	d, _ := mustDevice(t, cfg)
+	mds := d.Minidisks()
+
+	nFill := len(mds) * 3 / 5
+	latest := map[[2]int]byte{}
+	for i := 0; i < nFill; i++ {
+		for lba := 0; lba < mds[i].LBAs; lba++ {
+			v := byte(i + lba*3)
+			latest[[2]int{i, lba}] = v
+			if err := d.Write(mds[i].ID, lba, pattern(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := stats.NewRNG(23)
+	for i := 0; i < 1200; i++ {
+		md := rng.Intn(nFill)
+		lba := rng.Intn(16)
+		v := byte(i)
+		latest[[2]int{md, lba}] = v
+		if err := d.Write(mds[md].ID, lba, pattern(v)); err != nil {
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+	}
+	if d.Array().Stats().EraseOps == 0 {
+		t.Fatal("churn produced no erases; stuck columns never grew")
+	}
+
+	got := make([]byte, blockdev.OPageSize)
+	for k, v := range latest {
+		if err := d.Read(mds[k[0]].ID, k[1], got); err != nil {
+			t.Fatalf("read md %d lba %d: %v", k[0], k[1], err)
+		}
+		if !bytes.Equal(got, pattern(v)) {
+			t.Fatalf("md %d lba %d corrupted under stuck columns", k[0], k[1])
+		}
+	}
+	if n := d.tele.eccErasureDecodes.Value(); n == 0 {
+		t.Error("erasure-hinted decode path never fired")
+	}
+	checkInvariants(t, d)
+}

@@ -365,8 +365,9 @@ type Cluster struct {
 	// counts.
 	countEvents bool
 	// evMu/evSeq (facade) order fanned-out device notifications; pendMu/
-	// pend (shards) buffer them until the shard next holds its own lock
-	// (settleLocked). pendMu is a leaf lock like sinkMu.
+	// pend buffer them — per shard on sharded clusters, and for the
+	// cluster's own subscription standalone — until the next settleLocked
+	// under the cluster lock. pendMu is a leaf lock like sinkMu.
 	evMu   sync.Mutex
 	evSeq  int
 	pendMu sync.Mutex
@@ -580,11 +581,17 @@ func (c *Cluster) bumpEpoch() {
 }
 
 // handleEvent processes a device notification. It must not call back into
-// the device (per the blockdev contract), so it only mutates metadata and
-// queues repair work. The emitting device call was made from a cluster
-// method holding the cluster lock, so metadata access here is already
-// serialized — except during parallel repair phases, when events are
-// buffered into the sink and replayed under the lock after the workers join.
+// the device (per the blockdev contract), so it only records the event for
+// later application under the cluster lock. During RepairParallel's worker
+// phases events are buffered into the sink and replayed after the workers
+// join; otherwise they join the pend queue that settleLocked drains — the
+// same discipline the sharded facade uses (fanEvent). Queuing instead of
+// applying inline keeps out-of-band device mutations safe: an operator (or
+// test) failing a minidisk from its own goroutine never touches cluster
+// metadata without the lock. In-lock emitters that need the event visible
+// immediately (writeChunk's commit re-check, readAnyReplica's failover)
+// settle right after the device call returns, which is observationally
+// identical to the old inline application.
 func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
 	c.sinkMu.Lock()
 	if c.sinkOn {
@@ -593,7 +600,9 @@ func (c *Cluster) handleEvent(nid NodeID, dev int, e blockdev.Event) {
 		return
 	}
 	c.sinkMu.Unlock()
-	c.applyEvent(nid, dev, e)
+	c.pendMu.Lock()
+	c.pend = append(c.pend, sunkEvent{nid: nid, dev: dev, seq: len(c.pend), e: e})
+	c.pendMu.Unlock()
 }
 
 // applyEvent mutates the cluster view for one device event. Callers must
@@ -714,9 +723,8 @@ func (c *Cluster) enqueueRepair(ch *chunk) {
 // the cluster's registry-backed telemetry handles at call time; mutating
 // the returned value has no effect on the live cluster.
 func (c *Cluster) Stats() Stats {
-	// On a sharded cluster, device events ride pending queues until a shard
-	// next settles; force a settle so event counters read as fresh as the
-	// standalone (inline-applied) path.
+	// Device events ride pending queues until the owning cluster/shard next
+	// settles; force a settle so event counters read fresh at snapshot time.
 	for _, s := range c.shards {
 		s.mu.Lock()
 		s.settleLocked()
@@ -724,6 +732,7 @@ func (c *Cluster) Stats() Stats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.settleLocked()
 	return Stats{
 		PutBytes:           int64(c.tele.putBytes.Value()),
 		GetBytes:           int64(c.tele.getBytes.Value()),
@@ -948,16 +957,19 @@ func (c *Cluster) writeChunk(t *target, ch *chunk, data []byte) error {
 	for p := 0; p < c.cfg.ChunkOPages; p++ {
 		if err := dev.Write(t.key.md, base+p, data[p*blockdev.OPageSize:(p+1)*blockdev.OPageSize]); err != nil {
 			// The write may have triggered this very minidisk's
-			// decommission; surface the failure to the placement loop. If the
-			// error reveals a stale view (a dropped notification), retire the
-			// target now.
+			// decommission; apply the queued event before reacting so
+			// noteDeviceError sees the post-event state, then surface the
+			// failure to the placement loop. If the error reveals a stale
+			// view (a dropped notification), retire the target now.
+			c.settleLocked()
 			c.noteDeviceError(t, err, true)
 			return err
 		}
 	}
 	// Commit the slot only after all pages landed. The device may have
 	// decommissioned or drained the minidisk while we wrote; the replica
-	// would be stale or short-lived, so re-check.
+	// would be stale or short-lived, so settle queued events and re-check.
+	c.settleLocked()
 	if !t.live() {
 		return blockdev.ErrNoSuchMinidisk
 	}
@@ -1199,6 +1211,58 @@ func (c *Cluster) GetCtx(ctx context.Context, name string) ([]byte, error) {
 	// leaves the names dirty for the next mutation to retry).
 	defer func() { _ = c.flushMeta() }()
 	return c.get(ctx, name)
+}
+
+// GetBatchCtx reads several objects in one pass, paying the lock
+// acquisition, event settling, and metadata flush once per shard touched
+// instead of once per object. Results are positional: data[i] and errs[i]
+// belong to names[i], and each entry succeeds or fails independently —
+// a missing object fails its slot with ErrNotFound without disturbing the
+// rest. This is the serving layer's coalescing entry point: a run of
+// pipelined GETs from one connection becomes a single cluster call.
+//
+// On a sharded cluster, names group by their metadata shard and the groups
+// are served in shard index order, so a batch observes each shard's state
+// at a single point, exactly like a sequence of GetCtx calls would.
+func (c *Cluster) GetBatchCtx(ctx context.Context, names []string) ([][]byte, []error) {
+	data := make([][]byte, len(names))
+	errs := make([]error, len(names))
+	if c.shards != nil {
+		// Group positionally by shard; each group costs one child batch.
+		groups := map[int][]int{}
+		for i, name := range names {
+			si := ShardOf(name, len(c.shards))
+			groups[si] = append(groups[si], i)
+		}
+		for si, shard := range c.shards {
+			idxs := groups[si]
+			if len(idxs) == 0 {
+				continue
+			}
+			sub := make([]string, len(idxs))
+			for j, i := range idxs {
+				sub[j] = names[i]
+			}
+			d, e := shard.GetBatchCtx(ctx, sub)
+			for j, i := range idxs {
+				data[i], errs[i] = d[j], e[j]
+			}
+		}
+		return data, errs
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.settleLocked()
+	defer func() { _ = c.flushMeta() }()
+	for i, name := range names {
+		c.tele.shardOps.Inc()
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("difs: batch get %q aborted: %w", name, err)
+			continue
+		}
+		data[i], errs[i] = c.get(ctx, name)
+	}
+	return data, errs
 }
 
 func (c *Cluster) get(ctx context.Context, name string) ([]byte, error) {
@@ -1601,6 +1665,12 @@ func (c *Cluster) releaseDrained(drainingTouched []*target) {
 		t.state = tDead
 		delete(c.targets, t.key)
 		c.bumpEpoch()
+	}
+	if c.led == nil {
+		// A Release may have regenerated the minidisk (a fresh target); make
+		// it placeable before repair's caller observes the cluster. Sharded
+		// shards pick the fanned-out event up at their next entry point.
+		c.settleLocked()
 	}
 }
 

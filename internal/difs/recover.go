@@ -229,7 +229,11 @@ func (c *Cluster) recoverReplicas(ch *chunk, cr chunkRec, rep *RecoveryReport) {
 			continue
 		}
 		r := replica{tgt: t, slot: rr.Slot}
-		if err := c.readChunk(r, buf); err != nil || chunkSum(buf) != ch.sum {
+		err := c.readChunk(r, buf)
+		// The read may have decommissioned the minidisk; catch up before the
+		// next manifest entry judges target states.
+		c.settleLocked()
+		if err != nil || chunkSum(buf) != ch.sum {
 			// Torn or rotted: the slot stays free and trimFreeSlots reclaims
 			// the pages. The chunk heals from its other replicas.
 			rep.QuarantinedReplicas++

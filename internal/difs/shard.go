@@ -315,16 +315,13 @@ func (c *Cluster) fanEvent(nid NodeID, dev int, e blockdev.Event) {
 	}
 }
 
-// settleLocked applies this shard's pending device events. Every exported
-// shard method calls it right after taking the lock, so a shard's view
-// catches up with physical reality before it acts. Standalone clusters have
-// nothing pending (events apply inline) — the call is a no-op there.
-// Callers hold the shard lock; applyEvent never calls a device, so no new
-// events can arrive from this goroutine while draining.
+// settleLocked applies this cluster's pending device events. Every exported
+// method calls it right after taking the lock, so the view catches up with
+// physical reality before it acts. Standalone clusters queue their own
+// events (handleEvent); shards receive them from the facade's fan-out
+// (fanEvent). Callers hold the cluster/shard lock; applyEvent never calls a
+// device, so no new events can arrive from this goroutine while draining.
 func (c *Cluster) settleLocked() {
-	if !c.sub {
-		return
-	}
 	c.pendMu.Lock()
 	pending := c.pend
 	c.pend = nil
@@ -339,9 +336,6 @@ func (c *Cluster) settleLocked() {
 // write phase multiple devices emit concurrently, so arrival order is
 // scheduling-dependent — sorting restores a deterministic replay.
 func (c *Cluster) settleSortedLocked() {
-	if !c.sub {
-		return
-	}
 	c.pendMu.Lock()
 	pending := c.pend
 	c.pend = nil

@@ -40,6 +40,18 @@ type Code struct {
 	synStride []uint32
 	synAlpha  []uint32
 
+	// synLo/synHi split the loop-carried multiply acc·α^{8i} of the
+	// syndrome Horner recurrence into two independent table loads
+	// (GF multiplication by a constant is GF(2)-linear in the other
+	// operand): synLo[j][b] = b·α^{8i} for the low accumulator byte,
+	// synHi[j][b] = (b<<8)·α^{8i} for the high byte(s).
+	synLo [][256]uint32
+	synHi [][256]uint32
+
+	// qrt[v] solves z² + z = v for the deg σ == 2 Chien solver
+	// (noQuadRoot when trace(v) = 1 and no solution exists).
+	qrt []uint32
+
 	pool sync.Pool // *Scratch, feeds the zero-allocation fast paths
 }
 
@@ -76,6 +88,7 @@ func NewCode(m, dataBits, t int) (*Code, error) {
 	}
 	c.buildTable()
 	c.buildSyndromeTables()
+	c.buildQuadTable()
 	c.pool.New = func() any { return c.newScratch() }
 	return c, nil
 }
@@ -407,39 +420,25 @@ func (c *Code) berlekampMassey(s *Scratch) []uint32 {
 
 // chienSearch finds codeword bit indices whose bits are in error, appending
 // them to s.pos. Roots of σ are α^{-d} where d is the degree of the errored
-// term; bit index is N-1-d. Only d < c.N lands inside the shortened
-// codeword, so the scan is restricted to those c.N candidate roots (a root
-// outside the window would fail the count check below anyway, preserving
-// the decoding-failure semantics of a full-field scan). Returns nil if the
-// in-window root count does not match deg σ (decoding failure).
+// term; degToBit maps d to a bit index and rejects degrees outside the
+// shortened window (a root outside the window would fail the count check
+// anyway, preserving the decoding-failure semantics of a full-field scan).
+// Returns nil if the in-window root count does not match deg σ (decoding
+// failure). Dispatches to the specialized kernels in chien.go by degree;
+// chienSearchRef is the retained reference the kernels are tested against.
 func (c *Code) chienSearch(s *Scratch, sigma []uint32) []int {
-	f := c.F
-	degS := len(sigma) - 1
-	pos := s.pos[:0]
-	if degS == 0 {
-		return pos
+	switch degS := len(sigma) - 1; {
+	case degS == 0:
+		return s.pos[:0]
+	case degS == 1:
+		return c.chienDeg1(s, sigma)
+	case degS == 2:
+		return c.chienQuad(s, sigma)
+	case degS <= chienSmallMax:
+		return c.chienSmall(s, sigma)
+	default:
+		return c.chienLarge(s, sigma)
 	}
-	if degS == 1 {
-		// σ(x) = 1 + σ₁x has the single root α^{-log σ₁}: solve directly.
-		d := f.Log(sigma[1])
-		if d >= c.N {
-			return nil
-		}
-		return append(pos, c.N-1-d)
-	}
-	for d := 0; d < c.N; d++ {
-		l := (f.N - d) % f.N
-		if f.PolyEval(sigma, f.Alpha(l)) == 0 {
-			pos = append(pos, c.N-1-d)
-			if len(pos) == degS {
-				break // deg σ roots found; σ has no more
-			}
-		}
-	}
-	if len(pos) != degS {
-		return nil
-	}
-	return pos
 }
 
 // Decode corrects data and parity in place. It returns the number of bits
@@ -481,6 +480,69 @@ func (c *Code) DecodeInPlace(data, parity []byte) (int, error) {
 	pos := c.chienSearch(s, sigma)
 	if pos == nil {
 		return 0, ErrUncorrectable
+	}
+	for _, p := range pos {
+		flipBit(data, parity, p, c.K)
+	}
+	if !c.Check(data, parity) {
+		return 0, ErrUncorrectable
+	}
+	return len(pos), nil
+}
+
+// DecodeWithErasures corrects data and parity in place like Decode, but
+// first tries the caller's candidate error positions — codeword bit
+// indices the caller already suspects (torn pages from recovery, grown
+// stuck columns from wear tracking). σ still comes from the syndromes via
+// Berlekamp–Massey, so corrections are byte-identical to Decode's; the
+// erasure hint only replaces the O(N·deg σ) root scan with deg σ
+// evaluations of σ at the suspected positions. If the actual errors are
+// not confined to the candidates, it falls back to the full Chien search,
+// so a wrong or stale hint costs nothing but the probe. Candidates must be
+// distinct; out-of-range entries are ignored.
+func (c *Code) DecodeWithErasures(data, parity []byte, erasures []int) (int, error) {
+	if len(data) != c.K/8 {
+		return 0, fmt.Errorf("ecc: Decode wants %d data bytes, got %d", c.K/8, len(data))
+	}
+	if len(parity) != c.ParityBytes() {
+		return 0, fmt.Errorf("ecc: Decode wants %d parity bytes, got %d", c.ParityBytes(), len(parity))
+	}
+	if c.Check(data, parity) {
+		return 0, nil
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	if c.syndromesInto(s.syn, data, parity) {
+		return 0, nil
+	}
+	sigma := c.berlekampMassey(s)
+	degS := len(sigma) - 1
+	if degS > c.T {
+		return 0, ErrUncorrectable
+	}
+	f := c.F
+	pos := s.pos[:0]
+	if degS > 0 && len(erasures) >= degS {
+		for _, p := range erasures {
+			if p < 0 || p >= c.N {
+				continue
+			}
+			// Bit p is term degree d = N-1-p; its root is α^{-d}.
+			l := (f.N - (c.N - 1 - p)) % f.N
+			if f.PolyEval(sigma, f.Alpha(l)) == 0 {
+				pos = append(pos, p)
+				if len(pos) == degS {
+					break
+				}
+			}
+		}
+	}
+	if len(pos) != degS {
+		// Errors not confined to the candidates: full root search.
+		pos = c.chienSearch(s, sigma)
+		if pos == nil {
+			return 0, ErrUncorrectable
+		}
 	}
 	for _, p := range pos {
 		flipBit(data, parity, p, c.K)

@@ -1,0 +1,45 @@
+package ecc
+
+// Test-only exports: the external test package (ecc_test) runs the
+// differential battery against the retained reference Chien search, which
+// is deliberately not part of the public API.
+
+// ChienSmallMaxForTest is the degree bound of the stack-array kernel, so
+// the battery can pick error weights that land in every kernel.
+const ChienSmallMaxForTest = chienSmallMax
+
+// DecodeReferenceChien is DecodeInPlace with the Chien kernels swapped for
+// chienSearchRef (the retained per-candidate PolyEval scan). The
+// differential battery requires Decode and this to produce byte-identical
+// corrections and identical failure verdicts on every input.
+func (c *Code) DecodeReferenceChien(data, parity []byte) (int, error) {
+	if len(data) != c.K/8 {
+		return 0, ErrUncorrectable
+	}
+	if len(parity) != c.ParityBytes() {
+		return 0, ErrUncorrectable
+	}
+	if c.Check(data, parity) {
+		return 0, nil
+	}
+	s := c.getScratch()
+	defer c.putScratch(s)
+	if c.syndromesInto(s.syn, data, parity) {
+		return 0, nil
+	}
+	sigma := c.berlekampMassey(s)
+	if len(sigma)-1 > c.T {
+		return 0, ErrUncorrectable
+	}
+	pos := c.chienSearchRef(s, sigma)
+	if pos == nil {
+		return 0, ErrUncorrectable
+	}
+	for _, p := range pos {
+		flipBit(data, parity, p, c.K)
+	}
+	if !c.Check(data, parity) {
+		return 0, ErrUncorrectable
+	}
+	return len(pos), nil
+}

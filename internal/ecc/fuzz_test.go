@@ -44,9 +44,11 @@ func xorshift(s *uint64) uint64 {
 
 // flipDistinct flips n distinct bits of the N = K+R codeword bits (the last
 // parity byte may carry padding bits outside the code; those are never
-// touched), using the same MSB-first packing as the codec itself.
-func flipDistinct(code *ecc.Code, data, parity []byte, n int, seed uint64) int {
+// touched), using the same MSB-first packing as the codec itself. The
+// flipped bit indices are returned in flip order (usable as erasure hints).
+func flipDistinct(code *ecc.Code, data, parity []byte, n int, seed uint64) []int {
 	seen := map[int]bool{}
+	order := make([]int, 0, n)
 	flip := func(bit int) {
 		if bit < code.K {
 			data[bit/8] ^= 1 << uint(7-bit%8)
@@ -61,9 +63,10 @@ func flipDistinct(code *ecc.Code, data, parity []byte, n int, seed uint64) int {
 			continue
 		}
 		seen[bit] = true
+		order = append(order, bit)
 		flip(bit)
 	}
-	return len(seen)
+	return order
 }
 
 // requireSyndromeAgreement compares the table-driven syndrome path against
@@ -113,9 +116,24 @@ func FuzzBCHRoundTrip(f *testing.F) {
 		requireSyndromeAgreement(t, code, data, parity, "clean")
 
 		n := int(nFlips) % (code.T + 1) // within correction capability
-		flipDistinct(code, data, parity, n, flipSeed)
+		flipped := flipDistinct(code, data, parity, n, flipSeed)
 		requireSyndromeAgreement(t, code, data, parity, "corrupted")
+		// The specialized Chien kernels, the retained reference search, and
+		// the erasure fast path (hinted with the exact flipped bits) must
+		// all produce the same corrected codeword.
+		refData := append([]byte(nil), data...)
+		refParity := append([]byte(nil), parity...)
+		refN, refErr := code.DecodeReferenceChien(refData, refParity)
+		eraData := append([]byte(nil), data...)
+		eraParity := append([]byte(nil), parity...)
+		eraN, eraErr := code.DecodeWithErasures(eraData, eraParity, flipped)
 		corrected, err := code.Decode(data, parity)
+		if refErr != err || refN != corrected || !bytes.Equal(refData, data) || !bytes.Equal(refParity, parity) {
+			t.Fatalf("kernel decode (n=%d, err=%v) disagrees with reference Chien (n=%d, err=%v)", corrected, err, refN, refErr)
+		}
+		if eraErr != err || eraN != corrected || !bytes.Equal(eraData, data) || !bytes.Equal(eraParity, parity) {
+			t.Fatalf("erasure decode (n=%d, err=%v) disagrees with Decode (n=%d, err=%v)", eraN, eraErr, corrected, err)
+		}
 		if err != nil {
 			t.Fatalf("decode with %d <= t=%d flips: %v", n, code.T, err)
 		}
@@ -131,7 +149,13 @@ func FuzzBCHRoundTrip(f *testing.F) {
 		// claimed-clean return of a corrupted one.
 		flipDistinct(code, data, parity, code.T+1, flipSeed^0xdeadbeef)
 		requireSyndromeAgreement(t, code, data, parity, "beyond capability")
+		refData = append(refData[:0], data...)
+		refParity = append(refParity[:0], parity...)
+		_, refErr = code.DecodeReferenceChien(refData, refParity)
 		_, err = code.Decode(data, parity)
+		if (refErr != nil) != (err != nil) || !bytes.Equal(refData, data) || !bytes.Equal(refParity, parity) {
+			t.Fatalf("beyond capability: kernel verdict %v disagrees with reference %v", err, refErr)
+		}
 		if err == nil {
 			if !code.Check(data, parity) {
 				t.Fatal("decode reported success but codeword is dirty")

@@ -16,17 +16,24 @@ type Scratch struct {
 	sigB   []uint32 // sigma double buffer B
 	bpoly  []uint32 // Berlekamp–Massey previous-sigma polynomial
 	pos    []int    // Chien search error positions, cap T
+
+	// Incremental Chien term state (chienLarge): per nonzero σ coefficient,
+	// the running log of the term and its per-candidate log step.
+	chienLT []int32
+	chienST []int32
 }
 
 func (c *Code) newScratch() *Scratch {
 	return &Scratch{
-		reg:    make([]uint64, c.nw),
-		parity: make([]byte, c.ParityBytes()),
-		syn:    make([]uint32, 2*c.T+1),
-		sigA:   make([]uint32, 2*c.T+2),
-		sigB:   make([]uint32, 2*c.T+2),
-		bpoly:  make([]uint32, 2*c.T+2),
-		pos:    make([]int, 0, c.T),
+		reg:     make([]uint64, c.nw),
+		parity:  make([]byte, c.ParityBytes()),
+		syn:     make([]uint32, 2*c.T+1),
+		sigA:    make([]uint32, 2*c.T+2),
+		sigB:    make([]uint32, 2*c.T+2),
+		bpoly:   make([]uint32, 2*c.T+2),
+		pos:     make([]int, 0, c.T),
+		chienLT: make([]int32, c.T+1),
+		chienST: make([]int32, c.T+1),
 	}
 }
 

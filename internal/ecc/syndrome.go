@@ -19,14 +19,17 @@ import "math/bits"
 // lookup per byte instead of eight multiplies — the O(N/8) fast path that
 // Decode's syndrome stage rides.
 
-// buildSyndromeTables precomputes synTbl/synStride/synAlpha for the T odd
-// syndromes. Cost is T×1 KiB of tables per code (≈40 KiB at tiredness
-// level 0, ≈1 MiB at level 3), paid once in NewCode.
+// buildSyndromeTables precomputes synTbl/synStride/synAlpha plus the
+// synLo/synHi stride-multiply split tables for the T odd syndromes. Cost
+// is T×3 KiB of tables per code (≈120 KiB at tiredness level 0, ≈3 MiB at
+// level 3), paid once in NewCode.
 func (c *Code) buildSyndromeTables() {
 	f := c.F
 	c.synTbl = make([][256]uint32, c.T)
 	c.synStride = make([]uint32, c.T)
 	c.synAlpha = make([]uint32, c.T)
+	c.synLo = make([][256]uint32, c.T)
+	c.synHi = make([][256]uint32, c.T)
 	for j := 0; j < c.T; j++ {
 		i := 2*j + 1
 		// pw[p] = α^{i·p}: byte bit p (0 = LSB) enters the Horner
@@ -42,8 +45,31 @@ func (c *Code) buildSyndromeTables() {
 			p := bits.TrailingZeros32(uint32(b))
 			tbl[b] = tbl[b&(b-1)] ^ pw[p]
 		}
-		c.synStride[j] = f.Alpha(8 * i)
+		stride := f.Alpha(8 * i)
+		c.synStride[j] = stride
 		c.synAlpha[j] = f.Alpha(i)
+		// Multiplication by the constant stride is linear over GF(2), so
+		// acc·stride = synLo[acc&0xff] ^ synHi[acc>>8]. loBase/hiBase hold
+		// the per-bit products; bits at or above m are not field elements
+		// and can never appear in an accumulator, so their entries stay 0
+		// (the subset-xor chain below then fills unreachable indices with
+		// harmless values).
+		var loBase, hiBase [8]uint32
+		for p := 0; p < 8; p++ {
+			if v := uint32(1) << uint(p); int64(v) <= int64(f.N) {
+				loBase[p] = f.Mul(v, stride)
+			}
+			if v := uint32(1) << uint(p+8); int64(v) <= int64(f.N) {
+				hiBase[p] = f.Mul(v, stride)
+			}
+		}
+		lo, hi := &c.synLo[j], &c.synHi[j]
+		lo[0], hi[0] = 0, 0
+		for b := 1; b < 256; b++ {
+			p := bits.TrailingZeros32(uint32(b))
+			lo[b] = lo[b&(b-1)] ^ loBase[p]
+			hi[b] = hi[b&(b-1)] ^ hiBase[p]
+		}
 	}
 }
 
@@ -55,25 +81,55 @@ func (c *Code) syndromesInto(S []uint32, data, parity []byte) bool {
 	f := c.F
 	pbFull := c.R / 8
 	rem := c.R % 8
-	for j := 0; j < c.T; j++ {
-		i := 2*j + 1
-		tbl := &c.synTbl[j]
-		stride := c.synStride[j]
+	pFull := parity[:pbFull]
+	// Four odd syndromes advance together per pass over the codeword: the
+	// split tables turn each acc·α^{8i} into two independent loads, and the
+	// four accumulator chains are independent of each other, so the loads
+	// pipeline instead of serializing on one log/exp multiply chain. The
+	// &0xff masks (accumulators fit in 2^m <= 2^16 bits) keep every index
+	// in [0,256) without bounds checks.
+	j := 0
+	for ; j+4 <= c.T; j += 4 {
+		t0, t1, t2, t3 := &c.synTbl[j], &c.synTbl[j+1], &c.synTbl[j+2], &c.synTbl[j+3]
+		l0, l1, l2, l3 := &c.synLo[j], &c.synLo[j+1], &c.synLo[j+2], &c.synLo[j+3]
+		h0, h1, h2, h3 := &c.synHi[j], &c.synHi[j+1], &c.synHi[j+2], &c.synHi[j+3]
+		var a0, a1, a2, a3 uint32
+		for _, b := range data {
+			a0 = l0[a0&0xff] ^ h0[(a0>>8)&0xff] ^ t0[b]
+			a1 = l1[a1&0xff] ^ h1[(a1>>8)&0xff] ^ t1[b]
+			a2 = l2[a2&0xff] ^ h2[(a2>>8)&0xff] ^ t2[b]
+			a3 = l3[a3&0xff] ^ h3[(a3>>8)&0xff] ^ t3[b]
+		}
+		for _, b := range pFull {
+			a0 = l0[a0&0xff] ^ h0[(a0>>8)&0xff] ^ t0[b]
+			a1 = l1[a1&0xff] ^ h1[(a1>>8)&0xff] ^ t1[b]
+			a2 = l2[a2&0xff] ^ h2[(a2>>8)&0xff] ^ t2[b]
+			a3 = l3[a3&0xff] ^ h3[(a3>>8)&0xff] ^ t3[b]
+		}
+		S[2*j+1], S[2*j+3], S[2*j+5], S[2*j+7] = a0, a1, a2, a3
+	}
+	for ; j < c.T; j++ {
+		tbl, lo, hi := &c.synTbl[j], &c.synLo[j], &c.synHi[j]
 		var acc uint32
 		for _, b := range data {
-			acc = f.Mul(acc, stride) ^ tbl[b]
+			acc = lo[acc&0xff] ^ hi[(acc>>8)&0xff] ^ tbl[b]
 		}
-		for _, b := range parity[:pbFull] {
-			acc = f.Mul(acc, stride) ^ tbl[b]
+		for _, b := range pFull {
+			acc = lo[acc&0xff] ^ hi[(acc>>8)&0xff] ^ tbl[b]
 		}
-		if rem > 0 {
+		S[2*j+1] = acc
+	}
+	if rem > 0 {
+		// The final partial parity byte advances bit-serially, per syndrome.
+		last := parity[pbFull]
+		for j := 0; j < c.T; j++ {
 			alphaI := c.synAlpha[j]
-			last := parity[pbFull]
+			acc := S[2*j+1]
 			for k := 0; k < rem; k++ {
 				acc = f.Mul(acc, alphaI) ^ uint32(last>>uint(7-k))&1
 			}
+			S[2*j+1] = acc
 		}
-		S[i] = acc
 	}
 	// S_{2j} = S_j² for binary codes; increasing order guarantees S_{i/2}
 	// is final before S_i is derived.

@@ -49,6 +49,23 @@ type Config struct {
 	// start failing permanently (physical death of the block). Zero means
 	// 10x nominal.
 	EraseFailPEC float64
+	// StuckColumnsPerNominalPEC models grown bad bit-lines: the number of
+	// stuck bit positions per block grows linearly with wear, reaching this
+	// many at the nominal PEC rating. A stuck column fails the same raw-page
+	// bit offset on every page of the block (column defects short a whole
+	// bit-line), which is exactly the failure shape wear tracking can learn
+	// and hand to DecodeWithErasures as erasure hints. Positions and stuck
+	// values are a pure function of (Seed, block, index) — no RNG stream is
+	// consumed, so enabling this never perturbs the deterministic flip
+	// sequence chaos runs pin. Zero (the default) disables the model.
+	StuckColumnsPerNominalPEC float64
+	// PreWornPEC starts every block at this many program/erase cycles
+	// instead of zero, as if the array had already served that much life.
+	// It exists to stand up degraded fleets cheaply — elevated RBER (and,
+	// with the stuck-column model on, grown bad bit-lines) from the first
+	// read, without simulating the cycles — so benchmarks and smokes can
+	// measure tired-flash behavior directly.
+	PreWornPEC uint32
 	// StoreData retains page payloads so reads return real (corrupted)
 	// bytes. Disable for metadata-only bulk simulations.
 	StoreData bool
@@ -211,6 +228,7 @@ func New(cfg Config) (*Array, error) {
 	rng := stats.NewRNG(cfg.Seed)
 	for b := range a.blocks {
 		blk := &a.blocks[b]
+		blk.pec = cfg.PreWornPEC
 		blk.scale = float32(rng.LogNormal(1, cfg.EnduranceCV))
 		blk.pages = make([]page, cfg.Geometry.PagesPerBlock)
 		blk.pageScale = make([]float32, cfg.Geometry.PagesPerBlock)
@@ -319,6 +337,14 @@ type ReadResult struct {
 	// above fails this attempt but a re-read senses cleanly. Device layers use
 	// it to credit faults_recovered when a retry rescues the read.
 	Injected bool
+	// Stuck lists the block's grown stuck bit-line positions as raw-page bit
+	// offsets (LSB-first within each byte, matching the flip injection
+	// convention). These are the positions the media *may* have corrupted —
+	// a stuck column only produces an error when the written bit disagrees
+	// with the stuck value — so device layers pass them to the codec as
+	// erasure candidates, not as known errors. Nil unless the stuck-column
+	// model is enabled and the block has accumulated wear.
+	Stuck []int
 }
 
 // Read reads a programmed page, injecting bit errors according to the
@@ -399,6 +425,7 @@ func (a *Array) ReadInto(ppa PPA, transferBytes int, dst []byte) (ReadResult, er
 		Flips:    flips,
 		RBER:     rberEff,
 		Duration: a.cfg.Timing.ReadTime(transferBytes),
+		Stuck:    a.stuckColumnsLocked(ppa.Block, blk),
 	}
 	if a.cfg.StoreData {
 		res.Data = dst[:len(pg.data):len(pg.data)]
@@ -409,6 +436,16 @@ func (a *Array) ReadInto(ppa PPA, transferBytes int, dst []byte) (ReadResult, er
 				res.Data[bit/8] ^= 1 << uint(bit%8)
 			}
 			a.injectedFlips.Add(uint64(flips))
+			for _, bit := range res.Stuck {
+				// Force the bit-line to its stuck value; an error results
+				// only where the written bit disagrees.
+				mask := byte(1) << uint(bit%8)
+				if a.stuckValue(ppa.Block, bit) {
+					res.Data[bit/8] |= mask
+				} else {
+					res.Data[bit/8] &^= mask
+				}
+			}
 		}
 	}
 	if t := a.tele; t != nil {
@@ -418,6 +455,83 @@ func (a *Array) ReadInto(ppa PPA, transferBytes int, dst []byte) (ReadResult, er
 		t.readLatency.Observe(float64(res.Duration))
 	}
 	return res, nil
+}
+
+// --- grown stuck columns ---------------------------------------------------
+
+// mix64 is a splitmix64-style finalizer used to derive stuck-column
+// positions and values. It is a pure function — the stuck-column model must
+// never consume from the readRNG streams, or enabling it would perturb the
+// deterministic flip sequences chaos runs pin byte-for-byte.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// stuckColumnCountLocked returns how many bit-lines of the block have grown
+// stuck at its current wear: linear in PEC, reaching the configured count at
+// the nominal rating.
+func (a *Array) stuckColumnCountLocked(blk *block) int {
+	rate := a.cfg.StuckColumnsPerNominalPEC
+	if rate <= 0 || blk.pec == 0 {
+		return 0
+	}
+	n := int(rate * float64(blk.pec) / a.model.NominalPEC)
+	if max := a.cfg.Geometry.RawPageBytes() * 4; n > max {
+		n = max // never saturate the page: at most half the bit-lines
+	}
+	return n
+}
+
+// stuckColumnsLocked returns the block's distinct stuck bit positions (raw-
+// page bit offsets, LSB-first per byte) in growth order, or nil when the
+// model is off or the block is young. Positions derive from (Seed, block,
+// ordinal) only, so the i-th column to fail is stable across reads, erases,
+// restarts, and RestoreWear.
+func (a *Array) stuckColumnsLocked(blockID int, blk *block) []int {
+	n := a.stuckColumnCountLocked(blk)
+	if n == 0 {
+		return nil
+	}
+	rawBits := uint64(a.cfg.Geometry.RawPageBytes()) * 8
+	out := make([]int, 0, n)
+	for salt := uint64(0); len(out) < n; salt++ {
+		pos := int(mix64(a.cfg.Seed^uint64(blockID)*0x9e3779b97f4a7c15^salt*0xd6e8feb86659fd93) % rawBits)
+		dup := false
+		for _, p := range out {
+			if p == pos {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// stuckValue reports the value bit position pos is stuck at in blockID —
+// a pure function of (Seed, block, position), independent of wear.
+func (a *Array) stuckValue(blockID, pos int) bool {
+	return mix64(a.cfg.Seed^uint64(blockID)*0xff51afd7ed558ccd^uint64(pos)*0xc4ceb9fe1a85ec53)&1 == 1
+}
+
+// BlockStuckColumns returns the block's current grown stuck bit positions —
+// what wear tracking exports to the layers above so their reads can hand the
+// codec erasure candidates even before the first degraded read.
+func (a *Array) BlockStuckColumns(blockID int) []int {
+	if blockID < 0 || blockID >= len(a.blocks) {
+		return nil
+	}
+	mu := a.channelMu(blockID)
+	mu.Lock()
+	defer mu.Unlock()
+	return a.stuckColumnsLocked(blockID, &a.blocks[blockID])
 }
 
 // EffectiveRBER returns the page's current raw bit-error rate: wear at

@@ -1,0 +1,207 @@
+package salnet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"salamander/internal/blockdev"
+	"salamander/internal/difs"
+	"salamander/internal/stats"
+	"salamander/internal/telemetry"
+	"salamander/internal/wire"
+)
+
+// TestGetRunCoalescing drives the server with a raw socket so a run of
+// pipelined GETs lands in the read buffer together: the server must answer
+// every frame correctly (matched by id, ranges honored, errors positional)
+// and serve the run through the batched cluster path.
+func TestGetRunCoalescing(t *testing.T) {
+	cluster, _ := testCluster(t, 3, 2, 64)
+	srv, addr := startServer(t, cluster, ServerConfig{})
+	reg := telemetry.NewRegistry()
+	srv.Instrument(reg, nil)
+
+	rng := stats.NewRNG(41)
+	objs := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("obj-%d", i)
+		objs[key] = testBytes(rng, 2000+i*137)
+		if err := cluster.Put(key, objs[key]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	// The kernel may hand the server the first frame alone (no run to
+	// coalesce), so allow a few volleys before requiring the batch counters
+	// to move. Correctness of every response is asserted on every volley.
+	var batched bool
+	for round := 0; round < 10 && !batched; round++ {
+		var out []byte
+		type want struct {
+			id      uint64
+			payload []byte
+			status  wire.Status
+		}
+		var wants []want
+		id := uint64(round*100 + 1)
+		for i := 0; i < 6; i++ {
+			key := fmt.Sprintf("obj-%d", i)
+			f := wire.Frame{ID: id, Op: wire.OpGet, Key: []byte(key)}
+			exp := objs[key]
+			if i == 2 {
+				f.Offset, f.Length = 100, 50 // range GETs coalesce too
+				exp = exp[100:150]
+			}
+			if i == 4 {
+				f.Key = []byte("missing") // positional failure mid-run
+				exp = nil
+			}
+			out, err = wire.AppendFrame(out, &f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := wire.StatusOK
+			if i == 4 {
+				st = wire.StatusNotFound
+			}
+			wants = append(wants, want{id: id, payload: exp, status: st})
+			id++
+		}
+		// One write: all six frames arrive together and the read loop finds
+		// the rest buffered after parsing the first.
+		if _, err := nc.Write(out); err != nil {
+			t.Fatal(err)
+		}
+		got := map[uint64]wire.Frame{}
+		var buf []byte
+		for range wants {
+			f, b, err := wire.ReadFrame(br, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = b
+			cp := f
+			cp.Payload = append([]byte(nil), f.Payload...)
+			got[f.ID] = cp
+		}
+		for _, w := range wants {
+			f, ok := got[w.id]
+			if !ok {
+				t.Fatalf("no response for id %d", w.id)
+			}
+			if f.Status != w.status {
+				t.Fatalf("id %d: status %v, want %v", w.id, f.Status, w.status)
+			}
+			if w.status == wire.StatusOK && !bytes.Equal(f.Payload, w.payload) {
+				t.Fatalf("id %d: payload mismatch (%d vs %d bytes)", w.id, len(f.Payload), len(w.payload))
+			}
+		}
+		batched = reg.Counter("net.server.batches").Value() > 0
+	}
+	if !batched {
+		t.Error("pipelined GET volleys never took the batched path")
+	}
+	if ops := reg.Counter("net.server.batched_ops").Value(); batched && ops < 2 {
+		t.Errorf("batched_ops = %d, want >= 2", ops)
+	}
+}
+
+// TestGetBatchCtxMatchesGetCtx pins the batch entry point against the
+// singular one, sharded and unsharded: positional results, independent
+// errors, and identical bytes.
+func TestGetBatchCtxMatchesGetCtx(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := difs.DefaultConfig()
+			cfg.ChunkOPages = 4
+			cfg.Shards = shards
+			cluster, err := difs.NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				cluster.AddNode(blockdev.NewMemDevice(2, 64))
+			}
+			rng := stats.NewRNG(7)
+			names := []string{"a", "b", "c", "missing-1", "d", "missing-2", "a"}
+			for _, n := range []string{"a", "b", "c", "d"} {
+				if err := cluster.Put(n, testBytes(rng, 1500)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			datas, errs := cluster.GetBatchCtx(ctx, names)
+			if len(datas) != len(names) || len(errs) != len(names) {
+				t.Fatalf("positional shape: %d/%d results for %d names", len(datas), len(errs), len(names))
+			}
+			for i, n := range names {
+				single, serr := cluster.GetCtx(ctx, n)
+				if (errs[i] == nil) != (serr == nil) {
+					t.Fatalf("%q: batch err %v vs single err %v", n, errs[i], serr)
+				}
+				if !bytes.Equal(datas[i], single) {
+					t.Fatalf("%q: batch bytes differ from single get", n)
+				}
+			}
+			// A canceled context fails every slot without panicking.
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			_, errs = cluster.GetBatchCtx(cctx, names[:3])
+			for i, e := range errs {
+				if e == nil {
+					t.Fatalf("slot %d succeeded under canceled ctx", i)
+				}
+			}
+		})
+	}
+}
+
+// TestWriterCoalescesUnderPipelining floods one connection with concurrent
+// client calls: with a per-conn writer goroutine draining a queue, all
+// responses must still come back correct and in frame-whole form.
+func TestWriterCoalescesUnderPipelining(t *testing.T) {
+	cluster, _ := testCluster(t, 3, 2, 64)
+	_, addr := startServer(t, cluster, ServerConfig{Workers: 8})
+	rng := stats.NewRNG(13)
+	want := map[string][]byte{}
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("w-%d", i)
+		want[k] = testBytes(rng, 3000)
+		if err := cluster.Put(k, want[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := dialTest(t, ClientConfig{Addr: addr, Conns: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 8; i++ {
+				k := fmt.Sprintf("w-%d", (g*8+i)%16)
+				data, err := cl.Get(ctx, k)
+				if err == nil && !bytes.Equal(data, want[k]) {
+					err = fmt.Errorf("payload mismatch for %s", k)
+				}
+				errc <- err
+			}
+		}(g)
+	}
+	for i := 0; i < 64; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,23 +5,35 @@
 // failures behind a network boundary instead of surfacing them to every
 // consumer.
 //
-// Server model (one goroutine per connection plus a shared bounded worker
+// Server model (two goroutines per connection plus a shared bounded worker
 // pool):
 //
 //	accept loop ─> per-conn read loop ──(bounded work queue)──> worker pool
 //	                                                               │
-//	client <────── per-conn locked writer <── encode response ─────┘
+//	client <── per-conn writer goroutine <── response queue <──────┘
 //
 // The read loop parses frames into pooled buffers and blocks on the work
 // queue when the pool falls behind — backpressure propagates to the client
-// through TCP flow control rather than through unbounded queueing. Workers
-// execute against the cluster with a per-op deadline (difs *Ctx entry points
-// abort chunk-granular work when it expires) and write responses directly
-// under a per-connection mutex, so responses leave in completion order:
-// pipelined requests are answered out of order and matched by request id.
-// Each response write carries a deadline (ServerConfig.WriteTimeout): a peer
-// that stops reading is disconnected rather than allowed to pin a worker of
-// the shared pool through TCP backpressure.
+// through TCP flow control rather than through unbounded queueing. An
+// adjacent run of already-buffered pipelined GETs is coalesced into one work
+// item that the worker serves with a single difs batch call
+// (Cluster.GetBatchCtx), paying the cluster's lock and settling cost once
+// per run instead of once per op. Coalescing only consumes bytes the client
+// has already sent (gated on the read buffer), so an idle connection is
+// never waited on; clients must write each frame atomically, which the
+// salnet client does.
+//
+// Workers execute against the cluster with a per-op deadline (difs *Ctx
+// entry points abort chunk-granular work when it expires; a coalesced run
+// shares one deadline) and hand encoded responses to the connection's
+// writer goroutine, which drains its queue in enqueue order — responses
+// leave in completion order, pipelined requests are answered out of order
+// and matched by request id. Responses that pile up behind a slow socket
+// are flushed together as one vectored write (net.Buffers / writev), so a
+// pipelining client costs one syscall per drained batch, not per response.
+// Each batch write carries a deadline (ServerConfig.WriteTimeout): a peer
+// that stops reading is disconnected rather than allowed to pin the
+// connection's writer and its queued buffers forever.
 //
 // Fault injection: the server declares net.conn.drop (connection severed
 // before the response), net.resp.slow (injected latency), and
@@ -109,6 +121,8 @@ type sTele struct {
 	slowResponses   *telemetry.Counter
 	truncatedFrames *telemetry.Counter
 	slowOps         *telemetry.Counter
+	batches         *telemetry.Counter
+	batchedOps      *telemetry.Counter
 	opNs            *telemetry.Histogram
 	tr              *telemetry.Tracer
 }
@@ -128,6 +142,8 @@ func bindSrvTele(reg *telemetry.Registry, tr *telemetry.Tracer) sTele {
 		slowResponses:   reg.Counter("net.server.slow_responses"),
 		truncatedFrames: reg.Counter("net.server.truncated_frames"),
 		slowOps:         reg.Counter("net.server.slow_ops"),
+		batches:         reg.Counter("net.server.batches"),
+		batchedOps:      reg.Counter("net.server.batched_ops"),
 		opNs:            reg.Histogram("net.server.op_ns"),
 		tr:              tr,
 	}
@@ -160,12 +176,20 @@ type Server struct {
 }
 
 // request is one admitted frame: f aliases *bufp, which belongs to the
-// request until the worker releases it back to the pool.
+// request until the worker releases it back to the pool. A non-empty more
+// makes this the head of a coalesced GET run — every frame in the run was
+// admitted (and counted inflight) individually, and each gets its own
+// response frame.
 type request struct {
 	conn *srvConn
 	f    wire.Frame
 	bufp *[]byte
+	more []*request
 }
+
+// maxGetBatch caps one coalesced GET run: bounds per-batch memory and how
+// long one worker monopolizes a shard lock.
+const maxGetBatch = 32
 
 // NewServer returns a server fronting cluster. Call Start (or Serve) to
 // accept connections and Shutdown to drain.
@@ -264,7 +288,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			// the loop is done; Shutdown owns the rest of the teardown.
 			return
 		}
-		sc := &srvConn{s: s, nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), wt: s.cfg.WriteTimeout}
+		sc := &srvConn{s: s, nc: nc, wt: s.cfg.WriteTimeout}
+		sc.qcond = sync.NewCond(&sc.qmu)
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -275,7 +300,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Unlock()
 		s.tele.conns.Inc()
 		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "accept"})
-		s.connWg.Add(1)
+		s.connWg.Add(2)
+		go sc.writerLoop()
 		go func() {
 			defer s.connWg.Done()
 			s.readLoop(sc)
@@ -284,8 +310,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 }
 
 // readLoop parses frames off one connection and admits them to the worker
-// pool. Any read or protocol error ends the connection: a frame stream that
-// lost sync cannot be trusted past the first bad frame.
+// pool, coalescing adjacent already-buffered GETs into one work item. Any
+// read or protocol error ends the connection: a frame stream that lost sync
+// cannot be trusted past the first bad frame.
 func (s *Server) readLoop(sc *srvConn) {
 	defer s.dropConn(sc, "close")
 	br := bufio.NewReaderSize(sc.nc, 64<<10)
@@ -300,24 +327,69 @@ func (s *Server) readLoop(sc *srvConn) {
 			}
 			return
 		}
-		s.tele.bytesIn.Add(uint64(wire.HeaderSize + 4 + len(f.Key) + len(f.Payload)))
-		s.mu.Lock()
-		if s.draining {
-			s.mu.Unlock()
-			s.bufPool.Put(bufp)
-			// Best-effort rejection so a pipelining client can tell a drain
-			// from a crash, then stop reading.
-			s.tele.shutdownRejects.Inc()
-			resp := wire.Frame{ID: f.ID, Op: f.Op, Status: wire.StatusShutdown}
-			out, _ := wire.AppendFrame(nil, &resp)
-			_ = sc.write(out)
+		if !s.admit(sc, &f, bufp) {
 			return
 		}
-		s.inflight.Add(1)
-		s.mu.Unlock()
-		s.tele.requests.Inc()
-		s.work <- &request{conn: sc, f: f, bufp: bufp}
+		req := &request{conn: sc, f: f, bufp: bufp}
+		// Extend a GET into a run while the client has more frames already
+		// buffered: only bytes the peer has sent can grow the batch, so a
+		// quiet connection admits its op immediately. A non-GET ends the run
+		// and is admitted as its own work item right behind it.
+		var trailing *request
+		dying := false
+		for req.f.Op == wire.OpGet && len(req.more)+1 < maxGetBatch && br.Buffered() > 0 {
+			nbufp := s.bufPool.Get().(*[]byte)
+			nf, nbuf, nerr := wire.ReadFrame(br, *nbufp)
+			*nbufp = nbuf
+			if nerr != nil {
+				s.bufPool.Put(nbufp)
+				if isProtocolErr(nerr) {
+					s.tele.badFrames.Inc()
+				}
+				dying = true
+				break
+			}
+			if !s.admit(sc, &nf, nbufp) {
+				dying = true
+				break
+			}
+			nreq := &request{conn: sc, f: nf, bufp: nbufp}
+			if nf.Op != wire.OpGet {
+				trailing = nreq
+				break
+			}
+			req.more = append(req.more, nreq)
+		}
+		s.work <- req
+		if trailing != nil {
+			s.work <- trailing
+		}
+		if dying {
+			return
+		}
 	}
+}
+
+// admit charges one parsed frame against the drain gate and the inflight
+// count. A false return means the server is draining: the frame was
+// answered with StatusShutdown (best effort, so a pipelining client can
+// tell a drain from a crash) and the connection must stop reading.
+func (s *Server) admit(sc *srvConn, f *wire.Frame, bufp *[]byte) bool {
+	s.tele.bytesIn.Add(uint64(wire.HeaderSize + 4 + len(f.Key) + len(f.Payload)))
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.bufPool.Put(bufp)
+		s.tele.shutdownRejects.Inc()
+		resp := wire.Frame{ID: f.ID, Op: f.Op, Status: wire.StatusShutdown}
+		out, _ := wire.AppendFrame(nil, &resp)
+		_ = sc.write(out)
+		return false
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.tele.requests.Inc()
+	return true
 }
 
 func isProtocolErr(err error) bool {
@@ -325,9 +397,12 @@ func isProtocolErr(err error) bool {
 		errors.Is(err, wire.ErrBadOp) || errors.Is(err, wire.ErrBadKey)
 }
 
-// handle executes one admitted request on a worker goroutine.
+// handle executes one admitted work item on a worker goroutine.
 func (s *Server) handle(req *request) {
-	defer s.inflight.Done()
+	if len(req.more) > 0 {
+		s.handleGetRun(req)
+		return
+	}
 	start := time.Now()
 	if s.siteDrop.Fire() {
 		// Injected connection drop: the op never executes, the client sees
@@ -336,6 +411,7 @@ func (s *Server) handle(req *request) {
 		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "drop"})
 		s.releaseBuf(req)
 		req.conn.abort()
+		s.inflight.Done()
 		return
 	}
 	if s.siteSlow.Fire() {
@@ -352,34 +428,98 @@ func (s *Server) handle(req *request) {
 	if cancel != nil {
 		cancel()
 	}
+	s.finish(req, &resp, start)
+}
+
+// handleGetRun serves one coalesced run of pipelined GETs with a single
+// cluster batch call. Failpoints fire per op so injection rates match the
+// un-coalesced path: any injected drop severs the connection for the whole
+// run, and injected latency accumulates per firing.
+func (s *Server) handleGetRun(head *request) {
+	run := make([]*request, 0, 1+len(head.more))
+	run = append(run, head)
+	run = append(run, head.more...)
+	head.more = nil
+	start := time.Now()
+
+	drop, slow := false, 0
+	for range run {
+		if s.siteDrop.Fire() {
+			drop = true
+		}
+		if s.siteSlow.Fire() {
+			slow++
+		}
+	}
+	if drop {
+		s.tele.droppedConns.Inc()
+		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "drop"})
+		for _, r := range run {
+			s.releaseBuf(r)
+			s.inflight.Done()
+		}
+		head.conn.abort()
+		return
+	}
+	if slow > 0 {
+		s.tele.slowResponses.Add(uint64(slow))
+		time.Sleep(time.Duration(slow) * s.cfg.InjectedLatency)
+	}
+
+	keys := make([]string, len(run))
+	for i, r := range run {
+		keys[i] = string(r.f.Key)
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.OpTimeout > 0 {
+		// One op deadline covers the run: the batch holds each shard lock
+		// once, so its critical section is what the deadline must bound.
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.OpTimeout)
+	}
+	datas, errs := s.cluster.GetBatchCtx(ctx, keys)
+	if cancel != nil {
+		cancel()
+	}
+	s.tele.batches.Inc()
+	s.tele.batchedOps.Add(uint64(len(run)))
+
+	for i, r := range run {
+		resp := wire.Frame{ID: r.f.ID, Op: r.f.Op}
+		if errs[i] != nil {
+			resp.Status = statusOf(errs[i])
+			resp.Payload = []byte(errs[i].Error())
+		} else {
+			resp.Payload = clampRange(&r.f, datas[i])
+		}
+		s.finish(r, &resp, start)
+	}
+}
+
+// finish encodes one response, records the op metrics, and hands the frame
+// to the connection's writer goroutine, transferring the request's inflight
+// charge to it. Op latency is measured admission to response queued; the
+// write itself is bounded separately by WriteTimeout.
+func (s *Server) finish(req *request, resp *wire.Frame, start time.Time) {
 	if resp.Status == wire.StatusTimeout {
 		s.tele.timeouts.Inc()
 	}
-
 	outp := s.bufPool.Get().(*[]byte)
-	out, err := wire.AppendFrame((*outp)[:0], &resp)
+	out, err := wire.AppendFrame((*outp)[:0], resp)
 	*outp = out
-	// The response may alias the request buffer (ping echo), and the slow-op
-	// check below reads the key, so the request buffer is released only at
-	// the end of handle.
-	defer s.releaseBuf(req)
 	if err != nil {
 		// Response too big for the protocol (object larger than MaxFrame):
 		// replace with an error frame.
-		resp = wire.Frame{ID: req.f.ID, Op: req.f.Op, Status: wire.StatusInternal, Payload: []byte(err.Error())}
-		out, _ = wire.AppendFrame((*outp)[:0], &resp)
+		*resp = wire.Frame{ID: req.f.ID, Op: req.f.Op, Status: wire.StatusInternal, Payload: []byte(err.Error())}
+		out, _ = wire.AppendFrame((*outp)[:0], resp)
 		*outp = out
 	}
-	if s.siteTrunc.Fire() {
-		// Injected truncated frame: half the response, then the conn dies.
+	trunc := s.siteTrunc.Fire()
+	if trunc {
+		// Injected truncated frame: the writer sends half, then the conn dies.
 		s.tele.truncatedFrames.Inc()
 		s.tele.tr.Emit(telemetry.Event{Kind: telemetry.KindNetConn, Layer: "net", Detail: "truncate"})
-		_ = req.conn.write(out[:len(out)/2])
-		req.conn.abort()
-	} else if req.conn.write(out) == nil {
-		s.tele.bytesOut.Add(uint64(len(out)))
 	}
-	s.bufPool.Put(outp)
 	elapsed := time.Since(start)
 	s.tele.opNs.Observe(float64(elapsed.Nanoseconds()))
 	if thr := s.cfg.SlowOpThreshold; thr > 0 && elapsed > thr {
@@ -389,6 +529,17 @@ func (s *Server) handle(req *request) {
 			Detail: fmt.Sprintf("%v %s", req.f.Op, req.f.Key),
 			N:      elapsed.Nanoseconds(),
 		})
+	}
+	// The response was copied into outp (a ping echo aliases the request
+	// payload until here), so the request buffer can go back to the pool.
+	s.releaseBuf(req)
+	// Hand the frame to the connection's writer goroutine. The op's inflight
+	// charge transfers with it (the writer calls Done after the frame is out
+	// or the conn dies); a closed queue means the conn is already severed,
+	// so settle the charge here.
+	if !req.conn.enqueue(outFrame{bufp: outp, trunc: trunc}) {
+		s.bufPool.Put(outp)
+		s.inflight.Done()
 	}
 }
 
@@ -426,17 +577,7 @@ func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
 		if err != nil {
 			return fail(err)
 		}
-		// Clamp the client-controlled range in uint64 space: converting first
-		// would turn offsets >= 2^63 into negative slice indexes.
-		lo := len(data)
-		if f.Offset < uint64(len(data)) {
-			lo = int(f.Offset)
-		}
-		hi := len(data)
-		if f.Length > 0 && uint64(hi-lo) > uint64(f.Length) {
-			hi = lo + int(f.Length)
-		}
-		resp.Payload = data[lo:hi]
+		resp.Payload = clampRange(f, data)
 	case wire.OpDelete:
 		// Idempotent: deleting a missing object succeeds, so a retried
 		// delete whose first attempt landed reports success, not NotFound.
@@ -455,6 +596,21 @@ func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
 		return fail(fmt.Errorf("%w: opcode %v", wire.ErrBadRequest, f.Op))
 	}
 	return resp
+}
+
+// clampRange applies a GET's client-controlled [Offset, Offset+Length)
+// window to the object data. Clamped in uint64 space: converting first
+// would turn offsets >= 2^63 into negative slice indexes.
+func clampRange(f *wire.Frame, data []byte) []byte {
+	lo := len(data)
+	if f.Offset < uint64(len(data)) {
+		lo = int(f.Offset)
+	}
+	hi := len(data)
+	if f.Length > 0 && uint64(hi-lo) > uint64(f.Length) {
+		hi = lo + int(f.Length)
+	}
+	return data[lo:hi]
 }
 
 // statusOf maps errors to wire statuses, folding context expiry into
@@ -535,31 +691,121 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// srvConn is one accepted connection. Responses are written whole under wmu,
-// so concurrent workers interleave frames, never bytes.
+// srvConn is one accepted connection. Workers enqueue encoded responses;
+// the connection's writer goroutine drains the queue in order and flushes
+// each drained batch as one vectored write. Bytes only ever reach the
+// socket under wmu, so the writer and the readLoop's direct shutdown
+// rejection interleave whole frames, never bytes.
 type srvConn struct {
 	s    *Server
 	nc   net.Conn
-	wmu  sync.Mutex
-	bw   *bufio.Writer
 	wt   time.Duration
 	once sync.Once
+
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []outFrame
+	qclosed bool
+
+	wmu sync.Mutex
 }
 
-// write sends one whole response frame under a write deadline. A peer that
-// stops reading must not pin a worker on TCP backpressure, so on any write
-// failure — deadline expiry included — the connection is severed: a frame
-// stream that may have been partially flushed cannot be trusted anyway.
+// outFrame is one encoded response awaiting the writer: the pooled buffer
+// is released — and the frame's inflight charge dropped — after the write
+// attempt. trunc marks an injected truncation: half the frame, then the
+// connection dies.
+type outFrame struct {
+	bufp  *[]byte
+	trunc bool
+}
+
+// enqueue hands one encoded response to the writer goroutine, in completion
+// order. A false return means the connection is already severed and the
+// caller keeps ownership of the buffer (and its inflight charge).
+func (sc *srvConn) enqueue(of outFrame) bool {
+	sc.qmu.Lock()
+	if sc.qclosed {
+		sc.qmu.Unlock()
+		return false
+	}
+	sc.queue = append(sc.queue, of)
+	sc.qmu.Unlock()
+	sc.qcond.Signal()
+	return true
+}
+
+// writerLoop drains the response queue until the connection is severed and
+// the queue is empty. Every drained frame is released and its inflight
+// charge dropped whether or not the write succeeded — a severed connection
+// drops responses, it never wedges Shutdown's drain.
+func (sc *srvConn) writerLoop() {
+	defer sc.s.connWg.Done()
+	var batch []outFrame
+	bufs := make(net.Buffers, 0, 16)
+	for {
+		sc.qmu.Lock()
+		for len(sc.queue) == 0 && !sc.qclosed {
+			sc.qcond.Wait()
+		}
+		if len(sc.queue) == 0 {
+			sc.qmu.Unlock()
+			return
+		}
+		batch, sc.queue = sc.queue, batch[:0]
+		sc.qmu.Unlock()
+
+		// Scatter-gather: everything that piled up while the last write was
+		// in flight goes out as one writev. Injected truncations flush what
+		// came before them, then send half a frame and sever the conn
+		// (later writes fail fast on the closed socket).
+		total := 0
+		flush := func() {
+			if len(bufs) == 0 {
+				return
+			}
+			if sc.writeBufs(bufs) == nil {
+				sc.s.tele.bytesOut.Add(uint64(total))
+			}
+			bufs, total = bufs[:0], 0
+		}
+		for _, of := range batch {
+			b := *of.bufp
+			if of.trunc {
+				flush()
+				_ = sc.writeBufs(net.Buffers{b[:len(b)/2]})
+				sc.abort()
+				continue
+			}
+			bufs = append(bufs, b)
+			total += len(b)
+		}
+		flush()
+		for i := range batch {
+			sc.s.bufPool.Put(batch[i].bufp)
+			batch[i] = outFrame{}
+			sc.s.inflight.Done()
+		}
+	}
+}
+
+// write sends one whole frame outside the response queue (shutdown
+// rejections, which carry no inflight charge).
 func (sc *srvConn) write(b []byte) error {
+	return sc.writeBufs(net.Buffers{b})
+}
+
+// writeBufs writes a set of whole frames as one vectored write under a
+// write deadline. A peer that stops reading must not pin the writer (and
+// its queued buffers) on TCP backpressure, so on any failure — deadline
+// expiry included — the connection is severed: a frame stream that may have
+// been partially flushed cannot be trusted anyway.
+func (sc *srvConn) writeBufs(bufs net.Buffers) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	if sc.wt > 0 {
 		_ = sc.nc.SetWriteDeadline(time.Now().Add(sc.wt))
 	}
-	_, err := sc.bw.Write(b)
-	if err == nil {
-		err = sc.bw.Flush()
-	}
+	_, err := bufs.WriteTo(sc.nc)
 	if err != nil {
 		if errors.Is(err, os.ErrDeadlineExceeded) {
 			sc.s.tele.writeTimeouts.Inc()
@@ -570,7 +816,14 @@ func (sc *srvConn) write(b []byte) error {
 	return err
 }
 
-// abort severs the connection; the read loop unblocks with an error.
+// abort severs the connection: the read loop unblocks with an error, and
+// the writer drains whatever is queued (failing fast) and exits.
 func (sc *srvConn) abort() {
-	sc.once.Do(func() { sc.nc.Close() })
+	sc.once.Do(func() {
+		sc.nc.Close()
+		sc.qmu.Lock()
+		sc.qclosed = true
+		sc.qmu.Unlock()
+		sc.qcond.Broadcast()
+	})
 }

@@ -117,6 +117,7 @@ type devTele struct {
 	wearLevelMoves          *telemetry.Counter
 	eccCorrections          *telemetry.Counter
 	eccCorrectedBits        *telemetry.Counter
+	eccErasureDecodes       *telemetry.Counter
 	readLatency             *telemetry.Histogram
 	writeLatency            *telemetry.Histogram
 	tr                      *telemetry.Tracer
@@ -124,21 +125,22 @@ type devTele struct {
 
 func bindTele(reg *telemetry.Registry, tr *telemetry.Tracer) devTele {
 	return devTele{
-		hostReads:        reg.Counter("ssd.host_reads"),
-		hostWrites:       reg.Counter("ssd.host_writes"),
-		flashReads:       reg.Counter("ssd.flash_reads"),
-		flashWrites:      reg.Counter("ssd.flash_writes"),
-		gcRelocations:    reg.Counter("ssd.gc_relocations"),
-		uncorrectable:    reg.Counter("ssd.uncorrectable"),
-		lostOPages:       reg.Counter("ssd.lost_opages"),
-		readRetries:      reg.Counter("ssd.read_retries"),
-		retrySaves:       reg.Counter("ssd.retry_saves"),
-		wearLevelMoves:   reg.Counter("ssd.wear_level_moves"),
-		eccCorrections:   reg.Counter("ssd.ecc_corrections"),
-		eccCorrectedBits: reg.Counter("ssd.ecc_corrected_bits"),
-		readLatency:      reg.Histogram("ssd.host_read_latency_ns"),
-		writeLatency:     reg.Histogram("ssd.host_write_latency_ns"),
-		tr:               tr,
+		hostReads:         reg.Counter("ssd.host_reads"),
+		hostWrites:        reg.Counter("ssd.host_writes"),
+		flashReads:        reg.Counter("ssd.flash_reads"),
+		flashWrites:       reg.Counter("ssd.flash_writes"),
+		gcRelocations:     reg.Counter("ssd.gc_relocations"),
+		uncorrectable:     reg.Counter("ssd.uncorrectable"),
+		lostOPages:        reg.Counter("ssd.lost_opages"),
+		readRetries:       reg.Counter("ssd.read_retries"),
+		retrySaves:        reg.Counter("ssd.retry_saves"),
+		wearLevelMoves:    reg.Counter("ssd.wear_level_moves"),
+		eccCorrections:    reg.Counter("ssd.ecc_corrections"),
+		eccCorrectedBits:  reg.Counter("ssd.ecc_corrected_bits"),
+		eccErasureDecodes: reg.Counter("ssd.ecc_erasure_decodes"),
+		readLatency:       reg.Histogram("ssd.host_read_latency_ns"),
+		writeLatency:      reg.Histogram("ssd.host_write_latency_ns"),
+		tr:                tr,
 	}
 }
 
@@ -197,6 +199,10 @@ type Device struct {
 	// every program). Both are nil in metadata-only mode.
 	readBuf []byte
 	pageBuf []byte
+	// eraPos is the per-sector erasure-candidate scratch: grown stuck-column
+	// positions from flash, remapped to codeword bit indices for
+	// DecodeWithErasures without allocating per read.
+	eraPos []int
 
 	// Channel-parallel flush state (nil/empty unless Config.ParallelFlush).
 	disp       *flash.Dispatcher
@@ -258,6 +264,7 @@ func New(cfg Config, eng *sim.Engine) (*Device, error) {
 			return nil, err
 		}
 		d.codec = code
+		d.eraPos = make([]int, 0, 16)
 	}
 	totalOPages := g.TotalPages() * d.slotsPP
 	// The reserve must cover GC's block-granular working set (active block,
@@ -365,6 +372,7 @@ func (d *Device) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	carry(d.tele.wearLevelMoves, old.wearLevelMoves)
 	carry(d.tele.eccCorrections, old.eccCorrections)
 	carry(d.tele.eccCorrectedBits, old.eccCorrectedBits)
+	carry(d.tele.eccErasureDecodes, old.eccErasureDecodes)
 	d.arr.Instrument(reg, tr)
 }
 
@@ -658,7 +666,17 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected
 		parityOff := d.arr.Geometry().PageSize + sectorGlobal*pb
 		sector := res.Data[dataOff : dataOff+rber.SectorSize]
 		parity := res.Data[parityOff : parityOff+pb]
-		bits, err := d.codec.Decode(sector, parity)
+		var bits int
+		var err error
+		if cand := d.sectorErasures(res.Stuck, dataOff, parityOff, pb); len(cand) > 0 {
+			// Wear tracking knows this block's grown stuck bit-lines: hand
+			// them to the codec as erasure candidates so a hit skips the
+			// full Chien scan. A miss falls back inside the codec.
+			bits, err = d.codec.DecodeWithErasures(sector, parity, cand)
+			d.tele.eccErasureDecodes.Inc()
+		} else {
+			bits, err = d.codec.Decode(sector, parity)
+		}
 		if err != nil {
 			d.tele.uncorrectable.Inc()
 			return false, res.Injected, blockdev.ErrUncorrectable
@@ -676,6 +694,34 @@ func (d *Device) readOPageOnce(addr ftl.OPageAddr, dst []byte) (filled, injected
 		copy(dst[s*rber.SectorSize:], sector)
 	}
 	return true, res.Injected, nil
+}
+
+// sectorErasures remaps raw-page stuck bit offsets (LSB-first within each
+// byte, flash's convention) into codeword bit indices (MSB-first, data bits
+// then parity bits, the codec's convention) for the sector whose data bytes
+// span [dataOff, dataOff+SectorSize) and parity bytes
+// [parityOff, parityOff+pb) of the raw page. Offsets landing in other
+// sectors are dropped; parity offsets past the code's R bits (padding in
+// the final parity byte) are dropped too. The result reuses the device
+// scratch and stays distinct because the stuck positions are distinct.
+func (d *Device) sectorErasures(stuck []int, dataOff, parityOff, pb int) []int {
+	if len(stuck) == 0 {
+		return nil
+	}
+	cand := d.eraPos[:0]
+	for _, bit := range stuck {
+		byteOff, cwBit := bit/8, 7-bit%8
+		switch {
+		case byteOff >= dataOff && byteOff < dataOff+rber.SectorSize:
+			cand = append(cand, (byteOff-dataOff)*8+cwBit)
+		case byteOff >= parityOff && byteOff < parityOff+pb:
+			if cw := d.codec.K + (byteOff-parityOff)*8 + cwBit; cw < d.codec.N {
+				cand = append(cand, cw)
+			}
+		}
+	}
+	d.eraPos = cand
+	return cand
 }
 
 // flushOne programs one fPage from the write buffer.

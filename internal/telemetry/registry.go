@@ -153,19 +153,23 @@ func (s HistSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
-// Quantile returns an approximate quantile: the geometric midpoint of the
-// bucket containing the q-th observation. Log-bucketed quantiles are accurate
-// to within a factor of sqrt(2). The edge behavior is pinned:
+// Quantile returns an approximate quantile with sub-bucket interpolation:
+// the q-th observation's rank is located within its log2 bucket and the
+// value is interpolated linearly between the bucket's Lo and Hi, assuming
+// observations spread uniformly inside the bucket. This is what lets
+// nearby quantiles (p50/p95/p99) of a tight latency distribution remain
+// distinguishable instead of collapsing onto one bucket midpoint — the
+// BENCH_net.json coarseness fix. The edge behavior is pinned:
 //
 //   - An empty snapshot (Count == 0, or no buckets — possible on a Delta of
 //     an idle interval) returns 0.
 //   - q outside [0,1] is clamped into the range.
-//   - q = 0 returns the geometric midpoint of the first populated bucket —
-//     NOT the true minimum; the bucket floor is all the histogram retains.
-//   - q = 1 returns the geometric midpoint of the last populated bucket —
-//     NOT the true maximum, for the same reason.
-//   - A single-bucket histogram returns that bucket's geometric midpoint for
-//     every q: within one log2 bucket there is no finer information.
+//   - q = 0 returns the first populated bucket's Lo — NOT the true minimum;
+//     the bucket floor is all the histogram retains.
+//   - q = 1 returns the last populated bucket's Hi — NOT the true maximum,
+//     for the same reason.
+//   - A single-bucket histogram interpolates across that bucket: Quantile
+//     is monotone in q from Lo to Hi rather than pinned at the midpoint.
 func (s HistSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Buckets) == 0 {
 		return 0
@@ -179,13 +183,20 @@ func (s HistSnapshot) Quantile(q float64) float64 {
 	target := q * float64(s.Count)
 	cum := uint64(0)
 	for _, b := range s.Buckets {
+		before := float64(cum)
 		cum += b.Count
 		if float64(cum) >= target {
-			return math.Sqrt(b.Lo * b.Hi)
+			frac := (target - before) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return b.Lo + frac*(b.Hi-b.Lo)
 		}
 	}
-	last := s.Buckets[len(s.Buckets)-1]
-	return math.Sqrt(last.Lo * last.Hi)
+	return s.Buckets[len(s.Buckets)-1].Hi
 }
 
 // Registry holds named instruments. The zero value is not usable; call

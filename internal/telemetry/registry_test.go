@@ -189,6 +189,10 @@ func TestQuantileEdges(t *testing.T) {
 		}
 	})
 	t.Run("single-bucket", func(t *testing.T) {
+		// With sub-bucket interpolation a single-bucket histogram is no
+		// longer pinned at its midpoint: Quantile sweeps [Lo, Hi]
+		// monotonically with q, which is exactly what keeps p50/p95/p99
+		// distinguishable when all observations quantize into one bucket.
 		h := &Histogram{}
 		for i := 0; i < 7; i++ {
 			h.Observe(1000)
@@ -197,14 +201,23 @@ func TestQuantileEdges(t *testing.T) {
 		if len(s.Buckets) != 1 {
 			t.Fatalf("want 1 bucket, got %d", len(s.Buckets))
 		}
-		mid := math.Sqrt(s.Buckets[0].Lo * s.Buckets[0].Hi)
+		lo, hi := s.Buckets[0].Lo, s.Buckets[0].Hi
+		prev := -1.0
 		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
-			if got := s.Quantile(q); math.Abs(got-mid) > 1e-9 {
-				t.Fatalf("single-bucket Quantile(%v) = %v, want geometric midpoint %v", q, got, mid)
+			got := s.Quantile(q)
+			if got < lo || got > hi {
+				t.Fatalf("single-bucket Quantile(%v) = %v outside [%v,%v]", q, got, lo, hi)
 			}
+			if got < prev {
+				t.Fatalf("single-bucket Quantile not monotone at q=%v: %v < %v", q, got, prev)
+			}
+			prev = got
 		}
-		if mid < s.Buckets[0].Lo || mid > s.Buckets[0].Hi {
-			t.Fatalf("midpoint %v outside bucket [%v,%v)", mid, s.Buckets[0].Lo, s.Buckets[0].Hi)
+		if got := s.Quantile(0); got != lo {
+			t.Fatalf("single-bucket Quantile(0) = %v, want Lo %v", got, lo)
+		}
+		if got := s.Quantile(1); got != hi {
+			t.Fatalf("single-bucket Quantile(1) = %v, want Hi %v", got, hi)
 		}
 	})
 	t.Run("q0-q1-clamped", func(t *testing.T) {
@@ -212,13 +225,13 @@ func TestQuantileEdges(t *testing.T) {
 		h.Observe(1)   // low bucket
 		h.Observe(1e6) // high bucket
 		s := h.snapshot()
-		lowMid := math.Sqrt(s.Buckets[0].Lo * s.Buckets[0].Hi)
-		highMid := math.Sqrt(s.Buckets[len(s.Buckets)-1].Lo * s.Buckets[len(s.Buckets)-1].Hi)
+		low := s.Buckets[0].Lo
+		high := s.Buckets[len(s.Buckets)-1].Hi
 		cases := []struct {
 			q    float64
 			want float64
 		}{
-			{-0.5, lowMid}, {0, lowMid}, {1, highMid}, {1.5, highMid},
+			{-0.5, low}, {0, low}, {1, high}, {1.5, high},
 		}
 		for _, c := range cases {
 			if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
@@ -226,6 +239,46 @@ func TestQuantileEdges(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestQuantileInterpolation pins the sub-bucket interpolation rule on a
+// hand-built snapshot: rank r = q·Count lands in a bucket after `before`
+// observations, and the value is Lo + (r-before)/bucketCount · (Hi-Lo).
+func TestQuantileInterpolation(t *testing.T) {
+	s := HistSnapshot{
+		Count: 100,
+		Buckets: []Bucket{
+			{Lo: 1, Hi: 2, Count: 50},
+			{Lo: 2, Hi: 4, Count: 30},
+			{Lo: 8, Hi: 16, Count: 20},
+		},
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},        // rank 0 → first bucket Lo
+		{0.25, 1.5},   // rank 25, halfway through the 50-count bucket
+		{0.5, 2},      // rank 50 → exactly exhausts bucket 0 → its Hi
+		{0.65, 3},     // rank 65 → (65-50)/30 through [2,4)
+		{0.8, 4},      // rank 80 → end of bucket 1
+		{0.9, 12},     // rank 90 → (90-80)/20 through [8,16)
+		{0.95, 14},    // rank 95 → 3/4 through [8,16)
+		{1, 16},       // rank 100 → last bucket Hi
+		{0.26, 1.52},  // fractional ranks interpolate linearly
+		{0.255, 1.51}, // p50-adjacent quantiles stay distinguishable
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// The motivating regression: nearby tail quantiles of a distribution
+	// concentrated in one bucket must not collapse to a single value.
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	if p50 == p95 || p95 == p99 {
+		t.Fatalf("quantiles collapsed: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
 }
 
 func TestSnapshotDelta(t *testing.T) {

@@ -66,6 +66,30 @@ func (z *Zipfian) Next() Op {
 	return Op{LBA: z.z.Next()}
 }
 
+// HotSpot sends HotFrac of accesses to a hot head of HotSpace LBAs and the
+// rest uniformly over the whole space — the classic two-tier skew model
+// (e.g. "90% of ops hit 10% of the data") complementing Zipfian's power
+// law. The hot head overlaps the cold range, like a cache-resident working
+// set does.
+type HotSpot struct {
+	Space    int
+	HotSpace int     // size of the hot head in LBAs (clamped to Space)
+	HotFrac  float64 // fraction of ops aimed at the hot head
+	Rng      *stats.RNG
+}
+
+// Next implements Generator.
+func (h *HotSpot) Next() Op {
+	hot := h.HotSpace
+	if hot <= 0 || hot > h.Space {
+		hot = h.Space
+	}
+	if h.Rng.Float64() < h.HotFrac {
+		return Op{LBA: h.Rng.Intn(hot)}
+	}
+	return Op{LBA: h.Rng.Intn(h.Space)}
+}
+
 // Mix wraps a generator, marking a fraction of operations as reads.
 type Mix struct {
 	Gen      Generator

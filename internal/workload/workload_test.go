@@ -49,6 +49,26 @@ func TestZipfianSkew(t *testing.T) {
 	}
 }
 
+func TestHotSpotConcentration(t *testing.T) {
+	g := &HotSpot{Space: 100, HotSpace: 10, HotFrac: 0.9, Rng: stats.NewRNG(5)}
+	const n = 20000
+	hot := 0
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.LBA < 0 || op.LBA >= 100 {
+			t.Fatalf("LBA %d out of space", op.LBA)
+		}
+		if op.LBA < 10 {
+			hot++
+		}
+	}
+	// 90% aimed at the head plus ~10% of the uniform remainder landing there.
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot-head fraction %v, want ~0.91", frac)
+	}
+}
+
 func TestMixReadFraction(t *testing.T) {
 	g := &Mix{Gen: &Sequential{Space: 100}, ReadFrac: 0.3, Rng: stats.NewRNG(3)}
 	reads := 0
