@@ -43,7 +43,17 @@
 # SIGKILLs a real salsrv mid-load on a durable -data-dir, restarts it on
 # the same directory, and content-verifies every acked write — then one
 # more cold restart asserts sal_difs_recover_ns and a non-zero
-# sal_difs_recover_objects in the exposition.
+# sal_difs_recover_objects in the exposition. The scale-out battery closes
+# the gate: salchaos -fleet runs four salsrv processes over disjoint
+# -own-shards subsets of one data tree, SIGKILLs one owner mid-load, and
+# asserts the blast radius is exactly its subset (survivors keep serving,
+# the restarted owner recovers only its own shards); then a device-bound
+# throughput comparison (-service-time pins per-op cost to a real-time
+# device floor, GOMAXPROCS=1 per server, so the ratio measures the sharded
+# architecture rather than host core count) requires the 4-process fleet
+# to clear 2x one process's ops/s through the routing client with full
+# content verification, every endpoint taking traffic, and no >15% drop
+# against the checked-in BENCH_scaleout.json.
 set -eu
 
 cd "$(dirname "$0")"
@@ -355,5 +365,119 @@ grep -q "invariants clean=true" "$durtmp/salsrv.log" || {
     exit 1
 }
 rm -rf "$durtmp"
+
+echo "== scale-out fleet chaos (salchaos -fleet: SIGKILL one owner, subset blast radius) =="
+fltmp=$(mktemp -d)
+go build -o "$fltmp/salsrv" ./cmd/salsrv
+go build -o "$fltmp/salchaos" ./cmd/salchaos
+go build -o "$fltmp/salload" ./cmd/salload
+go build -o "$fltmp/salmap" ./cmd/salmap
+# Four salsrv processes own disjoint quarters of a 16-shard namespace on one
+# data tree. The harness routes load through salnet.Router, SIGKILLs one
+# owner mid-load, asserts the surviving subsets keep serving while the dead
+# subset fails fast, restarts the victim on its old address, and checks
+# sal_difs_recover_objects counts exactly the victim's own keys —
+# subset-scoped recovery, not a whole-tree replay.
+"$fltmp/salchaos" -fleet -proc-bin "$fltmp/salsrv" -proc-dir "$fltmp/chaos" \
+    -fleet-procs 4 -shards 16 -proc-ops 800 >"$fltmp/fleetchaos.log" 2>&1 || {
+    cat "$fltmp/fleetchaos.log" >&2
+    exit 1
+}
+grep -q "fleet chaos: PASS" "$fltmp/fleetchaos.log" || {
+    echo "salchaos -fleet did not report PASS" >&2
+    cat "$fltmp/fleetchaos.log" >&2
+    exit 1
+}
+
+echo "== scale-out throughput: 4-process fleet vs one process + BENCH_scaleout.json =="
+# Device-bound comparison: -service-time 10ms pins each op (or coalesced GET
+# run) to a real-time device floor — the flash sim is virtual-time, so
+# without it throughput is CPU-bound and the ratio would measure host cores,
+# not the sharded architecture. GOMAXPROCS=1 per server keeps the unit of
+# scaling the process. Identical workload both ways; the fleet must clear
+# 2x the single process's ops/s (machine-independent floor), spread traffic
+# over every endpoint, and hold the checked-in baseline (pinned to the
+# conservative low edge of observed runs, so 1-core scheduler noise does
+# not flap the gate).
+GOMAXPROCS=1 "$fltmp/salsrv" -addr 127.0.0.1:0 -addr-file "$fltmp/addrS" \
+    -ops-addr 127.0.0.1:0 -ops-addr-file "$fltmp/opsS" \
+    -shards 16 -workers 4 -service-time 10ms \
+    -data-dir "$fltmp/single" -fsync=false >"$fltmp/srvS.log" 2>&1 &
+spid=$!
+i=0
+while [ ! -s "$fltmp/addrS" ] && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -s "$fltmp/addrS" ] || {
+    echo "single scale-out salsrv never bound" >&2
+    cat "$fltmp/srvS.log" >&2
+    exit 1
+}
+"$fltmp/salload" -addr "$(cat "$fltmp/addrS")" -clients 8 -depth 8 -ops 2000 \
+    -out "$fltmp/single.json"
+kill -TERM "$spid"
+wait "$spid" || {
+    echo "single scale-out salsrv drain failed" >&2
+    cat "$fltmp/srvS.log" >&2
+    exit 1
+}
+flpids=""
+i=0
+for subset in 0-3 4-7 8-11 12-15; do
+    GOMAXPROCS=1 "$fltmp/salsrv" -addr 127.0.0.1:0 -addr-file "$fltmp/addr$i" \
+        -ops-addr 127.0.0.1:0 -ops-addr-file "$fltmp/ops$i" \
+        -shards 16 -own-shards "$subset" -workers 4 -service-time 10ms \
+        -data-dir "$fltmp/fleetdata" -fsync=false -seed $((i + 2)) \
+        >"$fltmp/srv$i.log" 2>&1 &
+    flpids="$flpids $!"
+    i=$((i + 1))
+done
+for i in 0 1 2 3; do
+    j=0
+    while [ ! -s "$fltmp/addr$i" ] && [ $j -lt 100 ]; do
+        sleep 0.1
+        j=$((j + 1))
+    done
+    [ -s "$fltmp/addr$i" ] || {
+        echo "fleet member $i never bound" >&2
+        cat "$fltmp/srv$i.log" >&2
+        exit 1
+    }
+done
+"$fltmp/salmap" build -shards 16 -out "$fltmp/map.bin" \
+    "$(cat "$fltmp/addr0")=0-3" "$(cat "$fltmp/addr1")=4-7" \
+    "$(cat "$fltmp/addr2")=8-11" "$(cat "$fltmp/addr3")=12-15"
+"$fltmp/salload" -shard-map "$fltmp/map.bin" -clients 8 -depth 8 -ops 8000 \
+    -out "$fltmp/fleetrep.json" -baseline BENCH_scaleout.json
+for p in $flpids; do kill -TERM "$p"; done
+for p in $flpids; do
+    wait "$p" || {
+        echo "fleet member drain failed" >&2
+        cat "$fltmp"/srv[0-3].log >&2
+        exit 1
+    }
+done
+# Every member must have taken traffic: the report's per-endpoint split has
+# four rows and none with zero ops.
+nend=$(grep -c '"endpoint":' "$fltmp/fleetrep.json")
+if [ "$nend" -ne 4 ]; then
+    echo "fleet report has $nend endpoints in its split (want 4)" >&2
+    cat "$fltmp/fleetrep.json" >&2
+    exit 1
+fi
+if grep -q '"ops": 0' "$fltmp/fleetrep.json"; then
+    echo "fleet report has an endpoint with zero ops — routing never reached it" >&2
+    cat "$fltmp/fleetrep.json" >&2
+    exit 1
+fi
+sops=$(sed -n 's/.*"ops_per_sec": *\([0-9.][0-9.eE+-]*\).*/\1/p' "$fltmp/single.json")
+fops=$(sed -n 's/.*"ops_per_sec": *\([0-9.][0-9.eE+-]*\).*/\1/p' "$fltmp/fleetrep.json")
+awk -v s="$sops" -v f="$fops" 'BEGIN { exit !(s + 0 > 0 && f + 0 >= 2 * s) }' || {
+    echo "scale-out floor: fleet $fops ops/s < 2x single-process $sops ops/s" >&2
+    exit 1
+}
+echo "scale-out: single $sops ops/s, 4-process fleet $fops ops/s (>= 2x)"
+rm -rf "$fltmp"
 
 echo "CI PASSED"

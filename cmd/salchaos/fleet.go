@@ -1,0 +1,324 @@
+// Fleet-level chaos: -fleet spawns several real salsrv subprocesses as one
+// scale-out cluster — disjoint -own-shards subsets over a shared data tree
+// — routes versioned load through salnet.Router, SIGKILLs one owner, and
+// asserts the blast radius is exactly that owner's subset:
+//
+//   - while the victim is down, every other shard keeps serving reads and
+//     writes, content-verified against the client-side model;
+//   - ops routed to the dead owner fail (a success would mean a zombie or
+//     a misroute, both worse than the outage);
+//   - the restarted owner recovers only its own subset — its
+//     sal_difs_recover_objects metric must equal the model's count of
+//     acked keys on its shards, and a direct client gets ErrNotOwner for
+//     any foreign key;
+//   - after the restart the router serves the full namespace again, and a
+//     final SIGTERM drain of the whole fleet exits clean.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"salamander/internal/difs"
+	"salamander/internal/procutil"
+	"salamander/internal/salnet"
+	"salamander/internal/shardmap"
+)
+
+// fleetMain is the -fleet entry point. Exit 0 = every invariant held.
+func fleetMain(bin, dir string, seed uint64, ops, procs, shards int) int {
+	if bin == "" {
+		log.Print("-fleet requires -proc-bin (path to the salsrv binary)")
+		return 2
+	}
+	if _, err := exec.LookPath(bin); err != nil {
+		log.Printf("-proc-bin: %v", err)
+		return 2
+	}
+	if procs < 2 || shards%procs != 0 {
+		log.Printf("-fleet needs at least 2 processes and -shards divisible by them (got %d procs, %d shards)", procs, shards)
+		return 2
+	}
+	madeTemp := false
+	if dir == "" {
+		td, err := os.MkdirTemp("", "salchaos-fleet-*")
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		dir, madeTemp = td, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Print(err)
+		return 2
+	}
+	h := &fleetHarness{
+		cfg:   fleetConfig{Bin: bin, Dir: dir, Seed: seed, Ops: ops, Procs: procs, Shards: shards, Keys: 96},
+		acked: map[string]uint64{},
+	}
+	violations := h.run()
+	if len(violations) > 0 {
+		fmt.Printf("\nfleet chaos: FAIL (%d violations, state kept in %s)\n", len(violations), dir)
+		for _, v := range violations {
+			fmt.Printf("  - %s\n", v)
+		}
+		return 1
+	}
+	fmt.Printf("\nfleet chaos: PASS (%d-process fleet over %d shards survived an owner SIGKILL with subset-scoped recovery)\n", procs, shards)
+	if madeTemp {
+		os.RemoveAll(dir)
+	}
+	return 0
+}
+
+type fleetConfig struct {
+	Bin    string
+	Dir    string
+	Seed   uint64
+	Ops    int // put attempts per load phase
+	Procs  int
+	Shards int
+	Keys   int
+}
+
+type fleetHarness struct {
+	cfg        fleetConfig
+	fleet      []*procutil.Proc
+	subsets    [][]int           // per-process owned shard sets
+	acked      map[string]uint64 // key -> highest acked version
+	violations []string
+}
+
+func (h *fleetHarness) violatef(format string, args ...any) {
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+}
+
+func (h *fleetHarness) key(i int) string { return fmt.Sprintf("fleet/%04d", i) }
+
+// procOf maps a key to the index of the process owning its shard.
+func (h *fleetHarness) procOf(key string) int {
+	per := h.cfg.Shards / h.cfg.Procs
+	return difs.ShardOf(key, h.cfg.Shards) / per
+}
+
+// start spawns (or restarts) fleet member i. addr/opsAddr pin the listen
+// addresses — empty means kernel-assigned, used on first boot; restarts pass
+// the previous addresses so the shard map stays valid across the crash.
+func (h *fleetHarness) start(i int, addr, opsAddr string) (*procutil.Proc, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if opsAddr == "" {
+		opsAddr = "127.0.0.1:0"
+	}
+	addrFile := filepath.Join(h.cfg.Dir, fmt.Sprintf("addr%d.txt", i))
+	opsFile := filepath.Join(h.cfg.Dir, fmt.Sprintf("ops%d.txt", i))
+	return procutil.Start(procutil.Spec{
+		Bin: h.cfg.Bin,
+		Args: []string{
+			"-addr", addr, "-addr-file", addrFile,
+			"-ops-addr", opsAddr, "-ops-addr-file", opsFile,
+			"-data-dir", filepath.Join(h.cfg.Dir, "data"), "-fsync=false",
+			"-devices", "mem", "-nodes", "3", "-disks", "4", "-lbas", "256",
+			"-seed", fmt.Sprint(h.cfg.Seed + uint64(i)),
+			"-shards", fmt.Sprint(h.cfg.Shards),
+			"-own-shards", shardmap.FormatShardSet(h.subsets[i]),
+		},
+		AddrFile: addrFile,
+		OpsFile:  opsFile,
+	})
+}
+
+// load writes cfg.Ops sequential versions round-robin over the keyspace
+// through the router. expectDown marks the process whose shards are
+// currently dead: their puts must fail, everyone else's must succeed.
+func (h *fleetHarness) load(r *salnet.Router, phase string, expectDown int) {
+	okOps, downOps := 0, 0
+	for i := 0; i < h.cfg.Ops; i++ {
+		key := h.key(i % h.cfg.Keys)
+		ver := h.acked[key] + 1
+		err := r.Put(context.Background(), key, procPayload(h.cfg.Seed, key, ver))
+		if owner := h.procOf(key); owner == expectDown {
+			downOps++
+			if err == nil {
+				h.violatef("%s: put %q acked by SIGKILLed owner %d", phase, key, owner)
+			}
+			continue
+		}
+		if err != nil {
+			h.violatef("%s: put %q on live shard failed: %v", phase, key, err)
+			continue
+		}
+		h.acked[key] = ver
+		okOps++
+	}
+	log.Printf("fleet %s: %d puts acked on live shards, %d aimed at the dead owner", phase, okOps, downOps)
+}
+
+// verifyLive content-checks every acked key whose owner is up; skipProc's
+// keys are checked to FAIL (its shards are down, data must be unreachable,
+// not wrong).
+func (h *fleetHarness) verifyLive(r *salnet.Router, phase string, skipProc int) {
+	checked := 0
+	for key, ver := range h.acked {
+		data, err := r.Get(context.Background(), key)
+		if h.procOf(key) == skipProc {
+			if err == nil {
+				h.violatef("%s: get %q served while its owner is SIGKILLed", phase, key)
+			}
+			continue
+		}
+		if err != nil {
+			h.violatef("%s: get %q: %v", phase, key, err)
+			continue
+		}
+		if string(data) != string(procPayload(h.cfg.Seed, key, ver)) {
+			h.violatef("%s: key %q content mismatch at v%d (%d bytes)", phase, key, ver, len(data))
+			continue
+		}
+		checked++
+	}
+	log.Printf("fleet %s: %d keys content-verified", phase, checked)
+}
+
+func (h *fleetHarness) run() []string {
+	cfg := h.cfg
+	per := cfg.Shards / cfg.Procs
+	for i := 0; i < cfg.Procs; i++ {
+		set := make([]int, per)
+		for j := range set {
+			set[j] = i*per + j
+		}
+		h.subsets = append(h.subsets, set)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		p, err := h.start(i, "", "")
+		if err != nil {
+			return append(h.violations, fmt.Sprintf("start member %d: %v", i, err))
+		}
+		h.fleet = append(h.fleet, p)
+		log.Printf("fleet member %d: shards %s on %s (pid %d)", i, shardmap.FormatShardSet(h.subsets[i]), p.Addr, p.Pid())
+	}
+	m := shardmap.New(cfg.Shards)
+	for i, p := range h.fleet {
+		var err error
+		if m, err = m.Assign(p.Addr, h.subsets[i]); err != nil {
+			return append(h.violations, err.Error())
+		}
+	}
+	r, err := salnet.NewRouter(salnet.RouterConfig{Map: m})
+	if err != nil {
+		return append(h.violations, err.Error())
+	}
+	defer r.Close()
+
+	// Phase 1: whole fleet up. Everything must land.
+	h.load(r, "phase 1 (all up)", -1)
+	h.verifyLive(r, "phase 1", -1)
+
+	// SIGKILL one owner. Its address files must survive as the unclean-death
+	// marker, and the rest of the namespace must not notice.
+	victim := 1
+	vAddr, vOps := h.fleet[victim].Addr, h.fleet[victim].OpsAddr
+	log.Printf("fleet: SIGKILL member %d (shards %s, pid %d)", victim, shardmap.FormatShardSet(h.subsets[victim]), h.fleet[victim].Pid())
+	if err := h.fleet[victim].Kill(); err != nil {
+		h.violatef("SIGKILL member %d: %v", victim, err)
+	}
+	if h.fleet[victim].AddrFilesGone() {
+		h.violatef("SIGKILL removed member %d's address files (should be left as the unclean-death marker)", victim)
+	}
+	victimKeys := 0
+	for key := range h.acked {
+		if h.procOf(key) == victim {
+			victimKeys++
+		}
+	}
+
+	// Phase 2: under live load with the owner dead, disjoint shards keep
+	// serving and the dead subset fails — no zombies, no misroutes.
+	h.load(r, "phase 2 (owner down)", victim)
+	h.verifyLive(r, "phase 2", victim)
+
+	// Restart the victim on its old addresses: same subset, same data tree.
+	p, err := h.start(victim, vAddr, vOps)
+	if err != nil {
+		return append(h.violations, fmt.Sprintf("restart member %d: %v", victim, err))
+	}
+	h.fleet[victim] = p
+	h.checkScopedRecovery(p, victim, victimKeys)
+
+	// Phase 3: full fleet again; the whole namespace serves and verifies.
+	h.load(r, "phase 3 (recovered)", -1)
+	h.verifyLive(r, "phase 3", -1)
+
+	// Clean drain: every member exits 0 and removes its address files.
+	for i, p := range h.fleet {
+		if err := p.Drain(); err != nil {
+			h.violatef("drain member %d: %v", i, err)
+			continue
+		}
+		if !p.AddrFilesGone() {
+			h.violatef("member %d left address files after a clean drain", i)
+		}
+	}
+	return h.violations
+}
+
+// checkScopedRecovery asserts the restarted owner rebuilt exactly its own
+// slice of the namespace: the recover counter on its /metrics equals the
+// model's key count for its shards, and a direct (non-routing) client gets
+// ErrNotOwner for a foreign key.
+func (h *fleetHarness) checkScopedRecovery(p *procutil.Proc, victim, wantObjects int) {
+	code, body := procutil.HTTPGet("http://" + p.OpsAddr + "/metrics")
+	if code != http.StatusOK {
+		h.violatef("restarted member %d: /metrics returned %d", victim, code)
+		return
+	}
+	if !strings.Contains(body, "sal_difs_recover_ns") {
+		h.violatef("restarted member %d: /metrics missing sal_difs_recover_ns", victim)
+	}
+	got, ok := promValue(body, "sal_difs_recover_objects")
+	if !ok {
+		h.violatef("restarted member %d: /metrics missing sal_difs_recover_objects", victim)
+	} else if int(got) != wantObjects {
+		h.violatef("restarted member %d recovered %d objects, want exactly its subset's %d", victim, int(got), wantObjects)
+	}
+	cl, err := salnet.Dial(salnet.ClientConfig{Addr: p.Addr})
+	if err != nil {
+		h.violatef("restarted member %d: dial: %v", victim, err)
+		return
+	}
+	defer cl.Close()
+	for i := 0; i < h.cfg.Keys; i++ {
+		key := h.key(i)
+		if h.procOf(key) == victim {
+			continue
+		}
+		_, err := cl.Get(context.Background(), key)
+		if !errors.Is(err, difs.ErrNotOwner) {
+			h.violatef("restarted member %d answered foreign key %q with %v, want ErrNotOwner", victim, key, err)
+		}
+		break
+	}
+}
+
+// promValue extracts an un-labelled metric's value from Prometheus text.
+func promValue(body, name string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[len(name)+1:]), 64)
+		if err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}

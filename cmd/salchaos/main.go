@@ -8,12 +8,19 @@
 //
 //	salchaos [-seed S] [-ops N] [-nodes N] [-net] [-trace FILE] [-metrics] [-metrics-out FILE]
 //	salchaos -proc -proc-bin ./salsrv [-proc-dir DIR] [-proc-kills N] [-proc-ops N]
+//	salchaos -fleet -proc-bin ./salsrv [-fleet-procs N] [-shards N] [-proc-ops N]
 //
 // -proc switches to process-level chaos (see proc.go): it spawns a real
 // salsrv subprocess on a durable -data-dir, SIGKILLs it under load, restarts
 // it on the same directory, and content-verifies every acked write survived
 // — then SIGTERMs it and checks the clean-exit contract. Exit status 1 on
 // any violation, same as the in-process harness.
+//
+// -fleet scales that to a multi-process cluster (see fleet.go): N salsrv
+// processes own disjoint -own-shards subsets of one sharded data tree,
+// load routes through salnet.Router, one owner is SIGKILLed, and the run
+// asserts the other subsets keep serving, the dead subset fails fast, and
+// the restarted owner recovers exactly its own shards.
 package main
 
 import (
@@ -42,15 +49,24 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the telemetry snapshot JSON to this file (implies -metrics)")
 
 		proc      = flag.Bool("proc", false, "process-level chaos: SIGKILL a real salsrv subprocess mid-load and verify recovery")
-		procBin   = flag.String("proc-bin", "", "path to the salsrv binary (required with -proc)")
-		procDir   = flag.String("proc-dir", "", "scratch directory for -proc data and address files (default: a fresh temp dir, removed on pass)")
+		procBin   = flag.String("proc-bin", "", "path to the salsrv binary (required with -proc and -fleet)")
+		procDir   = flag.String("proc-dir", "", "scratch directory for -proc/-fleet data and address files (default: a fresh temp dir, removed on pass)")
 		procKills = flag.Int("proc-kills", 2, "SIGKILL/restart cycles for -proc")
-		procOps   = flag.Int("proc-ops", 1200, "put attempts per -proc load phase")
+		procOps   = flag.Int("proc-ops", 1200, "put attempts per -proc/-fleet load phase")
+
+		fleet      = flag.Bool("fleet", false, "fleet chaos: spawn several salsrv processes over disjoint -own-shards subsets, SIGKILL one owner, and assert the blast radius is its subset alone")
+		fleetProcs = flag.Int("fleet-procs", 4, "fleet members (-shards must divide evenly across them)")
 	)
 	flag.Parse()
 
+	if *proc && *fleet {
+		log.Fatal("-proc and -fleet are exclusive")
+	}
 	if *proc {
 		os.Exit(procMain(*procBin, *procDir, *seed, *procOps, *procKills, *shards))
+	}
+	if *fleet {
+		os.Exit(fleetMain(*procBin, *procDir, *seed, *procOps, *fleetProcs, *shards))
 	}
 
 	var tr *telemetry.Tracer

@@ -13,13 +13,15 @@
 // /readyz serving 503 "recovering" before 200 on restart, the
 // sal_difs_recover_ns metric present after recovery, and a final SIGTERM
 // drain that exits 0 and removes the address files.
+//
+// Process plumbing (spawn, address files, readyz polling) lives in
+// internal/procutil, shared with the -fleet mode and ci.sh's smoke.
 package main
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
@@ -27,10 +29,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-	"syscall"
 	"time"
 
 	"salamander/internal/difs"
+	"salamander/internal/procutil"
 	"salamander/internal/salnet"
 	"salamander/internal/stats"
 )
@@ -157,12 +159,12 @@ func runProc(cfg procConfig) []string {
 	}
 
 	for cycle := 1; cycle <= cfg.Kills; cycle++ {
-		log.Printf("proc cycle %d/%d: loading %d ops against pid %d", cycle, cfg.Kills, cfg.Ops, srv.cmd.Process.Pid)
+		log.Printf("proc cycle %d/%d: loading %d ops against pid %d", cycle, cfg.Kills, cfg.Ops, srv.Pid())
 		h.loadAndKill(srv)
 
 		// SIGKILL means nothing cleaned up: the address files must still be
 		// there. That is the documented unclean-death marker scripts rely on.
-		if _, err := os.Stat(srv.addrFile); err != nil {
+		if _, err := os.Stat(srv.AddrFile); err != nil {
 			h.violatef("cycle %d: addr file missing after SIGKILL (stale file should mark unclean death): %v", cycle, err)
 		}
 
@@ -170,7 +172,7 @@ func runProc(cfg procConfig) []string {
 		if err != nil {
 			return append(h.violations, fmt.Sprintf("cycle %d restart: %v", cycle, err))
 		}
-		if !srv.sawRecovering {
+		if !srv.SawRecovering {
 			// Informational: recovery can finish between our readyz polls.
 			log.Printf("proc cycle %d: /readyz never observed in 'recovering' (recovery outran the poll)", cycle)
 		}
@@ -180,99 +182,43 @@ func runProc(cfg procConfig) []string {
 
 	// Final act: a clean drain must exit 0 and remove the address files,
 	// distinguishing shutdown from crash.
-	if err := srv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		h.violatef("final SIGTERM: %v", err)
+	if err := srv.Drain(); err != nil {
+		h.violatef("clean drain: %v", err)
 		return h.violations
 	}
-	if err := srv.cmd.Wait(); err != nil {
-		h.violatef("clean drain exited non-zero: %v", err)
-	}
-	for _, f := range []string{srv.addrFile, srv.opsFile} {
-		if _, err := os.Stat(f); err == nil {
-			h.violatef("clean exit left address file behind: %s", f)
-		}
+	if !srv.AddrFilesGone() {
+		h.violatef("clean exit left address files behind: %s, %s", srv.AddrFile, srv.OpsFile)
 	}
 	return h.violations
 }
 
-// procServer is one live salsrv subprocess.
-type procServer struct {
-	cmd           *exec.Cmd
-	addrFile      string
-	opsFile       string
-	addr          string // data-plane address
-	opsAddr       string // ops HTTP address
-	sawRecovering bool   // /readyz served 503 "recovering" during startup
-}
-
 // start spawns salsrv on the shared data dir and waits until it is ready,
 // recording whether the recovering window was observable on /readyz.
-func (h *procHarness) start() (*procServer, error) {
-	s := &procServer{
-		addrFile: filepath.Join(h.cfg.Dir, "addr.txt"),
-		opsFile:  filepath.Join(h.cfg.Dir, "ops.txt"),
-	}
-	// A prior SIGKILL leaves stale address files; remove them so the waits
-	// below see only the new process's files.
-	os.Remove(s.addrFile)
-	os.Remove(s.opsFile)
-
-	s.cmd = exec.Command(h.cfg.Bin,
-		"-addr", "127.0.0.1:0", "-addr-file", s.addrFile,
-		"-ops-addr", "127.0.0.1:0", "-ops-addr-file", s.opsFile,
-		"-data-dir", filepath.Join(h.cfg.Dir, "data"), "-fsync=false",
-		"-devices", "mem",
-		"-nodes", fmt.Sprint(h.cfg.Nodes),
-		"-disks", fmt.Sprint(h.cfg.Disks),
-		"-lbas", fmt.Sprint(h.cfg.LBAs),
-		"-seed", fmt.Sprint(h.cfg.Seed),
-		"-shards", fmt.Sprint(h.cfg.Shards),
-	)
-	s.cmd.Stdout = os.Stderr
-	s.cmd.Stderr = os.Stderr
-	if err := s.cmd.Start(); err != nil {
-		return nil, fmt.Errorf("spawn %s: %w", h.cfg.Bin, err)
-	}
-
-	// The ops listener comes up before recovery, so its address file is the
-	// earliest hook; poll /readyz from there to catch the recovering window.
-	opsAddr, err := waitAddrFile(s.opsFile, 10*time.Second)
-	if err != nil {
-		s.cmd.Process.Kill()
-		s.cmd.Wait()
-		return nil, fmt.Errorf("ops addr: %w", err)
-	}
-	s.opsAddr = opsAddr
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		code, body := httpGet("http://" + s.opsAddr + "/readyz")
-		if code == http.StatusServiceUnavailable && strings.TrimSpace(body) == "recovering" {
-			s.sawRecovering = true
-		}
-		if code == http.StatusOK {
-			break
-		}
-		if time.Now().After(deadline) {
-			s.cmd.Process.Kill()
-			s.cmd.Wait()
-			return nil, fmt.Errorf("server never became ready (last /readyz: %d %q)", code, strings.TrimSpace(body))
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	addr, err := waitAddrFile(s.addrFile, 10*time.Second)
-	if err != nil {
-		s.cmd.Process.Kill()
-		s.cmd.Wait()
-		return nil, fmt.Errorf("data addr: %w", err)
-	}
-	s.addr = addr
-	return s, nil
+func (h *procHarness) start() (*procutil.Proc, error) {
+	addrFile := filepath.Join(h.cfg.Dir, "addr.txt")
+	opsFile := filepath.Join(h.cfg.Dir, "ops.txt")
+	return procutil.Start(procutil.Spec{
+		Bin: h.cfg.Bin,
+		Args: []string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-ops-addr", "127.0.0.1:0", "-ops-addr-file", opsFile,
+			"-data-dir", filepath.Join(h.cfg.Dir, "data"), "-fsync=false",
+			"-devices", "mem",
+			"-nodes", fmt.Sprint(h.cfg.Nodes),
+			"-disks", fmt.Sprint(h.cfg.Disks),
+			"-lbas", fmt.Sprint(h.cfg.LBAs),
+			"-seed", fmt.Sprint(h.cfg.Seed),
+			"-shards", fmt.Sprint(h.cfg.Shards),
+		},
+		AddrFile: addrFile,
+		OpsFile:  opsFile,
+	})
 }
 
 // loadAndKill runs the put workers against the live server and SIGKILLs it
 // once roughly half the phase's ops have been acked, so the kill lands in
 // the middle of real traffic with writes in flight.
-func (h *procHarness) loadAndKill(s *procServer) {
+func (h *procHarness) loadAndKill(s *procutil.Proc) {
 	h.mu.Lock()
 	h.ackOps = 0
 	h.mu.Unlock()
@@ -285,7 +231,7 @@ func (h *procHarness) loadAndKill(s *procServer) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h.loadWorker(ctx, s.addr, w, perWorker)
+			h.loadWorker(ctx, s.Addr, w, perWorker)
 		}(w)
 	}
 
@@ -305,13 +251,12 @@ func (h *procHarness) loadAndKill(s *procServer) {
 			killed = reached
 		}
 	}
-	if err := s.cmd.Process.Kill(); err != nil {
+	if err := s.Kill(); err != nil {
 		h.violatef("SIGKILL: %v", err)
 	}
 	cancel()
 	wg.Wait()
-	err := s.cmd.Wait()
-	log.Printf("proc: SIGKILL after %d acked puts (server exit: %v)", h.ackedOps(), err)
+	log.Printf("proc: SIGKILL after %d acked puts", h.ackedOps())
 }
 
 func (h *procHarness) ackedOps() int {
@@ -360,8 +305,8 @@ func (h *procHarness) loadWorker(ctx context.Context, addr string, w, ops int) {
 // back with exactly the acked content — or the single in-flight version
 // that was racing the kill. Anything else is lost acked data or fabricated
 // bytes, the two things recovery must never produce.
-func (h *procHarness) verify(s *procServer, cycle int) {
-	cl, err := salnet.Dial(salnet.ClientConfig{Addr: s.addr, Conns: 4})
+func (h *procHarness) verify(s *procutil.Proc, cycle int) {
+	cl, err := salnet.Dial(salnet.ClientConfig{Addr: s.Addr, Conns: 4})
 	if err != nil {
 		h.violatef("cycle %d: verify dial: %v", cycle, err)
 		return
@@ -412,8 +357,8 @@ func (h *procHarness) verify(s *procServer, cycle int) {
 
 // checkRecoverMetric asserts the restarted server's /metrics exposes the
 // recovery histogram — the signal dashboards and CI key off.
-func (h *procHarness) checkRecoverMetric(s *procServer, cycle int) {
-	code, body := httpGet("http://" + s.opsAddr + "/metrics")
+func (h *procHarness) checkRecoverMetric(s *procutil.Proc, cycle int) {
+	code, body := procutil.HTTPGet("http://" + s.OpsAddr + "/metrics")
 	if code != http.StatusOK {
 		h.violatef("cycle %d: /metrics returned %d", cycle, code)
 		return
@@ -430,33 +375,4 @@ func (h *procHarness) checkRecoverMetric(s *procServer, cycle int) {
 			h.violatef("cycle %d: /metrics missing %s after recovery", cycle, m)
 		}
 	}
-}
-
-// waitAddrFile polls for an address file salsrv writes once its listener is
-// bound, returning the trimmed address.
-func waitAddrFile(path string, timeout time.Duration) (string, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		raw, err := os.ReadFile(path)
-		if err == nil && len(strings.TrimSpace(string(raw))) > 0 {
-			return strings.TrimSpace(string(raw)), nil
-		}
-		if time.Now().After(deadline) {
-			return "", fmt.Errorf("timed out waiting for %s", path)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-}
-
-// httpGet fetches a URL with a short timeout, returning (0, "") on
-// transport errors so callers can treat "not up yet" uniformly.
-func httpGet(url string) (int, string) {
-	cl := http.Client{Timeout: 2 * time.Second}
-	resp, err := cl.Get(url)
-	if err != nil {
-		return 0, ""
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	return resp.StatusCode, string(body)
 }

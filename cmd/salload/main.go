@@ -11,6 +11,14 @@
 //	        [-size N] [-read-frac F] [-zipf S] [-hot-frac F] [-seed S]
 //	        [-verify] [-out FILE] [-baseline FILE] [-min-ops F]
 //	        [-max-p99 D] [-p99-tolerance F]
+//	salload -shard-map FILE [same options]
+//
+// With -shard-map the load drives a scale-out fleet instead of one server:
+// every client becomes a salnet.Router over the map file, ops route to each
+// key's owning endpoint, and stale-map NotOwner rejections are absorbed by
+// the router's transparent retry. The report then splits ops, errors, and
+// redirect retries per endpoint, so an imbalanced or half-dead fleet is
+// visible in the BENCH json, not averaged away.
 //
 // Keys are partitioned per pipeline stream ("c<client>-w<stream>-o<obj>"), so
 // -verify is race-free: each stream is the only writer and reader of its
@@ -25,12 +33,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"salamander/internal/difs"
 	"salamander/internal/salnet"
+	"salamander/internal/shardmap"
 	"salamander/internal/stats"
 	"salamander/internal/telemetry"
 	"salamander/internal/workload"
@@ -77,13 +87,25 @@ type Report struct {
 	Mismatches    int64   `json:"mismatches"`
 	Retries       uint64  `json:"retries"`
 	Reconnects    uint64  `json:"reconnects"`
+	// Endpoints is the per-endpoint split (fleet mode only): each owning
+	// endpoint's ops, errors, and redirect retries, summed across clients.
+	Endpoints []salnet.EndpointStats `json:"endpoints,omitempty"`
+}
+
+// kvClient is the op surface a load stream needs; both the single-server
+// Client and the fleet Router satisfy it.
+type kvClient interface {
+	Put(ctx context.Context, key string, data []byte) error
+	Get(ctx context.Context, key string) ([]byte, error)
+	Close() error
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("salload: ")
 	var (
-		addr     = flag.String("addr", "", "salsrv address (required)")
+		addr     = flag.String("addr", "", "salsrv address (required unless -shard-map)")
+		mapPath  = flag.String("shard-map", "", "drive the whole fleet through routing clients built from this shard map file (instead of one -addr)")
 		clients  = flag.Int("clients", 8, "client connections (one pooled Client each)")
 		depth    = flag.Int("depth", 8, "pipelining depth: concurrent streams per client")
 		ops      = flag.Int64("ops", 40000, "total operations across all streams")
@@ -101,8 +123,8 @@ func main() {
 		p99Tol   = flag.Float64("p99-tolerance", 0, "with -baseline: fail if p99 exceeds the baseline's p99 by this factor (e.g. 1.15; 0 = no tail guard)")
 	)
 	flag.Parse()
-	if *addr == "" {
-		log.Fatal("-addr is required")
+	if (*addr == "") == (*mapPath == "") {
+		log.Fatal("exactly one of -addr or -shard-map is required")
 	}
 	if *zipf > 0 && *hotFrac > 0 {
 		log.Fatal("-zipf and -hot-frac are exclusive")
@@ -120,15 +142,33 @@ func main() {
 	lat := reg.Histogram("net.load.op_us")
 	latR := reg.Histogram("net.load.read_us")
 	latW := reg.Histogram("net.load.write_us")
-	pool := make([]*salnet.Client, *clients)
-	for c := range pool {
-		cl, err := salnet.Dial(salnet.ClientConfig{Addr: *addr, Conns: 2})
+	pool := make([]kvClient, *clients)
+	var routers []*salnet.Router
+	if *mapPath != "" {
+		m, err := shardmap.Load(*mapPath)
 		if err != nil {
-			log.Fatalf("dial %s: %v", *addr, err)
+			log.Fatal(err)
 		}
-		cl.Instrument(reg, nil)
-		defer cl.Close()
-		pool[c] = cl
+		for c := range pool {
+			r, err := salnet.NewRouter(salnet.RouterConfig{Map: m, Client: salnet.ClientConfig{Conns: 2}})
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Instrument(reg, nil)
+			defer r.Close()
+			pool[c] = r
+			routers = append(routers, r)
+		}
+	} else {
+		for c := range pool {
+			cl, err := salnet.Dial(salnet.ClientConfig{Addr: *addr, Conns: 2})
+			if err != nil {
+				log.Fatalf("dial %s: %v", *addr, err)
+			}
+			cl.Instrument(reg, nil)
+			defer cl.Close()
+			pool[c] = cl
+		}
 	}
 
 	var done, errCount, mismatches int64
@@ -204,6 +244,29 @@ func main() {
 	if done > 0 {
 		rep.TopDecileFrac = float64(hotHits) / float64(done)
 	}
+	if len(routers) > 0 {
+		merged := map[string]*salnet.EndpointStats{}
+		for _, r := range routers {
+			for _, es := range r.EndpointStats() {
+				m := merged[es.Endpoint]
+				if m == nil {
+					m = &salnet.EndpointStats{Endpoint: es.Endpoint}
+					merged[es.Endpoint] = m
+				}
+				m.Ops += es.Ops
+				m.Errors += es.Errors
+				m.Redirects += es.Redirects
+			}
+		}
+		eps := make([]string, 0, len(merged))
+		for ep := range merged {
+			eps = append(eps, ep)
+		}
+		sort.Strings(eps)
+		for _, ep := range eps {
+			rep.Endpoints = append(rep.Endpoints, *merged[ep])
+		}
+	}
 	fmt.Printf("== salload: %d clients x depth %d, %d ops (%d B objects, %.0f%% reads, zipf %.2f, hot %.2f) ==\n",
 		rep.Clients, rep.Depth, rep.Ops, rep.SizeBytes, rep.ReadFrac*100, rep.ZipfSkew, rep.HotFrac)
 	fmt.Printf("skew:       %.1f%% of ops hit each stream's hottest decile\n", rep.TopDecileFrac*100)
@@ -215,6 +278,10 @@ func main() {
 		rep.Writes, rep.WriteP50us, rep.WriteP95us, rep.WriteP99us, rep.WriteErrs)
 	fmt.Printf("health:     errors=%d mismatches=%d retries=%d reconnects=%d\n",
 		rep.Errors, rep.Mismatches, rep.Retries, rep.Reconnects)
+	for _, es := range rep.Endpoints {
+		fmt.Printf("endpoint:   %s ops=%d errors=%d redirects=%d\n",
+			es.Endpoint, es.Ops, es.Errors, es.Redirects)
+	}
 
 	exit := 0
 	if rep.Errors > 0 || rep.Mismatches > 0 {
@@ -252,7 +319,7 @@ func main() {
 
 // stream is one pipeline stream: the only writer and reader of its keyspace.
 type stream struct {
-	cl     *salnet.Client
+	cl     kvClient
 	prefix string
 	id     uint64
 	seed   uint64

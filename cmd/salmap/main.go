@@ -1,0 +1,184 @@
+// Command salmap builds and inspects shard-map files — the routing
+// artifact a scale-out fleet shares (salsrv -shard-map, salload
+// -shard-map, salnet.NewRouter).
+//
+// Usage:
+//
+//	salmap build -shards N -out FILE [-epoch E] ENDPOINT=SET...
+//	salmap assign -in FILE -out FILE ENDPOINT=SET...
+//	salmap vacate -in FILE -out FILE ENDPOINT...
+//	salmap show FILE [-json]
+//
+// SET is a shard set like "0,1" or "4-7,12". build creates a fresh map at
+// epoch 1 (or -epoch); assign and vacate derive a new map from an existing
+// file at epoch+1 per change, which is how an operator publishes a drain
+// handoff or reassignment: write the new file, distribute it, and the
+// routing clients adopt it (higher epoch wins). show prints the human
+// summary, or the JSON form with -json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"salamander/internal/shardmap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("salmap: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		os.Exit(buildCmd(os.Args[2:]))
+	case "assign":
+		os.Exit(assignCmd(os.Args[2:]))
+	case "vacate":
+		os.Exit(vacateCmd(os.Args[2:]))
+	case "show":
+		os.Exit(showCmd(os.Args[2:]))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  salmap build -shards N -out FILE [-epoch E] ENDPOINT=SET...
+  salmap assign -in FILE -out FILE ENDPOINT=SET...
+  salmap vacate -in FILE -out FILE ENDPOINT...
+  salmap show FILE [-json]`)
+	os.Exit(2)
+}
+
+// applyAssignments folds ENDPOINT=SET arguments into the map, one epoch
+// bump per call site (build collapses them back to the base epoch).
+func applyAssignments(m *shardmap.Map, args []string) (*shardmap.Map, error) {
+	for _, arg := range args {
+		ep, set, ok := strings.Cut(arg, "=")
+		if !ok || ep == "" {
+			return nil, fmt.Errorf("want ENDPOINT=SET, got %q", arg)
+		}
+		shards, err := shardmap.ParseShardSet(set, m.Shards)
+		if err != nil {
+			return nil, err
+		}
+		m, err = m.Assign(ep, shards)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func buildCmd(args []string) int {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	shards := fs.Int("shards", 16, "shard count of the cluster the map routes")
+	out := fs.String("out", "", "output map file (required)")
+	epoch := fs.Uint64("epoch", 1, "epoch of the built map")
+	fs.Parse(args)
+	if *out == "" {
+		log.Print("build requires -out")
+		return 2
+	}
+	if fs.NArg() == 0 {
+		log.Print("build requires at least one ENDPOINT=SET")
+		return 2
+	}
+	m, err := applyAssignments(shardmap.New(*shards), fs.Args())
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	m.Epoch = *epoch
+	if err := m.Save(*out); err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Println(m)
+	return 0
+}
+
+func assignCmd(args []string) int {
+	fs := flag.NewFlagSet("assign", flag.ExitOnError)
+	in := fs.String("in", "", "input map file (required)")
+	out := fs.String("out", "", "output map file (required)")
+	fs.Parse(args)
+	if *in == "" || *out == "" || fs.NArg() == 0 {
+		log.Print("assign requires -in, -out, and at least one ENDPOINT=SET")
+		return 2
+	}
+	m, err := shardmap.Load(*in)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	m, err = applyAssignments(m, fs.Args())
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if err := m.Save(*out); err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Println(m)
+	return 0
+}
+
+func vacateCmd(args []string) int {
+	fs := flag.NewFlagSet("vacate", flag.ExitOnError)
+	in := fs.String("in", "", "input map file (required)")
+	out := fs.String("out", "", "output map file (required)")
+	fs.Parse(args)
+	if *in == "" || *out == "" || fs.NArg() == 0 {
+		log.Print("vacate requires -in, -out, and at least one ENDPOINT")
+		return 2
+	}
+	m, err := shardmap.Load(*in)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	for _, ep := range fs.Args() {
+		m = m.Vacate(ep)
+	}
+	if err := m.Save(*out); err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Println(m)
+	return 0
+}
+
+func showCmd(args []string) int {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the map as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Print("show requires exactly one FILE")
+		return 2
+	}
+	m, err := shardmap.Load(fs.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(m)
+		return 0
+	}
+	fmt.Println(m)
+	for _, ep := range m.Endpoints() {
+		fmt.Printf("  %s: shards %s\n", ep, shardmap.FormatShardSet(m.OwnedBy(ep)))
+	}
+	return 0
+}

@@ -5,16 +5,22 @@
 // kind-by-layer summary. With -diff, a second snapshot is subtracted first
 // so the tables show activity between two points in time.
 //
-// With -live it becomes the fleet dashboard: it polls a salsrv ops surface
-// (salsrv -ops-addr) every -interval, computes the interval delta between
-// consecutive snapshots, and prints one row per interval — ops/s, per-op
-// latency quantiles, ECC corrections/s, and the wear report's retired-block
-// and repair-backlog state.
+// With -live it becomes the fleet dashboard: it polls one or more salsrv
+// ops surfaces (salsrv -ops-addr, comma-separated) every -interval,
+// computes the interval delta between consecutive snapshots, and prints
+// one row per process per interval — ops/s, per-op latency quantiles, ECC
+// corrections/s, and the wear report's retired-block and repair-backlog
+// state. With several endpoints a TOTAL row merges the interval: summed
+// ops/s and counters, quantiles over the union of the per-process latency
+// histograms (exact: every process shares the same log2 bucket
+// boundaries). A member that stops answering renders as a dashed row
+// instead of killing the dashboard — an outage is something to watch, not
+// a reason to go blind.
 //
 // Usage:
 //
 //	salmon [-snapshot metrics.json [-diff earlier.json]] [-trace out.jsonl] [-events N]
-//	salmon -live http://HOST:PORT [-interval D] [-count N]
+//	salmon -live http://HOST:PORT[,http://HOST:PORT...] [-interval D] [-count N]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -39,7 +46,7 @@ func main() {
 		diffPath = flag.String("diff", "", "earlier snapshot to subtract (counter/histogram deltas)")
 		tracern  = flag.String("trace", "", "JSONL event trace (written by -trace)")
 		events   = flag.Int("events", 0, "also print the last N raw events from the trace")
-		liveURL  = flag.String("live", "", "poll this ops surface (salsrv -ops-addr) and render a live dashboard")
+		liveURL  = flag.String("live", "", "poll these ops surfaces (salsrv -ops-addr, comma-separated) and render a live fleet dashboard")
 		interval = flag.Duration("interval", 2*time.Second, "polling interval for -live")
 		count    = flag.Int("count", 0, "render this many -live rows then exit (0 = until interrupted)")
 	)
@@ -103,57 +110,155 @@ func main() {
 	}
 }
 
-// runLive polls the ops surface and prints one dashboard row per interval.
-// The first poll only establishes the baseline; every later row shows the
-// delta since the previous poll, so rates and quantiles describe that
-// interval alone rather than the process lifetime.
-func runLive(url string, interval time.Duration, count int) error {
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+// runLive polls the ops surfaces and prints one dashboard row per process
+// per interval, plus a TOTAL row when watching more than one. The first
+// poll only establishes the baseline; every later row shows the delta since
+// the previous poll, so rates and quantiles describe that interval alone
+// rather than the process lifetime. A member whose poll fails renders as a
+// dashed row and its baseline is kept, so it rejoins cleanly when it
+// answers again (Delta is reset-tolerant across its restart).
+func runLive(spec string, interval time.Duration, count int) error {
+	var urls []string
+	for _, u := range strings.Split(spec, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, strings.TrimRight(u, "/"))
 	}
-	url = strings.TrimRight(url, "/")
+	if len(urls) == 0 {
+		return fmt.Errorf("-live: no endpoints in %q", spec)
+	}
 	client := &http.Client{Timeout: 5 * time.Second}
+	fleet := len(urls) > 1
 
-	prev, err := fetchSnapshot(client, url)
-	if err != nil {
-		return err
+	// Labels: the endpoint's host:port (scheme stripped) keeps rows readable.
+	labels := make([]string, len(urls))
+	labelW := 8
+	for i, u := range urls {
+		labels[i] = strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
 	}
-	fmt.Printf("== live fleet: %s (every %v", url, interval)
+
+	prev := make([]telemetry.Snapshot, len(urls))
+	for i, u := range urls {
+		s, err := fetchSnapshot(client, u)
+		if err != nil {
+			if !fleet {
+				return err
+			}
+			log.Printf("baseline %s: %v (will keep polling)", labels[i], err)
+			continue
+		}
+		prev[i] = s
+	}
+
+	fmt.Printf("== live fleet: %d process(es) (every %v", len(urls), interval)
 	if count > 0 {
 		fmt.Printf(", %d rows", count)
 	}
 	fmt.Printf(") ==\n")
-	fmt.Printf("%-8s %9s %9s %9s %9s %8s %6s %8s %8s %6s\n",
-		"time", "ops/s", "p50us", "p95us", "p99us", "corr/s", "slow", "retired", "backlog", "down")
+	fmt.Printf("%-8s %-*s %9s %9s %9s %9s %8s %6s %8s %8s %6s\n",
+		"time", labelW, "process", "ops/s", "p50us", "p95us", "p99us", "corr/s", "slow", "retired", "backlog", "down")
 
 	for rows := 0; count == 0 || rows < count; rows++ {
 		time.Sleep(interval)
-		cur, err := fetchSnapshot(client, url)
-		if err != nil {
-			return err
-		}
-		d := cur.Delta(prev)
-		prev = cur
-
-		h := d.Histograms["net.server.op_ns"]
-		row := fmt.Sprintf("%-8s %9.0f %9.0f %9.0f %9.0f %8.1f %6d",
-			time.Now().Format("15:04:05"),
-			d.Rate("net.server.requests"),
-			h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3,
-			d.Rate("core.ecc_corrections")+d.Rate("ssd.ecc_corrections"),
-			d.Counters["net.server.slow_ops"])
-		if wear, err := fetchWear(client, url); err == nil {
-			down := fmt.Sprintf("%d", wear.Totals.NodesDown)
-			if wear.Totals.NodesQuarantined > 0 {
-				down += fmt.Sprintf("+%dq", wear.Totals.NodesQuarantined)
+		now := time.Now().Format("15:04:05")
+		var total telemetry.Snapshot
+		totalOK := 0
+		for i, u := range urls {
+			cur, err := fetchSnapshot(client, u)
+			if err != nil {
+				// Keep the stale baseline: when the member comes back, the
+				// reset-tolerant Delta absorbs its counter reset.
+				fmt.Printf("%-8s %-*s %9s %9s %9s %9s %8s %6s %8s %8s %6s\n",
+					now, labelW, labels[i], "-", "-", "-", "-", "-", "-", "-", "-", "down")
+				continue
 			}
-			row += fmt.Sprintf(" %8d %8d %6s", wear.Totals.RetiredBlocks, wear.RepairBacklog, down)
-		} else {
-			row += fmt.Sprintf(" %8s %8s %6s", "-", "-", "-")
+			d := cur.Delta(prev[i])
+			prev[i] = cur
+			total = mergeDelta(total, d)
+			totalOK++
+
+			h := d.Histograms["net.server.op_ns"]
+			row := fmt.Sprintf("%-8s %-*s %9.0f %9.0f %9.0f %9.0f %8.1f %6d",
+				now, labelW, labels[i],
+				d.Rate("net.server.requests"),
+				h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3,
+				d.Rate("core.ecc_corrections")+d.Rate("ssd.ecc_corrections"),
+				d.Counters["net.server.slow_ops"])
+			if wear, err := fetchWear(client, u); err == nil {
+				down := fmt.Sprintf("%d", wear.Totals.NodesDown)
+				if wear.Totals.NodesQuarantined > 0 {
+					down += fmt.Sprintf("+%dq", wear.Totals.NodesQuarantined)
+				}
+				row += fmt.Sprintf(" %8d %8d %6s", wear.Totals.RetiredBlocks, wear.RepairBacklog, down)
+			} else {
+				row += fmt.Sprintf(" %8s %8s %6s", "-", "-", "-")
+			}
+			fmt.Println(row)
 		}
-		fmt.Println(row)
+		if fleet {
+			h := total.Histograms["net.server.op_ns"]
+			fmt.Printf("%-8s %-*s %9.0f %9.0f %9.0f %9.0f %8.1f %6d %8s %8s %4d/%d\n",
+				now, labelW, "TOTAL",
+				total.Rate("net.server.requests"),
+				h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3,
+				total.Rate("core.ecc_corrections")+total.Rate("ssd.ecc_corrections"),
+				total.Counters["net.server.slow_ops"],
+				"", "", len(urls)-totalOK, len(urls))
+		}
 	}
 	return nil
+}
+
+// mergeDelta folds one process's interval delta into the fleet total:
+// counters sum, histograms merge bucket-by-bucket (every process uses the
+// same log2 boundaries, so the union histogram is exact and its quantiles
+// are true fleet quantiles), and the covered interval is the longest of the
+// member intervals — the denominators for the summed rates.
+func mergeDelta(total, d telemetry.Snapshot) telemetry.Snapshot {
+	if total.Counters == nil {
+		total.Counters = map[string]uint64{}
+		total.Histograms = map[string]telemetry.HistSnapshot{}
+	}
+	for name, v := range d.Counters {
+		total.Counters[name] += v
+	}
+	for name, h := range d.Histograms {
+		total.Histograms[name] = mergeHist(total.Histograms[name], h)
+	}
+	if d.IntervalNs > total.IntervalNs {
+		total.IntervalNs = d.IntervalNs
+	}
+	return total
+}
+
+func mergeHist(a, b telemetry.HistSnapshot) telemetry.HistSnapshot {
+	out := telemetry.HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	byLo := map[float64]telemetry.Bucket{}
+	for _, bk := range a.Buckets {
+		byLo[bk.Lo] = bk
+	}
+	for _, bk := range b.Buckets {
+		cur, ok := byLo[bk.Lo]
+		if !ok {
+			byLo[bk.Lo] = bk
+			continue
+		}
+		cur.Count += bk.Count
+		byLo[bk.Lo] = cur
+	}
+	for _, bk := range byLo {
+		out.Buckets = append(out.Buckets, bk)
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool { return out.Buckets[i].Lo < out.Buckets[j].Lo })
+	return out
 }
 
 // fetchSnapshot polls /metrics?format=json: the registry Snapshot wire

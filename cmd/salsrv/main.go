@@ -12,6 +12,19 @@
 //	       [-op-timeout D] [-metrics-out FILE] [-trace FILE]
 //	       [-ops-addr HOST:PORT] [-ops-addr-file FILE] [-ops-pprof]
 //	       [-slow-op D] [-drain-linger D]
+//	       [-own-shards SET] [-shard-map FILE]
+//
+// -own-shards runs the process as one member of a scale-out fleet: it
+// instantiates only the named subset of the metadata shards (e.g. "0-3" of
+// -shards 16), claims them in the shared manifest store so no two
+// processes can open the same shard, and answers requests for foreign
+// shards with StatusNotOwner carrying the current shard map. -shard-map
+// loads the fleet's full map from a file (see cmd/salmap); without it a
+// subset server synthesizes a partial map covering just its own shards.
+// On SIGTERM the server publishes a map epoch vacating its shards before
+// the -drain-linger window, so routing clients move off it ahead of the
+// exit. In fleet mode each process keeps its node devices under a
+// subset-named subtree of -data-dir; only DIR/cluster is shared.
 //
 // With -addr 127.0.0.1:0 the kernel picks a free port; -addr-file writes the
 // bound address to FILE once the listener is up, so scripts (ci.sh) can wait
@@ -50,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -61,6 +75,7 @@ import (
 	"salamander/internal/obs"
 	"salamander/internal/rber"
 	"salamander/internal/salnet"
+	"salamander/internal/shardmap"
 	"salamander/internal/sim"
 	"salamander/internal/store"
 	"salamander/internal/telemetry"
@@ -90,8 +105,12 @@ func main() {
 		opsAddrFile = flag.String("ops-addr-file", "", "write the bound ops address to this file once listening")
 		opsPprof    = flag.Bool("ops-pprof", false, "also mount /debug/pprof/* on the ops listener")
 		slowOp      = flag.Duration("slow-op", 0, "log server ops slower than this into the event trace (0 = disabled)")
+		serviceTime = flag.Duration("service-time", 0, "real-time floor each op (or coalesced GET run) holds its worker, simulating device latency the virtual-time flash model compresses away; makes throughput device-bound for machine-independent scale-out benches (0 = disabled)")
 		drainLinger = flag.Duration("drain-linger", 0, "after a shutdown signal, keep serving for this long with /readyz at 503 before draining")
-		wear        = flag.Float64("wear", 0, "with -devices core: pre-wear the fleet's flash to this fraction of nominal PEC and serve through the real BCH data path (elevated RBER, grown stuck columns, tiredness levels)")
+
+		ownShardsSpec = flag.String("own-shards", "", "serve only this subset of the metadata shards, e.g. \"0,1\" or \"4-7\" (empty = all); other processes own the rest of the namespace")
+		shardMapPath  = flag.String("shard-map", "", "load the fleet's shard map from this file (shardmap format) and serve it to clients; without it a subset server synthesizes a partial map covering only its own shards")
+		wear          = flag.Float64("wear", 0, "with -devices core: pre-wear the fleet's flash to this fraction of nominal PEC and serve through the real BCH data path (elevated RBER, grown stuck columns, tiredness levels)")
 	)
 	flag.Parse()
 	if *wear < 0 || *wear > 1 {
@@ -107,20 +126,49 @@ func main() {
 		tr = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
 	}
 
+	var ownShards []int
+	if *ownShardsSpec != "" {
+		own, err := shardmap.ParseShardSet(*ownShardsSpec, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ownShards = own
+	}
+	var fleetMap *shardmap.Map
+	if *shardMapPath != "" {
+		m, err := shardmap.Load(*shardMapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m.Shards != *shards {
+			log.Fatalf("-shard-map %s is over %d shards, this server runs %d", *shardMapPath, m.Shards, *shards)
+		}
+		fleetMap = m
+	}
+
 	ccfg := difs.DefaultConfig()
 	ccfg.ChunkOPages = 4
 	ccfg.Seed = *seed * 31
 	ccfg.Shards = *shards
+	ccfg.OwnShards = ownShards
 	cluster, err := difs.NewCluster(ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cluster.Instrument(reg, tr)
 	fileOpts := store.FileOptions{NoSync: !*fsync}
+	// In fleet mode the processes share one data tree: DIR/cluster (the
+	// manifest store, arbitrated by per-shard claim stamps) is common, but
+	// each subset's devices and slot ledger are private — so node state
+	// lives under a subset-named subtree.
+	nodeRoot := *dataDir
+	if *dataDir != "" && ownShards != nil {
+		nodeRoot = filepath.Join(*dataDir, "own-"+strings.ReplaceAll(shardmap.FormatShardSet(ownShards), ",", "_"))
+	}
 	var devRefs []obs.DeviceRef
 	var devs []blockdev.Device
 	for i := 0; i < *nodes; i++ {
-		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas, *wear, *dataDir, fileOpts)
+		dev, err := buildDevice(*devices, *seed, i, *disks, *lbas, *wear, nodeRoot, fileOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -139,6 +187,7 @@ func main() {
 		OpTimeout:       *opTimeout,
 		WriteTimeout:    *wrTimeout,
 		SlowOpThreshold: *slowOp,
+		ServiceTime:     *serviceTime,
 	})
 	srv.Instrument(reg, tr)
 
@@ -156,10 +205,17 @@ func main() {
 				return !recovering.Load() && !stopping.Load() && !srv.Draining()
 			},
 			NotReadyReason: func() string {
-				if recovering.Load() {
-					return "recovering"
+				// In fleet mode the reason names the owned subset, so a
+				// prober can tell WHICH slice of the namespace is coming or
+				// going without consulting the shard map.
+				suffix := ""
+				if ownShards != nil {
+					suffix = " shards=" + shardmap.FormatShardSet(ownShards)
 				}
-				return "draining"
+				if recovering.Load() {
+					return "recovering" + suffix
+				}
+				return "draining" + suffix
 			},
 			Devices: devRefs,
 			Cluster: cluster,
@@ -217,15 +273,54 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// A subset server without a map file synthesizes a partial map covering
+	// only its own shards at its bound address, so NotOwner rejections and
+	// OpShardMap always carry a routable payload even before an operator
+	// distributes the full fleet map.
+	if fleetMap == nil && ownShards != nil {
+		m := shardmap.New(*shards)
+		for _, s := range ownShards {
+			m.Owners[s] = bound.String()
+		}
+		fleetMap = m
+	}
+	if fleetMap != nil {
+		if err := srv.SetShardMap(fleetMap); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard map installed: %s", fleetMap)
+	}
 	recovering.Store(false)
 
 	total, free := cluster.Capacity()
-	log.Printf("serving on %s (%d %s nodes, %d/%d chunk slots free)", bound, *nodes, *devices, free, total)
+	if ownShards != nil {
+		log.Printf("serving shards %s of %d on %s (%d %s nodes, %d/%d chunk slots free)",
+			shardmap.FormatShardSet(ownShards), *shards, bound, *nodes, *devices, free, total)
+	} else {
+		log.Printf("serving on %s (%d %s nodes, %d/%d chunk slots free)", bound, *nodes, *devices, free, total)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	stopping.Store(true)
+	// Drain handoff, step one: before readiness flips and long before the
+	// listener closes, publish a map epoch that vacates this process's
+	// shards. Clients that refresh (or get redirected) during the linger
+	// re-route ahead of the exit instead of discovering it as ECONNREFUSED.
+	if cur := srv.ShardMap(); cur != nil {
+		next := cur.Clone()
+		next.Epoch++
+		for _, s := range cluster.OwnedShards() {
+			next.Owners[s] = ""
+		}
+		if err := srv.SetShardMap(next); err != nil {
+			log.Printf("drain: vacate publish failed: %v", err)
+		} else {
+			log.Printf("drain: published map epoch %d vacating shards %s",
+				next.Epoch, shardmap.FormatShardSet(cluster.OwnedShards()))
+		}
+	}
 	if *drainLinger > 0 {
 		log.Printf("not ready; lingering %v before drain...", *drainLinger)
 		time.Sleep(*drainLinger)

@@ -14,13 +14,13 @@ import (
 // an already-crashed or target-less node is a no-op.
 func (c *Cluster) CrashNode(id NodeID) int {
 	if c.shards != nil {
-		// Membership mirrors across shards: every shard marks its own view
-		// of the node down; shard 0 is authoritative for the count.
-		n := 0
-		for i, s := range c.shards {
+		// Membership mirrors across shards: every owned shard marks its own
+		// view of the node down; the first is authoritative for the count.
+		n, first := 0, true
+		for _, s := range c.allShards() {
 			v := s.CrashNode(id)
-			if i == 0 {
-				n = v
+			if first {
+				n, first = v, false
 			}
 		}
 		return n
@@ -69,11 +69,11 @@ func (c *Cluster) CrashNode(id NodeID) int {
 // Returns the number of targets that rejoined.
 func (c *Cluster) RestartNode(id NodeID) int {
 	if c.shards != nil {
-		n := 0
-		for i, s := range c.shards {
+		n, first := 0, true
+		for _, s := range c.allShards() {
 			v := s.RestartNode(id)
-			if i == 0 {
-				n = v
+			if first {
+				n, first = v, false
 			}
 		}
 		return n
@@ -142,7 +142,7 @@ func (c *Cluster) RestartNode(id NodeID) int {
 // NodeDown reports whether any of the node's targets is currently crashed.
 func (c *Cluster) NodeDown(id NodeID) bool {
 	if c.shards != nil {
-		return c.shards[0].NodeDown(id)
+		return c.firstShard().NodeDown(id)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

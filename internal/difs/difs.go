@@ -37,6 +37,11 @@ var (
 	ErrNotFound     = errors.New("difs: object not found")
 	ErrDataLoss     = errors.New("difs: all replicas of a chunk are gone")
 	ErrAlreadyExist = errors.New("difs: object already exists")
+	// ErrNotOwner means the operation routed to a metadata shard this
+	// process does not own (Config.OwnShards scoped the cluster to a
+	// subset). The serving layer maps it to StatusNotOwner so a routing
+	// client can refresh its shard map and retry against the right owner.
+	ErrNotOwner = errors.New("difs: shard not owned by this process")
 )
 
 // Placement selects how chunks map onto a node's minidisks. The paper
@@ -94,6 +99,15 @@ type Config struct {
 	// environment variable (used by CI to replay the whole test corpus at
 	// several shard counts) and falls back to 1. Negative is rejected.
 	Shards int
+	// OwnShards scopes a sharded cluster to a subset of its metadata
+	// shards — the multi-process scale-out contract: each salsrv process
+	// owns a disjoint subset of one logical cluster's shard ring. Only the
+	// listed shards are instantiated (opened, recovered, repaired,
+	// served); an operation routing to any other shard fails with
+	// ErrNotOwner so the serving layer can redirect the client. Entries
+	// must be in [0, Shards); duplicates are deduplicated. nil (or all
+	// shards listed) keeps full ownership. Requires Shards > 1.
+	OwnShards []int
 }
 
 // DefaultConfig returns 3-way replication with 16-oPage (64KB) chunks.
@@ -404,6 +418,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Shards > 1 {
 		return newShardedCluster(cfg)
 	}
+	if cfg.OwnShards != nil {
+		return nil, fmt.Errorf("difs: OwnShards requires Shards > 1 (got %d)", cfg.Shards)
+	}
 	if cfg.ReplicationFactor < 1 {
 		return nil, errors.New("difs: replication factor must be >= 1")
 	}
@@ -456,7 +473,7 @@ func (c *Cluster) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 			reg = telemetry.NewRegistry()
 		}
 		c.rebindTele(reg, tr, true)
-		for _, s := range c.shards {
+		for _, s := range c.allShards() {
 			s.rebindTele(reg, tr, false)
 		}
 		return
@@ -725,10 +742,12 @@ func (c *Cluster) enqueueRepair(ch *chunk) {
 func (c *Cluster) Stats() Stats {
 	// Device events ride pending queues until the owning cluster/shard next
 	// settles; force a settle so event counters read fresh at snapshot time.
-	for _, s := range c.shards {
-		s.mu.Lock()
-		s.settleLocked()
-		s.mu.Unlock()
+	if c.shards != nil {
+		for _, s := range c.allShards() {
+			s.mu.Lock()
+			s.settleLocked()
+			s.mu.Unlock()
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -764,7 +783,7 @@ func (c *Cluster) Stats() Stats {
 func (c *Cluster) PendingRepairs() int {
 	if c.shards != nil {
 		n := 0
-		for _, s := range c.shards {
+		for _, s := range c.allShards() {
 			n += s.PendingRepairs()
 		}
 		return n
@@ -797,9 +816,9 @@ type NodeInfo struct {
 // NodeInfos returns a per-node liveness summary in node-ID order.
 func (c *Cluster) NodeInfos() []NodeInfo {
 	if c.shards != nil {
-		// Membership and flap state mirror across shards; shard 0 is
-		// authoritative for the summary.
-		return c.shards[0].NodeInfos()
+		// Membership and flap state mirror across shards; the first owned
+		// shard is authoritative for the summary.
+		return c.firstShard().NodeInfos()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -836,7 +855,7 @@ func (c *Cluster) Capacity() (total, free int) {
 	if c.shards != nil {
 		// Physical capacity is shared: any shard sees the same targets, and
 		// free slots come from the shared ledger.
-		return c.shards[0].Capacity()
+		return c.firstShard().Capacity()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -856,7 +875,7 @@ func (c *Cluster) Capacity() (total, free int) {
 func (c *Cluster) Objects() []string {
 	if c.shards != nil {
 		var out []string
-		for _, s := range c.shards {
+		for _, s := range c.allShards() {
 			out = append(out, s.Objects()...)
 		}
 		sort.Strings(out)
@@ -1066,7 +1085,11 @@ func (c *Cluster) Put(name string, data []byte) error {
 // this). The returned error wraps ctx.Err().
 func (c *Cluster) PutCtx(ctx context.Context, name string, data []byte) error {
 	if c.shards != nil {
-		return c.shardFor(name).PutCtx(ctx, name, data)
+		s := c.shardFor(name)
+		if s == nil {
+			return c.notOwnerErr(name)
+		}
+		return s.PutCtx(ctx, name, data)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -1104,7 +1127,11 @@ func (c *Cluster) Replace(name string, data []byte) error {
 // destroying data when the second attempt fails.
 func (c *Cluster) ReplaceCtx(ctx context.Context, name string, data []byte) error {
 	if c.shards != nil {
-		return c.shardFor(name).ReplaceCtx(ctx, name, data)
+		s := c.shardFor(name)
+		if s == nil {
+			return c.notOwnerErr(name)
+		}
+		return s.ReplaceCtx(ctx, name, data)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -1201,7 +1228,11 @@ func (c *Cluster) Get(name string) ([]byte, error) {
 // stops; the error wraps ctx.Err().
 func (c *Cluster) GetCtx(ctx context.Context, name string) ([]byte, error) {
 	if c.shards != nil {
-		return c.shardFor(name).GetCtx(ctx, name)
+		s := c.shardFor(name)
+		if s == nil {
+			return nil, c.notOwnerErr(name)
+		}
+		return s.GetCtx(ctx, name)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -1237,6 +1268,13 @@ func (c *Cluster) GetBatchCtx(ctx context.Context, names []string) ([][]byte, []
 		for si, shard := range c.shards {
 			idxs := groups[si]
 			if len(idxs) == 0 {
+				continue
+			}
+			if shard == nil {
+				// Unowned shard: every name routed here fails its own slot.
+				for _, i := range idxs {
+					errs[i] = c.notOwnerErr(names[i])
+				}
 				continue
 			}
 			sub := make([]string, len(idxs))
@@ -1398,7 +1436,11 @@ func (c *Cluster) Delete(name string) error {
 // atomically rather than leaving a half-trimmed object.
 func (c *Cluster) DeleteCtx(ctx context.Context, name string) error {
 	if c.shards != nil {
-		return c.shardFor(name).DeleteCtx(ctx, name)
+		s := c.shardFor(name)
+		if s == nil {
+			return c.notOwnerErr(name)
+		}
+		return s.DeleteCtx(ctx, name)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -1690,7 +1732,7 @@ func (c *Cluster) liveReplicas(ch *chunk) int {
 // examples to demonstrate zero data loss under minidisk churn.
 func (c *Cluster) VerifyAll(check func(name string, data []byte) error) (bad []string) {
 	if c.shards != nil {
-		for _, s := range c.shards {
+		for _, s := range c.allShards() {
 			bad = append(bad, s.VerifyAll(check)...)
 		}
 		sort.Strings(bad)

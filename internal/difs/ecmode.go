@@ -191,11 +191,11 @@ func (c *Cluster) repairShard(ch *chunk) bool {
 // if capacity is tight) to complete the migration.
 func (c *Cluster) DecommissionNode(id NodeID) int {
 	if c.shards != nil {
-		n := 0
-		for i, s := range c.shards {
+		n, first := 0, true
+		for _, s := range c.allShards() {
 			v := s.DecommissionNode(id)
-			if i == 0 {
-				n = v
+			if first {
+				n, first = v, false
 			}
 		}
 		return n

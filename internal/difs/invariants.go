@@ -32,6 +32,9 @@ func (c *Cluster) CheckInvariants() []string {
 	if c.shards != nil {
 		var bad []string
 		for i, s := range c.shards {
+			if s == nil {
+				continue
+			}
 			s.mu.Lock()
 			s.settleLocked()
 			for _, m := range s.checkInvariantsLocked() {

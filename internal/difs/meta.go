@@ -31,6 +31,10 @@ const (
 	// reopening under a different count would silently lose objects;
 	// AttachMeta refuses a mismatch instead.
 	metaShardsKey = "meta/shards"
+	// metaOwnPrefix holds per-shard ownership claims ("meta/own/<i>" →
+	// canonical OwnShards string) so fleet processes sharing one store
+	// layout can never open the same shard (see claimOwnedShards).
+	metaOwnPrefix = "meta/own/"
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -227,10 +228,21 @@ func (l *slotLedger) keysSorted() []targetKey {
 // the determinism contract's first leg.
 const shardSeedStride = 0x9E3779B97F4A7C15
 
-// newShardedCluster builds the facade plus its N shard children. All of them
+// newShardedCluster builds the facade plus its shard children. All of them
 // share one telemetry registry (so counters are cluster-global), one slot
 // ledger, and — once AddNode runs — the same physical devices.
+//
+// With cfg.OwnShards set, only the owned subset is instantiated: the shards
+// slice keeps its full length (shard index == slice index, the routing
+// invariant) with nil holes at unowned positions. Every facade loop skips
+// the holes; shardFor surfaces one as a nil child, which the entry points
+// turn into ErrNotOwner.
 func newShardedCluster(cfg Config) (*Cluster, error) {
+	own, err := normalizeOwnShards(cfg.OwnShards, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cfg.OwnShards = own
 	reg := telemetry.NewRegistry()
 	led := newSlotLedger()
 	facade := &Cluster{
@@ -239,9 +251,11 @@ func newShardedCluster(cfg Config) (*Cluster, error) {
 		tele: bindTele(reg, nil),
 	}
 	facade.shards = make([]*Cluster, cfg.Shards)
-	for i := range facade.shards {
+	first := true
+	for _, i := range ownedOrAll(own, cfg.Shards) {
 		ccfg := cfg
 		ccfg.Shards = 1
+		ccfg.OwnShards = nil
 		ccfg.Seed = cfg.Seed + uint64(i)*shardSeedStride
 		child, err := NewCluster(ccfg)
 		if err != nil {
@@ -250,17 +264,90 @@ func newShardedCluster(cfg Config) (*Cluster, error) {
 		child.led = led
 		child.shardID = i
 		child.sub = true
-		// Device events and node faults fan out to every shard; only shard 0
-		// counts them so fleet counters match the unsharded cluster.
-		child.countEvents = i == 0
+		// Device events and node faults fan out to every owned shard; only
+		// the first owned one counts them so fleet counters match the
+		// unsharded cluster regardless of which subset this process holds.
+		child.countEvents = first
+		first = false
 		child.tele = bindTele(reg, nil)
 		facade.shards[i] = child
 	}
 	return facade, nil
 }
 
+// normalizeOwnShards validates, deduplicates, and sorts an ownership
+// subset. A subset covering every shard collapses to nil (full ownership).
+func normalizeOwnShards(own []int, shards int) ([]int, error) {
+	if own == nil {
+		return nil, nil
+	}
+	if len(own) == 0 {
+		return nil, fmt.Errorf("difs: OwnShards is empty (own at least one shard)")
+	}
+	seen := map[int]bool{}
+	for _, s := range own {
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("difs: OwnShards entry %d out of [0,%d)", s, shards)
+		}
+		seen[s] = true
+	}
+	if len(seen) == shards {
+		return nil, nil
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ownedOrAll expands a normalized subset (nil = full) into shard indices.
+func ownedOrAll(own []int, shards int) []int {
+	if own != nil {
+		return own
+	}
+	all := make([]int, shards)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// ownShardsCanonical renders the owned subset as the canonical stamp string
+// ("4,5,6,7"; "all" for full ownership) persisted in the store layout.
+func ownShardsCanonical(own []int) string {
+	if own == nil {
+		return "all"
+	}
+	parts := make([]string, len(own))
+	for i, s := range own {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// OwnedShards lists the metadata shards this cluster instantiates,
+// ascending. A full-ownership (or standalone) cluster lists all of them.
+func (c *Cluster) OwnedShards() []int {
+	if c.shards == nil {
+		return []int{0}
+	}
+	return append([]int(nil), ownedOrAll(c.cfg.OwnShards, len(c.shards))...)
+}
+
+// Owns reports whether this cluster serves the given metadata shard.
+func (c *Cluster) Owns(shard int) bool {
+	if c.shards == nil {
+		return shard == 0
+	}
+	return shard >= 0 && shard < len(c.shards) && c.shards[shard] != nil
+}
+
 // shardFor routes a name to its shard (standalone clusters route to
-// themselves, so internal helpers and tests can stay shard-agnostic).
+// themselves, so internal helpers and tests can stay shard-agnostic). On a
+// subset-scoped facade the result is nil for unowned shards — entry points
+// turn that into ErrNotOwner.
 func (c *Cluster) shardFor(name string) *Cluster {
 	if c.shards == nil {
 		return c
@@ -268,13 +355,40 @@ func (c *Cluster) shardFor(name string) *Cluster {
 	return c.shards[ShardOf(name, len(c.shards))]
 }
 
-// allShards lists the clusters that actually hold state: the shard children
-// of a facade, or the standalone cluster itself.
+// notOwnerErr builds the ErrNotOwner error for a name that routed to an
+// unowned shard.
+func (c *Cluster) notOwnerErr(name string) error {
+	return fmt.Errorf("%w: %q routes to shard %d (this process owns %s)",
+		ErrNotOwner, name, ShardOf(name, len(c.shards)), ownShardsCanonical(c.cfg.OwnShards))
+}
+
+// allShards lists the clusters that actually hold state: the (owned) shard
+// children of a facade, or the standalone cluster itself.
 func (c *Cluster) allShards() []*Cluster {
 	if c.shards == nil {
 		return []*Cluster{c}
 	}
-	return c.shards
+	out := make([]*Cluster, 0, len(c.shards))
+	for _, s := range c.shards {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// firstShard returns the lowest-index owned shard — the authoritative view
+// for state that mirrors across shards (membership, capacity, node flaps).
+func (c *Cluster) firstShard() *Cluster {
+	if c.shards == nil {
+		return c
+	}
+	for _, s := range c.shards {
+		if s != nil {
+			return s
+		}
+	}
+	return c // unreachable: a facade always owns at least one shard
 }
 
 // --- membership & event fan-out ----------------------------------------------
@@ -285,7 +399,7 @@ func (c *Cluster) allShards() []*Cluster {
 // global order.
 func (c *Cluster) addNodeFacade(devices ...blockdev.Device) NodeID {
 	id := NodeID(-1)
-	for _, s := range c.shards {
+	for _, s := range c.allShards() {
 		id = s.addNodeQuiet(devices...)
 	}
 	for di, dev := range devices {
@@ -308,7 +422,7 @@ func (c *Cluster) fanEvent(nid NodeID, dev int, e blockdev.Event) {
 	defer c.evMu.Unlock()
 	seq := c.evSeq
 	c.evSeq++
-	for _, s := range c.shards {
+	for _, s := range c.allShards() {
 		s.pendMu.Lock()
 		s.pend = append(s.pend, sunkEvent{nid: nid, dev: dev, seq: seq, e: e})
 		s.pendMu.Unlock()
@@ -413,7 +527,7 @@ func (c *Cluster) claimSlot(t *target, slot int) bool {
 func (c *Cluster) repairFacade(ctx context.Context, workers int) (copies int, err error) {
 	var agg RepairError
 	for i, s := range c.shards {
-		if s.PendingRepairs() == 0 {
+		if s == nil || s.PendingRepairs() == 0 {
 			continue
 		}
 		var n int
@@ -444,13 +558,18 @@ func (c *Cluster) repairFacade(ctx context.Context, workers int) (copies int, er
 
 // --- manifests & recovery ----------------------------------------------------
 
-// attachMetaFacade attaches one durable store to all shards, each under its
-// own "s<i>/" key prefix. The root carries a meta/shards stamp; reopening
-// under a different shard count is refused (the name→shard hash decides
-// which prefix holds a manifest, so a different count would silently lose
-// objects). A pre-sharding v1 store is likewise refused — resharding is an
-// explicit operator migration, not an accident — while an unknown old format
-// quarantines exactly as on standalone clusters.
+// attachMetaFacade attaches one durable store to the owned shards, each
+// under its own "s<i>/" key prefix. The root carries a meta/shards stamp;
+// reopening under a different shard count is refused (the name→shard hash
+// decides which prefix holds a manifest, so a different count would
+// silently lose objects). A pre-sharding v1 store is likewise refused —
+// resharding is an explicit operator migration, not an accident — while an
+// unknown old format quarantines exactly as on standalone clusters.
+//
+// On a subset-scoped cluster the facade additionally claims each owned
+// shard with a meta/own/<i> stamp before attaching it, so two processes of
+// a fleet sharing one store layout can never open the same shard (see
+// claimOwnedShards).
 func (c *Cluster) attachMetaFacade(st store.Store) (quarantined int, err error) {
 	n := len(c.shards)
 	raw, gerr := st.Get(metaShardsKey)
@@ -485,7 +604,13 @@ func (c *Cluster) attachMetaFacade(st store.Store) (quarantined int, err error) 
 	default:
 		return 0, fmt.Errorf("difs: read shard stamp: %w", gerr)
 	}
+	if err := c.claimOwnedShards(st); err != nil {
+		return quarantined, err
+	}
 	for i, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		q, aerr := s.AttachMeta(store.Prefixed(st, fmt.Sprintf("s%d/", i)))
 		quarantined += q
 		if aerr != nil {
@@ -496,6 +621,55 @@ func (c *Cluster) attachMetaFacade(st store.Store) (quarantined int, err error) 
 	c.meta = st
 	c.mu.Unlock()
 	return quarantined, nil
+}
+
+// claimOwnedShards enforces shard-level mutual exclusion across the
+// processes sharing one store layout. A subset-scoped cluster stamps every
+// shard it owns with meta/own/<i> = its canonical subset string:
+//
+//   - absent stamp       → claim it (write, then read back: the store's
+//     atomic last-writer-wins rename arbitrates a concurrent claim, and the
+//     loser sees the winner's subset on read-back and refuses);
+//   - stamp == my subset → a same-shaped reopen (restart/recovery), proceed;
+//   - stamp != my subset → another subset holds the shard, refuse.
+//
+// A full-ownership cluster writes no stamps but refuses a store any subset
+// has claimed — the fleet layout and the single-process layout must never
+// open each other's trees by accident.
+func (c *Cluster) claimOwnedShards(st store.Store) error {
+	if c.cfg.OwnShards == nil {
+		claimed, err := st.List(metaOwnPrefix)
+		if err != nil {
+			return fmt.Errorf("difs: list shard claims: %w", err)
+		}
+		if len(claimed) > 0 {
+			return fmt.Errorf("difs: manifest store is subset-claimed (%d shard stamps under %s); open it with the matching OwnShards subset", len(claimed), metaOwnPrefix)
+		}
+		return nil
+	}
+	mine := []byte(ownShardsCanonical(c.cfg.OwnShards))
+	for _, i := range c.cfg.OwnShards {
+		key := metaOwnPrefix + strconv.Itoa(i)
+		raw, err := st.Get(key)
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			if perr := st.Put(key, mine); perr != nil {
+				return fmt.Errorf("difs: claim shard %d: %w", i, perr)
+			}
+			back, gerr := st.Get(key)
+			if gerr != nil {
+				return fmt.Errorf("difs: verify shard %d claim: %w", i, gerr)
+			}
+			if string(back) != string(mine) {
+				return fmt.Errorf("difs: lost shard %d claim race to subset %q", i, back)
+			}
+		case err != nil:
+			return fmt.Errorf("difs: read shard %d claim: %w", i, err)
+		case string(raw) != string(mine):
+			return fmt.Errorf("difs: shard %d already claimed by subset %q (this process owns %s)", i, raw, mine)
+		}
+	}
+	return nil
 }
 
 // ShardRecoverStats is one shard's slice of a RecoveryReport.
@@ -516,7 +690,7 @@ type ShardRecoverStats struct {
 // the whole ledger.
 func (c *Cluster) recoverFacade() (*RecoveryReport, error) {
 	for i, s := range c.shards {
-		if s.meta == nil {
+		if s != nil && s.meta == nil {
 			return nil, fmt.Errorf("difs: Recover requires AttachMeta first (shard %d has no store)", i)
 		}
 	}
@@ -525,6 +699,9 @@ func (c *Cluster) recoverFacade() (*RecoveryReport, error) {
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, s *Cluster) {
 			defer wg.Done()
@@ -605,6 +782,9 @@ func (c *Cluster) checkLedgerInvariants() []string {
 	// Union of occupied slots, noting the claiming shard.
 	occ := map[targetKey]map[int]int{} // disk -> slot -> shard
 	for i, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		s.mu.Lock()
 		keys := make([]targetKey, 0, len(s.targets))
 		for k := range s.targets {
@@ -678,11 +858,22 @@ type ShardInfo struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-// ShardInfos summarizes every shard in shard order. A standalone cluster
-// reports itself as the single shard 0.
+// ShardInfos summarizes every owned shard in shard order, reporting real
+// shard indices (a subset-scoped facade reports only its subset). A
+// standalone cluster reports itself as the single shard 0.
 func (c *Cluster) ShardInfos() []ShardInfo {
-	out := make([]ShardInfo, 0, len(c.allShards()))
-	for i, s := range c.allShards() {
+	if c.shards == nil {
+		c.mu.Lock()
+		c.settleLocked()
+		info := ShardInfo{Objects: len(c.objects), PendingRepairs: len(c.repairQ), Epoch: c.epoch}
+		c.mu.Unlock()
+		return []ShardInfo{info}
+	}
+	out := make([]ShardInfo, 0, len(c.shards))
+	for i, s := range c.shards {
+		if s == nil {
+			continue
+		}
 		s.mu.Lock()
 		s.settleLocked()
 		out = append(out, ShardInfo{

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"salamander/internal/faultinject"
+	"salamander/internal/shardmap"
 	"salamander/internal/stats"
 	"salamander/internal/telemetry"
 	"salamander/internal/wire"
@@ -379,6 +380,19 @@ func (cl *Client) List(ctx context.Context) ([]string, error) {
 		}
 	}
 	return names, nil
+}
+
+// ShardMap fetches the server's current shard map.
+func (cl *Client) ShardMap(ctx context.Context) (*shardmap.Map, error) {
+	resp, err := cl.do(ctx, wire.Frame{Op: wire.OpShardMap})
+	if err != nil {
+		return nil, err
+	}
+	m, err := shardmap.Decode(resp.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: shard map response: %v", ErrConnBroken, err)
+	}
+	return m, nil
 }
 
 // Repair runs one cluster repair pass and returns the chunk copies created.

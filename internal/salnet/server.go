@@ -53,10 +53,12 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"salamander/internal/difs"
 	"salamander/internal/faultinject"
+	"salamander/internal/shardmap"
 	"salamander/internal/telemetry"
 	"salamander/internal/wire"
 )
@@ -89,6 +91,16 @@ type ServerConfig struct {
 	// op, key, and duration. Zero disables; the check is one comparison per
 	// op, so it is safe to leave on in production.
 	SlowOpThreshold time.Duration
+	// ServiceTime, when positive, holds each work item on its worker for at
+	// least this long (a coalesced GET run pays it once, like one device
+	// read). The flash layers simulate media latency in virtual time —
+	// CPU-fast — so a lone process's real throughput is CPU-bound and scales
+	// with host cores, not with architecture. ServiceTime re-imposes a
+	// device-like real-time floor, making throughput worker- and
+	// process-bound; the scale-out bench uses it so the fleet-vs-single
+	// ratio measures the sharded design rather than the host's core count.
+	// Zero (the default) disables it.
+	ServiceTime time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -123,6 +135,9 @@ type sTele struct {
 	slowOps         *telemetry.Counter
 	batches         *telemetry.Counter
 	batchedOps      *telemetry.Counter
+	mapServes       *telemetry.Counter
+	notOwnerRejects *telemetry.Counter
+	mapEpoch        *telemetry.Gauge
 	opNs            *telemetry.Histogram
 	tr              *telemetry.Tracer
 }
@@ -144,6 +159,9 @@ func bindSrvTele(reg *telemetry.Registry, tr *telemetry.Tracer) sTele {
 		slowOps:         reg.Counter("net.server.slow_ops"),
 		batches:         reg.Counter("net.server.batches"),
 		batchedOps:      reg.Counter("net.server.batched_ops"),
+		mapServes:       reg.Counter("shardmap.map_serves"),
+		notOwnerRejects: reg.Counter("shardmap.not_owner_rejects"),
+		mapEpoch:        reg.Gauge("shardmap.epoch"),
 		opNs:            reg.Histogram("net.server.op_ns"),
 		tr:              tr,
 	}
@@ -167,6 +185,11 @@ type Server struct {
 	acceptWg sync.WaitGroup // accept loop
 
 	bufPool sync.Pool // *[]byte scratch, shared by readers and workers
+
+	// smap is the server's current shard map (nil until SetShardMap). The
+	// encoded bytes are cached alongside so every NotOwner rejection and
+	// OpShardMap response reuses one encoding.
+	smap atomic.Pointer[srvShardMap]
 
 	tele sTele
 
@@ -214,6 +237,66 @@ func (s *Server) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tele = bindSrvTele(reg, tr)
+}
+
+// srvShardMap pairs an installed shard map with its cached encoding.
+type srvShardMap struct {
+	m   *shardmap.Map
+	enc []byte
+}
+
+// SetShardMap installs (or replaces) the server's shard map. The map is what
+// OpShardMap serves and what NotOwner rejections carry; install a bumped-
+// epoch map at drain time so stale clients re-route in one round trip.
+// Replacing with an older epoch is refused so a racing late install cannot
+// roll the fleet's routing view backwards.
+func (s *Server) SetShardMap(m *shardmap.Map) error {
+	if m == nil {
+		return errors.New("salnet: nil shard map")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	next := &srvShardMap{m: m.Clone(), enc: enc}
+	for {
+		cur := s.smap.Load()
+		if cur != nil {
+			if cur.m.Epoch > m.Epoch {
+				return fmt.Errorf("salnet: shard map epoch %d older than installed %d", m.Epoch, cur.m.Epoch)
+			}
+			if cur.m.Epoch == m.Epoch {
+				return nil // same epoch: keep the installed map
+			}
+		}
+		if s.smap.CompareAndSwap(cur, next) {
+			s.tele.mapEpoch.Set(float64(m.Epoch))
+			return nil
+		}
+	}
+}
+
+// ShardMap returns the installed shard map (nil if none).
+func (s *Server) ShardMap() *shardmap.Map {
+	if sm := s.smap.Load(); sm != nil {
+		return sm.m.Clone()
+	}
+	return nil
+}
+
+// notOwnerPayload rewrites a NotOwner response to carry the encoded current
+// shard map instead of prose, so a stale client refreshes and retries
+// against the right owner in one round trip.
+func (s *Server) notOwnerPayload(resp *wire.Frame) {
+	s.tele.notOwnerRejects.Inc()
+	if sm := s.smap.Load(); sm != nil {
+		resp.Payload = sm.enc
+	} else {
+		resp.Payload = nil
+	}
 }
 
 // InjectFaults declares the network failpoints on fr: net.conn.drop,
@@ -418,6 +501,9 @@ func (s *Server) handle(req *request) {
 		s.tele.slowResponses.Inc()
 		time.Sleep(s.cfg.InjectedLatency)
 	}
+	if s.cfg.ServiceTime > 0 {
+		time.Sleep(s.cfg.ServiceTime)
+	}
 
 	ctx := context.Background()
 	var cancel context.CancelFunc
@@ -465,6 +551,11 @@ func (s *Server) handleGetRun(head *request) {
 		s.tele.slowResponses.Add(uint64(slow))
 		time.Sleep(time.Duration(slow) * s.cfg.InjectedLatency)
 	}
+	// One service-time charge for the whole run: a coalesced batch costs one
+	// device read, which is the point of coalescing.
+	if s.cfg.ServiceTime > 0 {
+		time.Sleep(s.cfg.ServiceTime)
+	}
 
 	keys := make([]string, len(run))
 	for i, r := range run {
@@ -488,7 +579,11 @@ func (s *Server) handleGetRun(head *request) {
 		resp := wire.Frame{ID: r.f.ID, Op: r.f.Op}
 		if errs[i] != nil {
 			resp.Status = statusOf(errs[i])
-			resp.Payload = []byte(errs[i].Error())
+			if resp.Status == wire.StatusNotOwner {
+				s.notOwnerPayload(&resp)
+			} else {
+				resp.Payload = []byte(errs[i].Error())
+			}
 		} else {
 			resp.Payload = clampRange(&r.f, datas[i])
 		}
@@ -557,6 +652,12 @@ func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
 	resp := wire.Frame{ID: f.ID, Op: f.Op}
 	fail := func(err error) wire.Frame {
 		resp.Status = statusOf(err)
+		if resp.Status == wire.StatusNotOwner {
+			// The cluster refused a foreign-shard key: answer with the
+			// current map so the client re-routes, not with prose.
+			s.notOwnerPayload(&resp)
+			return resp
+		}
 		resp.Payload = []byte(err.Error())
 		return resp
 	}
@@ -592,6 +693,13 @@ func (s *Server) dispatch(ctx context.Context, f *wire.Frame) wire.Frame {
 			return fail(err)
 		}
 		resp.Payload = binary.BigEndian.AppendUint64(nil, uint64(copies))
+	case wire.OpShardMap:
+		sm := s.smap.Load()
+		if sm == nil {
+			return fail(fmt.Errorf("%w: no shard map installed", wire.ErrBadRequest))
+		}
+		s.tele.mapServes.Inc()
+		resp.Payload = sm.enc
 	default:
 		return fail(fmt.Errorf("%w: opcode %v", wire.ErrBadRequest, f.Op))
 	}

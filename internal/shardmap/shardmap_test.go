@@ -1,0 +1,201 @@
+package shardmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"salamander/internal/difs"
+)
+
+func fleetMap(t *testing.T) *Map {
+	t.Helper()
+	m := New(16)
+	for i := range m.Owners {
+		m.Owners[i] = []string{"a:1", "b:2", "c:3", "d:4"}[i/4]
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []*Map{
+		New(1),
+		New(16),
+		fleetMap(t),
+		{Epoch: 1 << 40, Shards: 3, Owners: []string{"", "x:9", ""}},
+	}
+	for i, m := range cases {
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("case %d: round trip mismatch:\n in: %+v\nout: %+v", i, m, got)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	enc, err := fleetMap(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrBadMap},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, ErrBadMap},
+		{"flipped byte", func(b []byte) []byte { b[7] ^= 0x80; return b }, ErrBadChecksum},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-8] }, ErrBadChecksum},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0) }, ErrBadChecksum},
+		{"bad magic", func(b []byte) []byte {
+			b[0] ^= 0xff
+			return refit(b)
+		}, ErrBadMap},
+		{"bad version", func(b []byte) []byte {
+			b[4] = 99
+			return refit(b)
+		}, ErrBadMap},
+		{"zero shards", func(b []byte) []byte {
+			b[13], b[14], b[15], b[16] = 0, 0, 0, 0
+			return refit(b)
+		}, ErrBadMap},
+		{"hostile shard count", func(b []byte) []byte {
+			b[13], b[14], b[15], b[16] = 0xff, 0xff, 0xff, 0xff
+			return refit(b)
+		}, ErrBadMap},
+		{"owner length past end", func(b []byte) []byte {
+			b[17], b[18] = 0xff, 0xff
+			return refit(b)
+		}, ErrBadMap},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), enc...)
+		if _, err := Decode(tc.mutate(b)); !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// refit recomputes the trailing CRC so a structural mutation is tested on
+// its own merits rather than caught by the checksum.
+func refit(b []byte) []byte {
+	sum := crc32.Checksum(b[:len(b)-4], crcTable)
+	binary.BigEndian.PutUint32(b[len(b)-4:], sum)
+	return b
+}
+
+func TestRouting(t *testing.T) {
+	m := fleetMap(t)
+	for _, key := range []string{"alpha", "beta", "c0-w1-o42", "", "x"} {
+		shard, ep := m.Owner(key)
+		if want := difs.ShardOf(key, 16); shard != want {
+			t.Fatalf("Owner(%q) shard %d, ShardOf says %d", key, shard, want)
+		}
+		if want := m.Owners[shard]; ep != want {
+			t.Fatalf("Owner(%q) endpoint %q, want %q", key, ep, want)
+		}
+	}
+	if got := m.OwnedBy("b:2"); !reflect.DeepEqual(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("OwnedBy(b:2) = %v", got)
+	}
+	if got := m.Endpoints(); !reflect.DeepEqual(got, []string{"a:1", "b:2", "c:3", "d:4"}) {
+		t.Fatalf("Endpoints = %v", got)
+	}
+}
+
+func TestVacateBumpsEpochAndClears(t *testing.T) {
+	m := fleetMap(t)
+	next := m.Vacate("b:2")
+	if next.Epoch != m.Epoch+1 {
+		t.Fatalf("epoch %d, want %d", next.Epoch, m.Epoch+1)
+	}
+	if got := next.OwnedBy("b:2"); got != nil {
+		t.Fatalf("vacated endpoint still owns %v", got)
+	}
+	for _, s := range []int{4, 5, 6, 7} {
+		if next.Owners[s] != "" {
+			t.Fatalf("shard %d not cleared: %q", s, next.Owners[s])
+		}
+	}
+	// The original is untouched (Vacate is copy-on-write).
+	if m.Owners[4] != "b:2" || m.Epoch != 1 {
+		t.Fatal("Vacate mutated its receiver")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	m := fleetMap(t)
+	path := filepath.Join(t.TempDir(), "fleet.map")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("load mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestParseFormatShardSet(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0,1,2,3", []int{0, 1, 2, 3}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"3,0-2, 8, 10-11", []int{0, 1, 2, 3, 8, 10, 11}},
+		{"15,15", []int{15}},
+	}
+	for _, tc := range cases {
+		got, err := ParseShardSet(tc.spec, 16)
+		if err != nil {
+			t.Fatalf("ParseShardSet(%q): %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ParseShardSet(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+		// Format -> Parse is the identity on canonical sets.
+		back, err := ParseShardSet(FormatShardSet(got), 16)
+		if err != nil || !reflect.DeepEqual(back, got) {
+			t.Fatalf("FormatShardSet(%v) did not round trip: %v (%v)", got, back, err)
+		}
+	}
+	for _, bad := range []string{"", "x", "1-0", "16", "-1", "0-99"} {
+		if _, err := ParseShardSet(bad, 16); err == nil {
+			t.Fatalf("ParseShardSet(%q) accepted", bad)
+		}
+	}
+	if FormatShardSet([]int{0, 1, 2, 3, 8, 10, 11}) != "0-3,8,10-11" {
+		t.Fatalf("FormatShardSet canonical form: %q", FormatShardSet([]int{0, 1, 2, 3, 8, 10, 11}))
+	}
+}
+
+func TestAssign(t *testing.T) {
+	m := New(8)
+	next, err := m.Assign("a:1", []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 || !reflect.DeepEqual(next.OwnedBy("a:1"), []int{0, 1, 2}) {
+		t.Fatalf("assign: %+v", next)
+	}
+	if _, err := m.Assign("a:1", []int{8}); err == nil {
+		t.Fatal("out-of-range assign accepted")
+	}
+}

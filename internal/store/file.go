@@ -9,9 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // layoutVersion is written to <root>/VERSION when a directory is first
@@ -75,17 +77,47 @@ func OpenFile(dir string, opts FileOptions) (*FileStore, error) {
 			ErrLayout, dir, strings.TrimSpace(string(raw)), layoutVersion)
 	}
 	s := &FileStore{root: dir, opts: opts, shards: map[string]bool{}}
-	// Sweep staging leftovers: a file here was mid-put when the process
-	// died. It was never renamed into a shard, so it was never committed
-	// (the caller never got its ack) — deleting it is the recovery.
+	// Sweep staging leftovers: a file here was mid-put when its owning
+	// process died. It was never renamed into a shard, so it was never
+	// committed (the caller never got its ack) — deleting it is the
+	// recovery. Staging names embed the writer's pid, and a scale-out fleet
+	// shares one manifest store across processes, so the sweep only touches
+	// files whose owner is gone: deleting a LIVE sibling's in-flight put
+	// would fail its commit rename out from under it.
 	ents, err := os.ReadDir(filepath.Join(dir, "tmp"))
 	if err != nil {
 		return nil, fmt.Errorf("store: sweep tmp: %w", err)
 	}
 	for _, e := range ents {
+		if pid, ok := tmpOwnerPid(e.Name()); ok && processAlive(pid) {
+			continue
+		}
 		_ = os.Remove(filepath.Join(dir, "tmp", e.Name()))
 	}
 	return s, nil
+}
+
+// tmpOwnerPid extracts the writing process's pid from a staging file name
+// ("<pid>.<seq>.tmp").
+func tmpOwnerPid(name string) (int, bool) {
+	head, _, ok := strings.Cut(name, ".")
+	if !ok {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(head)
+	if err != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// processAlive reports whether a process with the given pid exists (signal
+// 0 probe; EPERM still means it exists). A recycled pid keeps a dead
+// process's staging file alive until the next sweep — a bounded leak,
+// strictly better than deleting a live writer's in-flight put.
+func processAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
 }
 
 // Root returns the store's root directory.

@@ -10,14 +10,18 @@ import (
 // in tests without touching the filesystem, and so "restart" can be
 // simulated by handing the same Mem to a freshly constructed layer — the
 // map survives the layer, standing in for the disk surviving the process.
+// Handles from Reopen share one lock as well as one map, so concurrent
+// live siblings (the fleet case: several subset clusters attached to one
+// manifest store) are as safe here as FileStore's rename-arbitrated
+// multi-process sharing.
 type Mem struct {
-	mu     sync.Mutex
+	mu     *sync.Mutex
 	m      map[string][]byte
 	closed bool
 }
 
 // NewMem returns an empty RAM store.
-func NewMem() *Mem { return &Mem{m: map[string][]byte{}} }
+func NewMem() *Mem { return &Mem{mu: &sync.Mutex{}, m: map[string][]byte{}} }
 
 // Put implements Store.
 func (s *Mem) Put(key string, data []byte) error {
@@ -89,11 +93,13 @@ func (s *Mem) Close() error {
 }
 
 // Reopen returns a fresh usable handle over the same underlying data — the
-// test-harness analogue of reopening a data directory after process death.
+// test-harness analogue of reopening a data directory after process death,
+// or of a sibling fleet member attaching the shared store while this
+// handle is still live.
 func (s *Mem) Reopen() *Mem {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &Mem{m: s.m}
+	return &Mem{mu: s.mu, m: s.m}
 }
 
 var _ Store = (*Mem)(nil)

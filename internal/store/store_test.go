@@ -3,9 +3,12 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -99,28 +102,68 @@ func TestFileReopenPersists(t *testing.T) {
 	}
 }
 
+// deadPid returns the pid of a just-reaped child: at call time it names no
+// live process, so a staging file carrying it is sweepable.
+func deadPid(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("spawn true: %v", err)
+	}
+	return cmd.Process.Pid
+}
+
 func TestFileSweepsStagedTemp(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := OpenFile(dir, FileOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash between temp-write and rename: a half-renamed chunk
-	// is a leftover staging file that was never committed.
-	torn := filepath.Join(dir, "tmp", "999.1.tmp")
+	// is a leftover staging file from a dead writer, never committed.
+	torn := filepath.Join(dir, "tmp", fmt.Sprintf("%d.1.tmp", deadPid(t)))
 	if err := os.WriteFile(torn, []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A name that carries no pid is from no live writer either.
+	junk := filepath.Join(dir, "tmp", "garbage.tmp")
+	if err := os.WriteFile(junk, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s, err := OpenFile(dir, FileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(torn); !errors.Is(err, os.ErrNotExist) {
-		t.Fatalf("staged temp survived reopen: %v", err)
+	for _, f := range []string{torn, junk} {
+		if _, err := os.Stat(f); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("staged temp %s survived reopen: %v", f, err)
+		}
 	}
 	// The key it would have committed to reads as not-found, not as a
 	// truncated value.
 	if _, err := s.Get("whatever"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+}
+
+// TestFileSweepKeepsLiveSiblingStaging: fleet processes share one manifest
+// store, and each opens it independently — the open-time sweep must not
+// delete a LIVE sibling's in-flight put (that would fail its commit rename
+// mid-flight). A staging file owned by a live pid survives; only dead
+// writers' leftovers are recovered.
+func TestFileSweepKeepsLiveSiblingStaging(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(dir, FileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	inflight := filepath.Join(dir, "tmp", fmt.Sprintf("%d.7.tmp", os.Getpid()))
+	if err := os.WriteFile(inflight, []byte("mid-put"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir, FileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(inflight); err != nil {
+		t.Fatalf("live writer's staging file swept by a sibling open: %v", err)
 	}
 }
 
@@ -134,6 +177,37 @@ func TestFileLayoutVersionMismatch(t *testing.T) {
 	}
 	if _, err := OpenFile(dir, FileOptions{}); !errors.Is(err, ErrLayout) {
 		t.Fatalf("OpenFile over v0 layout = %v, want ErrLayout", err)
+	}
+}
+
+// TestMemConcurrentSiblingHandles: two live Reopen handles model two fleet
+// members attached to one shared manifest store — writes through both must
+// be safe concurrently (handles share the lock, not just the map).
+func TestMemConcurrentSiblingHandles(t *testing.T) {
+	a := NewMem()
+	b := a.Reopen()
+	var wg sync.WaitGroup
+	for i, s := range []*Mem{a, b} {
+		wg.Add(1)
+		go func(i int, s *Mem) {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				k := fmt.Sprintf("own/%d/%d", i, n%8)
+				if err := s.Put(k, []byte{byte(n)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	names, err := a.List("own/")
+	if err != nil || len(names) != 16 {
+		t.Fatalf("List = %d names, %v; want 16", len(names), err)
 	}
 }
 

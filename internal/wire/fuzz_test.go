@@ -26,6 +26,26 @@ func FuzzFrameDecode(f *testing.F) {
 	seed[8] = byte(OpGet)
 	seed[10], seed[11] = 0xff, 0xff // key length far past frame end
 	f.Add(seed)
+	// Shard-map frames: a bare map request, a response whose payload looks
+	// like an encoded shardmap ("SALM" magic + version + torn body), and a
+	// NotOwner rejection carrying binary map bytes.
+	mapReq := make([]byte, HeaderSize)
+	mapReq[8] = byte(OpShardMap)
+	f.Add(mapReq)
+	mapResp := append(append([]byte{}, mapReq...), 'S', 'A', 'L', 'M', 1, 0, 0, 0xff)
+	f.Add(mapResp)
+	notOwner := make([]byte, HeaderSize)
+	notOwner[8] = byte(OpPut)
+	notOwner[9] = byte(StatusNotOwner)
+	f.Add(append(notOwner, 0xde, 0xad, 0xbe, 0xef))
+	// One past the enum edges: first undefined op and status.
+	badOp := make([]byte, HeaderSize)
+	badOp[8] = byte(opMax)
+	f.Add(badOp)
+	badStatus := make([]byte, HeaderSize)
+	badStatus[8] = byte(OpPing)
+	badStatus[9] = byte(statusMax)
+	f.Add(badStatus)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := Decode(data)

@@ -70,6 +70,10 @@ const (
 	// OpRepair runs one cluster repair pass; the response payload is the
 	// big-endian uint64 count of chunk copies created.
 	OpRepair
+	// OpShardMap returns the server's current shard map (shardmap.Encode
+	// bytes) in the response payload. Appended after OpRepair: opcode values
+	// are wire-pinned, so new ops go before opMax only.
+	OpShardMap
 	opMax
 )
 
@@ -88,6 +92,8 @@ func (o Op) String() string {
 		return "list"
 	case OpRepair:
 		return "repair"
+	case OpShardMap:
+		return "shard_map"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -111,6 +117,13 @@ const (
 	StatusTimeout
 	StatusShutdown
 	StatusInternal
+	// StatusNotOwner rejects a keyed op whose shard the server does not
+	// own. Unlike other error responses the payload is not a message: it
+	// carries the server's current encoded shard map, so a stale client
+	// refreshes its routing and retries against the right owner in one
+	// round trip. Appended after StatusInternal: status values are
+	// wire-pinned, so new codes go before statusMax only.
+	StatusNotOwner
 	statusMax
 )
 
@@ -135,6 +148,8 @@ func (s Status) String() string {
 		return "shutdown"
 	case StatusInternal:
 		return "internal"
+	case StatusNotOwner:
+		return "not_owner"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -269,6 +284,8 @@ func StatusOf(err error) Status {
 		return StatusNoSpace
 	case errors.Is(err, difs.ErrDataLoss):
 		return StatusDataLoss
+	case errors.Is(err, difs.ErrNotOwner):
+		return StatusNotOwner
 	case errors.Is(err, ErrBadRequest):
 		return StatusBadRequest
 	case errors.Is(err, ErrTimeout):
@@ -297,6 +314,10 @@ func StatusError(s Status, msg string) error {
 		base = difs.ErrNoSpace
 	case StatusDataLoss:
 		base = difs.ErrDataLoss
+	case StatusNotOwner:
+		// The payload of a NotOwner response is the owner's encoded shard
+		// map, not prose — don't fold binary bytes into the message.
+		return difs.ErrNotOwner
 	case StatusBadRequest:
 		base = ErrBadRequest
 	case StatusTimeout:

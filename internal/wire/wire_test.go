@@ -27,6 +27,13 @@ func roundTripFrames() []Frame {
 		{ID: 9, Op: OpPut, Status: StatusNoSpace, Key: []byte("big")},
 		{ID: 10, Op: OpPut, Key: []byte{}, Payload: []byte{}},
 		{ID: 11, Op: OpPing, Status: StatusShutdown},
+		// Shard-map frames: a map request, a map response carrying encoded
+		// map bytes (opaque to the codec), and a NotOwner rejection whose
+		// payload is likewise a binary map, not a message.
+		{ID: 12, Op: OpShardMap},
+		{ID: 13, Op: OpShardMap, Status: StatusOK, Payload: []byte{0x53, 0x41, 0x4c, 0x4d, 0x01, 0x00, 0xff}},
+		{ID: 14, Op: OpGet, Status: StatusNotOwner, Key: []byte("foreign"), Payload: bytes.Repeat([]byte{0x5a}, 64)},
+		{ID: 15, Op: OpPut, Status: StatusNotOwner, Key: []byte("k")},
 	}
 }
 
@@ -138,6 +145,16 @@ func TestMalformedFrames(t *testing.T) {
 		}
 	}
 
+	t.Run("status past statusMax", func(t *testing.T) {
+		// statusMax moves as statuses are appended (StatusNotOwner most
+		// recently); whatever its current value, it must stay undecodable.
+		b := append([]byte(nil), body...)
+		b[9] = byte(statusMax)
+		if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "unknown status") {
+			t.Fatalf("got %v, want unknown status", err)
+		}
+	})
+
 	t.Run("reader oversized length field", func(t *testing.T) {
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
@@ -188,6 +205,7 @@ func TestStatusMapping(t *testing.T) {
 		{difs.ErrAlreadyExist, StatusExists},
 		{difs.ErrNoSpace, StatusNoSpace},
 		{difs.ErrDataLoss, StatusDataLoss},
+		{difs.ErrNotOwner, StatusNotOwner},
 		{ErrBadRequest, StatusBadRequest},
 		{ErrTimeout, StatusTimeout},
 		{ErrShutdown, StatusShutdown},
@@ -206,6 +224,14 @@ func TestStatusMapping(t *testing.T) {
 		}
 		if tc.want != StatusInternal && !errors.Is(back, tc.err) {
 			t.Errorf("StatusError(%v) = %v, does not wrap %v", tc.want, back, tc.err)
+		}
+		if tc.want == StatusNotOwner {
+			// NotOwner payloads are binary shard maps, never folded into the
+			// error message.
+			if strings.Contains(back.Error(), "ctx") {
+				t.Errorf("StatusError(NotOwner) embedded the payload: %v", back)
+			}
+			continue
 		}
 		if !strings.Contains(back.Error(), "ctx") {
 			t.Errorf("StatusError(%v) lost the message: %v", tc.want, back)
